@@ -1,0 +1,58 @@
+// Ablation for the Section 5.3 extension: a central min/max statistics
+// index (DynamoDB) consulted by the driver before fan-out. The paper notes
+// that with such an index, workers whose files are fully pruned "would not
+// even be started". We compare Q6 (highly prunable) and Q1 (barely
+// prunable) with and without the index.
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+#include "core/driver.h"
+#include "core/stats_index.h"
+#include "workload/tpch.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+
+int main() {
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 400;
+  cloud::Cloud cloud(cfg);
+  core::Driver driver(&cloud);
+  LAMBADA_CHECK_OK(driver.Install());
+  core::StatsIndex index(&cloud.ddb());
+
+  workload::LoadOptions load;
+  load.num_rows = 320 * 600;
+  load.num_files = 320;
+  load.row_groups_per_file = 4;
+  load.virtual_bytes_per_file = 500 * kMB;
+  load.stats_index = &index;
+  load.dataset = "tpch/sf1000/";
+  LAMBADA_CHECK_OK(
+      workload::LoadLineitem(&cloud.s3(), "tpch", "sf1000/", load));
+
+  Banner("Ablation", "central min/max index (Section 5.3 extension)");
+  Table t({"query", "index", "workers", "time", "cost"}, 14);
+  for (bool is_q1 : {false, true}) {
+    core::Query q = is_q1 ? workload::TpchQ1("s3://tpch/sf1000/*.lpq")
+                          : workload::TpchQ6("s3://tpch/sf1000/*.lpq");
+    const char* name = is_q1 ? "Q1" : "Q6";
+    for (bool use_index : {false, true}) {
+      core::RunOptions opts;
+      opts.use_stats_index = use_index;
+      // Warm-up run so both variants compare hot.
+      LAMBADA_CHECK(driver.RunToCompletion(q, opts).ok());
+      auto report = driver.RunToCompletion(q, opts);
+      LAMBADA_CHECK(report.ok()) << report.status().ToString();
+      t.Row({name, use_index ? "yes" : "no", FmtInt(report->workers),
+             FormatSeconds(report->latency_s),
+             FormatUsd(report->CostUsd(cloud.pricing()))});
+    }
+  }
+  std::printf(
+      "\nQ6 selects one of ~6.8 years of a relation sorted by l_shipdate:\n"
+      "the index lets the driver start ~1/6 of the workers, cutting cost\n"
+      "without changing the result. Q1 selects 98%% of the relation, so\n"
+      "the index cannot help it.\n");
+  return 0;
+}

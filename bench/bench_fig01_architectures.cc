@@ -1,0 +1,69 @@
+// Reproduces Figure 1 of the paper: the architecture comparison that
+// motivates serverless analytics on cold data.
+//   (a) Job-scoped resources: cost vs running time for IaaS VMs and FaaS
+//       workers scanning 1 TB from S3.
+//   (b) Always-on resources: hourly cost vs query frequency for VM tiers,
+//       QaaS, and FaaS.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "models/costmodel.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+
+int main() {
+  Banner("Figure 1a", "job-scoped resources: 1 TB scan, cost vs time");
+  {
+    Table t({"series", "workers", "time", "cost"});
+    for (const auto& p : models::JobScopedIaas()) {
+      t.Row({"IaaS (VM)", FmtInt(p.workers), FormatSeconds(p.running_time_s),
+             FormatUsd(p.cost_usd)});
+    }
+    for (const auto& p : models::JobScopedFaas()) {
+      t.Row({"FaaS", FmtInt(p.workers), FormatSeconds(p.running_time_s),
+             FormatUsd(p.cost_usd)});
+    }
+    auto iaas = models::JobScopedIaas();
+    auto faas = models::JobScopedFaas();
+    double cheapest_iaas = iaas.front().cost_usd;
+    double cheapest_faas = faas.front().cost_usd;
+    double fastest_iaas = iaas.back().running_time_s;
+    double fastest_faas = faas.back().running_time_s;
+    std::printf(
+        "\nShape check: cheapest IaaS %s vs cheapest FaaS %s (IaaS ~%0.0fx "
+        "cheaper);\n  fastest IaaS %s vs fastest FaaS %s (FaaS wins on "
+        "latency)\n",
+        FormatUsd(cheapest_iaas).c_str(), FormatUsd(cheapest_faas).c_str(),
+        cheapest_faas / cheapest_iaas, FormatSeconds(fastest_iaas).c_str(),
+        FormatSeconds(fastest_faas).c_str());
+  }
+
+  Banner("Figure 1b",
+         "always-on resources: hourly cost vs queries per hour");
+  {
+    models::AlwaysOnParams params;
+    auto series = models::AlwaysOnComparison(params);
+    std::vector<std::string> headers = {"queries/h"};
+    for (const auto& s : series) headers.push_back(s.label);
+    Table t(headers, 16);
+    for (size_t i = 0; i < params.queries_per_hour.size(); ++i) {
+      std::vector<std::string> row = {
+          Fmt("%.0f", params.queries_per_hour[i])};
+      for (const auto& s : series) {
+        row.push_back(FormatUsd(s.hourly_cost_usd[i]));
+      }
+      t.Row(row);
+    }
+    // Crossover: FaaS vs the cheapest always-on tier (3 DRAM VMs).
+    double dram = series[2].hourly_cost_usd[0];
+    double faas_per_query = series[4].hourly_cost_usd[0] /
+                            params.queries_per_hour[0];
+    std::printf(
+        "\nShape check: FaaS ($%.2f/query) is cheaper than 3 DRAM VMs "
+        "($%.2f/h) below ~%.0f queries/hour\n",
+        faas_per_query, dram, dram / faas_per_query);
+  }
+  return 0;
+}

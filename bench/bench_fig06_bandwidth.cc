@@ -1,0 +1,85 @@
+// Reproduces Figure 6 of the paper: network (ingress) bandwidth of
+// serverless workers when downloading (a) large files (1 GB) and (b) small
+// files (100 MB) from S3, for various worker sizes and connection counts.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+using sim::Async;
+
+namespace {
+
+/// Median per-worker scan bandwidth (MiB/s) of 10 workers downloading a
+/// file of `file_bytes` with `connections` concurrent connections.
+double ScanBandwidth(int memory_mib, int connections, int64_t file_bytes) {
+  cloud::Cloud cloud;
+  LAMBADA_CHECK_OK(cloud.s3().CreateBucket("data"));
+  // Small placeholder object scaled to the experiment's file size: the
+  // data plane is simulated, only sizes matter here.
+  std::vector<uint8_t> blob(1024, 1);
+  LAMBADA_CHECK_OK(cloud.s3().PutDirect(
+      "data", "file", Buffer::FromVector(std::move(blob)),
+      static_cast<double>(file_bytes) / 1024.0));
+
+  std::vector<double> bandwidths;
+  cloud::FunctionConfig fn;
+  fn.name = "downloader";
+  fn.memory_mib = memory_mib;
+  fn.handler = [&, connections, file_bytes](cloud::WorkerEnv& env,
+                                            std::string) -> Async<Status> {
+    double t0 = env.sim()->Now();
+    // Split the object into one range per connection, fetched together.
+    std::vector<Async<void>> fetches;
+    int64_t part = 1024 / connections;
+    for (int c = 0; c < connections; ++c) {
+      fetches.push_back([](cloud::WorkerEnv* e, int64_t off,
+                           int64_t len) -> Async<void> {
+        auto r = co_await e->services().s3->Get(e->net(), "data", "file",
+                                                off, len);
+        LAMBADA_CHECK(r.ok());
+      }(&env, c * part, part));
+    }
+    co_await sim::WhenAllVoid(env.sim(), std::move(fetches));
+    double elapsed = env.sim()->Now() - t0;
+    bandwidths.push_back(static_cast<double>(file_bytes) / elapsed / kMiB);
+    co_return Status::OK();
+  };
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(fn));
+  for (int w = 0; w < 10; ++w) {
+    sim::Spawn([](cloud::Cloud* c) -> Async<void> {
+      co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                &c->driver_rng(), "downloader", "");
+    }(&cloud));
+  }
+  cloud.sim().Run();
+  return Median(bandwidths);
+}
+
+void RunSeries(const char* title, int64_t file_bytes) {
+  Banner("Figure 6", title);
+  Table t({"memory [MiB]", "1 conn", "2 conns", "4 conns"});
+  for (int mem : {512, 1024, 2048, 3008}) {
+    std::vector<std::string> row = {FmtInt(mem)};
+    for (int conns : {1, 2, 4}) {
+      row.push_back(Fmt("%.0f MiB/s", ScanBandwidth(mem, conns, file_bytes)));
+    }
+    t.Row(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunSeries("(a) large files (1 GB): stable ~90 MiB/s", 1000 * kMB);
+  RunSeries("(b) small files (100 MB): bursts with memory + connections",
+            100 * kMB);
+  std::printf(
+      "\nPaper: large files capped at ~90 MiB/s regardless of size or\n"
+      "connections; small files burst up to ~300 MiB/s on large workers\n"
+      "with several concurrent connections (credit-based shaping).\n");
+  return 0;
+}

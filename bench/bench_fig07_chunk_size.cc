@@ -1,0 +1,108 @@
+// Reproduces Figure 7 of the paper: impact of the request ("chunk") size
+// on scan bandwidth and request cost. A 1 GB file is downloaded with
+// requests of 0.5-16 MiB over 1/2/4 connections; the cost line shows the
+// price of the GET requests for 1000 runs, annotated with its ratio to the
+// worker cost of the same scan.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+#include "format/source.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+using sim::Async;
+
+namespace {
+
+struct ChunkResult {
+  double bandwidth_mib_s = 0;
+  int64_t requests = 0;
+  double worker_seconds = 0;
+};
+
+ChunkResult DownloadChunked(int64_t chunk_bytes, int connections) {
+  const int64_t kFileBytes = 1000 * kMB;
+  cloud::Cloud cloud;
+  LAMBADA_CHECK_OK(cloud.s3().CreateBucket("data"));
+  // Real bytes equal to the virtual size in "request space": the source
+  // issues one GET per chunk of the real range, so real size must equal
+  // the modeled file size for request counts to be faithful. Use a small
+  // real buffer with scale 1 per chunk... instead we create a real-sized
+  // sparse stand-in: 1 byte per KiB scaled 1024x would distort ranges, so
+  // we allocate the file at 1/1024 of the size and scale chunk counts by
+  // issuing ranges over the virtual extent.
+  //
+  // Simpler and exact: allocate the file for real. 1 GB of zeros is cheap.
+  std::vector<uint8_t> blob(static_cast<size_t>(kFileBytes), 0);
+  LAMBADA_CHECK_OK(
+      cloud.s3().PutDirect("data", "file", Buffer::FromVector(std::move(blob))));
+
+  ChunkResult result;
+  cloud::FunctionConfig fn;
+  fn.name = "downloader";
+  fn.memory_mib = 3008;  // "the largest available serverless workers".
+  fn.handler = [&, chunk_bytes, connections](cloud::WorkerEnv& env,
+                                             std::string) -> Async<Status> {
+    cloud::S3Client client(env.services().s3, env.net());
+    format::S3Source::Options opts;
+    opts.chunk_bytes = chunk_bytes;
+    opts.connections = connections;
+    format::S3Source source(client, "data", "file", opts);
+    double t0 = env.sim()->Now();
+    auto r = co_await source.ReadAt(0, kFileBytes);
+    LAMBADA_CHECK(r.ok());
+    double elapsed = env.sim()->Now() - t0;
+    result.bandwidth_mib_s = static_cast<double>(kFileBytes) / elapsed / kMiB;
+    result.requests = source.request_count();
+    result.worker_seconds = elapsed;
+    co_return Status::OK();
+  };
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(fn));
+  sim::Spawn([](cloud::Cloud* c) -> Async<void> {
+    co_await c->faas().Invoke(c->driver_invoker_profile(), &c->driver_rng(),
+                              "downloader", "");
+  }(&cloud));
+  cloud.sim().Run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 7", "chunk size vs scan bandwidth and request cost");
+  cloud::Pricing pricing;
+  Table t({"chunk", "conns", "bandwidth", "requests", "cost(1k runs)",
+           "req/worker"},
+          13);
+  for (int64_t chunk_mib : {1, 2, 4, 8, 16}) {
+    // (0.5 MiB handled separately below to keep the loop integral.)
+    for (int conns : {1, 2, 4}) {
+      auto r = DownloadChunked(chunk_mib * kMiB, conns);
+      double request_cost_1k =
+          static_cast<double>(r.requests) * pricing.s3_get * 1000.0;
+      double worker_cost_1k = r.worker_seconds * 2.0 *
+                              pricing.lambda_gib_second * 1000.0;
+      t.Row({Fmt("%.1f MiB", static_cast<double>(chunk_mib)),
+             FmtInt(conns), Fmt("%.0f MiB/s", r.bandwidth_mib_s),
+             FmtInt(r.requests), FormatUsd(request_cost_1k),
+             Fmt("%.2fx", request_cost_1k / worker_cost_1k)});
+    }
+  }
+  {
+    auto r = DownloadChunked(kMiB / 2, 4);
+    double request_cost_1k =
+        static_cast<double>(r.requests) * pricing.s3_get * 1000.0;
+    double worker_cost_1k =
+        r.worker_seconds * 2.0 * pricing.lambda_gib_second * 1000.0;
+    t.Row({"0.5 MiB", "4", Fmt("%.0f MiB/s", r.bandwidth_mib_s),
+           FmtInt(r.requests), FormatUsd(request_cost_1k),
+           Fmt("%.2fx", request_cost_1k / worker_cost_1k)});
+  }
+  std::printf(
+      "\nPaper: 1 connection needs 16 MB chunks to approach peak; 4\n"
+      "connections reach it with 1 MB chunks; at 1 MiB chunks the requests\n"
+      "cost ~1.7x the workers, dropping to ~0.11x at 16 MiB.\n");
+  return 0;
+}

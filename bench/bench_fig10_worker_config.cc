@@ -1,0 +1,106 @@
+// Reproduces Figure 10 of the paper: TPC-H Query 1 at SF 1000 under
+// varying worker memory (M) and files per worker (F). Each configuration
+// runs on a fresh function: the first run is cold, the second hot.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+#include "core/driver.h"
+#include "workload/tpch.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+
+namespace {
+
+struct ConfigResult {
+  double cold_s = 0, hot_s = 0;
+  double cold_usd = 0, hot_usd = 0;
+};
+
+/// Shared deployment: the dataset is loaded once; each configuration
+/// resets the warm pool, which is equivalent to the paper's "fresh
+/// function for each configuration" (first run cold, second hot).
+struct Deployment {
+  Deployment() : cloud(MakeConfig()), driver(&cloud) {
+    LAMBADA_CHECK_OK(driver.Install());
+    workload::LoadOptions load;
+    load.num_rows = 320 * 400;  // 320 files, SF 1000 shape.
+    load.num_files = 320;
+    load.row_groups_per_file = 4;
+    load.virtual_bytes_per_file = 500 * kMB;  // "files of about 500 MB".
+    LAMBADA_CHECK_OK(
+        workload::LoadLineitem(&cloud.s3(), "tpch", "sf1000/", load));
+  }
+  static cloud::CloudConfig MakeConfig() {
+    cloud::CloudConfig cfg;
+    cfg.concurrency_limit = 400;
+    return cfg;
+  }
+  cloud::Cloud cloud;
+  core::Driver driver;
+};
+
+ConfigResult RunConfig(Deployment& dep, int memory_mib,
+                       int files_per_worker) {
+  auto q1 = workload::TpchQ1("s3://tpch/sf1000/*.lpq");
+  core::RunOptions opts;
+  opts.memory_mib = memory_mib;
+  opts.files_per_worker = files_per_worker;
+  dep.driver.ResetWarm(memory_mib);
+
+  ConfigResult out;
+  auto cold = dep.driver.RunToCompletion(q1, opts);
+  LAMBADA_CHECK(cold.ok()) << cold.status().ToString();
+  out.cold_s = cold->latency_s;
+  out.cold_usd = cold->CostUsd(dep.cloud.pricing());
+  auto hot = dep.driver.RunToCompletion(q1, opts);
+  LAMBADA_CHECK(hot.ok()) << hot.status().ToString();
+  out.hot_s = hot->latency_s;
+  out.hot_usd = hot->CostUsd(dep.cloud.pricing());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Deployment dep;
+  Banner("Figure 10a", "Q1, F=1 (320 workers), varying memory M");
+  {
+    Table t({"M [MiB]", "cold time", "cold cost", "hot time", "hot cost"});
+    for (int mem : {512, 1024, 1792, 2048, 3008}) {
+      auto r = RunConfig(dep, mem, 1);
+      t.Row({FmtInt(mem), FormatSeconds(r.cold_s), FormatUsd(r.cold_usd),
+             FormatSeconds(r.hot_s), FormatUsd(r.hot_usd)});
+    }
+  }
+  Banner("Figure 10b", "Q1, M=1792 MiB, varying files per worker F");
+  {
+    Table t({"F", "workers", "cold time", "cold cost", "hot time",
+             "hot cost"});
+    for (int f : {4, 2, 1}) {
+      auto r = RunConfig(dep, 1792, f);
+      t.Row({FmtInt(f), FmtInt(320 / f), FormatSeconds(r.cold_s),
+             FormatUsd(r.cold_usd), FormatSeconds(r.hot_s),
+             FormatUsd(r.hot_usd)});
+    }
+  }
+  Banner("Figure 10c", "Q1, all M x F combinations (hot runs)");
+  {
+    Table t({"M [MiB]", "F", "time", "cost"});
+    for (int mem : {512, 1024, 1792, 2048, 3008}) {
+      for (int f : {4, 2, 1}) {
+        auto r = RunConfig(dep, mem, f);
+        t.Row({FmtInt(mem), FmtInt(f), FormatSeconds(r.hot_s),
+               FormatUsd(r.hot_usd)});
+      }
+    }
+  }
+  std::printf(
+      "\nPaper: 512->1792 MiB gets significantly faster (GZIP scans are\n"
+      "CPU-bound) and slightly cheaper; beyond 1792 MiB price rises with\n"
+      "no speedup; more workers (smaller F) is faster at diminishing\n"
+      "returns; cold runs ~20%% slower; all under 10 s at M>=1792, F=1.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Reproduces Figure 12 of the paper: Lambada (F=1, varying M) vs the
+// commercial Query-as-a-Service systems Amazon Athena and Google BigQuery,
+// on TPC-H Q1 and Q6 at scale factors 1k and 10k. SF 10k is produced by
+// replicating each SF 1k file ten times, exactly as in the paper.
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+#include "core/driver.h"
+#include "models/qaas.h"
+#include "workload/tpch.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+
+namespace {
+
+void LoadDatasets(cloud::Cloud& cloud) {
+  workload::LoadOptions load;
+  load.num_rows = 320 * 600;
+  load.num_files = 320;
+  load.row_groups_per_file = 4;
+  load.virtual_bytes_per_file = 500 * kMB;
+  LAMBADA_CHECK_OK(
+      workload::LoadLineitem(&cloud.s3(), "tpch", "sf1000/", load));
+  // SF 10k: "we replicate the files of SF 1000 accordingly".
+  auto files = cloud.s3().ListDirect("tpch", "sf1000/");
+  int counter = 0;
+  for (const auto& f : files) {
+    auto data = cloud.s3().GetDirect("tpch", f.key);
+    auto scale = cloud.s3().Scale("tpch", f.key);
+    LAMBADA_CHECK(data.ok());
+    for (int r = 0; r < 10; ++r) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "sf10000/part-%05d.lpq", counter++);
+      LAMBADA_CHECK_OK(cloud.s3().PutDirect("tpch", name, *data, *scale));
+    }
+  }
+}
+
+struct LambadaRun {
+  double cold_s, hot_s, cold_usd, hot_usd;
+};
+
+LambadaRun RunLambada(cloud::Cloud& cloud, core::Driver& driver,
+                      const core::Query& q, int memory_mib) {
+  core::RunOptions opts;
+  opts.memory_mib = memory_mib;
+  opts.files_per_worker = 1;
+  driver.ResetWarm(memory_mib);
+  auto cold = driver.RunToCompletion(q, opts);
+  LAMBADA_CHECK(cold.ok()) << cold.status().ToString();
+  auto hot = driver.RunToCompletion(q, opts);
+  LAMBADA_CHECK(hot.ok()) << hot.status().ToString();
+  return {cold->latency_s, hot->latency_s, cold->CostUsd(cloud.pricing()),
+          hot->CostUsd(cloud.pricing())};
+}
+
+}  // namespace
+
+int main() {
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 4000;  // Raised via support request (Section 5.1).
+  // Real S3 partitions hot buckets by key prefix, so a large static
+  // dataset sustains far more than the per-prefix floor; our simulator
+  // applies limits per bucket, so model the sharded dataset bucket
+  // explicitly (3200 concurrent scanners at SF 10k).
+  cfg.s3.read_rate_per_bucket = 40000.0;
+  cfg.s3.rate_burst = 4000.0;
+  cloud::Cloud cloud(cfg);
+  core::Driver driver(&cloud);
+  LAMBADA_CHECK_OK(driver.Install());
+  LoadDatasets(cloud);
+
+  models::AthenaModel athena;
+  models::BigQueryModel bigquery;
+  models::QaasAnchors anchors;
+
+  struct Workload {
+    const char* name;
+    const char* pattern;
+    double sf_ratio;
+    bool is_q1;
+  };
+  const Workload workloads[] = {
+      {"Q1, SF 1k", "s3://tpch/sf1000/*.lpq", 1.0, true},
+      {"Q1, SF 10k", "s3://tpch/sf10000/*.lpq", 10.0, true},
+      {"Q6, SF 1k", "s3://tpch/sf1000/*.lpq", 1.0, false},
+      {"Q6, SF 10k", "s3://tpch/sf10000/*.lpq", 10.0, false},
+  };
+  for (const auto& w : workloads) {
+    Banner("Figure 12", w.name);
+    Table t({"system", "time", "cost"}, 22);
+    core::Query q = w.is_q1 ? workload::TpchQ1(w.pattern)
+                            : workload::TpchQ6(w.pattern);
+    double lambada_hot = 0;
+    for (int mem : {1792, 3008}) {
+      auto r = RunLambada(cloud, driver, q, mem);
+      if (mem == 1792) lambada_hot = r.hot_s;
+      t.Row({"Lambada cold M=" + std::to_string(mem),
+             FormatSeconds(r.cold_s), FormatUsd(r.cold_usd)});
+      t.Row({"Lambada hot  M=" + std::to_string(mem),
+             FormatSeconds(r.hot_s), FormatUsd(r.hot_usd)});
+    }
+    models::QaasQuery mq;
+    mq.used_column_fraction = w.is_q1 ? 7.0 / 16 : 4.0 / 16;
+    mq.row_selectivity = w.is_q1 ? 0.98 : 0.02;
+    mq.sf_ratio = w.sf_ratio;
+    auto a = athena.Estimate(
+        mq, w.is_q1 ? anchors.athena_q1_s : anchors.athena_q6_s);
+    t.Row({"Athena", FormatSeconds(a.latency_s), FormatUsd(a.cost_usd)});
+    auto b = bigquery.Estimate(
+        mq, w.is_q1 ? anchors.bigquery_q1_s : anchors.bigquery_q6_s);
+    t.Row({"BigQuery hot", FormatSeconds(b.latency_s),
+           FormatUsd(b.cost_usd)});
+    t.Row({"BigQuery cold (load)",
+           FormatSeconds(b.latency_s + b.load_time_s),
+           FormatUsd(b.cost_usd)});
+    std::printf("speedup vs Athena: %.1fx\n", a.latency_s / lambada_hot);
+  }
+  std::printf(
+      "\nPaper: Lambada ~4x faster than Athena on Q1 / on par on Q6 at\n"
+      "SF 1k; ~26x and ~15x at SF 10k; one to two orders of magnitude\n"
+      "cheaper than Athena/BigQuery except Q6 SF 1k (Athena's selection-\n"
+      "aware pricing); BigQuery hot is fastest at SF 1k but loads for\n"
+      "40 min / 6.7 h first.\n");
+  return 0;
+}

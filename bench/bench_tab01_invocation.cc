@@ -1,0 +1,127 @@
+// Reproduces Table 1 of the paper: characteristics of function invocations
+// per region — single invocation latency, concurrent rate with 128 driver
+// threads, and the intra-region (in-datacenter) rate.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+
+using namespace lambada;        // NOLINT
+using namespace lambada::bench; // NOLINT
+using sim::Async;
+
+namespace {
+
+cloud::FunctionConfig NopFunction() {
+  cloud::FunctionConfig fn;
+  fn.name = "nop";
+  fn.memory_mib = 1792;
+  fn.handler = [](cloud::WorkerEnv&, std::string) -> Async<Status> {
+    co_return Status::OK();
+  };
+  return fn;
+}
+
+/// Median latency of single driver invocations.
+double SingleInvocationLatency(const std::string& region) {
+  cloud::CloudConfig cfg;
+  cfg.region = region;
+  cloud::Cloud cloud(cfg);
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(NopFunction()));
+  std::vector<double> latencies;
+  sim::Spawn([](cloud::Cloud* c, std::vector<double>* out) -> Async<void> {
+    for (int i = 0; i < 21; ++i) {
+      double t0 = c->sim().Now();
+      co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                &c->driver_rng(), "nop", "");
+      out->push_back(c->sim().Now() - t0);
+      co_await sim::Sleep(&c->sim(), 1.0);  // Avoid client-bucket effects.
+    }
+  }(&cloud, &latencies));
+  cloud.sim().Run();
+  return Median(latencies);
+}
+
+/// Aggregate rate with 128 concurrent invocation threads.
+double ConcurrentRate(const std::string& region) {
+  cloud::CloudConfig cfg;
+  cfg.region = region;
+  cfg.concurrency_limit = 8000;
+  cloud::Cloud cloud(cfg);
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(NopFunction()));
+  const int kCalls = 1024;
+  double elapsed = 0;
+  sim::Spawn([](cloud::Cloud* c, int calls, double* out) -> Async<void> {
+    double t0 = c->sim().Now();
+    auto gate = std::make_shared<sim::Semaphore>(&c->sim(), 128);
+    std::vector<Async<void>> tasks;
+    for (int i = 0; i < calls; ++i) {
+      tasks.push_back(
+          [](cloud::Cloud* cl,
+             std::shared_ptr<sim::Semaphore> g) -> Async<void> {
+            co_await g->Acquire();
+            co_await cl->faas().Invoke(cl->driver_invoker_profile(),
+                                       &cl->driver_rng(), "nop", "");
+            g->Release();
+          }(c, gate));
+    }
+    co_await sim::WhenAllVoid(&c->sim(), std::move(tasks));
+    *out = c->sim().Now() - t0;
+  }(&cloud, kCalls, &elapsed));
+  cloud.sim().Run();
+  return kCalls / elapsed;
+}
+
+/// Sequential invocation rate from inside the region (one worker thread).
+double IntraRegionRate(const std::string& region) {
+  cloud::CloudConfig cfg;
+  cfg.region = region;
+  cfg.concurrency_limit = 8000;
+  cloud::Cloud cloud(cfg);
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(NopFunction()));
+  double rate = 0;
+  cloud::FunctionConfig parent;
+  parent.name = "parent";
+  parent.memory_mib = 2048;
+  parent.handler = [&rate](cloud::WorkerEnv& env,
+                           std::string) -> Async<Status> {
+    const int kCalls = 200;
+    double t0 = env.sim()->Now();
+    for (int i = 0; i < kCalls; ++i) {
+      co_await env.services().faas->Invoke(env.invoker_profile(),
+                                           &env.rng(), "nop", "");
+    }
+    rate = kCalls / (env.sim()->Now() - t0);
+    co_return Status::OK();
+  };
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(parent));
+  sim::Spawn([](cloud::Cloud* c) -> Async<void> {
+    co_await c->faas().Invoke(c->driver_invoker_profile(), &c->driver_rng(),
+                              "parent", "");
+  }(&cloud));
+  cloud.sim().Run();
+  return rate;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 1", "characteristics of function invocations by region");
+  Table t({"metric", "eu", "us", "sa", "ap"});
+  std::vector<std::string> lat = {"single inv. [ms]"};
+  std::vector<std::string> conc = {"concurrent [1/s]"};
+  std::vector<std::string> intra = {"intra-region [1/s]"};
+  for (const char* region : {"eu", "us", "sa", "ap"}) {
+    lat.push_back(Fmt("%.0f", SingleInvocationLatency(region) * 1000));
+    conc.push_back(Fmt("%.0f", ConcurrentRate(region)));
+    intra.push_back(Fmt("%.0f", IntraRegionRate(region)));
+  }
+  t.Row(lat);
+  t.Row(conc);
+  t.Row(intra);
+  std::printf(
+      "\nPaper (Table 1): single 36/363/474/536 ms; concurrent "
+      "294/276/243/222 /s; intra-region 81/79/84/81 /s\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef LAMBADA_BENCH_BENCH_UTIL_H_
+#define LAMBADA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lambada::bench {
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/// Fixed-width row printer for the experiment tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : width_(width), cols_(headers.size()) {
+    for (const auto& h : headers) {
+      std::printf("%-*s", width_, h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < cols_ * static_cast<size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) {
+      std::printf("%-*s", width_, c.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  int width_;
+  size_t cols_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+/// Median of a (copied) vector.
+inline double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+inline double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace lambada::bench
+
+#endif  // LAMBADA_BENCH_BENCH_UTIL_H_

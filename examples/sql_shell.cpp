@@ -1,0 +1,97 @@
+// A batch SQL shell over Lambada: loads the TPC-H LINEITEM dataset and
+// executes SQL statements (from argv, or a built-in demo script) through
+// the serverless engine, printing results, latency, and cost per query.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "common/units.h"
+#include "core/driver.h"
+#include "core/sql.h"
+#include "workload/tpch.h"
+
+using namespace lambada;  // NOLINT
+
+namespace {
+
+void PrintResult(const engine::TableChunk& r) {
+  for (size_t c = 0; c < r.num_columns(); ++c) {
+    std::printf("%-18s", r.schema()->field(c).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < std::min<size_t>(r.num_rows(), 20); ++row) {
+    for (size_t c = 0; c < r.num_columns(); ++c) {
+      if (r.column(c).type() == engine::DataType::kInt64) {
+        std::printf("%-18lld",
+                    static_cast<long long>(r.column(c).i64()[row]));
+      } else {
+        std::printf("%-18.4f", r.column(c).f64()[row]);
+      }
+    }
+    std::printf("\n");
+  }
+  if (r.num_rows() > 20) {
+    std::printf("... (%zu rows total)\n", r.num_rows());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 200;
+  cloud::Cloud cloud(cfg);
+  core::Driver driver(&cloud);
+  LAMBADA_CHECK_OK(driver.Install());
+
+  std::printf("loading TPC-H LINEITEM (32 files)...\n\n");
+  workload::LoadOptions load;
+  load.num_rows = 64000;
+  load.num_files = 32;
+  load.row_groups_per_file = 4;
+  LAMBADA_CHECK_OK(workload::LoadLineitem(&cloud.s3(), "tpch", "li/", load));
+
+  std::vector<std::string> statements;
+  for (int i = 1; i < argc; ++i) statements.push_back(argv[i]);
+  if (statements.empty()) {
+    statements = {
+        // TPC-H Q6 in SQL.
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+        "FROM 's3://tpch/li/*.lpq' "
+        "WHERE l_shipdate >= DATE '1994-01-01' "
+        "AND l_shipdate < DATE '1995-01-01' "
+        "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        // A grouped report.
+        "SELECT l_returnflag, l_linestatus, COUNT(*) AS orders, "
+        "AVG(l_extendedprice) AS avg_price FROM 's3://tpch/li/*.lpq' "
+        "WHERE l_shipdate <= DATE '1998-09-02' "
+        "GROUP BY l_returnflag, l_linestatus",
+        // A projection with arithmetic.
+        "SELECT l_orderkey, l_extendedprice * (1 - l_discount) AS net "
+        "FROM 's3://tpch/li/*.lpq' WHERE l_extendedprice > 104000",
+    };
+  }
+
+  for (const auto& sql : statements) {
+    std::printf("sql> %s\n", sql.c_str());
+    auto query = core::ParseSql(sql);
+    if (!query.ok()) {
+      std::printf("parse error: %s\n\n", query.status().ToString().c_str());
+      continue;
+    }
+    auto report = driver.RunToCompletion(*query, core::RunOptions{});
+    if (!report.ok()) {
+      std::printf("execution error: %s\n\n",
+                  report.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(report->result);
+    std::printf("(%s, %s, %d workers)\n\n",
+                FormatSeconds(report->latency_s).c_str(),
+                FormatUsd(report->CostUsd(cloud.pricing())).c_str(),
+                report->workers);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// The "lone-wolf data scientist" session from the paper's introduction:
+// interactive analytics on cold TPC-H data. The user explores with a
+// sample query, then runs the full TPC-H Q1 and Q6, paying only for what
+// runs — the dataset sits cold on S3 between queries.
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "cloud/cloud.h"
+#include "core/driver.h"
+#include "workload/tpch.h"
+
+using namespace lambada;  // NOLINT
+
+namespace {
+
+void PrintReport(const char* label, const core::QueryReport& r,
+                 const cloud::Pricing& pricing) {
+  std::printf("%-28s %10s   %10s   (%d workers)\n", label,
+              FormatSeconds(r.latency_s).c_str(),
+              FormatUsd(r.CostUsd(pricing)).c_str(), r.workers);
+}
+
+}  // namespace
+
+int main() {
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 400;
+  cloud::Cloud cloud(cfg);
+  core::Driver driver(&cloud);
+  LAMBADA_CHECK_OK(driver.Install());
+
+  // The cold dataset: LINEITEM at SF-1000 shape (320 files x ~500 MB),
+  // sorted by l_shipdate.
+  std::printf("loading LINEITEM (320 files, ~156 GiB modeled)...\n");
+  workload::LoadOptions load;
+  load.num_rows = 320 * 500;
+  load.num_files = 320;
+  load.row_groups_per_file = 4;
+  load.virtual_bytes_per_file = 500 * kMB;
+  auto info = workload::LoadLineitem(&cloud.s3(), "tpch", "li/", load);
+  LAMBADA_CHECK_OK(info);
+  std::printf("dataset: %d files, %s modeled\n\n", info->files,
+              FormatBytes(info->virtual_bytes).c_str());
+
+  std::printf("%-28s %10s   %10s\n", "query", "latency", "cost");
+
+  // Session: first explore on a sample (a handful of files)...
+  auto sample = workload::TpchQ6("s3://tpch/li/part-000?.lpq");
+  auto sample_report = driver.RunToCompletion(sample, core::RunOptions{});
+  LAMBADA_CHECK(sample_report.ok()) << sample_report.status().ToString();
+  PrintReport("Q6 on a 10-file sample", *sample_report, cloud.pricing());
+
+  // ... think ... then run the full queries. The think time costs nothing:
+  // no cluster is running.
+  auto q1 = driver.RunToCompletion(workload::TpchQ1("s3://tpch/li/*.lpq"),
+                                   core::RunOptions{});
+  LAMBADA_CHECK(q1.ok()) << q1.status().ToString();
+  PrintReport("Q1 full (cold workers)", *q1, cloud.pricing());
+
+  auto q1_hot = driver.RunToCompletion(workload::TpchQ1("s3://tpch/li/*.lpq"),
+                                       core::RunOptions{});
+  LAMBADA_CHECK(q1_hot.ok());
+  PrintReport("Q1 full (hot workers)", *q1_hot, cloud.pricing());
+
+  auto q6 = driver.RunToCompletion(workload::TpchQ6("s3://tpch/li/*.lpq"),
+                                   core::RunOptions{});
+  LAMBADA_CHECK(q6.ok());
+  PrintReport("Q6 full", *q6, cloud.pricing());
+
+  // Q1's pricing summary, as a user would see it.
+  std::printf("\nTPC-H Q1 result (%zu groups):\n", q1->result.num_rows());
+  const auto& r = q1->result;
+  std::printf("%3s %3s %14s %12s %10s\n", "rf", "ls", "sum_qty",
+              "avg_price", "count");
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    std::printf("%3lld %3lld %14.1f %12.2f %10lld\n",
+                static_cast<long long>(r.column(0).i64()[i]),
+                static_cast<long long>(r.column(1).i64()[i]),
+                r.column(2).f64()[i], r.column(7).f64()[i],
+                static_cast<long long>(r.column(9).i64()[i]));
+  }
+  return 0;
+}

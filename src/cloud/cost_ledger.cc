@@ -1,0 +1,26 @@
+#include "cloud/cost_ledger.h"
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace lambada::cloud {
+
+std::string CostSnapshot::ToString(const Pricing& p) const {
+  std::ostringstream os;
+  os << "lambda: " << lambda_gib_seconds << " GiB-s, " << lambda_invocations
+     << " invocations (" << FormatUsd(LambdaUsd(p)) << ")\n";
+  os << "s3:     " << s3_get_requests << " GET / " << s3_put_requests
+     << " PUT / " << s3_list_requests << " LIST ("
+     << FormatUsd(S3RequestUsd(p)) << "), read "
+     << FormatBytes(s3_bytes_read) << ", wrote "
+     << FormatBytes(s3_bytes_written) << "\n";
+  os << "sqs:    " << sqs_requests << " requests ("
+     << FormatUsd(SqsUsd(p)) << ")\n";
+  os << "ddb:    " << ddb_reads << " reads / " << ddb_writes << " writes ("
+     << FormatUsd(DdbUsd(p)) << ")\n";
+  os << "total:  " << FormatUsd(TotalUsd(p));
+  return os.str();
+}
+
+}  // namespace lambada::cloud

@@ -1,0 +1,95 @@
+#ifndef LAMBADA_CLOUD_COST_LEDGER_H_
+#define LAMBADA_CLOUD_COST_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/pricing.h"
+
+namespace lambada::cloud {
+
+/// Cumulative usage counters for every serverless service. The driver takes
+/// a snapshot before and after a query and reports the difference, which is
+/// exactly the pay-per-use bill of that query.
+struct CostSnapshot {
+  double lambda_gib_seconds = 0;
+  int64_t lambda_invocations = 0;
+  int64_t s3_get_requests = 0;
+  int64_t s3_put_requests = 0;
+  int64_t s3_list_requests = 0;
+  int64_t s3_bytes_read = 0;     ///< Virtual (modeled) bytes.
+  int64_t s3_bytes_written = 0;  ///< Virtual (modeled) bytes.
+  int64_t sqs_requests = 0;
+  int64_t ddb_reads = 0;
+  int64_t ddb_writes = 0;
+
+  CostSnapshot operator-(const CostSnapshot& base) const {
+    CostSnapshot d = *this;
+    d.lambda_gib_seconds -= base.lambda_gib_seconds;
+    d.lambda_invocations -= base.lambda_invocations;
+    d.s3_get_requests -= base.s3_get_requests;
+    d.s3_put_requests -= base.s3_put_requests;
+    d.s3_list_requests -= base.s3_list_requests;
+    d.s3_bytes_read -= base.s3_bytes_read;
+    d.s3_bytes_written -= base.s3_bytes_written;
+    d.sqs_requests -= base.sqs_requests;
+    d.ddb_reads -= base.ddb_reads;
+    d.ddb_writes -= base.ddb_writes;
+    return d;
+  }
+
+  double LambdaUsd(const Pricing& p) const {
+    return lambda_gib_seconds * p.lambda_gib_second +
+           static_cast<double>(lambda_invocations) * p.lambda_per_invocation;
+  }
+  double S3RequestUsd(const Pricing& p) const {
+    return static_cast<double>(s3_get_requests) * p.s3_get +
+           static_cast<double>(s3_put_requests) * p.s3_put +
+           static_cast<double>(s3_list_requests) * p.s3_list;
+  }
+  double SqsUsd(const Pricing& p) const {
+    return static_cast<double>(sqs_requests) * p.sqs_request;
+  }
+  double DdbUsd(const Pricing& p) const {
+    return static_cast<double>(ddb_reads) * p.ddb_read +
+           static_cast<double>(ddb_writes) * p.ddb_write;
+  }
+  /// Total pay-per-use cost in USD.
+  double TotalUsd(const Pricing& p) const {
+    return LambdaUsd(p) + S3RequestUsd(p) + SqsUsd(p) + DdbUsd(p);
+  }
+
+  /// Multi-line human-readable breakdown.
+  std::string ToString(const Pricing& p) const;
+};
+
+/// The running bill of a simulated cloud deployment.
+class CostLedger {
+ public:
+  void AddLambda(double gib_seconds) {
+    totals_.lambda_gib_seconds += gib_seconds;
+  }
+  void AddInvocation() { ++totals_.lambda_invocations; }
+  void AddS3Get(int64_t bytes) {
+    ++totals_.s3_get_requests;
+    totals_.s3_bytes_read += bytes;
+  }
+  void AddS3Put(int64_t bytes) {
+    ++totals_.s3_put_requests;
+    totals_.s3_bytes_written += bytes;
+  }
+  void AddS3List() { ++totals_.s3_list_requests; }
+  void AddSqsRequest() { ++totals_.sqs_requests; }
+  void AddDdbRead() { ++totals_.ddb_reads; }
+  void AddDdbWrite() { ++totals_.ddb_writes; }
+
+  const CostSnapshot& totals() const { return totals_; }
+  CostSnapshot Snapshot() const { return totals_; }
+
+ private:
+  CostSnapshot totals_;
+};
+
+}  // namespace lambada::cloud
+
+#endif  // LAMBADA_CLOUD_COST_LEDGER_H_

@@ -1,0 +1,34 @@
+#include "cloud/net.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace lambada::cloud {
+
+sim::SharedLink::Config WorkerNicConfig(int memory_mib) {
+  // Sustained bandwidth: ~90 MiB/s for all sizes; functions below 1 GiB see
+  // slightly less (Figure 6a: "only workers with less than 1 GB ... see a
+  // slightly lower ingress bandwidth").
+  double sustained = 90.0 * kMiB;
+  if (memory_mib < 1024) {
+    sustained = (78.0 + 12.0 * memory_mib / 1024.0) * kMiB;
+  }
+  // Burst peak grows with memory (Figure 6b): small workers barely burst,
+  // the largest reach almost 300 MiB/s.
+  double peak =
+      std::max(sustained, (40.0 + 260.0 * memory_mib / 3008.0) * kMiB);
+  // The burst window is "a small number of seconds" (Section 4.3.1): the
+  // credit bucket holds about 2.5 s of (peak - sustained) headroom.
+  double credits = (peak - sustained) * 2.5;
+  // S3 serves each HTTP connection at about the sustained per-stream rate.
+  double per_conn = 90.0 * kMiB;
+  return sim::SharedLink::Config{sustained, peak, credits, per_conn};
+}
+
+sim::SharedLink::Config DriverNicConfig() {
+  double g = 1000.0 * kMiB;
+  return sim::SharedLink::Config{g, g, 0.0, g};
+}
+
+}  // namespace lambada::cloud

@@ -1,0 +1,34 @@
+#ifndef LAMBADA_CLOUD_NET_H_
+#define LAMBADA_CLOUD_NET_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/resources.h"
+
+namespace lambada::cloud {
+
+/// Network-side identity of a caller (a worker or the driver): its NIC and
+/// its private randomness stream for latency sampling. Every service call
+/// takes a NetContext so that transfer time is charged against the right
+/// link and latency draws are reproducible per caller.
+struct NetContext {
+  sim::SharedLink* nic = nullptr;  ///< May be null for zero-size transfers.
+  Rng* rng = nullptr;
+  /// Multiplier applied to transferred byte counts to model datasets larger
+  /// than the real bytes held in memory (see DESIGN.md "virtual scaling").
+  double data_scale = 1.0;
+};
+
+/// The paper-measured NIC profile of a serverless worker (Figure 6):
+/// ~90 MiB/s sustained ingress/egress, with a credit-based burst whose
+/// peak grows with the function's memory size.
+sim::SharedLink::Config WorkerNicConfig(int memory_mib);
+
+/// The driver's uplink (a development machine): effectively unshaped for
+/// our purposes.
+sim::SharedLink::Config DriverNicConfig();
+
+}  // namespace lambada::cloud
+
+#endif  // LAMBADA_CLOUD_NET_H_

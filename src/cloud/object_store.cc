@@ -1,0 +1,324 @@
+#include "cloud/object_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lambada::cloud {
+
+ObjectStore::ObjectStore(sim::Simulator* sim, CostLedger* ledger,
+                         const ObjectStoreConfig& config)
+    : sim_(sim), ledger_(ledger), config_(config), latency_rng_(0x53335333) {}
+
+Status ObjectStore::CreateBucket(const std::string& bucket) {
+  if (bucket.empty()) return Status::Invalid("empty bucket name");
+  if (buckets_.find(bucket) == buckets_.end()) {
+    buckets_.emplace(bucket, std::make_unique<Bucket>(config_));
+  }
+  return Status::OK();
+}
+
+bool ObjectStore::BucketExists(const std::string& bucket) const {
+  return buckets_.find(bucket) != buckets_.end();
+}
+
+ObjectStore::Bucket* ObjectStore::FindBucket(const std::string& bucket) {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? nullptr : it->second.get();
+}
+
+const ObjectStore::Bucket* ObjectStore::FindBucket(
+    const std::string& bucket) const {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? nullptr : it->second.get();
+}
+
+Result<double> ObjectStore::AdmitRequest(sim::TokenBucket* limiter) {
+  double now = sim_->Now();
+  if (limiter->CurrentDelay(now) > config_.slowdown_queue_threshold_s) {
+    return Status::ResourceExhausted("SlowDown: rate limit exceeded");
+  }
+  return limiter->ReserveDelay(now);
+}
+
+sim::Async<Result<BufferPtr>> ObjectStore::Get(NetContext ctx,
+                                               std::string bucket,
+                                               std::string key,
+                                               int64_t offset,
+                                               int64_t length) {
+  Bucket* b = FindBucket(bucket);
+  if (b == nullptr) co_return Status::NotFound("no such bucket: " + bucket);
+  auto admitted = AdmitRequest(&b->read_limiter);
+  if (!admitted.ok()) {
+    // The rejection itself still takes a round trip.
+    co_await sim::Sleep(sim_, config_.get_latency_median_s);
+    co_return admitted.status();
+  }
+  double latency = ctx.rng->Lognormal(config_.get_latency_median_s,
+                                      config_.get_latency_sigma);
+  co_await sim::Sleep(sim_, *admitted + latency);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end()) {
+    // A failed lookup is still a billed request.
+    ledger_->AddS3Get(0);
+    co_return Status::NotFound("no such key: s3://" + bucket + "/" + key);
+  }
+  const Object& obj = it->second;
+  int64_t size = static_cast<int64_t>(obj.data->size());
+  if (offset < 0 || offset > size) {
+    ledger_->AddS3Get(0);
+    co_return Status::OutOfRange("range start beyond object size");
+  }
+  int64_t end = length < 0 ? size : std::min<int64_t>(size, offset + length);
+  BufferPtr slice = obj.data->Slice(static_cast<size_t>(offset),
+                                    static_cast<size_t>(end - offset));
+  // The object's stored scale already includes any caller scaling applied
+  // at PUT time; applying ctx.data_scale again would double-count.
+  int64_t virtual_bytes = static_cast<int64_t>(
+      static_cast<double>(slice->size()) * obj.scale);
+  ledger_->AddS3Get(virtual_bytes);
+  if (ctx.nic != nullptr && virtual_bytes > 0) {
+    co_await ctx.nic->Transfer(static_cast<double>(virtual_bytes));
+  }
+  co_return slice;
+}
+
+sim::Async<Result<ObjectStore::TailResult>> ObjectStore::GetTail(
+    NetContext ctx, std::string bucket, std::string key,
+    int64_t suffix_length) {
+  Bucket* b = FindBucket(bucket);
+  if (b == nullptr) co_return Status::NotFound("no such bucket: " + bucket);
+  auto admitted = AdmitRequest(&b->read_limiter);
+  if (!admitted.ok()) {
+    co_await sim::Sleep(sim_, config_.get_latency_median_s);
+    co_return admitted.status();
+  }
+  double latency = ctx.rng->Lognormal(config_.get_latency_median_s,
+                                      config_.get_latency_sigma);
+  co_await sim::Sleep(sim_, *admitted + latency);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end()) {
+    ledger_->AddS3Get(0);
+    co_return Status::NotFound("no such key: s3://" + bucket + "/" + key);
+  }
+  const Object& obj = it->second;
+  int64_t size = static_cast<int64_t>(obj.data->size());
+  int64_t len = std::min<int64_t>(size, std::max<int64_t>(0, suffix_length));
+  BufferPtr slice = obj.data->Slice(static_cast<size_t>(size - len),
+                                    static_cast<size_t>(len));
+  // Footer reads are small control traffic: the suffix bytes are real
+  // bytes, not scaled (a bigger file does not have a bigger footer).
+  ledger_->AddS3Get(static_cast<int64_t>(slice->size()));
+  if (ctx.nic != nullptr && slice->size() > 0) {
+    co_await ctx.nic->Transfer(static_cast<double>(slice->size()));
+  }
+  co_return TailResult{slice, size};
+}
+
+sim::Async<Status> ObjectStore::Put(NetContext ctx, std::string bucket,
+                                    std::string key, BufferPtr data,
+                                    double scale) {
+  Bucket* b = FindBucket(bucket);
+  if (b == nullptr) co_return Status::NotFound("no such bucket: " + bucket);
+  if (key.size() > config_.max_key_bytes) {
+    co_return Status::Invalid("object key exceeds 1 KiB limit");
+  }
+  auto admitted = AdmitRequest(&b->write_limiter);
+  if (!admitted.ok()) {
+    co_await sim::Sleep(sim_, config_.put_latency_median_s);
+    co_return admitted.status();
+  }
+  int64_t virtual_bytes = static_cast<int64_t>(
+      static_cast<double>(data->size()) * scale * ctx.data_scale);
+  double latency = ctx.rng->Lognormal(config_.put_latency_median_s,
+                                      config_.put_latency_sigma);
+  // Heavy straggler tail (Figure 13): rare PUTs take much longer — a
+  // fixed component plus one proportional to the upload size (slow
+  // server-side throughput). This is the source of the exchange tail
+  // latencies the paper analyzes.
+  if (ctx.rng->NextDouble() < config_.put_tail_prob) {
+    double nominal_transfer =
+        static_cast<double>(virtual_bytes) / (90.0 * 1024 * 1024);
+    latency += ctx.rng->Pareto(config_.put_tail_scale_s,
+                               config_.put_tail_alpha) +
+               nominal_transfer * ctx.rng->Pareto(0.25, 1.6);
+  }
+  co_await sim::Sleep(sim_, *admitted + latency);
+  if (ctx.nic != nullptr && virtual_bytes > 0) {
+    co_await ctx.nic->Transfer(static_cast<double>(virtual_bytes));
+  }
+  ledger_->AddS3Put(virtual_bytes);
+  // Visible once the last byte arrived.
+  b->objects[key] = Object{std::move(data), scale * ctx.data_scale};
+  co_return Status::OK();
+}
+
+sim::Async<Result<std::vector<ObjectInfo>>> ObjectStore::List(
+    NetContext ctx, std::string bucket, std::string prefix) {
+  Bucket* b = FindBucket(bucket);
+  if (b == nullptr) co_return Status::NotFound("no such bucket: " + bucket);
+  // LIST shares the write-rate pool and price class (Section 4.4.3).
+  auto admitted = AdmitRequest(&b->write_limiter);
+  if (!admitted.ok()) {
+    co_await sim::Sleep(sim_, config_.list_latency_median_s);
+    co_return admitted.status();
+  }
+  double latency = ctx.rng->Lognormal(config_.list_latency_median_s,
+                                      config_.list_latency_sigma);
+  co_await sim::Sleep(sim_, *admitted + latency);
+  ledger_->AddS3List();
+  std::vector<ObjectInfo> out;
+  for (auto it = b->objects.lower_bound(prefix); it != b->objects.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(ObjectInfo{it->first, it->second.VirtualSize()});
+  }
+  co_return out;
+}
+
+Status ObjectStore::PutDirect(const std::string& bucket,
+                              const std::string& key, BufferPtr data,
+                              double scale) {
+  Bucket* b = FindBucket(bucket);
+  if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
+  b->objects[key] = Object{std::move(data), scale};
+  return Status::OK();
+}
+
+Result<BufferPtr> ObjectStore::GetDirect(const std::string& bucket,
+                                         const std::string& key) const {
+  const Bucket* b = FindBucket(bucket);
+  if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end()) {
+    return Status::NotFound("no such key: " + key);
+  }
+  return it->second.data;
+}
+
+Result<int64_t> ObjectStore::VirtualSize(const std::string& bucket,
+                                         const std::string& key) const {
+  const Bucket* b = FindBucket(bucket);
+  if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end()) {
+    return Status::NotFound("no such key: " + key);
+  }
+  return it->second.VirtualSize();
+}
+
+Result<double> ObjectStore::Scale(const std::string& bucket,
+                                  const std::string& key) const {
+  const Bucket* b = FindBucket(bucket);
+  if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end()) {
+    return Status::NotFound("no such key: " + key);
+  }
+  return it->second.scale;
+}
+
+std::vector<ObjectInfo> ObjectStore::ListDirect(
+    const std::string& bucket, const std::string& prefix) const {
+  std::vector<ObjectInfo> out;
+  const Bucket* b = FindBucket(bucket);
+  if (b == nullptr) return out;
+  for (auto it = b->objects.lower_bound(prefix); it != b->objects.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(ObjectInfo{it->first, it->second.VirtualSize()});
+  }
+  return out;
+}
+
+Status ObjectStore::Delete(const std::string& bucket,
+                           const std::string& key) {
+  Bucket* b = FindBucket(bucket);
+  if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
+  b->objects.erase(key);
+  return Status::OK();
+}
+
+void ObjectStore::ClearBucket(const std::string& bucket) {
+  Bucket* b = FindBucket(bucket);
+  if (b != nullptr) b->objects.clear();
+}
+
+// ---------------------------------------------------------------------------
+// S3Client
+// ---------------------------------------------------------------------------
+
+sim::Async<Result<BufferPtr>> S3Client::Get(std::string bucket,
+                                            std::string key, int64_t offset,
+                                            int64_t length) {
+  double backoff = initial_backoff_s_;
+  for (int attempt = 0;; ++attempt) {
+    auto r = co_await store_->Get(ctx_, bucket, key, offset, length);
+    if (r.ok() || !r.status().IsRetriable() || attempt >= max_retries_) {
+      co_return r;
+    }
+    co_await sim::Sleep(store_->simulator(),
+                        backoff * (0.5 + ctx_.rng->NextDouble()));
+    backoff *= 2;
+  }
+}
+
+sim::Async<Result<ObjectStore::TailResult>> S3Client::GetTail(
+    std::string bucket, std::string key, int64_t suffix_length) {
+  double backoff = initial_backoff_s_;
+  for (int attempt = 0;; ++attempt) {
+    auto r = co_await store_->GetTail(ctx_, bucket, key, suffix_length);
+    if (r.ok() || !r.status().IsRetriable() || attempt >= max_retries_) {
+      co_return r;
+    }
+    co_await sim::Sleep(store_->simulator(),
+                        backoff * (0.5 + ctx_.rng->NextDouble()));
+    backoff *= 2;
+  }
+}
+
+sim::Async<Status> S3Client::Put(std::string bucket, std::string key,
+                                 BufferPtr data, double scale) {
+  double backoff = initial_backoff_s_;
+  for (int attempt = 0;; ++attempt) {
+    Status s = co_await store_->Put(ctx_, bucket, key, data, scale);
+    if (s.ok() || !s.IsRetriable() || attempt >= max_retries_) {
+      co_return s;
+    }
+    co_await sim::Sleep(store_->simulator(),
+                        backoff * (0.5 + ctx_.rng->NextDouble()));
+    backoff *= 2;
+  }
+}
+
+sim::Async<Result<std::vector<ObjectInfo>>> S3Client::List(
+    std::string bucket, std::string prefix) {
+  double backoff = initial_backoff_s_;
+  for (int attempt = 0;; ++attempt) {
+    auto r = co_await store_->List(ctx_, bucket, prefix);
+    if (r.ok() || !r.status().IsRetriable() || attempt >= max_retries_) {
+      co_return r;
+    }
+    co_await sim::Sleep(store_->simulator(),
+                        backoff * (0.5 + ctx_.rng->NextDouble()));
+    backoff *= 2;
+  }
+}
+
+sim::Async<Result<BufferPtr>> S3Client::GetWhenAvailable(
+    std::string bucket, std::string key, double poll_interval_s,
+    double timeout_s) {
+  double deadline = store_->simulator()->Now() + timeout_s;
+  while (true) {
+    auto r = co_await store_->Get(ctx_, bucket, key);
+    if (r.ok()) co_return r;
+    if (!r.status().IsNotFound() && !r.status().IsRetriable()) co_return r;
+    if (store_->simulator()->Now() >= deadline) {
+      co_return Status::Timeout("object did not appear: s3://" + bucket +
+                                "/" + key);
+    }
+    co_await sim::Sleep(store_->simulator(), poll_interval_s);
+  }
+}
+
+}  // namespace lambada::cloud

@@ -1,0 +1,33 @@
+#ifndef LAMBADA_CLOUD_PRICING_H_
+#define LAMBADA_CLOUD_PRICING_H_
+
+namespace lambada::cloud {
+
+/// AWS us-east-1 prices as quoted in the paper (Sections 4.3.1, 4.4.1,
+/// Figure 9). All values in USD.
+struct Pricing {
+  /// Lambda: $ per GiB-second of configured memory. The paper quotes
+  /// $3.3e-5 per second for a 2 GiB worker => $1.65e-5 per GiB-s.
+  double lambda_gib_second = 3.3e-5 / 2.0;
+  /// Lambda: $ per 1M invocation requests ($0.20 per 1M).
+  double lambda_per_invocation = 0.20e-6;
+  /// S3 GET: $0.4 per 1M requests.
+  double s3_get = 0.4e-6;
+  /// S3 PUT/COPY/POST: $5 per 1M requests.
+  double s3_put = 5.0e-6;
+  /// S3 LIST is charged at the PUT rate (Section 4.4.3).
+  double s3_list = 5.0e-6;
+  /// SQS: $0.40 per 1M requests.
+  double sqs_request = 0.4e-6;
+  /// DynamoDB on-demand: per read / write request unit.
+  double ddb_read = 0.25e-6;
+  double ddb_write = 1.25e-6;
+};
+
+/// Lambda bills in 100 ms increments (pricing model at the time of the
+/// paper).
+inline constexpr double kLambdaBillingQuantumSeconds = 0.1;
+
+}  // namespace lambada::cloud
+
+#endif  // LAMBADA_CLOUD_PRICING_H_

@@ -1,0 +1,12 @@
+#include "cloud/regions.h"
+
+namespace lambada::cloud {
+
+const RegionProfile& GetRegion(const std::string& name) {
+  for (const auto& r : AllRegions()) {
+    if (r.name == name) return r;
+  }
+  return AllRegions().front();
+}
+
+}  // namespace lambada::cloud

@@ -1,0 +1,41 @@
+#ifndef LAMBADA_CLOUD_REGIONS_H_
+#define LAMBADA_CLOUD_REGIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace lambada::cloud {
+
+/// Invocation characteristics of a data center as measured from the
+/// paper's driver location (Zurich), Table 1.
+struct RegionProfile {
+  std::string name;
+  /// Latency of a single Invoke API call from the driver ("Single
+  /// invocation time").
+  double remote_invoke_latency_s;
+  /// Aggregate rate the driver achieves with 128 concurrent invocation
+  /// threads ("Concurrent inv. rate"); modeled as a client-side throughput
+  /// cap (TLS/WAN bound).
+  double remote_client_rate_per_s;
+  /// Latency of an Invoke API call from inside the region; its inverse is
+  /// the single-threaded "Intra-region rate" of Table 1.
+  double intra_invoke_latency_s;
+};
+
+/// The four regions of Table 1.
+inline const std::vector<RegionProfile>& AllRegions() {
+  static const std::vector<RegionProfile> kRegions = {
+      {"eu", 0.036, 294.0, 1.0 / 81.0},
+      {"us", 0.363, 276.0, 1.0 / 79.0},
+      {"sa", 0.474, 243.0, 1.0 / 84.0},
+      {"ap", 0.536, 222.0, 1.0 / 81.0},
+  };
+  return kRegions;
+}
+
+/// Looks up a region by name; falls back to "eu".
+const RegionProfile& GetRegion(const std::string& name);
+
+}  // namespace lambada::cloud
+
+#endif  // LAMBADA_CLOUD_REGIONS_H_

@@ -1,0 +1,49 @@
+#include "common/glob.h"
+
+namespace lambada {
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative wildcard matcher with backtracking over the last '*'.
+  size_t p = 0, t = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool ParseS3Uri(std::string_view uri, std::string* bucket, std::string* key) {
+  constexpr std::string_view kScheme = "s3://";
+  if (uri.substr(0, kScheme.size()) != kScheme) return false;
+  std::string_view rest = uri.substr(kScheme.size());
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    *bucket = std::string(rest);
+    key->clear();
+  } else {
+    *bucket = std::string(rest.substr(0, slash));
+    *key = std::string(rest.substr(slash + 1));
+  }
+  return !bucket->empty();
+}
+
+std::string GlobLiteralPrefix(std::string_view pattern) {
+  size_t n = pattern.find_first_of("*?");
+  if (n == std::string_view::npos) n = pattern.size();
+  return std::string(pattern.substr(0, n));
+}
+
+}  // namespace lambada

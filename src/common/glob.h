@@ -1,0 +1,23 @@
+#ifndef LAMBADA_COMMON_GLOB_H_
+#define LAMBADA_COMMON_GLOB_H_
+
+#include <string>
+#include <string_view>
+
+namespace lambada {
+
+/// Shell-style glob matching with `*` (any run, including '/') and `?`
+/// (any single char). Used by the driver to expand patterns like
+/// `s3://bucket/data/*.lpq` against object listings.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Splits an `s3://bucket/key` URI. Returns false if the scheme is missing.
+bool ParseS3Uri(std::string_view uri, std::string* bucket, std::string* key);
+
+/// Longest prefix of `pattern` that contains no glob metacharacter; used to
+/// narrow LIST requests.
+std::string GlobLiteralPrefix(std::string_view pattern);
+
+}  // namespace lambada
+
+#endif  // LAMBADA_COMMON_GLOB_H_

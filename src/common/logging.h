@@ -1,0 +1,94 @@
+#ifndef LAMBADA_COMMON_LOGGING_H_
+#define LAMBADA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lambada {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+/// Sets the process-wide minimum emitted level (default: kWarning, so that
+/// tests and benchmarks stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Discards the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LAMBADA_LOG(level)                                          \
+  ::lambada::internal::LogMessage(::lambada::LogLevel::k##level,    \
+                                  __FILE__, __LINE__)
+
+/// Unconditional fatal error: logs and aborts.
+#define LAMBADA_FATAL()                                             \
+  ::lambada::internal::LogMessage(::lambada::LogLevel::kError,      \
+                                  __FILE__, __LINE__, /*fatal=*/true)
+
+/// Invariant check; always on (used for programmer errors, not data errors).
+#define LAMBADA_CHECK(cond)                                   \
+  if (!(cond))                                                \
+  LAMBADA_FATAL() << "Check failed: " #cond " "
+
+#define LAMBADA_CHECK_OK(expr)                                       \
+  do {                                                               \
+    auto _lambada_check_status = ::lambada::internal::ToStatus(expr);\
+    if (!_lambada_check_status.ok()) {                               \
+      LAMBADA_FATAL() << "Status not OK: "                           \
+                      << _lambada_check_status.ToString();           \
+    }                                                                \
+  } while (false)
+
+#define LAMBADA_CHECK_EQ(a, b) \
+  LAMBADA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMBADA_CHECK_NE(a, b) \
+  LAMBADA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMBADA_CHECK_LE(a, b) \
+  LAMBADA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMBADA_CHECK_LT(a, b) \
+  LAMBADA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMBADA_CHECK_GE(a, b) \
+  LAMBADA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LAMBADA_CHECK_GT(a, b) \
+  LAMBADA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define LAMBADA_DCHECK(cond) \
+  while (false) ::lambada::internal::NullStream()
+#else
+#define LAMBADA_DCHECK(cond) LAMBADA_CHECK(cond)
+#endif
+
+}  // namespace lambada
+
+#endif  // LAMBADA_COMMON_LOGGING_H_

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace lambada {
+
+double Rng::Normal() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Lognormal(double median, double sigma) {
+  return median * std::exp(sigma * Normal());
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace lambada

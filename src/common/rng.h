@@ -1,0 +1,80 @@
+#ifndef LAMBADA_COMMON_RNG_H_
+#define LAMBADA_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace lambada {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Every stochastic component of
+/// the simulator owns a seeded Rng so that runs are exactly reproducible;
+/// std engines are avoided because their streams are not portable across
+/// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
+                                                  hi - lo + 1));
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Lognormal with given median and sigma (of the underlying normal).
+  double Lognormal(double median, double sigma);
+
+  /// Pareto with scale xm and shape alpha (heavy tail for alpha small).
+  double Pareto(double xm, double alpha);
+
+  /// Exponential with the given mean.
+  double Exponential(double mean);
+
+  /// Derives an independent child stream; used to give each simulated
+  /// component its own stream from one experiment seed.
+  Rng Fork() { return Rng(Next() ^ 0xa0761d6478bd642fULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace lambada
+
+#endif  // LAMBADA_COMMON_RNG_H_

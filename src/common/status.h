@@ -1,0 +1,203 @@
+#ifndef LAMBADA_COMMON_STATUS_H_
+#define LAMBADA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lambada {
+
+/// Error categories used across the system. Modeled after the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,  ///< Quotas, rate limits (e.g., S3 SlowDown).
+  kFailedPrecondition,
+  kUnavailable,  ///< Transient failure; the caller may retry.
+  kInternal,
+  kNotImplemented,
+  kIOError,
+  kCancelled,
+  kTimeout,
+  kOutOfMemory,  ///< Worker exceeded its memory budget.
+};
+
+/// Returns a human-readable name for `code` (e.g., "NotFound").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// OK statuses carry no allocation. Non-OK statuses carry a code and a
+/// message. Functions that can fail return `Status` (or `Result<T>` when
+/// they also produce a value); exceptions are not used for error flow.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// True if a retry may succeed (transient failures and throttling).
+  bool IsRetriable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kTimeout;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. `Result` is the return type
+/// of fallible functions that produce a value.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value: allows `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::Invalid(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    // An OK status without a value would be a logic error; normalize it.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value. Precondition: ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set... (normalized in ctor)
+};
+
+namespace internal {
+inline Status ToStatus(const Status& s) { return s; }
+inline Status ToStatus(Status&& s) { return std::move(s); }
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Propagates errors to the caller: `RETURN_NOT_OK(DoThing());`.
+#define RETURN_NOT_OK(expr)                                  \
+  do {                                                       \
+    auto _lambada_status_or = (expr);                        \
+    if (!_lambada_status_or.ok()) {                          \
+      return ::lambada::internal::ToStatus(                  \
+          std::move(_lambada_status_or));                    \
+    }                                                        \
+  } while (false)
+
+/// RETURN_NOT_OK for coroutine bodies (plain `return` is illegal there).
+#define CO_RETURN_NOT_OK(expr)                               \
+  do {                                                       \
+    auto _lambada_co_status = ::lambada::internal::ToStatus( \
+        (expr));                                             \
+    if (!_lambada_co_status.ok()) {                          \
+      co_return _lambada_co_status;                          \
+    }                                                        \
+  } while (false)
+
+#define LAMBADA_CONCAT_IMPL(a, b) a##b
+#define LAMBADA_CONCAT(a, b) LAMBADA_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise assigns
+/// the value: `ASSIGN_OR_RETURN(auto file, OpenFile(path));`.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  LAMBADA_ASSIGN_OR_RETURN_IMPL(                                 \
+      LAMBADA_CONCAT(_lambada_result_, __LINE__), lhs, rexpr)
+
+#define LAMBADA_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) {                                     \
+    return result.status();                               \
+  }                                                       \
+  lhs = std::move(result).value()
+
+}  // namespace lambada
+
+#endif  // LAMBADA_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lambada {
+
+namespace {
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string FormatBytes(int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kTiB) return Format("%.2f TiB", b / kTiB);
+  if (bytes >= kGiB) return Format("%.2f GiB", b / kGiB);
+  if (bytes >= kMiB) return Format("%.2f MiB", b / kMiB);
+  if (bytes >= kKiB) return Format("%.2f KiB", b / kKiB);
+  return Format("%.0f B", b);
+}
+
+std::string FormatUsd(double usd) {
+  if (usd == 0.0) return "$0";
+  const double a = std::fabs(usd);
+  if (a < 0.01) return Format("%.3f c", usd * 100.0);
+  if (a < 1.0) return Format("%.1f c", usd * 100.0);
+  return Format("$%.2f", usd);
+}
+
+std::string FormatSeconds(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a < 1.0) return Format("%.0f ms", seconds * 1000.0);
+  if (a < 120.0) return Format("%.2f s", seconds);
+  if (a < 7200.0) return Format("%.1f min", seconds / 60.0);
+  return Format("%.2f h", seconds / 3600.0);
+}
+
+}  // namespace lambada

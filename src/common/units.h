@@ -1,0 +1,32 @@
+#ifndef LAMBADA_COMMON_UNITS_H_
+#define LAMBADA_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lambada {
+
+// Byte units. The paper (and AWS) mixes binary and decimal units; we keep
+// both explicit so that calibration constants can be copied verbatim.
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+inline constexpr int64_t kTiB = 1024 * kGiB;
+inline constexpr int64_t kKB = 1000;
+inline constexpr int64_t kMB = 1000 * kKB;
+inline constexpr int64_t kGB = 1000 * kMB;
+inline constexpr int64_t kTB = 1000 * kGB;
+
+/// Formats a byte count with a binary-unit suffix ("1.5 GiB").
+std::string FormatBytes(int64_t bytes);
+
+/// Formats US dollars with sensible precision ("$0.0123", "3.4 c",
+/// "$12.30"). Used in benchmark tables mirroring the paper's cost axes.
+std::string FormatUsd(double usd);
+
+/// Formats a duration in seconds ("3.42 s", "125 ms", "2.1 min").
+std::string FormatSeconds(double seconds);
+
+}  // namespace lambada
+
+#endif  // LAMBADA_COMMON_UNITS_H_

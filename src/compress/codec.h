@@ -1,0 +1,58 @@
+#ifndef LAMBADA_COMPRESS_CODEC_H_
+#define LAMBADA_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lambada::compress {
+
+/// Compression codecs available for column chunks, mirroring the paper's
+/// distinction between "light-weight" (run-length-class) and "heavy-weight"
+/// (GZIP-class) schemes (Section 4.3.2).
+enum class CodecId : uint8_t {
+  kNone = 0,
+  kRle = 1,    ///< Byte-level run-length encoding (light-weight).
+  kLz = 2,     ///< LZ77 with a small window (medium).
+  kHeavy = 3,  ///< LZ77, large window, exhaustive matching (GZIP-class:
+               ///< best ratio, CPU-bound decompression).
+};
+
+std::string_view CodecName(CodecId id);
+Result<CodecId> CodecFromName(std::string_view name);
+
+/// A compression codec. Implementations are stateless and thread-agnostic.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+
+  /// Compresses `input`; output is self-contained (carries the sizes it
+  /// needs for decompression except the uncompressed size, which the
+  /// caller persists).
+  virtual std::vector<uint8_t> Compress(
+      const std::vector<uint8_t>& input) const = 0;
+
+  /// Decompresses into exactly `uncompressed_size` bytes; fails with
+  /// IOError on corruption.
+  virtual Result<std::vector<uint8_t>> Decompress(
+      const uint8_t* input, size_t input_size,
+      size_t uncompressed_size) const = 0;
+
+  /// Relative CPU cost of decompressing one byte of *uncompressed* output,
+  /// in vCPU-seconds per byte. Used by the simulation to convert
+  /// decompression work into virtual time; calibrated so that heavy
+  /// decompression is scan-dominating as in the paper's Q1 (Section 5.2).
+  virtual double DecompressCpuSecondsPerByte() const = 0;
+};
+
+/// Returns the process-wide codec instance for `id`.
+const Codec& GetCodec(CodecId id);
+
+}  // namespace lambada::compress
+
+#endif  // LAMBADA_COMPRESS_CODEC_H_

@@ -1,0 +1,315 @@
+#include "core/driver.h"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+#include <memory>
+
+#include "common/glob.h"
+#include "core/exchange.h"
+#include "core/stats_index.h"
+#include "core/worker.h"
+#include "engine/aggregate.h"
+#include "engine/chunk_serde.h"
+
+namespace lambada::core {
+
+Driver::Driver(cloud::Cloud* cloud, DriverOptions options)
+    : cloud_(cloud), options_(std::move(options)) {}
+
+Status Driver::Install() {
+  RETURN_NOT_OK(cloud_->s3().CreateBucket(options_.system_bucket));
+  RETURN_NOT_OK(cloud_->sqs().CreateQueue(options_.result_queue));
+  RETURN_NOT_OK(cloud_->ddb().CreateTable("lambada-meta"));
+  ExchangeSpec defaults;
+  defaults.bucket_prefix = options_.exchange_bucket_prefix;
+  defaults.num_buckets = options_.exchange_buckets;
+  RETURN_NOT_OK(CreateExchangeBuckets(&cloud_->s3(), defaults));
+  StatsIndex stats(&cloud_->ddb());
+  RETURN_NOT_OK(stats.CreateTable());
+  installed_ = true;
+  return Status::OK();
+}
+
+Status Driver::EnsureFunction(int memory_mib) {
+  std::string name =
+      options_.function_prefix + std::to_string(memory_mib);
+  cloud::FunctionConfig fn;
+  fn.name = name;
+  fn.memory_mib = memory_mib;
+  fn.timeout_s = 900.0;
+  fn.handler = MakeWorkerHandler();
+  return cloud_->faas().CreateFunction(std::move(fn));
+}
+
+void Driver::ResetWarm(int memory_mib) {
+  cloud_->faas().ResetWarmPool(options_.function_prefix +
+                               std::to_string(memory_mib));
+}
+
+sim::Async<Status> Driver::InvokeOne(const std::string& function,
+                                     std::string payload) {
+  double backoff = 0.05;
+  for (int attempt = 0;; ++attempt) {
+    Status s = co_await cloud_->faas().Invoke(
+        cloud_->driver_invoker_profile(), &cloud_->driver_rng(), function,
+        payload);
+    if (s.ok() || !s.IsRetriable() || attempt >= options_.invoke_retries) {
+      co_return s;
+    }
+    co_await sim::Sleep(&cloud_->sim(),
+                        backoff * (0.5 + cloud_->driver_rng().NextDouble()));
+    backoff *= 2;
+  }
+}
+
+sim::Async<Status> Driver::InvokeWorkers(
+    std::vector<InvocationPayload> payloads, const std::string& function) {
+  // Two-level tree (Section 4.2): the driver invokes ~sqrt(P) first-
+  // generation workers; each carries the inputs of its second generation.
+  std::vector<InvocationPayload> first_gen;
+  if (options_.two_level_invocation && payloads.size() > 4) {
+    size_t group =
+        static_cast<size_t>(std::ceil(std::sqrt(payloads.size())));
+    for (size_t start = 0; start < payloads.size(); start += group) {
+      InvocationPayload leader = payloads[start];
+      for (size_t i = start + 1; i < std::min(start + group, payloads.size());
+           ++i) {
+        leader.to_invoke.push_back(payloads[i].self);
+      }
+      first_gen.push_back(std::move(leader));
+    }
+  } else {
+    first_gen = std::move(payloads);
+  }
+
+  // Fan the Invoke calls over a bounded pool of invocation threads.
+  auto* sim = &cloud_->sim();
+  auto gate =
+      std::make_shared<sim::Semaphore>(sim, options_.invoke_threads);
+  auto first_error = std::make_shared<Status>(Status::OK());
+  std::vector<sim::Async<void>> calls;
+  calls.reserve(first_gen.size());
+  for (auto& p : first_gen) {
+    calls.push_back([](Driver* self, std::shared_ptr<sim::Semaphore> g,
+                       std::shared_ptr<Status> err, std::string fn,
+                       std::string payload) -> sim::Async<void> {
+      co_await g->Acquire();
+      Status s = co_await self->InvokeOne(fn, std::move(payload));
+      if (!s.ok() && err->ok()) *err = s;
+      g->Release();
+    }(this, gate, first_error, function, p.Serialize()));
+  }
+  co_await sim::WhenAllVoid(sim, std::move(calls));
+  co_return *first_error;
+}
+
+sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
+                                            const RunOptions& options) {
+  if (!installed_) {
+    CO_RETURN_NOT_OK(Install());
+  }
+  CO_RETURN_NOT_OK(EnsureFunction(options.memory_mib));
+  const std::string function =
+      options_.function_prefix + std::to_string(options.memory_mib);
+  auto* sim = &cloud_->sim();
+  const double t_start = sim->Now();
+  const cloud::CostSnapshot cost_before = cloud_->ledger().Snapshot();
+  const size_t metrics_before = cloud_->faas().completed_metrics().size();
+
+  // ---- Compile. ----
+  auto physical = PlanQuery(query, options.tuning);
+  if (!physical.ok()) co_return physical.status();
+  std::string query_id = "q" + std::to_string(next_query_id_++);
+  // Stamp exchange instances with a unique id and ensure their buckets.
+  for (auto& op : physical->fragment.ops) {
+    if (op.kind == PlanOp::Kind::kExchange) {
+      op.exchange->exchange_id = query_id + "-x";
+      CO_RETURN_NOT_OK(CreateExchangeBuckets(&cloud_->s3(), *op.exchange));
+    }
+  }
+
+  // ---- Expand the input glob. ----
+  std::string bucket, key_pattern;
+  if (!ParseS3Uri(physical->pattern, &bucket, &key_pattern)) {
+    co_return Status::Invalid("bad input pattern: " + physical->pattern);
+  }
+  cloud::S3Client client(&cloud_->s3(), cloud_->driver_net());
+  auto listing =
+      co_await client.List(bucket, GlobLiteralPrefix(key_pattern));
+  if (!listing.ok()) co_return listing.status();
+  std::vector<engine::FileRef> files;
+  for (const auto& obj : *listing) {
+    if (GlobMatch(key_pattern, obj.key)) {
+      files.push_back(engine::FileRef{bucket, obj.key});
+    }
+  }
+  if (files.empty()) {
+    co_return Status::NotFound("no input files match " + physical->pattern);
+  }
+  if (options.use_stats_index && physical->fragment.scan_filter != nullptr) {
+    // Section 5.3 extension: central min/max index lets the driver skip
+    // files before any worker is started.
+    StatsIndex stats(&cloud_->ddb());
+    std::string dataset = bucket + "/" + GlobLiteralPrefix(key_pattern);
+    std::vector<std::string> keys;
+    keys.reserve(files.size());
+    for (const auto& f : files) keys.push_back(f.key);
+    auto kept = co_await stats.PruneFiles(cloud_->driver_net(), dataset,
+                                          std::move(keys),
+                                          physical->fragment.scan_filter);
+    if (kept.ok()) {
+      std::set<std::string> keep_set(kept->begin(), kept->end());
+      std::vector<engine::FileRef> kept_files;
+      for (auto& f : files) {
+        if (keep_set.count(f.key)) kept_files.push_back(std::move(f));
+      }
+      if (!kept_files.empty()) files = std::move(kept_files);
+    }
+  }
+
+  // ---- Decide the worker count (W = files / F, Section 5.2). ----
+  int workers;
+  if (options.num_workers > 0) {
+    workers = options.num_workers;
+  } else {
+    workers = static_cast<int>(
+        (files.size() + options.files_per_worker - 1) /
+        static_cast<size_t>(options.files_per_worker));
+  }
+  workers = std::max(1, std::min<int>(workers, static_cast<int>(files.size())));
+  // Exchanges need a factorizable worker grid; round down if necessary.
+  for (const auto& op : physical->fragment.ops) {
+    if (op.kind == PlanOp::Kind::kExchange) {
+      int adjusted =
+          LargestFactorizableWorkerCount(workers, op.exchange->levels);
+      if (adjusted != workers) {
+        LAMBADA_LOG(Info) << "adjusting worker count " << workers << " -> "
+                          << adjusted << " for the exchange grid";
+        workers = adjusted;
+      }
+    }
+  }
+
+  // ---- Upload the plan once; payloads carry the pointer. ----
+  std::string plan_key = "plans/" + query_id;
+  CO_RETURN_NOT_OK(co_await client.Put(
+      options_.system_bucket, plan_key,
+      Buffer::FromVector(physical->fragment.Serialize())));
+
+  // ---- Build per-worker payloads (contiguous file ranges). ----
+  std::vector<InvocationPayload> payloads;
+  payloads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    InvocationPayload p;
+    p.query_id = query_id;
+    p.total_workers = static_cast<uint32_t>(workers);
+    p.plan_bucket = options_.system_bucket;
+    p.plan_key = plan_key;
+    p.result_queue = options_.result_queue;
+    p.data_scale = options.data_scale;
+    p.self.worker_id = static_cast<uint32_t>(w);
+    size_t begin = files.size() * static_cast<size_t>(w) /
+                   static_cast<size_t>(workers);
+    size_t end = files.size() * (static_cast<size_t>(w) + 1) /
+                 static_cast<size_t>(workers);
+    p.self.files.assign(files.begin() + begin, files.begin() + end);
+    payloads.push_back(std::move(p));
+  }
+
+  // ---- Invoke. ----
+  CO_RETURN_NOT_OK(co_await InvokeWorkers(std::move(payloads), function));
+  const double t_invoked = sim->Now();
+
+  // ---- Collect results from the queue (Section 3.3). ----
+  std::vector<ResultMessage> results;
+  results.reserve(static_cast<size_t>(workers));
+  const double deadline = t_start + options_.query_timeout_s;
+  while (results.size() < static_cast<size_t>(workers)) {
+    if (sim->Now() > deadline) {
+      co_return Status::Timeout("query timed out waiting for workers (" +
+                                std::to_string(results.size()) + "/" +
+                                std::to_string(workers) + ")");
+    }
+    auto batch = co_await cloud_->sqs().Receive(
+        cloud_->driver_net(), options_.result_queue, 10,
+        options_.result_poll_wait_s);
+    if (!batch.ok()) co_return batch.status();
+    for (const auto& raw : *batch) {
+      auto msg = ResultMessage::Parse(raw);
+      if (!msg.ok()) co_return msg.status();
+      if (msg->query_id != query_id) continue;  // Stale message.
+      results.push_back(*std::move(msg));
+    }
+  }
+
+  // ---- Merge partial results (driver scope). ----
+  for (const auto& r : results) {
+    if (r.status_code != StatusCode::kOk) {
+      co_return Status(r.status_code,
+                       "worker " + std::to_string(r.worker_id) +
+                           " failed: " + r.status_message);
+    }
+  }
+  std::vector<engine::TableChunk> partials;
+  partials.reserve(results.size());
+  for (auto& r : results) {
+    std::vector<uint8_t> bytes = r.inline_result;
+    if (!r.spill_bucket.empty()) {
+      auto spilled = co_await client.Get(r.spill_bucket, r.spill_key);
+      if (!spilled.ok()) co_return spilled.status();
+      bytes.assign((*spilled)->data(),
+                   (*spilled)->data() + (*spilled)->size());
+    }
+    auto chunk = engine::DeserializeChunk(bytes.data(), bytes.size());
+    if (!chunk.ok()) co_return chunk.status();
+    partials.push_back(*std::move(chunk));
+  }
+
+  QueryReport report;
+  if (physical->has_final_aggregate) {
+    engine::HashAggregator merger(physical->final_group_by,
+                                  physical->final_aggs);
+    for (const auto& p : partials) {
+      if (p.num_rows() == 0 && p.num_columns() == 0) continue;
+      CO_RETURN_NOT_OK(merger.MergePartial(p));
+    }
+    report.result = merger.Finalize();
+  } else {
+    // Workers whose files were fully pruned emit empty chunks with no
+    // schema; they contribute nothing to the concatenation.
+    std::vector<engine::TableChunk> nonempty;
+    for (auto& p : partials) {
+      if (p.num_columns() > 0) nonempty.push_back(std::move(p));
+    }
+    auto merged = engine::ConcatChunks(nonempty);
+    if (!merged.ok()) co_return merged.status();
+    report.result = *std::move(merged);
+  }
+
+  report.latency_s = sim->Now() - t_start;
+  report.invocation_issue_s = t_invoked - t_start;
+  report.workers = workers;
+  report.files = static_cast<int>(files.size());
+  report.cost = cloud_->ledger().Snapshot() - cost_before;
+  report.worker_results = std::move(results);
+  const auto& all_metrics = cloud_->faas().completed_metrics();
+  report.worker_metrics.assign(all_metrics.begin() + metrics_before,
+                               all_metrics.end());
+  co_return report;
+}
+
+Result<QueryReport> Driver::RunToCompletion(const Query& query,
+                                            const RunOptions& options) {
+  auto out = std::make_shared<Result<QueryReport>>(
+      Status::Internal("query did not finish"));
+  sim::Spawn([](Driver* self, const Query* q, const RunOptions* opts,
+                std::shared_ptr<Result<QueryReport>> result)
+                 -> sim::Async<void> {
+    *result = co_await self->Run(*q, *opts);
+  }(this, &query, &options, out));
+  cloud_->sim().Run();
+  return std::move(*out);
+}
+
+}  // namespace lambada::core

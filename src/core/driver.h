@@ -1,0 +1,123 @@
+#ifndef LAMBADA_CORE_DRIVER_H_
+#define LAMBADA_CORE_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "core/dataflow.h"
+#include "core/messages.h"
+#include "core/planner.h"
+#include "engine/table.h"
+#include "sim/async.h"
+
+namespace lambada::core {
+
+/// Driver-side configuration (Section 3.1: "the driver runs on the local
+/// development machine of the data scientist").
+struct DriverOptions {
+  /// Bucket holding plans and spilled results; created at install time.
+  std::string system_bucket = "lambada-system";
+  /// SQS queue the workers report to.
+  std::string result_queue = "lambada-results";
+  /// Functions are named "{function_prefix}{memory_mib}".
+  std::string function_prefix = "lambada-w";
+  /// Concurrent invocation threads (the paper uses 128, Section 4.2).
+  int invoke_threads = 128;
+  /// Start workers through the two-level invocation tree (Section 4.2)
+  /// instead of invoking every worker from the driver.
+  bool two_level_invocation = true;
+  /// SQS long-poll wait per receive call.
+  double result_poll_wait_s = 1.0;
+  double query_timeout_s = 3600.0;
+  int invoke_retries = 8;
+  /// Default exchange buckets created at install.
+  int exchange_buckets = 10;
+  std::string exchange_bucket_prefix = "lambada-x";
+};
+
+/// Per-query execution knobs (the M and F of Section 5.2).
+struct RunOptions {
+  int memory_mib = 1792;
+  /// Files per worker (F). Ignored when num_workers > 0.
+  int files_per_worker = 1;
+  /// Explicit worker count; 0 derives it from the file count and F.
+  int num_workers = 0;
+  ScanTuning tuning;
+  /// Virtual-scaling factor forwarded to workers (DESIGN.md).
+  double data_scale = 1.0;
+  /// Consult the central min/max statistics index (core/stats_index.h)
+  /// before fan-out, skipping files no worker needs to visit — the
+  /// Section 5.3 extension.
+  bool use_stats_index = false;
+};
+
+/// Everything the driver knows after a query: the result, end-to-end
+/// latency, the pay-per-use bill, and per-worker telemetry.
+struct QueryReport {
+  engine::TableChunk result;
+  double latency_s = 0;
+  /// Time from Run() start until the last Invoke API call was issued.
+  double invocation_issue_s = 0;
+  int workers = 0;
+  int files = 0;
+  cloud::CostSnapshot cost;
+  std::vector<ResultMessage> worker_results;
+  /// Container-level timing (invocation, cold starts) per worker.
+  std::vector<cloud::WorkerMetrics> worker_metrics;
+
+  /// Total USD for this query at the deployment's prices.
+  double CostUsd(const cloud::Pricing& pricing) const {
+    return cost.TotalUsd(pricing);
+  }
+};
+
+/// The Lambada driver: installs the serverless components once, then runs
+/// queries by fanning out workers and collecting their partial results.
+class Driver {
+ public:
+  explicit Driver(cloud::Cloud* cloud, DriverOptions options = {});
+
+  /// One-time setup (Figure 2 "installation"): system bucket, result
+  /// queue, metadata table, exchange buckets. Free of recurring cost.
+  Status Install();
+
+  /// Ensures the worker function for this memory size exists.
+  Status EnsureFunction(int memory_mib);
+
+  /// Forces cold starts for the given memory size (the paper re-creates
+  /// the function between configurations).
+  void ResetWarm(int memory_mib);
+
+  /// Compiles and executes `query`; resolves when the final result is
+  /// merged on the driver.
+  sim::Async<Result<QueryReport>> Run(const Query& query,
+                                      const RunOptions& options);
+
+  /// Convenience wrapper: spawns Run() and drives the simulation to
+  /// completion (for tools and tests that are not themselves coroutines).
+  Result<QueryReport> RunToCompletion(const Query& query,
+                                      const RunOptions& options);
+
+  const DriverOptions& options() const { return options_; }
+  cloud::Cloud* cloud() { return cloud_; }
+
+ private:
+  /// Invokes all `payloads` (worker_id -> serialized payload), optionally
+  /// through the two-level tree. Returns when every Invoke call was issued
+  /// and accepted.
+  sim::Async<Status> InvokeWorkers(
+      std::vector<InvocationPayload> payloads, const std::string& function);
+
+  sim::Async<Status> InvokeOne(const std::string& function,
+                               std::string payload);
+
+  cloud::Cloud* cloud_;
+  DriverOptions options_;
+  bool installed_ = false;
+  int64_t next_query_id_ = 0;
+};
+
+}  // namespace lambada::core
+
+#endif  // LAMBADA_CORE_DRIVER_H_

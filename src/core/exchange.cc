@@ -1,0 +1,432 @@
+#include "core/exchange.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "cloud/object_store.h"
+#include "engine/chunk_serde.h"
+#include "engine/partition.h"
+
+namespace lambada::core {
+
+namespace {
+
+using engine::TableChunk;
+
+/// CPU cost model of the in-memory exchange stages (vCPU-seconds).
+constexpr double kPartitionCpuPerRow = 3e-9;
+constexpr double kSerializeCpuPerByte = 1.0 / 1.5e9;
+constexpr double kDeserializeCpuPerByte = 1.0 / 1.5e9;
+
+/// The k-dimensional worker grid of the multi-level exchange.
+struct Grid {
+  std::vector<int> sides;
+  std::vector<int> strides;
+
+  static Grid Make(const std::vector<int>& factors) {
+    Grid g;
+    g.sides = factors;
+    g.strides.resize(factors.size());
+    int stride = 1;
+    for (size_t i = 0; i < factors.size(); ++i) {
+      g.strides[i] = stride;
+      stride *= factors[i];
+    }
+    return g;
+  }
+
+  int Coord(int x, size_t dim) const {
+    return (x / strides[dim]) % sides[dim];
+  }
+  /// x with coordinate `dim` zeroed: identifies the phase-`dim` group.
+  int GroupBase(int x, size_t dim) const {
+    return x - Coord(x, dim) * strides[dim];
+  }
+  /// Worker in x's phase-`dim` group with coordinate j in that dimension.
+  int Member(int x, size_t dim, int j) const {
+    return GroupBase(x, dim) + j * strides[dim];
+  }
+};
+
+std::string BucketFor(const ExchangeSpec& spec, int group_base, int phase) {
+  // Spread groups over buckets; the per-bucket request rate then drops by
+  // the bucket count (Section 4.4.1).
+  uint64_t h = static_cast<uint64_t>(group_base) * 1000003ULL +
+               static_cast<uint64_t>(phase) * 97ULL;
+  h ^= h >> 21;
+  return spec.bucket_prefix + "-" +
+         std::to_string(h % static_cast<uint64_t>(spec.num_buckets));
+}
+
+std::string GroupPrefix(const ExchangeSpec& spec, int phase,
+                        int group_base) {
+  return spec.exchange_id + "/ph" + std::to_string(phase) + "/g" +
+         std::to_string(group_base) + "/";
+}
+
+std::string EncodeOffsets(const std::vector<uint64_t>& offsets) {
+  // Compact hex deltas: "o<d0>.<d1>...." — offsets are ascending.
+  std::string out = "o";
+  char buf[32];
+  uint64_t prev = 0;
+  for (uint64_t off : offsets) {
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(off - prev));
+    if (out.size() > 1) out += ".";
+    out += buf;
+    prev = off;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> DecodeOffsets(const std::string& encoded,
+                                            size_t expected) {
+  if (encoded.empty() || encoded[0] != 'o') {
+    return Status::IOError("bad offsets encoding");
+  }
+  std::vector<uint64_t> offsets;
+  uint64_t prev = 0;
+  size_t i = 1;
+  while (i < encoded.size()) {
+    size_t end = encoded.find('.', i);
+    if (end == std::string::npos) end = encoded.size();
+    uint64_t delta = 0;
+    for (size_t j = i; j < end; ++j) {
+      char c = encoded[j];
+      int v;
+      if (c >= '0' && c <= '9') {
+        v = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        v = c - 'a' + 10;
+      } else {
+        return Status::IOError("bad hex in offsets");
+      }
+      delta = delta * 16 + static_cast<uint64_t>(v);
+    }
+    prev += delta;
+    offsets.push_back(prev);
+    i = end + 1;
+  }
+  if (offsets.size() != expected) {
+    return Status::IOError("offsets count mismatch");
+  }
+  return offsets;
+}
+
+/// Parses "s<j>-o..." file names of the offsets-in-name variant.
+Result<std::pair<int, std::vector<uint64_t>>> ParseCombinedName(
+    const std::string& key, const std::string& prefix, size_t num_parts) {
+  if (key.size() <= prefix.size() ||
+      key.compare(0, prefix.size(), prefix) != 0 ||
+      key[prefix.size()] != 's') {
+    return Status::IOError("unexpected exchange file name: " + key);
+  }
+  size_t dash = key.find('-', prefix.size());
+  if (dash == std::string::npos) {
+    return Status::IOError("exchange file name missing offsets: " + key);
+  }
+  int sender = std::stoi(key.substr(prefix.size() + 1,
+                                    dash - prefix.size() - 1));
+  ASSIGN_OR_RETURN(auto offsets,
+                   DecodeOffsets(key.substr(dash + 1), num_parts + 1));
+  return std::make_pair(sender, offsets);
+}
+
+}  // namespace
+
+Result<std::vector<int>> FactorizeWorkers(int P, int levels) {
+  if (P <= 0) return Status::Invalid("P must be positive");
+  if (levels < 1 || levels > 3) {
+    return Status::Invalid("exchange supports 1-3 levels");
+  }
+  if (levels == 1) return std::vector<int>{P};
+
+  std::function<std::vector<int>(int, int)> best_factors =
+      [&](int n, int k) -> std::vector<int> {
+    if (k == 1) return {n};
+    double target = std::pow(static_cast<double>(n), 1.0 / k);
+    std::vector<int> best;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int d = 1; d <= n; ++d) {
+      if (n % d != 0) continue;
+      // Prefer the first factor near the k-th root.
+      std::vector<int> rest = best_factors(n / d, k - 1);
+      std::vector<int> cand;
+      cand.push_back(d);
+      cand.insert(cand.end(), rest.begin(), rest.end());
+      int mx = *std::max_element(cand.begin(), cand.end());
+      int mn = *std::min_element(cand.begin(), cand.end());
+      double score = static_cast<double>(mx) / mn +
+                     std::abs(d - target) / target;
+      if (score < best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    return best;
+  };
+
+  std::vector<int> factors = best_factors(P, levels);
+  int mx = *std::max_element(factors.begin(), factors.end());
+  int mn = *std::min_element(factors.begin(), factors.end());
+  if (mn == 0 || static_cast<double>(mx) / mn > 16.0) {
+    return Status::Invalid(
+        "worker count " + std::to_string(P) + " has no balanced " +
+        std::to_string(levels) + "-level factorization");
+  }
+  return factors;
+}
+
+int LargestFactorizableWorkerCount(int P, int levels) {
+  for (int p = P; p >= 1; --p) {
+    if (FactorizeWorkers(p, levels).ok()) return p;
+  }
+  return 1;
+}
+
+Status CreateExchangeBuckets(cloud::ObjectStore* s3,
+                             const ExchangeSpec& spec) {
+  for (int i = 0; i < spec.num_buckets; ++i) {
+    RETURN_NOT_OK(
+        s3->CreateBucket(spec.bucket_prefix + "-" + std::to_string(i)));
+  }
+  return Status::OK();
+}
+
+ExchangeRequestCounts PredictExchangeRequests(int P, int levels,
+                                              bool write_combining) {
+  // Table 2: with side length s = P^(1/k), each worker does s reads and s
+  // writes per level (k levels); write combining collapses the writes of
+  // one level to one per worker and adds O(P) lists (one+ per worker per
+  // level).
+  ExchangeRequestCounts c;
+  double p = static_cast<double>(P);
+  double s = std::pow(p, 1.0 / levels);
+  c.reads = levels * p * s;
+  c.writes = write_combining ? levels * p : levels * p * s;
+  c.lists = write_combining ? levels * p : 0;
+  c.scans = levels;
+  return c;
+}
+
+sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
+                                           const ExchangeSpec& spec, int p,
+                                           int P, TableChunk input,
+                                           ExchangeMetrics* metrics) {
+  auto factors_or = FactorizeWorkers(P, spec.levels);
+  if (!factors_or.ok()) co_return factors_or.status();
+  Grid grid = Grid::Make(*factors_or);
+  auto* sim = env.sim();
+  cloud::S3Client client(env.services().s3, env.net());
+  const double scale = env.data_scale;
+
+  // Resolve key columns once (schema is stable across phases).
+  std::vector<int> key_cols;
+  for (const auto& k : spec.keys) {
+    int idx = input.schema()->FieldIndex(k);
+    if (idx < 0) {
+      co_return Status::Invalid("exchange key column not found: " + k);
+    }
+    key_cols.push_back(idx);
+  }
+
+  engine::SchemaPtr schema = input.schema();
+  TableChunk current = std::move(input);
+  ExchangeMetrics local;
+  ExchangeMetrics& m = metrics != nullptr ? *metrics : local;
+
+  for (size_t phase = 0; phase < grid.sides.size(); ++phase) {
+    ExchangeMetrics::Round round;
+    const int side = grid.sides[phase];
+    const int my_j = grid.Coord(p, phase);
+    const int base = grid.GroupBase(p, phase);
+    const std::string bucket = BucketFor(spec, base, static_cast<int>(phase));
+    const std::string prefix = GroupPrefix(spec, static_cast<int>(phase),
+                                           base);
+
+    // ---- Partition (DramPartitioning of Algorithm 1, projected onto this
+    // phase's coordinate, per Algorithm 2). ----
+    double t0 = sim->Now();
+    std::vector<uint32_t> ids(current.num_rows());
+    for (size_t row = 0; row < current.num_rows(); ++row) {
+      int dest = static_cast<int>(engine::HashRow(current, key_cols, row) %
+                                  static_cast<uint64_t>(P));
+      ids[row] = static_cast<uint32_t>(grid.Coord(dest, phase));
+    }
+    std::vector<TableChunk> parts =
+        engine::PartitionBy(current, ids, side);
+    co_await env.Compute(static_cast<double>(current.num_rows()) *
+                         kPartitionCpuPerRow * scale);
+    current = TableChunk();  // Free the input.
+    round.partition_s = sim->Now() - t0;
+
+    // ---- Write ----
+    t0 = sim->Now();
+    std::vector<uint64_t> my_offsets;
+    if (spec.write_combining) {
+      auto combined = engine::SerializeChunksCombined(parts);
+      my_offsets = combined.offsets;
+      co_await env.Compute(static_cast<double>(combined.bytes.size()) *
+                           kSerializeCpuPerByte * scale);
+      std::string key;
+      if (spec.offsets_in_name) {
+        key = prefix + "s" + std::to_string(my_j) + "-" +
+              EncodeOffsets(combined.offsets);
+        if (key.size() > env.services().s3->config().max_key_bytes) {
+          co_return Status::Invalid(
+              "write-combined file name exceeds the 1 KiB key limit; use "
+              "the offsets-file variant for groups this large");
+        }
+      } else {
+        key = prefix + "s" + std::to_string(my_j) + "-data";
+      }
+      Status put = co_await client.Put(
+          bucket, key, Buffer::FromVector(std::move(combined.bytes)));
+      if (!put.ok()) co_return put;
+      ++m.put_requests;
+      if (!spec.offsets_in_name) {
+        BinaryWriter w;
+        for (uint64_t off : combined.offsets) w.PutU64(off);
+        Status idx = co_await client.Put(
+            bucket, prefix + "s" + std::to_string(my_j) + "-idx",
+            Buffer::FromVector(w.Take()));
+        if (!idx.ok()) co_return idx;
+        ++m.put_requests;
+      }
+    } else {
+      for (int j = 0; j < side; ++j) {
+        auto blob = engine::SerializeChunk(parts[static_cast<size_t>(j)]);
+        co_await env.Compute(static_cast<double>(blob.size()) *
+                             kSerializeCpuPerByte * scale);
+        Status put = co_await client.Put(
+            bucket,
+            prefix + "s" + std::to_string(my_j) + "r" + std::to_string(j),
+            Buffer::FromVector(std::move(blob)));
+        if (!put.ok()) co_return put;
+        ++m.put_requests;
+      }
+    }
+    parts.clear();
+    round.write_s = sim->Now() - t0;
+
+    // ---- Wait + read ----
+    t0 = sim->Now();
+    std::vector<TableChunk> received;
+    if (spec.write_combining && spec.offsets_in_name) {
+      // Discover sender files via LIST until all group members appear
+      // ("they may need to repeat a few times until they see the files
+      // produced by all senders").
+      std::vector<std::pair<int, std::vector<uint64_t>>> senders;
+      std::vector<std::string> keys_found;
+      double deadline = sim->Now() + spec.timeout_s;
+      while (true) {
+        auto listing = co_await client.List(bucket, prefix);
+        ++m.list_requests;
+        if (!listing.ok()) co_return listing.status();
+        senders.clear();
+        keys_found.clear();
+        bool parse_ok = true;
+        for (const auto& obj : *listing) {
+          auto parsed = ParseCombinedName(obj.key, prefix,
+                                          static_cast<size_t>(side));
+          if (!parsed.ok()) {
+            parse_ok = false;
+            break;
+          }
+          senders.push_back(*parsed);
+          keys_found.push_back(obj.key);
+        }
+        if (parse_ok && senders.size() == static_cast<size_t>(side)) break;
+        if (sim->Now() >= deadline) {
+          co_return Status::Timeout("exchange: senders missing in phase " +
+                                    std::to_string(phase));
+        }
+        co_await sim::Sleep(sim, spec.poll_interval_s);
+      }
+      round.wait_s = sim->Now() - t0;
+      t0 = sim->Now();
+      for (size_t i = 0; i < senders.size(); ++i) {
+        const auto& [sender_j, offsets] = senders[i];
+        uint64_t begin = offsets[static_cast<size_t>(my_j)];
+        uint64_t end = offsets[static_cast<size_t>(my_j) + 1];
+        if (end <= begin) continue;
+        auto part = co_await client.Get(bucket, keys_found[i],
+                                        static_cast<int64_t>(begin),
+                                        static_cast<int64_t>(end - begin));
+        if (!part.ok()) co_return part.status();
+        ++m.get_requests;
+        auto chunk = engine::DeserializeChunk((*part)->data(),
+                                              (*part)->size());
+        if (!chunk.ok()) co_return chunk.status();
+        co_await env.Compute(static_cast<double>((*part)->size()) *
+                             kDeserializeCpuPerByte * scale);
+        received.push_back(*std::move(chunk));
+      }
+    } else if (spec.write_combining) {
+      // Offsets in a separate file: doubles the read requests.
+      for (int j = 0; j < side; ++j) {
+        auto idx = co_await client.GetWhenAvailable(
+            bucket, prefix + "s" + std::to_string(j) + "-idx",
+            spec.poll_interval_s, spec.timeout_s);
+        if (!idx.ok()) co_return idx.status();
+        ++m.get_requests;
+        BinaryReader r((*idx)->data(), (*idx)->size());
+        std::vector<uint64_t> offsets;
+        for (int k = 0; k <= side; ++k) {
+          auto off = r.GetU64();
+          if (!off.ok()) co_return off.status();
+          offsets.push_back(*off);
+        }
+        uint64_t begin = offsets[static_cast<size_t>(my_j)];
+        uint64_t end = offsets[static_cast<size_t>(my_j) + 1];
+        if (end <= begin) continue;
+        auto part = co_await client.Get(
+            bucket, prefix + "s" + std::to_string(j) + "-data",
+            static_cast<int64_t>(begin), static_cast<int64_t>(end - begin));
+        if (!part.ok()) co_return part.status();
+        ++m.get_requests;
+        auto chunk = engine::DeserializeChunk((*part)->data(),
+                                              (*part)->size());
+        if (!chunk.ok()) co_return chunk.status();
+        co_await env.Compute(static_cast<double>((*part)->size()) *
+                             kDeserializeCpuPerByte * scale);
+        received.push_back(*std::move(chunk));
+      }
+    } else {
+      // BasicExchange: one file per (sender, receiver) pair.
+      for (int j = 0; j < side; ++j) {
+        auto part = co_await client.GetWhenAvailable(
+            bucket,
+            prefix + "s" + std::to_string(j) + "r" + std::to_string(my_j),
+            spec.poll_interval_s, spec.timeout_s);
+        if (!part.ok()) co_return part.status();
+        ++m.get_requests;
+        auto chunk = engine::DeserializeChunk((*part)->data(),
+                                              (*part)->size());
+        if (!chunk.ok()) co_return chunk.status();
+        co_await env.Compute(static_cast<double>((*part)->size()) *
+                             kDeserializeCpuPerByte * scale);
+        received.push_back(*std::move(chunk));
+      }
+    }
+    auto merged = engine::ConcatChunks(received);
+    if (!merged.ok()) co_return merged.status();
+    current = *std::move(merged);
+    if (current.num_columns() == 0) {
+      // Every slice was empty: keep the schema for the next phase.
+      current = TableChunk::Empty(schema);
+    }
+    round.read_s = sim->Now() - t0;
+    m.rounds.push_back(round);
+    env.RecordPhase("exchange-round" + std::to_string(phase),
+                    sim->Now() - round.partition_s - round.write_s -
+                        round.wait_s - round.read_s);
+  }
+  co_return current;
+}
+
+}  // namespace lambada::core

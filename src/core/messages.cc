@@ -1,0 +1,119 @@
+#include "core/messages.h"
+
+namespace lambada::core {
+
+void WorkerInput::Serialize(BinaryWriter* w) const {
+  w->PutU32(worker_id);
+  w->PutVarint(files.size());
+  for (const auto& f : files) {
+    w->PutString(f.bucket);
+    w->PutString(f.key);
+  }
+}
+
+Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
+  WorkerInput in;
+  ASSIGN_OR_RETURN(in.worker_id, r->GetU32());
+  ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 1000000) return Status::IOError("implausible file count");
+  in.files.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    engine::FileRef f;
+    ASSIGN_OR_RETURN(f.bucket, r->GetString());
+    ASSIGN_OR_RETURN(f.key, r->GetString());
+    in.files.push_back(std::move(f));
+  }
+  return in;
+}
+
+std::string InvocationPayload::Serialize() const {
+  BinaryWriter w;
+  w.PutString(query_id);
+  w.PutU32(total_workers);
+  w.PutString(plan_bucket);
+  w.PutString(plan_key);
+  w.PutString(result_queue);
+  self.Serialize(&w);
+  w.PutVarint(to_invoke.size());
+  for (const auto& t : to_invoke) t.Serialize(&w);
+  w.PutF64(data_scale);
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Result<InvocationPayload> InvocationPayload::Parse(const std::string& bytes) {
+  BinaryReader r(reinterpret_cast<const uint8_t*>(bytes.data()),
+                 bytes.size());
+  InvocationPayload p;
+  ASSIGN_OR_RETURN(p.query_id, r.GetString());
+  ASSIGN_OR_RETURN(p.total_workers, r.GetU32());
+  ASSIGN_OR_RETURN(p.plan_bucket, r.GetString());
+  ASSIGN_OR_RETURN(p.plan_key, r.GetString());
+  ASSIGN_OR_RETURN(p.result_queue, r.GetString());
+  ASSIGN_OR_RETURN(p.self, WorkerInput::Deserialize(&r));
+  ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n > 100000) return Status::IOError("implausible invoke list");
+  p.to_invoke.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(WorkerInput in, WorkerInput::Deserialize(&r));
+    p.to_invoke.push_back(std::move(in));
+  }
+  ASSIGN_OR_RETURN(p.data_scale, r.GetF64());
+  if (r.remaining() != 0) return Status::IOError("payload trailing bytes");
+  return p;
+}
+
+void WorkerResultMetrics::Serialize(BinaryWriter* w) const {
+  w->PutF64(processing_time_s);
+  w->PutI64(rows_scanned);
+  w->PutI64(rows_emitted);
+  w->PutI64(row_groups_total);
+  w->PutI64(row_groups_pruned);
+}
+
+Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
+    BinaryReader* r) {
+  WorkerResultMetrics m;
+  ASSIGN_OR_RETURN(m.processing_time_s, r->GetF64());
+  ASSIGN_OR_RETURN(m.rows_scanned, r->GetI64());
+  ASSIGN_OR_RETURN(m.rows_emitted, r->GetI64());
+  ASSIGN_OR_RETURN(m.row_groups_total, r->GetI64());
+  ASSIGN_OR_RETURN(m.row_groups_pruned, r->GetI64());
+  return m;
+}
+
+std::string ResultMessage::Serialize() const {
+  BinaryWriter w;
+  w.PutString(query_id);
+  w.PutU32(worker_id);
+  w.PutU8(static_cast<uint8_t>(status_code));
+  w.PutString(status_message);
+  metrics.Serialize(&w);
+  w.PutBytes(inline_result);
+  w.PutString(spill_bucket);
+  w.PutString(spill_key);
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Result<ResultMessage> ResultMessage::Parse(const std::string& bytes) {
+  BinaryReader r(reinterpret_cast<const uint8_t*>(bytes.data()),
+                 bytes.size());
+  ResultMessage m;
+  ASSIGN_OR_RETURN(m.query_id, r.GetString());
+  ASSIGN_OR_RETURN(m.worker_id, r.GetU32());
+  ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  if (code > static_cast<uint8_t>(StatusCode::kOutOfMemory)) {
+    return Status::IOError("bad status code in result");
+  }
+  m.status_code = static_cast<StatusCode>(code);
+  ASSIGN_OR_RETURN(m.status_message, r.GetString());
+  ASSIGN_OR_RETURN(m.metrics, WorkerResultMetrics::Deserialize(&r));
+  ASSIGN_OR_RETURN(m.inline_result, r.GetBytes());
+  ASSIGN_OR_RETURN(m.spill_bucket, r.GetString());
+  ASSIGN_OR_RETURN(m.spill_key, r.GetString());
+  if (r.remaining() != 0) return Status::IOError("result trailing bytes");
+  return m;
+}
+
+}  // namespace lambada::core

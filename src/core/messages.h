@@ -1,0 +1,78 @@
+#ifndef LAMBADA_CORE_MESSAGES_H_
+#define LAMBADA_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "engine/scan.h"
+
+namespace lambada::core {
+
+/// The work assignment of one worker: its id and input files.
+struct WorkerInput {
+  uint32_t worker_id = 0;
+  std::vector<engine::FileRef> files;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<WorkerInput> Deserialize(BinaryReader* r);
+};
+
+/// The invocation payload of a serverless worker (Section 3.3). The plan
+/// fragment itself lives in S3 (payloads are limited to 256 KB); the
+/// payload carries the pointer, this worker's inputs, and — for
+/// first-generation workers of the invocation tree (Section 4.2) — the
+/// list of second-generation workers to invoke before starting.
+struct InvocationPayload {
+  std::string query_id;
+  uint32_t total_workers = 1;
+  std::string plan_bucket;
+  std::string plan_key;
+  std::string result_queue;
+  WorkerInput self;
+  std::vector<WorkerInput> to_invoke;
+  /// Virtual-scaling factor applied to modeled data sizes and CPU work
+  /// (see DESIGN.md); 1.0 outside scaled experiments.
+  double data_scale = 1.0;
+
+  std::string Serialize() const;
+  static Result<InvocationPayload> Parse(const std::string& bytes);
+};
+
+/// Per-worker execution metrics shipped back in the result message.
+struct WorkerResultMetrics {
+  double processing_time_s = 0;  ///< Executing the plan fragment.
+  int64_t rows_scanned = 0;
+  int64_t rows_emitted = 0;
+  int64_t row_groups_total = 0;
+  int64_t row_groups_pruned = 0;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<WorkerResultMetrics> Deserialize(BinaryReader* r);
+};
+
+/// The message a worker posts to the result queue when it finishes or
+/// fails (Section 3.3). Large results spill to S3 and are referenced by
+/// pointer (SQS messages are limited to 256 KiB).
+struct ResultMessage {
+  std::string query_id;
+  uint32_t worker_id = 0;
+  /// Status of the worker's execution engine.
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  WorkerResultMetrics metrics;
+  /// Inline partial result (serialized chunk), or empty if spilled.
+  std::vector<uint8_t> inline_result;
+  /// Set if the result was spilled to S3.
+  std::string spill_bucket;
+  std::string spill_key;
+
+  std::string Serialize() const;
+  static Result<ResultMessage> Parse(const std::string& bytes);
+};
+
+}  // namespace lambada::core
+
+#endif  // LAMBADA_CORE_MESSAGES_H_

@@ -1,0 +1,194 @@
+#include "core/plan.h"
+
+namespace lambada::core {
+
+namespace {
+
+void PutStringVec(BinaryWriter* w, const std::vector<std::string>& v) {
+  w->PutVarint(v.size());
+  for (const auto& s : v) w->PutString(s);
+}
+
+Result<std::vector<std::string>> GetStringVec(BinaryReader* r) {
+  ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 1000000) return Status::IOError("implausible string count");
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string s, r->GetString());
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+void PutOptionalExpr(BinaryWriter* w, const engine::ExprPtr& e) {
+  w->PutU8(e != nullptr ? 1 : 0);
+  if (e != nullptr) e->Serialize(w);
+}
+
+Result<engine::ExprPtr> GetOptionalExpr(BinaryReader* r) {
+  ASSIGN_OR_RETURN(uint8_t has, r->GetU8());
+  if (has == 0) return engine::ExprPtr(nullptr);
+  return engine::Expr::Deserialize(r);
+}
+
+}  // namespace
+
+void ExchangeSpec::Serialize(BinaryWriter* w) const {
+  PutStringVec(w, keys);
+  w->PutU8(static_cast<uint8_t>(levels));
+  w->PutU8(write_combining ? 1 : 0);
+  w->PutU8(offsets_in_name ? 1 : 0);
+  w->PutU32(static_cast<uint32_t>(num_buckets));
+  w->PutString(bucket_prefix);
+  w->PutString(exchange_id);
+  w->PutF64(poll_interval_s);
+  w->PutF64(timeout_s);
+}
+
+Result<ExchangeSpec> ExchangeSpec::Deserialize(BinaryReader* r) {
+  ExchangeSpec s;
+  ASSIGN_OR_RETURN(s.keys, GetStringVec(r));
+  ASSIGN_OR_RETURN(uint8_t levels, r->GetU8());
+  if (levels < 1 || levels > 3) return Status::IOError("bad exchange levels");
+  s.levels = levels;
+  ASSIGN_OR_RETURN(uint8_t wc, r->GetU8());
+  s.write_combining = wc != 0;
+  ASSIGN_OR_RETURN(uint8_t oin, r->GetU8());
+  s.offsets_in_name = oin != 0;
+  ASSIGN_OR_RETURN(uint32_t buckets, r->GetU32());
+  s.num_buckets = static_cast<int>(buckets);
+  ASSIGN_OR_RETURN(s.bucket_prefix, r->GetString());
+  ASSIGN_OR_RETURN(s.exchange_id, r->GetString());
+  ASSIGN_OR_RETURN(s.poll_interval_s, r->GetF64());
+  ASSIGN_OR_RETURN(s.timeout_s, r->GetF64());
+  return s;
+}
+
+void PlanOp::Serialize(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  switch (kind) {
+    case Kind::kFilter:
+      expr->Serialize(w);
+      break;
+    case Kind::kMap:
+      expr->Serialize(w);
+      w->PutString(name);
+      break;
+    case Kind::kSelect:
+      w->PutVarint(exprs.size());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        exprs[i]->Serialize(w);
+        w->PutString(names[i]);
+      }
+      break;
+    case Kind::kExchange:
+      exchange->Serialize(w);
+      break;
+    case Kind::kAggregate:
+      PutStringVec(w, group_by);
+      w->PutVarint(aggs.size());
+      for (const auto& a : aggs) a.Serialize(w);
+      break;
+  }
+}
+
+Result<PlanOp> PlanOp::Deserialize(BinaryReader* r) {
+  PlanOp op;
+  ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(Kind::kAggregate)) {
+    return Status::IOError("bad plan op kind");
+  }
+  op.kind = static_cast<Kind>(kind);
+  switch (op.kind) {
+    case Kind::kFilter: {
+      ASSIGN_OR_RETURN(op.expr, engine::Expr::Deserialize(r));
+      break;
+    }
+    case Kind::kMap: {
+      ASSIGN_OR_RETURN(op.expr, engine::Expr::Deserialize(r));
+      ASSIGN_OR_RETURN(op.name, r->GetString());
+      break;
+    }
+    case Kind::kSelect: {
+      ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+      if (n > 100000) return Status::IOError("implausible select width");
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(engine::ExprPtr e, engine::Expr::Deserialize(r));
+        ASSIGN_OR_RETURN(std::string name, r->GetString());
+        op.exprs.push_back(std::move(e));
+        op.names.push_back(std::move(name));
+      }
+      break;
+    }
+    case Kind::kExchange: {
+      ASSIGN_OR_RETURN(ExchangeSpec spec, ExchangeSpec::Deserialize(r));
+      op.exchange = std::move(spec);
+      break;
+    }
+    case Kind::kAggregate: {
+      ASSIGN_OR_RETURN(op.group_by, GetStringVec(r));
+      ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+      if (n > 100000) return Status::IOError("implausible agg count");
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(engine::AggSpec a,
+                         engine::AggSpec::Deserialize(r));
+        op.aggs.push_back(std::move(a));
+      }
+      break;
+    }
+  }
+  return op;
+}
+
+void ScanTuning::Serialize(BinaryWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(row_group_parallelism));
+  w->PutU32(static_cast<uint32_t>(column_fetch_parallelism));
+  w->PutU64(static_cast<uint64_t>(chunk_bytes));
+  w->PutU32(static_cast<uint32_t>(connections_per_read));
+  w->PutU8(prefetch_metadata ? 1 : 0);
+}
+
+Result<ScanTuning> ScanTuning::Deserialize(BinaryReader* r) {
+  ScanTuning t;
+  ASSIGN_OR_RETURN(uint32_t rgp, r->GetU32());
+  t.row_group_parallelism = static_cast<int>(rgp);
+  ASSIGN_OR_RETURN(uint32_t cfp, r->GetU32());
+  t.column_fetch_parallelism = static_cast<int>(cfp);
+  ASSIGN_OR_RETURN(uint64_t cb, r->GetU64());
+  t.chunk_bytes = static_cast<int64_t>(cb);
+  ASSIGN_OR_RETURN(uint32_t conns, r->GetU32());
+  t.connections_per_read = static_cast<int>(conns);
+  ASSIGN_OR_RETURN(uint8_t pf, r->GetU8());
+  t.prefetch_metadata = pf != 0;
+  return t;
+}
+
+std::vector<uint8_t> PlanFragment::Serialize() const {
+  BinaryWriter w;
+  PutStringVec(&w, scan_projection);
+  PutOptionalExpr(&w, scan_filter);
+  w.PutVarint(ops.size());
+  for (const auto& op : ops) op.Serialize(&w);
+  tuning.Serialize(&w);
+  return w.Take();
+}
+
+Result<PlanFragment> PlanFragment::Deserialize(const uint8_t* data,
+                                               size_t size) {
+  BinaryReader r(data, size);
+  PlanFragment f;
+  ASSIGN_OR_RETURN(f.scan_projection, GetStringVec(&r));
+  ASSIGN_OR_RETURN(f.scan_filter, GetOptionalExpr(&r));
+  ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n > 10000) return Status::IOError("implausible op count");
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(PlanOp op, PlanOp::Deserialize(&r));
+    f.ops.push_back(std::move(op));
+  }
+  ASSIGN_OR_RETURN(f.tuning, ScanTuning::Deserialize(&r));
+  if (r.remaining() != 0) return Status::IOError("plan trailing bytes");
+  return f;
+}
+
+}  // namespace lambada::core

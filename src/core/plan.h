@@ -1,0 +1,104 @@
+#ifndef LAMBADA_CORE_PLAN_H_
+#define LAMBADA_CORE_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "engine/aggregate.h"
+#include "engine/expr.h"
+
+namespace lambada::core {
+
+/// Configuration of a serverless exchange (Section 4.4), carried inside a
+/// plan fragment.
+struct ExchangeSpec {
+  /// Partition key column names (hash partitioning).
+  std::vector<std::string> keys;
+  /// 1 = BasicExchange, 2 = TwoLevelExchange, 3 = three-level.
+  int levels = 2;
+  /// Write all partitions of one sender into a single file (Section 4.4.3).
+  bool write_combining = true;
+  /// With write combining: encode part offsets in the file name and
+  /// discover files via LIST (true), or write a separate offsets file and
+  /// read it per sender (false).
+  bool offsets_in_name = true;
+  /// Intermediate files are spread over this many buckets
+  /// ("{bucket_prefix}-{i}"), multiplying the S3 rate limit (Section 4.4.1).
+  int num_buckets = 10;
+  std::string bucket_prefix = "lambada-x";
+  /// Unique id of this exchange instance (query id + operator id).
+  std::string exchange_id;
+  /// Receiver polling cadence and give-up horizon.
+  double poll_interval_s = 0.05;
+  double timeout_s = 600.0;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ExchangeSpec> Deserialize(BinaryReader* r);
+};
+
+/// One operator applied to chunks after the scan, in order.
+struct PlanOp {
+  enum class Kind : uint8_t {
+    kFilter = 0,     ///< Keep rows where `expr` is non-zero.
+    kMap = 1,        ///< Append column `name` = `expr`.
+    kSelect = 2,     ///< Narrow to `exprs` named `names`.
+    kExchange = 3,   ///< Repartition across workers (pipeline breaker).
+    kAggregate = 4,  ///< Grouped aggregation (terminal; workers emit
+                     ///< partial state).
+  };
+
+  Kind kind = Kind::kFilter;
+  // kFilter / kMap:
+  engine::ExprPtr expr;
+  std::string name;
+  // kSelect:
+  std::vector<engine::ExprPtr> exprs;
+  std::vector<std::string> names;
+  // kExchange:
+  std::optional<ExchangeSpec> exchange;
+  // kAggregate:
+  std::vector<std::string> group_by;
+  std::vector<engine::AggSpec> aggs;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<PlanOp> Deserialize(BinaryReader* r);
+};
+
+/// Tuning knobs of the scan operator carried with the plan (Section 4.3.2).
+struct ScanTuning {
+  int row_group_parallelism = 2;
+  int column_fetch_parallelism = 4;
+  int64_t chunk_bytes = 8 * 1024 * 1024;
+  int connections_per_read = 1;
+  bool prefetch_metadata = true;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ScanTuning> Deserialize(BinaryReader* r);
+};
+
+/// The executable unit shipped to serverless workers: a scan (with pushed
+/// projection/selection) followed by a linear pipeline of operators. This
+/// is the "serverless scope" of the paper's query plans (Section 3.2); the
+/// driver-side post-processing (merging partials) is the driver scope.
+struct PlanFragment {
+  std::vector<std::string> scan_projection;  ///< Empty = all columns.
+  engine::ExprPtr scan_filter;               ///< May be null.
+  std::vector<PlanOp> ops;
+  ScanTuning tuning;
+
+  /// True if the terminal operator is an aggregation (workers then emit
+  /// partial aggregate state, merged by the driver).
+  bool EndsInAggregate() const {
+    return !ops.empty() && ops.back().kind == PlanOp::Kind::kAggregate;
+  }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<PlanFragment> Deserialize(const uint8_t* data, size_t size);
+};
+
+}  // namespace lambada::core
+
+#endif  // LAMBADA_CORE_PLAN_H_

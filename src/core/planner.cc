@@ -1,0 +1,117 @@
+#include "core/planner.h"
+
+#include <set>
+
+namespace lambada::core {
+
+namespace {
+
+using engine::BinaryOp;
+using engine::Expr;
+using engine::ExprPtr;
+
+/// Columns required by one op (its own expressions + pass-through needs
+/// are handled conservatively by unioning everything referenced anywhere).
+void CollectOpColumns(const PlanOp& op, std::set<std::string>* cols) {
+  switch (op.kind) {
+    case PlanOp::Kind::kFilter:
+    case PlanOp::Kind::kMap:
+      op.expr->CollectColumns(cols);
+      break;
+    case PlanOp::Kind::kSelect:
+      for (const auto& e : op.exprs) e->CollectColumns(cols);
+      break;
+    case PlanOp::Kind::kExchange:
+      for (const auto& k : op.exchange->keys) cols->insert(k);
+      break;
+    case PlanOp::Kind::kAggregate:
+      for (const auto& g : op.group_by) cols->insert(g);
+      for (const auto& a : op.aggs) {
+        if (a.input != nullptr) a.input->CollectColumns(cols);
+      }
+      break;
+  }
+}
+
+/// Names of columns *introduced* by an op (Map/Select outputs): these must
+/// not be pushed into the scan projection.
+void CollectOpOutputs(const PlanOp& op, std::set<std::string>* produced) {
+  switch (op.kind) {
+    case PlanOp::Kind::kMap:
+      produced->insert(op.name);
+      break;
+    case PlanOp::Kind::kSelect:
+      for (const auto& n : op.names) produced->insert(n);
+      break;
+    case PlanOp::Kind::kAggregate:
+      for (const auto& a : op.aggs) produced->insert(a.output_name);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<PhysicalQuery> PlanQuery(const Query& query,
+                                const ScanTuning& tuning) {
+  PhysicalQuery out;
+  out.pattern = query.pattern();
+  out.fragment.tuning = tuning;
+
+  const auto& ops = query.ops();
+  // An aggregate, if present, must be terminal.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == PlanOp::Kind::kAggregate && i + 1 != ops.size()) {
+      return Status::Invalid("Aggregate must be the final operator");
+    }
+  }
+
+  // Selection push-down: fold leading filters (before any op that changes
+  // the row set semantics) into the scan predicate.
+  size_t first_kept = 0;
+  ExprPtr scan_filter;
+  while (first_kept < ops.size() &&
+         ops[first_kept].kind == PlanOp::Kind::kFilter) {
+    scan_filter = scan_filter == nullptr
+                      ? ops[first_kept].expr
+                      : Expr::Binary(BinaryOp::kAnd, scan_filter,
+                                     ops[first_kept].expr);
+    ++first_kept;
+  }
+  out.fragment.scan_filter = scan_filter;
+
+  // Remaining ops execute in the workers.
+  std::vector<PlanOp> kept(ops.begin() + first_kept, ops.end());
+
+  // Projection push-down: read only base columns referenced anywhere
+  // (in the pushed filter or any kept op), excluding derived columns.
+  std::set<std::string> referenced;
+  if (scan_filter != nullptr) scan_filter->CollectColumns(&referenced);
+  std::set<std::string> produced;
+  for (const auto& op : kept) {
+    std::set<std::string> cols;
+    CollectOpColumns(op, &cols);
+    for (const auto& c : cols) {
+      if (produced.find(c) == produced.end()) referenced.insert(c);
+    }
+    CollectOpOutputs(op, &produced);
+  }
+  out.fragment.scan_projection.assign(referenced.begin(), referenced.end());
+  // An empty projection with no ops means "select *": leave empty so the
+  // scan reads everything.
+  if (out.fragment.scan_projection.empty() && !kept.empty()) {
+    // All kept ops are column-free (e.g., COUNT(*)): still need at least
+    // one column to know row counts; pick none and let the scan read all.
+  }
+
+  out.fragment.ops = std::move(kept);
+  if (out.fragment.EndsInAggregate()) {
+    out.has_final_aggregate = true;
+    out.final_group_by = out.fragment.ops.back().group_by;
+    out.final_aggs = out.fragment.ops.back().aggs;
+  }
+  return out;
+}
+
+}  // namespace lambada::core

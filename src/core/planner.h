@@ -1,0 +1,42 @@
+#ifndef LAMBADA_CORE_PLANNER_H_
+#define LAMBADA_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataflow.h"
+#include "core/plan.h"
+
+namespace lambada::core {
+
+/// The physical query produced by the planner: a serverless-scope fragment
+/// (executed by every worker over its file subset) plus the driver-scope
+/// finalization (Section 3.2).
+struct PhysicalQuery {
+  std::string pattern;          ///< Input file glob.
+  PlanFragment fragment;        ///< Worker-side plan.
+  /// If the fragment ends in an aggregate, the driver merges partial
+  /// states with these specs and finalizes; otherwise it concatenates the
+  /// workers' row chunks.
+  bool has_final_aggregate = false;
+  std::vector<std::string> final_group_by;
+  std::vector<engine::AggSpec> final_aggs;
+};
+
+/// Compiles a logical query into a physical one, applying the classic
+/// rewrites the paper's framework performs on its intermediate
+/// representation (Section 3.2):
+///  * selection push-down: leading filters move into the scan, where they
+///    both prune row groups via min/max statistics and run as the
+///    residual predicate;
+///  * projection push-down: only columns referenced anywhere downstream
+///    are read from storage;
+///  * data-parallel transformation: a terminal aggregate becomes
+///    worker-side partial aggregation plus driver-side merge.
+Result<PhysicalQuery> PlanQuery(const Query& query,
+                                const ScanTuning& tuning = ScanTuning());
+
+}  // namespace lambada::core
+
+#endif  // LAMBADA_CORE_PLANNER_H_

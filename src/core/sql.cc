@@ -1,0 +1,466 @@
+#include "core/sql.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "engine/aggregate.h"
+#include "engine/expr.h"
+
+namespace lambada::core {
+
+namespace {
+
+using engine::AggKind;
+using engine::AggSpec;
+using engine::BinaryOp;
+using engine::Expr;
+using engine::ExprPtr;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,  // column names, keywords (classified by text)
+  kNumber,
+  kString,  // '...'
+  kSymbol,  // one of ( ) , * + - / = < > <= >= != <>
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0;
+  bool is_integer = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = input_.size();
+    while (i < n) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(
+                             input_[i])) ||
+                         input_[i] == '_')) {
+          ++i;
+        }
+        Token t;
+        t.kind = TokenKind::kIdentifier;
+        t.text = input_.substr(start, i - start);
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+        size_t start = i;
+        bool has_dot = false;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(
+                             input_[i])) ||
+                         input_[i] == '.')) {
+          has_dot |= input_[i] == '.';
+          ++i;
+        }
+        Token t;
+        t.kind = TokenKind::kNumber;
+        t.text = input_.substr(start, i - start);
+        t.number = std::strtod(t.text.c_str(), nullptr);
+        t.is_integer = !has_dot;
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (c == '\'') {
+        size_t start = ++i;
+        while (i < n && input_[i] != '\'') ++i;
+        if (i >= n) return Status::Invalid("unterminated string literal");
+        Token t;
+        t.kind = TokenKind::kString;
+        t.text = input_.substr(start, i - start);
+        ++i;
+        out.push_back(std::move(t));
+        continue;
+      }
+      // Symbols, including two-character comparators.
+      std::string sym(1, c);
+      if ((c == '<' || c == '>' || c == '!') && i + 1 < n) {
+        char d = input_[i + 1];
+        if (d == '=' || (c == '<' && d == '>')) {
+          sym += d;
+          ++i;
+        }
+      }
+      static const std::string kSymbols = "(),*+-/=<>";
+      if (kSymbols.find(c) == std::string::npos && sym.size() == 1) {
+        return Status::Invalid(std::string("unexpected character: ") + c);
+      }
+      Token t;
+      t.kind = TokenKind::kSymbol;
+      t.text = sym;
+      out.push_back(std::move(t));
+      ++i;
+    }
+    out.push_back(Token{});  // kEnd.
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+std::string Upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  bool is_aggregate = false;
+  AggKind agg_kind = AggKind::kSum;
+  ExprPtr expr;  // Null for COUNT(*).
+  std::string name;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    std::vector<SelectItem> items;
+    while (true) {
+      ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().kind != TokenKind::kString) {
+      return Status::Invalid("FROM expects a quoted s3:// pattern");
+    }
+    std::string pattern = Next().text;
+
+    ExprPtr where;
+    if (AcceptKeyword("WHERE")) {
+      ASSIGN_OR_RETURN(where, ParseExpr());
+    }
+    std::vector<std::string> group_by;
+    if (AcceptKeyword("GROUP")) {
+      RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Status::Invalid("GROUP BY expects column names");
+        }
+        group_by.push_back(Next().text);
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::Invalid("unexpected trailing tokens after query");
+    }
+    return Assemble(std::move(pattern), std::move(items), where,
+                    std::move(group_by));
+  }
+
+ private:
+  // -- Token helpers --------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kIdentifier && Upper(Peek().text) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::Invalid("expected keyword " + kw + " near '" +
+                             Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::Invalid("expected '" + sym + "' near '" + Peek().text +
+                             "'");
+    }
+    return Status::OK();
+  }
+
+  // -- Select list ----------------------------------------------------------
+
+  static std::optional<AggKind> AggFromName(const std::string& upper) {
+    if (upper == "SUM") return AggKind::kSum;
+    if (upper == "MIN") return AggKind::kMin;
+    if (upper == "MAX") return AggKind::kMax;
+    if (upper == "AVG") return AggKind::kAvg;
+    if (upper == "COUNT") return AggKind::kCount;
+    return std::nullopt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Peek().kind == TokenKind::kIdentifier) {
+      auto agg = AggFromName(Upper(Peek().text));
+      if (agg.has_value() && Peek(1).kind == TokenKind::kSymbol &&
+          Peek(1).text == "(") {
+        std::string fn = Upper(Next().text);
+        Next();  // (
+        item.is_aggregate = true;
+        item.agg_kind = *agg;
+        if (*agg == AggKind::kCount && AcceptSymbol("*")) {
+          item.expr = nullptr;
+        } else {
+          ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        item.name = LowerDefaultName(fn);
+        if (AcceptKeyword("AS")) {
+          ASSIGN_OR_RETURN(item.name, ParseIdentifier());
+        }
+        return item;
+      }
+    }
+    ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    item.name = item.expr->kind() == Expr::Kind::kColumn
+                    ? item.expr->column_name()
+                    : "expr" + std::to_string(anon_counter_++);
+    if (AcceptKeyword("AS")) {
+      ASSIGN_OR_RETURN(item.name, ParseIdentifier());
+    }
+    return item;
+  }
+
+  std::string LowerDefaultName(const std::string& fn) {
+    std::string base = fn;
+    for (auto& c : base) c = static_cast<char>(std::tolower(c));
+    return base + std::to_string(anon_counter_++);
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::Invalid("expected identifier near '" + Peek().text +
+                             "'");
+    }
+    return Next().text;
+  }
+
+  // -- Expressions (precedence climbing) -------------------------------------
+  // or < and < comparison/BETWEEN < additive < multiplicative < primary.
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinaryOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseComparison());
+    while (AcceptKeyword("AND")) {
+      ASSIGN_OR_RETURN(ExprPtr right, ParseComparison());
+      left = Expr::Binary(BinaryOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (AcceptKeyword("BETWEEN")) {
+      ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      RETURN_NOT_OK(ExpectKeyword("AND"));
+      ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return Expr::Binary(BinaryOp::kAnd,
+                          Expr::Binary(BinaryOp::kGe, left, lo),
+                          Expr::Binary(BinaryOp::kLe, left, hi));
+    }
+    if (Peek().kind == TokenKind::kSymbol) {
+      const std::string& sym = Peek().text;
+      BinaryOp op;
+      if (sym == "=") {
+        op = BinaryOp::kEq;
+      } else if (sym == "!=" || sym == "<>") {
+        op = BinaryOp::kNe;
+      } else if (sym == "<") {
+        op = BinaryOp::kLt;
+      } else if (sym == "<=") {
+        op = BinaryOp::kLe;
+      } else if (sym == ">") {
+        op = BinaryOp::kGt;
+      } else if (sym == ">=") {
+        op = BinaryOp::kGe;
+      } else {
+        return left;
+      }
+      ++pos_;
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::Binary(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      BinaryOp op = Next().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/")) {
+      BinaryOp op = Next().text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+      ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = Expr::Binary(op, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kSymbol && t.text == "(") {
+      ++pos_;
+      ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kSymbol && t.text == "-") {
+      ++pos_;
+      ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+      return Expr::Binary(BinaryOp::kSub, Expr::LiteralInt(0), inner);
+    }
+    if (t.kind == TokenKind::kNumber) {
+      ++pos_;
+      if (t.is_integer) {
+        return Expr::LiteralInt(static_cast<int64_t>(t.number));
+      }
+      return Expr::LiteralFloat(t.number);
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      // DATE 'YYYY-MM-DD' literal (day number since 1992-01-01, matching
+      // the numeric TPC-H dbgen).
+      if (Upper(t.text) == "DATE" && Peek(1).kind == TokenKind::kString) {
+        ++pos_;
+        std::string d = Next().text;
+        int y, m, day;
+        if (std::sscanf(d.c_str(), "%d-%d-%d", &y, &m, &day) != 3) {
+          return Status::Invalid("bad DATE literal: " + d);
+        }
+        return Expr::LiteralInt(DateToDays(y, m, day));
+      }
+      ++pos_;
+      return Expr::Column(t.text);
+    }
+    return Status::Invalid("unexpected token in expression: '" + t.text +
+                           "'");
+  }
+
+  /// Days since 1992-01-01 (duplicated from workload to avoid a layering
+  /// inversion; covered by tests against workload::TpchDate).
+  static int64_t DateToDays(int year, int month, int day) {
+    auto civil = [](int y, int m, int d) -> int64_t {
+      y -= m <= 2;
+      int era = (y >= 0 ? y : y - 399) / 400;
+      unsigned yoe = static_cast<unsigned>(y - era * 400);
+      unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+      unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+      return era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+    };
+    return civil(year, month, day) - civil(1992, 1, 1);
+  }
+
+  // -- Assembly ---------------------------------------------------------------
+
+  Result<Query> Assemble(std::string pattern, std::vector<SelectItem> items,
+                         ExprPtr where, std::vector<std::string> group_by) {
+    Query q = Query::FromParquet(std::move(pattern));
+    if (where != nullptr) q = q.Filter(where);
+
+    bool any_agg = false;
+    for (const auto& item : items) any_agg |= item.is_aggregate;
+
+    if (!any_agg && group_by.empty()) {
+      // Pure projection.
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (auto& item : items) {
+        exprs.push_back(item.expr);
+        names.push_back(item.name);
+      }
+      return q.Select(std::move(exprs), std::move(names));
+    }
+
+    // Aggregation query: non-aggregate items must be group-by keys.
+    std::vector<AggSpec> aggs;
+    for (auto& item : items) {
+      if (item.is_aggregate) {
+        aggs.push_back(AggSpec{item.agg_kind, item.expr, item.name});
+        continue;
+      }
+      if (item.expr->kind() != Expr::Kind::kColumn) {
+        return Status::Invalid(
+            "non-aggregate select items must be plain GROUP BY columns");
+      }
+      bool is_key = false;
+      for (const auto& g : group_by) is_key |= (g == item.expr->column_name());
+      if (!is_key) {
+        return Status::Invalid("column " + item.expr->column_name() +
+                               " is neither aggregated nor in GROUP BY");
+      }
+    }
+    return q.Aggregate(std::move(group_by), std::move(aggs));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace lambada::core

@@ -1,0 +1,36 @@
+#ifndef LAMBADA_CORE_SQL_H_
+#define LAMBADA_CORE_SQL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/dataflow.h"
+
+namespace lambada::core {
+
+/// Compiles a subset of SQL into a dataflow Query. The paper's framework
+/// "supports a number of frontend languages, such as (a subset of) SQL
+/// and a UDF-based library interface" (Section 3.2); this is the SQL one.
+///
+/// Supported grammar (case-insensitive keywords):
+///
+///   SELECT select_item [, select_item]*
+///   FROM 's3://bucket/pattern'
+///   [WHERE predicate]
+///   [GROUP BY column [, column]*]
+///
+///   select_item := expr [AS name]
+///                | SUM(expr) | MIN(expr) | MAX(expr) | AVG(expr)
+///                | COUNT(*)            each with optional [AS name]
+///   expr        := arithmetic over columns and numeric literals with
+///                  + - * /, comparisons = != <> < <= > >=, AND, OR,
+///                  BETWEEN a AND b, and parentheses
+///
+/// Aggregates and plain expressions cannot be mixed unless the plain
+/// expressions are GROUP BY keys. DATE 'YYYY-MM-DD' literals are turned
+/// into day numbers compatible with the TPC-H date columns.
+Result<Query> ParseSql(const std::string& sql);
+
+}  // namespace lambada::core
+
+#endif  // LAMBADA_CORE_SQL_H_

@@ -1,0 +1,113 @@
+#include "core/stats_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/binio.h"
+
+namespace lambada::core {
+
+namespace {
+
+std::string ItemKey(const std::string& dataset, const std::string& column) {
+  return dataset + "#" + column;
+}
+
+}  // namespace
+
+Status StatsIndex::RegisterFileDirect(const std::string& dataset,
+                                      const std::string& file_key,
+                                      const format::FileMetadata& metadata) {
+  // Fold all row groups of the file into one [min, max] per column.
+  for (size_t c = 0; c < metadata.schema.num_fields(); ++c) {
+    const auto& field = metadata.schema.field(c);
+    bool valid = false;
+    double mn = 0, mx = 0;
+    for (const auto& rg : metadata.row_groups) {
+      const auto& stats = rg.columns[c].stats;
+      if (!stats.valid) continue;
+      double lo, hi;
+      if (field.type == engine::DataType::kInt64) {
+        lo = static_cast<double>(stats.min_i64);
+        hi = static_cast<double>(stats.max_i64);
+      } else {
+        lo = stats.min_f64;
+        hi = stats.max_f64;
+      }
+      if (!valid) {
+        mn = lo;
+        mx = hi;
+        valid = true;
+      } else {
+        mn = std::min(mn, lo);
+        mx = std::max(mx, hi);
+      }
+    }
+    if (!valid) continue;
+    // Append to the (dataset, column) item.
+    std::string key = ItemKey(dataset, field.name);
+    std::string current =
+        std::move(ddb_->GetDirect(table_, key)).ValueOr("");
+    BinaryWriter w;
+    w.PutRaw(current.data(), current.size());
+    w.PutString(file_key);
+    w.PutF64(mn);
+    w.PutF64(mx);
+    auto bytes = w.Take();
+    RETURN_NOT_OK(ddb_->PutDirect(
+        table_, key, std::string(bytes.begin(), bytes.end())));
+  }
+  return Status::OK();
+}
+
+sim::Async<Result<std::vector<StatsIndex::FileBounds>>> StatsIndex::Lookup(
+    cloud::NetContext ctx, std::string dataset, std::string column) {
+  auto item = co_await ddb_->Get(ctx, table_, ItemKey(dataset, column));
+  if (!item.ok()) co_return item.status();
+  BinaryReader r(reinterpret_cast<const uint8_t*>(item->data()),
+                 item->size());
+  std::vector<FileBounds> out;
+  while (r.remaining() > 0) {
+    FileBounds fb;
+    auto key = r.GetString();
+    if (!key.ok()) co_return key.status();
+    fb.file_key = *key;
+    auto mn = r.GetF64();
+    if (!mn.ok()) co_return mn.status();
+    fb.min = *mn;
+    auto mx = r.GetF64();
+    if (!mx.ok()) co_return mx.status();
+    fb.max = *mx;
+    out.push_back(std::move(fb));
+  }
+  co_return out;
+}
+
+sim::Async<Result<std::vector<std::string>>> StatsIndex::PruneFiles(
+    cloud::NetContext ctx, std::string dataset,
+    std::vector<std::string> files, engine::ExprPtr predicate) {
+  auto bounds = engine::ExtractColumnBounds(predicate);
+  std::set<std::string> pruned;
+  for (const auto& [column, interval] : bounds) {
+    auto lookup = co_await Lookup(ctx, dataset, column);
+    if (!lookup.ok()) {
+      if (lookup.status().IsNotFound()) continue;  // Column not indexed.
+      co_return lookup.status();
+    }
+    for (const auto& fb : *lookup) {
+      if (!interval.Intersects(fb.min, fb.max)) {
+        pruned.insert(fb.file_key);
+      }
+    }
+  }
+  std::vector<std::string> kept;
+  kept.reserve(files.size());
+  for (auto& f : files) {
+    if (pruned.find(f) == pruned.end()) {
+      kept.push_back(std::move(f));
+    }
+  }
+  co_return kept;
+}
+
+}  // namespace lambada::core

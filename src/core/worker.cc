@@ -1,0 +1,297 @@
+#include "core/worker.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/object_store.h"
+#include "core/exchange.h"
+#include "core/messages.h"
+#include "core/plan.h"
+#include "engine/aggregate.h"
+#include "engine/chunk_serde.h"
+#include "engine/scan.h"
+
+namespace lambada::core {
+
+namespace {
+
+using engine::TableChunk;
+
+/// Per-row CPU cost of one vectorized row-wise operator (vCPU-seconds).
+constexpr double kRowOpCpuPerRow = 2e-9;
+/// Per-row CPU cost of hash-aggregation consume.
+constexpr double kAggCpuPerRow = 5e-9;
+/// Results larger than this spill to S3 (SQS limit is 256 KiB; leave room
+/// for the envelope).
+constexpr size_t kInlineResultLimit = 200 * 1024;
+
+/// Applies a row-wise op (filter/map/select) to a chunk.
+Result<TableChunk> ApplyRowOp(const PlanOp& op, TableChunk chunk) {
+  switch (op.kind) {
+    case PlanOp::Kind::kFilter: {
+      ASSIGN_OR_RETURN(engine::Column mask, op.expr->Evaluate(chunk));
+      std::vector<bool> keep(chunk.num_rows());
+      for (size_t i = 0; i < keep.size(); ++i) {
+        keep[i] = mask.ValueAsInt64(i) != 0;
+      }
+      return chunk.Filter(keep);
+    }
+    case PlanOp::Kind::kMap: {
+      ASSIGN_OR_RETURN(engine::Column col, op.expr->Evaluate(chunk));
+      std::vector<engine::Field> fields = chunk.schema()->fields();
+      fields.push_back(engine::Field{op.name, col.type()});
+      std::vector<engine::Column> cols = chunk.columns();
+      cols.push_back(std::move(col));
+      return TableChunk(
+          std::make_shared<engine::Schema>(std::move(fields)),
+          std::move(cols));
+    }
+    case PlanOp::Kind::kSelect: {
+      std::vector<engine::Field> fields;
+      std::vector<engine::Column> cols;
+      for (size_t i = 0; i < op.exprs.size(); ++i) {
+        ASSIGN_OR_RETURN(engine::Column col, op.exprs[i]->Evaluate(chunk));
+        fields.push_back(engine::Field{op.names[i], col.type()});
+        cols.push_back(std::move(col));
+      }
+      return TableChunk(
+          std::make_shared<engine::Schema>(std::move(fields)),
+          std::move(cols));
+    }
+    default:
+      return Status::Internal("ApplyRowOp on non-row op");
+  }
+}
+
+/// Executes the plan fragment over the worker's files; returns the
+/// worker's partial result chunk.
+sim::Async<Result<TableChunk>> ExecuteFragment(
+    cloud::WorkerEnv& env, const PlanFragment& fragment,
+    const InvocationPayload& payload, WorkerResultMetrics* metrics) {
+  // Split the pipeline at the exchange (a pipeline breaker).
+  int exchange_at = -1;
+  for (size_t i = 0; i < fragment.ops.size(); ++i) {
+    if (fragment.ops[i].kind == PlanOp::Kind::kExchange) {
+      if (exchange_at >= 0) {
+        co_return Status::NotImplemented(
+            "multiple exchanges in one fragment");
+      }
+      exchange_at = static_cast<int>(i);
+    }
+  }
+  size_t stage1_end = exchange_at >= 0 ? static_cast<size_t>(exchange_at)
+                                       : fragment.ops.size();
+  // A terminal aggregate in stage 1 (no exchange after it)?
+  bool stage1_aggregates = exchange_at < 0 && fragment.EndsInAggregate();
+  if (stage1_aggregates) --stage1_end;
+
+  std::unique_ptr<engine::HashAggregator> agg;
+  if (stage1_aggregates) {
+    const PlanOp& op = fragment.ops.back();
+    agg = std::make_unique<engine::HashAggregator>(op.group_by, op.aggs);
+  }
+  std::vector<TableChunk> collected;
+  int64_t collected_bytes = 0;
+
+  engine::ScanOptions scan_options;
+  scan_options.projection = fragment.scan_projection;
+  scan_options.filter = fragment.scan_filter;
+  scan_options.row_group_parallelism =
+      fragment.tuning.row_group_parallelism;
+  scan_options.column_fetch_parallelism =
+      fragment.tuning.column_fetch_parallelism;
+  scan_options.source.chunk_bytes = fragment.tuning.chunk_bytes;
+  scan_options.source.connections = fragment.tuning.connections_per_read;
+  scan_options.prefetch_metadata = fragment.tuning.prefetch_metadata;
+
+  // The fused pipeline: row ops + terminal consumer, run per scanned
+  // chunk. CPU for these stages is charged after the scan completes
+  // (chunk sizes are known then); the dominant in-scan costs
+  // (decompression, residual filter) are charged inside the scan.
+  Status pipeline_status = Status::OK();
+  auto sink = [&](const TableChunk& chunk) -> Status {
+    TableChunk current = chunk;
+    for (size_t i = 0; i < stage1_end; ++i) {
+      auto next = ApplyRowOp(fragment.ops[i], std::move(current));
+      if (!next.ok()) return next.status();
+      current = *std::move(next);
+    }
+    if (agg != nullptr) {
+      return agg->ConsumeInput(current);
+    }
+    RETURN_NOT_OK(env.ReserveMemory(current.memory_bytes()));
+    collected_bytes += current.memory_bytes();
+    collected.push_back(std::move(current));
+    return Status::OK();
+  };
+
+  double scan_start = env.sim()->Now();
+  auto scan_stats = co_await engine::S3ParquetScan(
+      env, payload.self.files, scan_options, sink);
+  if (!scan_stats.ok()) co_return scan_stats.status();
+  env.RecordPhase("scan", scan_start);
+  metrics->rows_scanned = scan_stats->rows_scanned;
+  metrics->rows_emitted = scan_stats->rows_emitted;
+  metrics->row_groups_total = scan_stats->row_groups_total;
+  metrics->row_groups_pruned = scan_stats->row_groups_pruned;
+  // Post-scan pipeline CPU (row ops + aggregation).
+  double pipeline_rows = static_cast<double>(scan_stats->rows_emitted);
+  double pipeline_cpu =
+      pipeline_rows * kRowOpCpuPerRow * static_cast<double>(stage1_end);
+  if (agg != nullptr) pipeline_cpu += pipeline_rows * kAggCpuPerRow;
+  co_await env.Compute(pipeline_cpu * env.data_scale);
+  if (!pipeline_status.ok()) co_return pipeline_status;
+
+  if (agg != nullptr) {
+    co_return agg->PartialState();
+  }
+
+  auto stage1_out = engine::ConcatChunks(collected);
+  env.ReleaseMemory(collected_bytes);
+  collected.clear();
+  if (!stage1_out.ok()) co_return stage1_out.status();
+  if (exchange_at < 0) {
+    co_return *std::move(stage1_out);
+  }
+
+  // ---- Exchange + stage 2 ----
+  const PlanOp& ex_op = fragment.ops[static_cast<size_t>(exchange_at)];
+  double ex_start = env.sim()->Now();
+  auto exchanged = co_await RunExchange(
+      env, *ex_op.exchange, static_cast<int>(payload.self.worker_id),
+      static_cast<int>(payload.total_workers), *std::move(stage1_out));
+  if (!exchanged.ok()) co_return exchanged.status();
+  env.RecordPhase("exchange", ex_start);
+
+  TableChunk current = *std::move(exchanged);
+  size_t stage2_begin = static_cast<size_t>(exchange_at) + 1;
+  size_t stage2_end = fragment.ops.size();
+  bool stage2_aggregates = fragment.EndsInAggregate();
+  if (stage2_aggregates) --stage2_end;
+  for (size_t i = stage2_begin; i < stage2_end; ++i) {
+    co_await env.Compute(static_cast<double>(current.num_rows()) *
+                         kRowOpCpuPerRow * env.data_scale);
+    auto next = ApplyRowOp(fragment.ops[i], std::move(current));
+    if (!next.ok()) co_return next.status();
+    current = *std::move(next);
+  }
+  if (stage2_aggregates) {
+    const PlanOp& op = fragment.ops.back();
+    engine::HashAggregator agg2(op.group_by, op.aggs);
+    co_await env.Compute(static_cast<double>(current.num_rows()) *
+                         kAggCpuPerRow * env.data_scale);
+    if (current.num_rows() > 0) {
+      CO_RETURN_NOT_OK(agg2.ConsumeInput(current));
+    }
+    co_return agg2.PartialState();
+  }
+  co_return current;
+}
+
+/// Sends the (success or error) result message, spilling large payloads
+/// to S3.
+sim::Async<Status> SendResult(cloud::WorkerEnv& env,
+                              const InvocationPayload& payload,
+                              ResultMessage message) {
+  if (message.inline_result.size() > kInlineResultLimit) {
+    cloud::S3Client client(env.services().s3, env.net());
+    message.spill_bucket = payload.plan_bucket;
+    message.spill_key = "results/" + payload.query_id + "/" +
+                        std::to_string(message.worker_id);
+    Status put = co_await client.Put(
+        message.spill_bucket, message.spill_key,
+        Buffer::FromVector(std::move(message.inline_result)));
+    message.inline_result.clear();
+    if (!put.ok()) {
+      message.status_code = put.code();
+      message.status_message = "result spill failed: " + put.message();
+      message.spill_bucket.clear();
+      message.spill_key.clear();
+    }
+  }
+  co_return co_await env.services().sqs->Send(
+      env.net(), payload.result_queue, message.Serialize());
+}
+
+sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
+  auto payload_or = InvocationPayload::Parse(raw);
+  if (!payload_or.ok()) {
+    // Without a payload there is no result queue to report to.
+    co_return payload_or.status();
+  }
+  InvocationPayload payload = *std::move(payload_or);
+  env.data_scale = payload.data_scale;
+  env.metrics().worker_id = payload.self.worker_id;
+
+  // ---- Invocation tree: start the second generation first (§4.2). ----
+  if (!payload.to_invoke.empty()) {
+    double t0 = env.sim()->Now();
+    for (const auto& child : payload.to_invoke) {
+      InvocationPayload child_payload = payload;
+      child_payload.self = child;
+      child_payload.to_invoke.clear();
+      std::string serialized = child_payload.Serialize();
+      double backoff = 0.05;
+      for (int attempt = 0;; ++attempt) {
+        Status s = co_await env.services().faas->Invoke(
+            env.invoker_profile(), &env.rng(), env.function_name(), serialized);
+        if (s.ok() || !s.IsRetriable() || attempt >= 8) {
+          if (!s.ok()) {
+            LAMBADA_LOG(Warning)
+                << "second-generation invoke failed: " << s.ToString();
+          }
+          break;
+        }
+        co_await sim::Sleep(env.sim(),
+                            backoff * (0.5 + env.rng().NextDouble()));
+        backoff *= 2;
+      }
+    }
+    env.RecordPhase("invoke-children", t0);
+  }
+
+  ResultMessage result;
+  result.query_id = payload.query_id;
+  result.worker_id = payload.self.worker_id;
+
+  // ---- Fetch the plan fragment from shared storage. ----
+  cloud::S3Client client(env.services().s3, env.net());
+  auto plan_bytes =
+      co_await client.Get(payload.plan_bucket, payload.plan_key);
+  Result<PlanFragment> fragment = Status::Internal("plan not loaded");
+  if (plan_bytes.ok()) {
+    fragment = PlanFragment::Deserialize((*plan_bytes)->data(),
+                                         (*plan_bytes)->size());
+  } else {
+    fragment = plan_bytes.status();
+  }
+  if (!fragment.ok()) {
+    result.status_code = fragment.status().code();
+    result.status_message = fragment.status().message();
+    co_return co_await SendResult(env, payload, std::move(result));
+  }
+
+  // ---- Execute. ----
+  double exec_start = env.sim()->Now();
+  auto out =
+      co_await ExecuteFragment(env, *fragment, payload, &result.metrics);
+  result.metrics.processing_time_s = env.sim()->Now() - exec_start;
+  if (!out.ok()) {
+    result.status_code = out.status().code();
+    result.status_message = out.status().message();
+  } else {
+    result.inline_result = engine::SerializeChunk(*out);
+  }
+  co_return co_await SendResult(env, payload, std::move(result));
+}
+
+}  // namespace
+
+cloud::Handler MakeWorkerHandler() {
+  return [](cloud::WorkerEnv& env, std::string payload) {
+    return WorkerMain(env, std::move(payload));
+  };
+}
+
+}  // namespace lambada::core

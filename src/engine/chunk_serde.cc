@@ -1,0 +1,83 @@
+#include "engine/chunk_serde.h"
+
+#include <cstring>
+
+#include "common/binio.h"
+
+namespace lambada::engine {
+
+std::vector<uint8_t> SerializeChunk(const TableChunk& chunk) {
+  BinaryWriter w;
+  w.PutVarint(chunk.num_columns());
+  for (const auto& f : chunk.schema()->fields()) {
+    w.PutString(f.name);
+    w.PutU8(static_cast<uint8_t>(f.type));
+  }
+  w.PutVarint(chunk.num_rows());
+  for (const auto& col : chunk.columns()) {
+    if (col.type() == DataType::kInt64) {
+      w.PutRaw(col.i64().data(), col.size() * 8);
+    } else {
+      w.PutRaw(col.f64().data(), col.size() * 8);
+    }
+  }
+  return w.Take();
+}
+
+Result<TableChunk> DeserializeChunk(const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  ASSIGN_OR_RETURN(uint64_t num_cols, r.GetVarint());
+  if (num_cols > 100000) return Status::IOError("implausible column count");
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (uint64_t i = 0; i < num_cols; ++i) {
+    ASSIGN_OR_RETURN(std::string name, r.GetString());
+    ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+    if (type > 1) return Status::IOError("bad column type");
+    fields.push_back(Field{std::move(name), static_cast<DataType>(type)});
+  }
+  ASSIGN_OR_RETURN(uint64_t num_rows, r.GetVarint());
+  if (num_rows * num_cols * 8 > size) {
+    return Status::IOError("chunk truncated");
+  }
+  auto schema = std::make_shared<Schema>(std::move(fields));
+  std::vector<Column> cols;
+  cols.reserve(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    RETURN_NOT_OK(r.Skip(0));  // Keep reader position logic uniform.
+    if (schema->field(c).type == DataType::kInt64) {
+      std::vector<int64_t> v(num_rows);
+      if (r.remaining() < num_rows * 8) {
+        return Status::IOError("chunk truncated in column data");
+      }
+      std::memcpy(v.data(), data + r.position(), num_rows * 8);
+      RETURN_NOT_OK(r.Skip(num_rows * 8));
+      cols.push_back(Column::Int64(std::move(v)));
+    } else {
+      std::vector<double> v(num_rows);
+      if (r.remaining() < num_rows * 8) {
+        return Status::IOError("chunk truncated in column data");
+      }
+      std::memcpy(v.data(), data + r.position(), num_rows * 8);
+      RETURN_NOT_OK(r.Skip(num_rows * 8));
+      cols.push_back(Column::Float64(std::move(v)));
+    }
+  }
+  if (r.remaining() != 0) return Status::IOError("chunk trailing bytes");
+  return TableChunk(std::move(schema), std::move(cols));
+}
+
+CombinedChunks SerializeChunksCombined(
+    const std::vector<TableChunk>& chunks) {
+  CombinedChunks out;
+  out.offsets.reserve(chunks.size() + 1);
+  for (const auto& chunk : chunks) {
+    out.offsets.push_back(out.bytes.size());
+    auto blob = SerializeChunk(chunk);
+    out.bytes.insert(out.bytes.end(), blob.begin(), blob.end());
+  }
+  out.offsets.push_back(out.bytes.size());
+  return out;
+}
+
+}  // namespace lambada::engine

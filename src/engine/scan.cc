@@ -1,0 +1,224 @@
+#include "engine/scan.h"
+
+#include <memory>
+
+namespace lambada::engine {
+
+namespace {
+
+using format::FileReader;
+using format::S3Source;
+
+/// Per-file state shared between the metadata prefetcher and the scan loop.
+struct FileState {
+  FileRef ref;
+  double scale = 1.0;
+  std::shared_ptr<S3Source> source;
+  Result<std::shared_ptr<FileReader>> reader = Status::Internal("pending");
+  std::unique_ptr<sim::Event> ready;
+};
+
+sim::Async<void> OpenReader(cloud::WorkerEnv* env, FileState* state,
+                            format::ReaderOptions reader_options) {
+  state->reader = co_await FileReader::Open(state->source, reader_options);
+  state->ready->Set();
+}
+
+/// True if the row group may contain rows satisfying the bounds.
+bool RowGroupSurvives(const format::RowGroupMeta& rg,
+                      const engine::Schema& schema,
+                      const std::map<std::string, Interval>& bounds) {
+  for (const auto& [column, interval] : bounds) {
+    int idx = schema.FieldIndex(column);
+    if (idx < 0) continue;  // Unknown column: cannot prune.
+    const auto& stats = rg.columns[static_cast<size_t>(idx)].stats;
+    if (!stats.valid) continue;
+    double min_v, max_v;
+    if (schema.field(static_cast<size_t>(idx)).type == DataType::kInt64) {
+      min_v = static_cast<double>(stats.min_i64);
+      max_v = static_cast<double>(stats.max_i64);
+    } else {
+      min_v = stats.min_f64;
+      max_v = stats.max_f64;
+    }
+    if (!interval.Intersects(min_v, max_v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+sim::Async<Result<ScanStats>> S3ParquetScan(
+    cloud::WorkerEnv& env, std::vector<FileRef> files,
+    const ScanOptions& options,
+    std::function<Status(const TableChunk&)> sink) {
+  ScanStats stats;
+  auto* sim = env.sim();
+  auto& services = env.services();
+
+  // Build per-file state. The object's virtual scale drives both byte
+  // accounting (in the store) and the CPU hook below.
+  // Shared with the prefetcher coroutine, which may outlive an early
+  // error return from this scan.
+  auto states = std::make_shared<std::vector<FileState>>(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    (*states)[i].ref = files[i];
+    auto scale = services.s3->Scale(files[i].bucket, files[i].key);
+    (*states)[i].scale = scale.ok() ? *scale : 1.0;
+    cloud::S3Client client(services.s3, env.net());
+    (*states)[i].source = std::make_shared<S3Source>(
+        client, files[i].bucket, files[i].key, options.source);
+    (*states)[i].ready = std::make_unique<sim::Event>(sim);
+  }
+
+  cloud::WorkerEnv* env_ptr = &env;
+  auto reader_options_for = [env_ptr, sim](const FileState& st) {
+    format::ReaderOptions ro;
+    ro.sim = sim;
+    ro.cpu.compute = [env_ptr](double vcpu) { return env_ptr->Compute(vcpu); };
+    ro.cpu.scale = st.scale;
+    return ro;
+  };
+
+  // The prefetcher references the worker env (CPU, NIC); the scan must
+  // not return — even on error — while it is still running.
+  auto prefetch_done = std::make_shared<sim::Event>(sim);
+  if (options.prefetch_metadata) {
+    // Level (4): a dedicated thread downloads the metadata for all files
+    // that should be scanned, hiding the latency of these small requests.
+    sim::Spawn([](cloud::WorkerEnv* e,
+                  std::shared_ptr<std::vector<FileState>> sts,
+                  std::shared_ptr<sim::Event> done,
+                  std::function<format::ReaderOptions(const FileState&)>
+                      make_opts) -> sim::Async<void> {
+      for (auto& st : *sts) {
+        co_await OpenReader(e, &st, make_opts(st));
+      }
+      done->Set();
+    }(&env, states, prefetch_done, reader_options_for));
+  } else {
+    prefetch_done->Set();
+  }
+
+  auto bounds = ExtractColumnBounds(options.filter);
+  Status scan_error = Status::OK();
+
+  for (auto& st : *states) {
+    ++stats.files;
+    if (options.prefetch_metadata) {
+      co_await st.ready->Wait();
+    } else {
+      co_await OpenReader(&env, &st, reader_options_for(st));
+    }
+    if (!st.reader.ok()) {
+      scan_error = st.reader.status();
+      break;
+    }
+    const std::shared_ptr<FileReader>& reader = *st.reader;
+    const engine::Schema& file_schema = reader->metadata().schema;
+
+    // Resolve the projection against this file's schema.
+    std::vector<int> proj;
+    if (options.projection.empty()) {
+      for (size_t c = 0; c < file_schema.num_fields(); ++c) {
+        proj.push_back(static_cast<int>(c));
+      }
+    } else {
+      for (const auto& name : options.projection) {
+        int idx = file_schema.FieldIndex(name);
+        if (idx < 0) {
+          scan_error =
+              Status::Invalid("scan projection column not in file: " + name);
+          break;
+        }
+        proj.push_back(idx);
+      }
+    }
+    if (!scan_error.ok()) break;
+
+    // Prune row groups on min/max statistics (Section 5.3): workers whose
+    // files are fully pruned return after the metadata round trip.
+    std::vector<int> surviving;
+    for (int rg = 0; rg < reader->num_row_groups(); ++rg) {
+      ++stats.row_groups_total;
+      if (RowGroupSurvives(reader->metadata().row_groups[rg], file_schema,
+                           bounds)) {
+        surviving.push_back(rg);
+      } else {
+        ++stats.row_groups_pruned;
+      }
+    }
+
+    // Level (3): download up to row_group_parallelism row groups
+    // asynchronously, overlapping download with decompression and the
+    // downstream pipeline.
+    sim::Semaphore gate(sim, std::max(1, options.row_group_parallelism));
+    Status sink_status = Status::OK();
+    std::vector<sim::Async<void>> tasks;
+    tasks.reserve(surviving.size());
+    for (int rg : surviving) {
+      tasks.push_back([](cloud::WorkerEnv* e, const ScanOptions* opts,
+                         std::shared_ptr<FileReader> rdr, double scale,
+                         int rg_idx, std::vector<int> proj_cols,
+                         sim::Semaphore* g, ScanStats* out,
+                         const std::function<Status(const TableChunk&)>* snk,
+                         Status* sink_st) -> sim::Async<void> {
+        co_await g->Acquire();
+        // Level (2): column chunks of this group fetched concurrently.
+        auto chunk = co_await rdr->ReadRowGroup(
+            rg_idx, proj_cols, opts->column_fetch_parallelism);
+        if (!chunk.ok()) {
+          if (sink_st->ok()) *sink_st = chunk.status();
+          g->Release();
+          co_return;
+        }
+        Status mem = e->ReserveMemory(chunk->memory_bytes());
+        if (!mem.ok()) {
+          if (sink_st->ok()) *sink_st = mem;
+          g->Release();
+          co_return;
+        }
+        out->rows_scanned += static_cast<int64_t>(chunk->num_rows());
+        TableChunk result = *std::move(chunk);
+        if (opts->filter != nullptr && opts->apply_residual_filter) {
+          // Residual predicate on the decoded rows; charged as pipeline
+          // CPU work (the JIT-compiled tight loop of the paper).
+          co_await e->Compute(static_cast<double>(result.num_rows()) *
+                              kFilterCpuSecondsPerRow * scale);
+          auto mask_col = opts->filter->Evaluate(result);
+          if (!mask_col.ok()) {
+            if (sink_st->ok()) *sink_st = mask_col.status();
+            e->ReleaseMemory(result.memory_bytes());
+            g->Release();
+            co_return;
+          }
+          std::vector<bool> keep(result.num_rows());
+          for (size_t i = 0; i < keep.size(); ++i) {
+            keep[i] = mask_col->ValueAsInt64(i) != 0;
+          }
+          int64_t before = result.memory_bytes();
+          result = result.Filter(keep);
+          e->ReleaseMemory(before - result.memory_bytes());
+        }
+        out->rows_emitted += static_cast<int64_t>(result.num_rows());
+        Status s = (*snk)(result);
+        if (!s.ok() && sink_st->ok()) *sink_st = s;
+        e->ReleaseMemory(result.memory_bytes());
+        g->Release();
+      }(&env, &options, reader, st.scale, rg, proj, &gate, &stats, &sink,
+        &sink_status));
+    }
+    co_await sim::WhenAllVoid(sim, std::move(tasks));
+    if (!sink_status.ok()) {
+      scan_error = sink_status;
+      break;
+    }
+    stats.get_requests += st.source->request_count();
+  }
+  // Drain the prefetcher before returning so nothing outlives the worker.
+  co_await prefetch_done->Wait();
+  if (!scan_error.ok()) co_return scan_error;
+  co_return stats;
+}
+
+}  // namespace lambada::engine

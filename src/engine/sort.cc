@@ -1,0 +1,63 @@
+#include "engine/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lambada::engine {
+
+namespace {
+
+Result<std::vector<size_t>> SortedOrder(const TableChunk& chunk,
+                                        const std::vector<SortKey>& keys) {
+  std::vector<const Column*> cols;
+  std::vector<bool> asc;
+  cols.reserve(keys.size());
+  for (const auto& k : keys) {
+    ASSIGN_OR_RETURN(size_t idx, chunk.schema()->RequireField(k.column));
+    cols.push_back(&chunk.column(idx));
+    asc.push_back(k.ascending);
+  }
+  std::vector<size_t> order(chunk.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      double va = cols[k]->ValueAsDouble(a);
+      double vb = cols[k]->ValueAsDouble(b);
+      if (va == vb) continue;
+      return asc[k] ? va < vb : va > vb;
+    }
+    return false;
+  });
+  return order;
+}
+
+TableChunk Reorder(const TableChunk& chunk, const std::vector<size_t>& order,
+                   size_t limit) {
+  size_t n = std::min(limit, order.size());
+  std::vector<Column> cols;
+  cols.reserve(chunk.num_columns());
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    Column out(chunk.column(c).type());
+    for (size_t i = 0; i < n; ++i) {
+      out.AppendFrom(chunk.column(c), order[i]);
+    }
+    cols.push_back(std::move(out));
+  }
+  return TableChunk(chunk.schema(), std::move(cols));
+}
+
+}  // namespace
+
+Result<TableChunk> SortChunk(const TableChunk& chunk,
+                             const std::vector<SortKey>& keys) {
+  ASSIGN_OR_RETURN(auto order, SortedOrder(chunk, keys));
+  return Reorder(chunk, order, order.size());
+}
+
+Result<TableChunk> TopK(const TableChunk& chunk,
+                        const std::vector<SortKey>& keys, size_t limit) {
+  ASSIGN_OR_RETURN(auto order, SortedOrder(chunk, keys));
+  return Reorder(chunk, order, limit);
+}
+
+}  // namespace lambada::engine

@@ -1,0 +1,31 @@
+#ifndef LAMBADA_ENGINE_SORT_H_
+#define LAMBADA_ENGINE_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace lambada::engine {
+
+/// One sort key: column name and direction.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Returns `chunk` with rows reordered by the given keys (stable sort;
+/// later keys break ties of earlier ones).
+Result<TableChunk> SortChunk(const TableChunk& chunk,
+                             const std::vector<SortKey>& keys);
+
+/// Returns the top `limit` rows of `chunk` under the given ordering —
+/// the driver-side post-processing step for "ORDER BY ... LIMIT k"
+/// reports (small k; runs on the merged result, not in workers).
+Result<TableChunk> TopK(const TableChunk& chunk,
+                        const std::vector<SortKey>& keys, size_t limit);
+
+}  // namespace lambada::engine
+
+#endif  // LAMBADA_ENGINE_SORT_H_

@@ -1,0 +1,148 @@
+#include "engine/table.h"
+
+#include <sstream>
+
+namespace lambada::engine {
+
+std::string_view DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::RequireField(std::string_view name) const {
+  int i = FieldIndex(name);
+  if (i < 0) {
+    return Status::Invalid("no such column: " + std::string(name));
+  }
+  return static_cast<size_t>(i);
+}
+
+Schema Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    LAMBADA_CHECK_GE(i, 0);
+    LAMBADA_CHECK_LT(static_cast<size_t>(i), fields_.size());
+    out.push_back(fields_[i]);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ": " << DataTypeName(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+Column Column::Filter(const std::vector<bool>& keep) const {
+  LAMBADA_CHECK_EQ(keep.size(), size());
+  Column out(type_);
+  if (type_ == DataType::kInt64) {
+    const auto& src = i64();
+    auto& dst = out.mutable_i64();
+    for (size_t i = 0; i < src.size(); ++i) {
+      if (keep[i]) dst.push_back(src[i]);
+    }
+  } else {
+    const auto& src = f64();
+    auto& dst = out.mutable_f64();
+    for (size_t i = 0; i < src.size(); ++i) {
+      if (keep[i]) dst.push_back(src[i]);
+    }
+  }
+  return out;
+}
+
+TableChunk::TableChunk(SchemaPtr schema, std::vector<Column> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  LAMBADA_CHECK(schema_ != nullptr);
+  LAMBADA_CHECK_EQ(schema_->num_fields(), columns_.size());
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  for (const auto& c : columns_) {
+    LAMBADA_CHECK_EQ(c.size(), num_rows_);
+  }
+}
+
+TableChunk TableChunk::Empty(SchemaPtr schema) {
+  std::vector<Column> cols;
+  cols.reserve(schema->num_fields());
+  for (const auto& f : schema->fields()) {
+    cols.emplace_back(f.type);
+  }
+  return TableChunk(std::move(schema), std::move(cols));
+}
+
+Result<TableChunk> TableChunk::Project(const std::vector<int>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (int i : indices) {
+    if (i < 0 || static_cast<size_t>(i) >= columns_.size()) {
+      return Status::Invalid("projection index out of range");
+    }
+    cols.push_back(columns_[static_cast<size_t>(i)]);
+  }
+  auto schema = std::make_shared<Schema>(schema_->Project(indices));
+  return TableChunk(std::move(schema), std::move(cols));
+}
+
+TableChunk TableChunk::Filter(const std::vector<bool>& keep) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    cols.push_back(c.Filter(keep));
+  }
+  return TableChunk(schema_, std::move(cols));
+}
+
+Status TableChunk::Append(const TableChunk& other) {
+  if (!(*schema_ == *other.schema_)) {
+    return Status::Invalid("appending chunk with different schema");
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].type() == DataType::kInt64) {
+      auto& dst = columns_[c].mutable_i64();
+      const auto& src = other.columns_[c].i64();
+      dst.insert(dst.end(), src.begin(), src.end());
+    } else {
+      auto& dst = columns_[c].mutable_f64();
+      const auto& src = other.columns_[c].f64();
+      dst.insert(dst.end(), src.begin(), src.end());
+    }
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
+int64_t TableChunk::memory_bytes() const {
+  int64_t total = 0;
+  for (const auto& c : columns_) total += c.memory_bytes();
+  return total;
+}
+
+Result<TableChunk> ConcatChunks(const std::vector<TableChunk>& chunks) {
+  if (chunks.empty()) return TableChunk();
+  TableChunk out = TableChunk::Empty(chunks[0].schema());
+  for (const auto& c : chunks) {
+    RETURN_NOT_OK(out.Append(c));
+  }
+  return out;
+}
+
+}  // namespace lambada::engine

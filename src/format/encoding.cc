@@ -1,0 +1,178 @@
+#include "format/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/binio.h"
+
+namespace lambada::format {
+
+using engine::Column;
+using engine::DataType;
+
+namespace {
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+std::vector<uint8_t> EncodePlain(const Column& c) {
+  std::vector<uint8_t> out(c.size() * 8);
+  if (c.type() == DataType::kInt64) {
+    std::memcpy(out.data(), c.i64().data(), out.size());
+  } else {
+    std::memcpy(out.data(), c.f64().data(), out.size());
+  }
+  return out;
+}
+
+Result<Column> DecodePlain(const uint8_t* data, size_t size, DataType type,
+                           size_t num_rows) {
+  if (size != num_rows * 8) {
+    return Status::IOError("plain encoding: size mismatch");
+  }
+  if (type == DataType::kInt64) {
+    std::vector<int64_t> v(num_rows);
+    std::memcpy(v.data(), data, size);
+    return Column::Int64(std::move(v));
+  }
+  std::vector<double> v(num_rows);
+  std::memcpy(v.data(), data, size);
+  return Column::Float64(std::move(v));
+}
+
+std::vector<uint8_t> EncodeDelta(const Column& c) {
+  BinaryWriter w;
+  const auto& v = c.i64();
+  int64_t prev = 0;
+  for (int64_t x : v) {
+    w.PutVarint(ZigzagEncode(x - prev));
+    prev = x;
+  }
+  return w.Take();
+}
+
+Result<Column> DecodeDelta(const uint8_t* data, size_t size,
+                           size_t num_rows) {
+  BinaryReader r(data, size);
+  std::vector<int64_t> v;
+  v.reserve(num_rows);
+  int64_t prev = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    ASSIGN_OR_RETURN(uint64_t z, r.GetVarint());
+    prev += ZigzagDecode(z);
+    v.push_back(prev);
+  }
+  if (r.remaining() != 0) {
+    return Status::IOError("delta encoding: trailing bytes");
+  }
+  return Column::Int64(std::move(v));
+}
+
+std::vector<uint8_t> EncodeDict(const Column& c) {
+  const auto& v = c.i64();
+  std::map<int64_t, uint32_t> dict;
+  for (int64_t x : v) dict.emplace(x, 0);
+  uint32_t next = 0;
+  for (auto& [value, index] : dict) index = next++;
+  BinaryWriter w;
+  w.PutVarint(dict.size());
+  int64_t prev = 0;
+  for (const auto& [value, index] : dict) {
+    w.PutVarint(ZigzagEncode(value - prev));  // Sorted: deltas are small.
+    prev = value;
+  }
+  for (int64_t x : v) {
+    w.PutVarint(dict[x]);
+  }
+  return w.Take();
+}
+
+Result<Column> DecodeDict(const uint8_t* data, size_t size,
+                          size_t num_rows) {
+  BinaryReader r(data, size);
+  ASSIGN_OR_RETURN(uint64_t dict_size, r.GetVarint());
+  if (dict_size > size) return Status::IOError("dict: implausible size");
+  std::vector<int64_t> dict;
+  dict.reserve(dict_size);
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    ASSIGN_OR_RETURN(uint64_t z, r.GetVarint());
+    prev += ZigzagDecode(z);
+    dict.push_back(prev);
+  }
+  std::vector<int64_t> v;
+  v.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    ASSIGN_OR_RETURN(uint64_t idx, r.GetVarint());
+    if (idx >= dict.size()) return Status::IOError("dict: bad index");
+    v.push_back(dict[idx]);
+  }
+  if (r.remaining() != 0) {
+    return Status::IOError("dict encoding: trailing bytes");
+  }
+  return Column::Int64(std::move(v));
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodeColumn(const Column& column,
+                                          Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return EncodePlain(column);
+    case Encoding::kDelta:
+      if (column.type() != DataType::kInt64) {
+        return Status::Invalid("delta encoding requires int64");
+      }
+      return EncodeDelta(column);
+    case Encoding::kDict:
+      if (column.type() != DataType::kInt64) {
+        return Status::Invalid("dict encoding requires int64");
+      }
+      return EncodeDict(column);
+  }
+  return Status::Invalid("unknown encoding");
+}
+
+Result<Column> DecodeColumn(const uint8_t* data, size_t size, DataType type,
+                            Encoding encoding, size_t num_rows) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return DecodePlain(data, size, type, num_rows);
+    case Encoding::kDelta:
+      if (type != DataType::kInt64) {
+        return Status::IOError("delta encoding on non-int64 column");
+      }
+      return DecodeDelta(data, size, num_rows);
+    case Encoding::kDict:
+      if (type != DataType::kInt64) {
+        return Status::IOError("dict encoding on non-int64 column");
+      }
+      return DecodeDict(data, size, num_rows);
+  }
+  return Status::IOError("unknown encoding");
+}
+
+EncodedColumn EncodeColumnAuto(const Column& column) {
+  EncodedColumn best{Encoding::kPlain, EncodePlain(column)};
+  if (column.type() == DataType::kInt64 && column.size() > 0) {
+    auto delta = EncodeDelta(column);
+    if (delta.size() < best.bytes.size()) {
+      best = EncodedColumn{Encoding::kDelta, std::move(delta)};
+    }
+    auto dict = EncodeDict(column);
+    if (dict.size() < best.bytes.size()) {
+      best = EncodedColumn{Encoding::kDict, std::move(dict)};
+    }
+  }
+  return best;
+}
+
+}  // namespace lambada::format

@@ -1,0 +1,43 @@
+#ifndef LAMBADA_FORMAT_ENCODING_H_
+#define LAMBADA_FORMAT_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace lambada::format {
+
+/// Value-level encodings applied before block compression, playing the role
+/// of Parquet's "light-weight compression scheme" (Section 4.3.2).
+enum class Encoding : uint8_t {
+  kPlain = 0,  ///< Raw little-endian values.
+  kDelta = 1,  ///< int64 only: first value raw, then zigzag varint deltas.
+               ///< Very effective on sorted columns like l_shipdate.
+  kDict = 2,   ///< int64 only: distinct-value dictionary + varint indices.
+               ///< Effective on low-cardinality columns like l_returnflag.
+};
+
+/// Encodes a column into bytes using the given encoding. Returns
+/// InvalidArgument if the encoding does not apply to the column type.
+Result<std::vector<uint8_t>> EncodeColumn(const engine::Column& column,
+                                          Encoding encoding);
+
+/// Decodes `num_rows` values of the given type.
+Result<engine::Column> DecodeColumn(const uint8_t* data, size_t size,
+                                    engine::DataType type, Encoding encoding,
+                                    size_t num_rows);
+
+/// Picks the smallest applicable encoding for the column by encoding
+/// candidates and comparing sizes (cheap at our row-group sizes). Returns
+/// the winning encoding and its bytes.
+struct EncodedColumn {
+  Encoding encoding;
+  std::vector<uint8_t> bytes;
+};
+EncodedColumn EncodeColumnAuto(const engine::Column& column);
+
+}  // namespace lambada::format
+
+#endif  // LAMBADA_FORMAT_ENCODING_H_

@@ -1,0 +1,116 @@
+#include "format/reader.h"
+
+#include <cstring>
+
+namespace lambada::format {
+
+using engine::Column;
+using engine::TableChunk;
+
+sim::Async<Result<std::shared_ptr<FileReader>>> FileReader::Open(
+    std::shared_ptr<RandomAccessSource> source, ReaderOptions options) {
+  // One tail read bootstraps the footer (Section 4.3.2: "The library loads
+  // this metadata with a single file read").
+  auto tail = co_await source->ReadTail(options.footer_probe_bytes);
+  if (!tail.ok()) co_return tail.status();
+  const BufferPtr& probe = tail->data;
+  if (probe->size() < 12) co_return Status::IOError("file too small");
+  const uint8_t* end = probe->data() + probe->size();
+  if (std::memcmp(end - 4, kMagic, 4) != 0) {
+    co_return Status::IOError("bad magic: not an lpq file");
+  }
+  uint32_t footer_len;
+  std::memcpy(&footer_len, end - 8, 4);
+  int64_t footer_end = tail->file_size - 8;
+  int64_t footer_start = footer_end - static_cast<int64_t>(footer_len);
+  if (footer_start < 4) co_return Status::IOError("corrupt footer length");
+
+  BufferPtr footer;
+  int64_t probe_start = tail->file_size - static_cast<int64_t>(probe->size());
+  if (footer_start >= probe_start) {
+    footer = probe->Slice(static_cast<size_t>(footer_start - probe_start),
+                          footer_len);
+  } else {
+    // Footer larger than the probe: one more ranged read.
+    auto r = co_await source->ReadAt(footer_start, footer_len);
+    if (!r.ok()) co_return r.status();
+    footer = *r;
+  }
+  auto meta = FileMetadata::Parse(footer->data(), footer->size());
+  if (!meta.ok()) co_return meta.status();
+  // Footer parsing is cheap but not free.
+  co_await options.cpu.Charge(static_cast<double>(footer->size()) / 200e6);
+  co_return std::shared_ptr<FileReader>(
+      new FileReader(std::move(source), std::move(options),
+                     *std::move(meta)));
+}
+
+sim::Async<Result<Column>> FileReader::ReadColumnChunk(int rg, int column) {
+  const auto& rg_meta = metadata_.row_groups[static_cast<size_t>(rg)];
+  const auto& cc = rg_meta.columns[static_cast<size_t>(column)];
+  auto raw = co_await source_->ReadAt(static_cast<int64_t>(cc.offset),
+                                      static_cast<int64_t>(cc.compressed_size));
+  if (!raw.ok()) co_return raw.status();
+  const auto& codec = compress::GetCodec(cc.codec);
+  auto decompressed =
+      codec.Decompress((*raw)->data(), (*raw)->size(), cc.uncompressed_size);
+  if (!decompressed.ok()) co_return decompressed.status();
+  // Charge decompression CPU: the paper's Q1 is CPU-bound on exactly this.
+  co_await options_.cpu.Charge(static_cast<double>(cc.uncompressed_size) *
+                               codec.DecompressCpuSecondsPerByte());
+  auto col = DecodeColumn(decompressed->data(), decompressed->size(),
+                          metadata_.schema.field(column).type, cc.encoding,
+                          rg_meta.num_rows);
+  if (!col.ok()) co_return col.status();
+  // Decoding (varint/delta) cost.
+  co_await options_.cpu.Charge(static_cast<double>(rg_meta.num_rows) * 8.0 /
+                               2e9);
+  co_return *std::move(col);
+}
+
+sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
+    int rg, std::vector<int> columns, int fetch_parallelism) {
+  if (rg < 0 || rg >= num_row_groups()) {
+    co_return Status::OutOfRange("row group index out of range");
+  }
+  for (int c : columns) {
+    if (c < 0 || static_cast<size_t>(c) >= metadata_.schema.num_fields()) {
+      co_return Status::OutOfRange("column index out of range");
+    }
+  }
+  std::vector<Result<Column>> results;
+  results.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    results.emplace_back(Status::Internal("not fetched"));
+  }
+  // Fetch column chunks with bounded concurrency (level 2).
+  sim::Simulator* sim = options_.sim;
+  if (sim != nullptr && fetch_parallelism > 1 && columns.size() > 1) {
+    sim::Semaphore gate(sim, fetch_parallelism);
+    std::vector<sim::Async<void>> fetches;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      fetches.push_back([](FileReader* self, sim::Semaphore* g, int rg_idx,
+                           int col, Result<Column>* out) -> sim::Async<void> {
+        co_await g->Acquire();
+        *out = co_await self->ReadColumnChunk(rg_idx, col);
+        g->Release();
+      }(this, &gate, rg, columns[i], &results[i]));
+    }
+    co_await sim::WhenAllVoid(sim, std::move(fetches));
+  } else {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      results[i] = co_await ReadColumnChunk(rg, columns[i]);
+    }
+  }
+  std::vector<Column> cols;
+  cols.reserve(columns.size());
+  for (auto& r : results) {
+    if (!r.ok()) co_return r.status();
+    cols.push_back(*std::move(r));
+  }
+  auto schema =
+      std::make_shared<engine::Schema>(metadata_.schema.Project(columns));
+  co_return TableChunk(std::move(schema), std::move(cols));
+}
+
+}  // namespace lambada::format

@@ -1,0 +1,85 @@
+#ifndef LAMBADA_FORMAT_READER_H_
+#define LAMBADA_FORMAT_READER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+#include "format/metadata.h"
+#include "format/source.h"
+#include "sim/async.h"
+
+namespace lambada::format {
+
+/// Bridge from real work done by the reader (decompressing, decoding) to
+/// the simulated worker CPU. `compute` charges vCPU-seconds of virtual
+/// time; `scale` inflates the work for virtually-scaled datasets.
+/// Host-side tools leave `compute` unset.
+struct ComputeHook {
+  std::function<sim::Async<void>(double vcpu_seconds)> compute;
+  double scale = 1.0;
+
+  sim::Async<void> Charge(double vcpu_seconds) const {
+    if (compute && vcpu_seconds > 0) {
+      return compute(vcpu_seconds * scale);
+    }
+    return Noop();
+  }
+
+ private:
+  static sim::Async<void> Noop() { co_return; }
+};
+
+struct ReaderOptions {
+  /// Tail bytes fetched speculatively to bootstrap the footer; one request
+  /// suffices when the footer fits (it nearly always does).
+  int64_t footer_probe_bytes = 64 * 1024;
+  ComputeHook cpu;
+  /// Required for concurrent column-chunk fetches; when null, fetches are
+  /// sequential (host-side tools).
+  sim::Simulator* sim = nullptr;
+};
+
+/// Reads .lpq files: one tail read for the footer, then one ranged read per
+/// projected column chunk — the request pattern of the paper's Parquet scan
+/// (Figure 8). Decompression charges CPU through the ComputeHook.
+class FileReader {
+ public:
+  /// Opens the file: fetches and parses the footer.
+  static sim::Async<Result<std::shared_ptr<FileReader>>> Open(
+      std::shared_ptr<RandomAccessSource> source,
+      ReaderOptions options = {});
+
+  const FileMetadata& metadata() const { return metadata_; }
+  const engine::SchemaPtr& schema() const { return schema_; }
+  int num_row_groups() const {
+    return static_cast<int>(metadata_.row_groups.size());
+  }
+
+  /// Reads and decodes the given columns (by index) of row group `rg`.
+  /// Column chunks are fetched with up to `fetch_parallelism` concurrent
+  /// reads — concurrency level (2) of Section 4.3.2.
+  sim::Async<Result<engine::TableChunk>> ReadRowGroup(
+      int rg, std::vector<int> columns, int fetch_parallelism = 1);
+
+ private:
+  FileReader(std::shared_ptr<RandomAccessSource> source,
+             ReaderOptions options, FileMetadata metadata)
+      : source_(std::move(source)),
+        options_(std::move(options)),
+        metadata_(std::move(metadata)),
+        schema_(std::make_shared<engine::Schema>(metadata_.schema)) {}
+
+  sim::Async<Result<engine::Column>> ReadColumnChunk(int rg, int column);
+
+  std::shared_ptr<RandomAccessSource> source_;
+  ReaderOptions options_;
+  FileMetadata metadata_;
+  engine::SchemaPtr schema_;
+};
+
+}  // namespace lambada::format
+
+#endif  // LAMBADA_FORMAT_READER_H_

@@ -1,0 +1,101 @@
+#include "format/writer.h"
+
+#include <cstring>
+
+#include "common/binio.h"
+
+namespace lambada::format {
+
+using engine::TableChunk;
+
+FileWriter::FileWriter(engine::SchemaPtr schema, const WriterOptions& options)
+    : schema_(std::move(schema)),
+      options_(options),
+      pending_(TableChunk::Empty(schema_)) {
+  LAMBADA_CHECK(schema_ != nullptr);
+  LAMBADA_CHECK_GT(options_.row_group_rows, 0);
+  metadata_.schema = *schema_;
+  file_.insert(file_.end(), kMagic, kMagic + 4);
+}
+
+Status FileWriter::Append(const TableChunk& chunk) {
+  if (finished_) return Status::FailedPrecondition("writer finished");
+  if (!(*chunk.schema() == *schema_)) {
+    return Status::Invalid("chunk schema does not match writer schema");
+  }
+  RETURN_NOT_OK(pending_.Append(chunk));
+  while (static_cast<int64_t>(pending_.num_rows()) >=
+         options_.row_group_rows) {
+    RETURN_NOT_OK(FlushRowGroup());
+  }
+  return Status::OK();
+}
+
+Status FileWriter::FlushRowGroup() {
+  size_t take = std::min<size_t>(
+      pending_.num_rows(), static_cast<size_t>(options_.row_group_rows));
+  if (take == 0) return Status::OK();
+  // Split pending rows into [0, take) and the remainder.
+  std::vector<bool> head(pending_.num_rows(), false);
+  std::vector<bool> tail(pending_.num_rows(), false);
+  for (size_t i = 0; i < pending_.num_rows(); ++i) {
+    (i < take ? head : tail)[i] = true;
+  }
+  TableChunk group = pending_.Filter(head);
+  TableChunk rest = pending_.Filter(tail);
+  pending_ = std::move(rest);
+
+  RowGroupMeta rg;
+  rg.num_rows = group.num_rows();
+  const auto& codec = compress::GetCodec(options_.codec);
+  for (size_t c = 0; c < group.num_columns(); ++c) {
+    const engine::Column& col = group.column(c);
+    EncodedColumn encoded;
+    if (options_.auto_encoding) {
+      encoded = EncodeColumnAuto(col);
+    } else {
+      ASSIGN_OR_RETURN(auto bytes, EncodeColumn(col, Encoding::kPlain));
+      encoded = EncodedColumn{Encoding::kPlain, std::move(bytes)};
+    }
+    std::vector<uint8_t> compressed = codec.Compress(encoded.bytes);
+    ColumnChunkMeta cc;
+    cc.offset = file_.size();
+    cc.compressed_size = compressed.size();
+    cc.uncompressed_size = encoded.bytes.size();
+    cc.encoding = encoded.encoding;
+    cc.codec = options_.codec;
+    if (options_.write_stats) {
+      cc.stats = ColumnStats::Compute(col);
+    }
+    file_.insert(file_.end(), compressed.begin(), compressed.end());
+    rg.columns.push_back(cc);
+  }
+  metadata_.num_rows += rg.num_rows;
+  metadata_.row_groups.push_back(std::move(rg));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FileWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("writer finished");
+  while (pending_.num_rows() > 0) {
+    RETURN_NOT_OK(FlushRowGroup());
+  }
+  finished_ = true;
+  std::vector<uint8_t> footer = metadata_.Serialize();
+  file_.insert(file_.end(), footer.begin(), footer.end());
+  uint32_t footer_len = static_cast<uint32_t>(footer.size());
+  uint8_t len_bytes[4];
+  std::memcpy(len_bytes, &footer_len, 4);
+  file_.insert(file_.end(), len_bytes, len_bytes + 4);
+  file_.insert(file_.end(), kMagic, kMagic + 4);
+  return std::move(file_);
+}
+
+Result<std::vector<uint8_t>> FileWriter::WriteTable(
+    const TableChunk& table, const WriterOptions& options) {
+  FileWriter writer(table.schema(), options);
+  RETURN_NOT_OK(writer.Append(table));
+  return writer.Finish();
+}
+
+}  // namespace lambada::format

@@ -1,0 +1,55 @@
+#include "models/costmodel.h"
+
+namespace lambada::models {
+
+std::vector<JobScopedPoint> JobScopedIaas(const JobScopedParams& p) {
+  std::vector<JobScopedPoint> out;
+  for (int n = 1; n <= 256; n *= 2) {
+    JobScopedPoint pt;
+    pt.workers = n;
+    double scan_s = p.data_bytes / (n * p.vm_scan_bytes_per_s);
+    pt.running_time_s = p.vm_startup_s + scan_s;
+    // VMs are billed from start-up through the scan.
+    pt.cost_usd = n * p.vm_price_per_hour * pt.running_time_s / 3600.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<JobScopedPoint> JobScopedFaas(const JobScopedParams& p) {
+  std::vector<JobScopedPoint> out;
+  for (int n = 8; n <= 4096; n *= 2) {
+    JobScopedPoint pt;
+    pt.workers = n;
+    double scan_s = p.data_bytes / (n * p.faas_scan_bytes_per_s);
+    pt.running_time_s = p.faas_startup_s + scan_s;
+    // Functions are billed for execution only (start-up is the provider's).
+    pt.cost_usd = n * p.faas_gib * scan_s * p.faas_price_per_gib_s;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<AlwaysOnSeries> AlwaysOnComparison(const AlwaysOnParams& p) {
+  std::vector<AlwaysOnSeries> out;
+  auto flat = [&](const std::string& label, double hourly) {
+    AlwaysOnSeries s;
+    s.label = label;
+    s.hourly_cost_usd.assign(p.queries_per_hour.size(), hourly);
+    return s;
+  };
+  out.push_back(flat("13 VMs (S3)", p.s3_vms * p.s3_vm_price));
+  out.push_back(flat("7 VMs (NVMe)", p.nvme_vms * p.nvme_vm_price));
+  out.push_back(flat("3 VMs (DRAM)", p.dram_vms * p.dram_vm_price));
+  AlwaysOnSeries qaas{"QaaS (S3)", {}};
+  AlwaysOnSeries faas{"FaaS (S3)", {}};
+  for (double qph : p.queries_per_hour) {
+    qaas.hourly_cost_usd.push_back(p.qaas_per_query * qph);
+    faas.hourly_cost_usd.push_back(p.faas_per_query * qph);
+  }
+  out.push_back(std::move(qaas));
+  out.push_back(std::move(faas));
+  return out;
+}
+
+}  // namespace lambada::models

@@ -1,0 +1,68 @@
+#ifndef LAMBADA_MODELS_COSTMODEL_H_
+#define LAMBADA_MODELS_COSTMODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace lambada::models {
+
+/// Analytic architecture-comparison models behind Figure 1 of the paper.
+/// Figure 1 is itself "obtained through simulation", so these are faithful
+/// re-implementations of that simulation with the paper's parameters.
+
+/// One (cost, time) point of Figure 1a.
+struct JobScopedPoint {
+  int workers = 0;
+  double running_time_s = 0;
+  double cost_usd = 0;
+};
+
+/// Parameters of the Figure 1a simulation (footnotes 1-2): a query
+/// scanning 1 TB from S3 with job-scoped resources.
+struct JobScopedParams {
+  double data_bytes = 1e12;
+  // IaaS: c5n.xlarge instances.
+  double vm_price_per_hour = 0.216;
+  double vm_scan_bytes_per_s = 0.6e9;
+  double vm_startup_s = 120.0;  // "2 min start-up time for IaaS".
+  // FaaS: 2 GiB workers.
+  double faas_gib = 2.0;
+  double faas_scan_bytes_per_s = 89e6;  // ~85 MiB/s.
+  double faas_startup_s = 4.0;          // "4 s for FaaS".
+  double faas_price_per_gib_s = 1.65e-5;
+};
+
+/// Figure 1a, IaaS series (1..256 VMs, powers of two).
+std::vector<JobScopedPoint> JobScopedIaas(const JobScopedParams& p = {});
+/// Figure 1a, FaaS series (8..4096 concurrent invocations).
+std::vector<JobScopedPoint> JobScopedFaas(const JobScopedParams& p = {});
+
+/// One always-on configuration of Figure 1b.
+struct AlwaysOnSeries {
+  std::string label;
+  /// Hourly cost at the given queries/hour (same length as `qph`).
+  std::vector<double> hourly_cost_usd;
+};
+
+/// Parameters of Figure 1b (footnote 3): serve a 1 TB scan in under 10 s.
+struct AlwaysOnParams {
+  std::vector<double> queries_per_hour = {1, 2, 4, 8, 16, 32, 64};
+  // 3x r5.12xlarge (DRAM), 7x i3.16xlarge (NVMe), 13x c5n.18xlarge (S3).
+  int dram_vms = 3;
+  double dram_vm_price = 3.024;
+  int nvme_vms = 7;
+  double nvme_vm_price = 4.992;
+  int s3_vms = 13;
+  double s3_vm_price = 3.888;
+  /// QaaS: $5 per TiB scanned => ~$5 per query on 1 TB.
+  double qaas_per_query = 5.0;
+  /// FaaS: per-query cost of the Lambada-style scan (workers + requests).
+  double faas_per_query = 0.40;
+};
+
+/// All five series of Figure 1b.
+std::vector<AlwaysOnSeries> AlwaysOnComparison(const AlwaysOnParams& p = {});
+
+}  // namespace lambada::models
+
+#endif  // LAMBADA_MODELS_COSTMODEL_H_

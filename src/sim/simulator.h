@@ -1,0 +1,92 @@
+#ifndef LAMBADA_SIM_SIMULATOR_H_
+#define LAMBADA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lambada::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+/// Single-threaded discrete-event simulator.
+///
+/// All simulated activity is expressed as callbacks scheduled at virtual
+/// times. Coroutine-based processes (see async.h) are resumed through
+/// scheduled callbacks, so the entire simulation is deterministic: events
+/// with equal timestamps fire in scheduling order.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= Now()).
+  void ScheduleAt(Time t, std::function<void()> fn) {
+    LAMBADA_DCHECK(t >= now_ - 1e-9) << "scheduling into the past";
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after a relative delay `dt` (clamped to >= 0).
+  void ScheduleAfter(Time dt, std::function<void()> fn) {
+    ScheduleAt(now_ + (dt > 0 ? dt : 0), std::move(fn));
+  }
+
+  /// Runs events until the queue is empty. Returns the final time.
+  Time Run() {
+    while (Step()) {
+    }
+    return now_;
+  }
+
+  /// Runs events with timestamps <= `until`. Later events stay queued and
+  /// `Now()` advances to `until`.
+  Time RunUntil(Time until) {
+    while (!queue_.empty() && queue_.top().time <= until) {
+      Step();
+    }
+    if (now_ < until) now_ = until;
+    return now_;
+  }
+
+  /// Executes the next event, if any. Returns false when idle.
+  bool Step() {
+    if (queue_.empty()) return false;
+    // Pop before invoking: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;  // Tie-breaker: FIFO among equal timestamps.
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace lambada::sim
+
+#endif  // LAMBADA_SIM_SIMULATOR_H_

@@ -1,0 +1,290 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/aggregate.h"
+#include "format/writer.h"
+
+#include <cstring>
+
+namespace lambada::workload {
+
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::SchemaPtr;
+using engine::TableChunk;
+
+int64_t TpchDate(int year, int month, int day) {
+  // Days-from-civil (Howard Hinnant's algorithm), offset to 1992-01-01.
+  auto days_from_civil = [](int y, int m, int d) -> int64_t {
+    y -= m <= 2;
+    int era = (y >= 0 ? y : y - 399) / 400;
+    unsigned yoe = static_cast<unsigned>(y - era * 400);
+    unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+    unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+  };
+  return days_from_civil(year, month, day) - days_from_civil(1992, 1, 1);
+}
+
+SchemaPtr LineitemSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(
+      std::vector<Field>{{"l_orderkey", DataType::kInt64},
+                         {"l_partkey", DataType::kInt64},
+                         {"l_suppkey", DataType::kInt64},
+                         {"l_linenumber", DataType::kInt64},
+                         {"l_quantity", DataType::kFloat64},
+                         {"l_extendedprice", DataType::kFloat64},
+                         {"l_discount", DataType::kFloat64},
+                         {"l_tax", DataType::kFloat64},
+                         {"l_returnflag", DataType::kInt64},
+                         {"l_linestatus", DataType::kInt64},
+                         {"l_shipdate", DataType::kInt64},
+                         {"l_commitdate", DataType::kInt64},
+                         {"l_receiptdate", DataType::kInt64},
+                         {"l_shipinstruct", DataType::kInt64},
+                         {"l_shipmode", DataType::kInt64},
+                         {"l_comment", DataType::kInt64}});
+  return kSchema;
+}
+
+TableChunk GenerateLineitem(int64_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  size_t n = static_cast<size_t>(num_rows);
+  std::vector<int64_t> orderkey(n), partkey(n), suppkey(n), linenumber(n);
+  std::vector<double> quantity(n), extendedprice(n), discount(n), tax(n);
+  std::vector<int64_t> returnflag(n), linestatus(n);
+  std::vector<int64_t> shipdate(n), commitdate(n), receiptdate(n);
+  std::vector<int64_t> shipinstruct(n), shipmode(n), comment(n);
+
+  const int64_t order_min_date = TpchDate(1992, 1, 1);
+  const int64_t order_max_date = TpchDate(1998, 8, 2);
+  // TPC-H "current date" used for return flags and line status.
+  const int64_t current_date = TpchDate(1995, 6, 17);
+
+  int64_t next_orderkey = 1;
+  size_t row = 0;
+  while (row < n) {
+    // Orders have 1-7 lineitems (TPC-H random(1,7)).
+    int64_t lines = rng.UniformInt(1, 7);
+    int64_t orderdate = rng.UniformInt(order_min_date, order_max_date);
+    for (int64_t l = 1; l <= lines && row < n; ++l, ++row) {
+      orderkey[row] = next_orderkey;
+      partkey[row] = rng.UniformInt(1, 200000);
+      suppkey[row] = rng.UniformInt(1, 10000);
+      linenumber[row] = l;
+      double qty = static_cast<double>(rng.UniformInt(1, 50));
+      quantity[row] = qty;
+      // Simplified retail price per part.
+      double price_per_unit =
+          900.0 + static_cast<double>(rng.UniformInt(1, 120000)) / 100.0;
+      extendedprice[row] = qty * price_per_unit;
+      discount[row] =
+          static_cast<double>(rng.UniformInt(0, 10)) / 100.0;
+      tax[row] = static_cast<double>(rng.UniformInt(0, 8)) / 100.0;
+      int64_t ship = orderdate + rng.UniformInt(1, 121);
+      shipdate[row] = ship;
+      commitdate[row] = orderdate + rng.UniformInt(30, 90);
+      receiptdate[row] = ship + rng.UniformInt(1, 30);
+      if (receiptdate[row] <= current_date) {
+        // Returned or accepted: R or A with equal probability.
+        returnflag[row] = rng.UniformInt(0, 1) == 0 ? 0 : 2;  // A or R.
+      } else {
+        returnflag[row] = 1;  // N.
+      }
+      linestatus[row] = ship > current_date ? 1 : 0;  // O : F.
+      shipinstruct[row] = rng.UniformInt(0, 3);
+      shipmode[row] = rng.UniformInt(0, 6);
+      comment[row] = static_cast<int64_t>(rng.Next() >> 16);
+    }
+    ++next_orderkey;
+  }
+
+  // Sort by l_shipdate (Section 5.1).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (shipdate[a] != shipdate[b]) return shipdate[a] < shipdate[b];
+    return orderkey[a] < orderkey[b];
+  });
+  auto permute_i = [&](std::vector<int64_t>& v) {
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = v[order[i]];
+    v = std::move(out);
+  };
+  auto permute_f = [&](std::vector<double>& v) {
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = v[order[i]];
+    v = std::move(out);
+  };
+  permute_i(orderkey);
+  permute_i(partkey);
+  permute_i(suppkey);
+  permute_i(linenumber);
+  permute_f(quantity);
+  permute_f(extendedprice);
+  permute_f(discount);
+  permute_f(tax);
+  permute_i(returnflag);
+  permute_i(linestatus);
+  permute_i(shipdate);
+  permute_i(commitdate);
+  permute_i(receiptdate);
+  permute_i(shipinstruct);
+  permute_i(shipmode);
+  permute_i(comment);
+
+  return TableChunk(
+      LineitemSchema(),
+      {Column::Int64(std::move(orderkey)), Column::Int64(std::move(partkey)),
+       Column::Int64(std::move(suppkey)),
+       Column::Int64(std::move(linenumber)),
+       Column::Float64(std::move(quantity)),
+       Column::Float64(std::move(extendedprice)),
+       Column::Float64(std::move(discount)), Column::Float64(std::move(tax)),
+       Column::Int64(std::move(returnflag)),
+       Column::Int64(std::move(linestatus)),
+       Column::Int64(std::move(shipdate)),
+       Column::Int64(std::move(commitdate)),
+       Column::Int64(std::move(receiptdate)),
+       Column::Int64(std::move(shipinstruct)),
+       Column::Int64(std::move(shipmode)), Column::Int64(std::move(comment))});
+}
+
+Result<DatasetInfo> LoadLineitem(cloud::ObjectStore* s3,
+                                 const std::string& bucket,
+                                 const std::string& prefix,
+                                 const LoadOptions& options) {
+  RETURN_NOT_OK(s3->CreateBucket(bucket));
+  TableChunk all = GenerateLineitem(options.num_rows, options.seed);
+  DatasetInfo info;
+  info.rows = options.num_rows;
+  info.files = options.num_files;
+  size_t n = all.num_rows();
+  for (int f = 0; f < options.num_files; ++f) {
+    size_t begin = n * static_cast<size_t>(f) /
+                   static_cast<size_t>(options.num_files);
+    size_t end = n * (static_cast<size_t>(f) + 1) /
+                 static_cast<size_t>(options.num_files);
+    std::vector<bool> keep(n, false);
+    for (size_t i = begin; i < end; ++i) keep[i] = true;
+    TableChunk part = all.Filter(keep);
+    format::WriterOptions wo;
+    wo.codec = options.codec;
+    wo.row_group_rows = std::max<int64_t>(
+        1, static_cast<int64_t>(part.num_rows() + options.row_groups_per_file -
+                                1) /
+               options.row_groups_per_file);
+    ASSIGN_OR_RETURN(auto bytes, format::FileWriter::WriteTable(part, wo));
+    char fname[64];
+    std::snprintf(fname, sizeof(fname), "part-%04d.lpq", f);
+    if (options.stats_index != nullptr) {
+      // Re-parse the footer we just wrote and register its statistics.
+      uint32_t footer_len;
+      std::memcpy(&footer_len, bytes.data() + bytes.size() - 8, 4);
+      auto meta = format::FileMetadata::Parse(
+          bytes.data() + bytes.size() - 8 - footer_len, footer_len);
+      RETURN_NOT_OK(meta);
+      RETURN_NOT_OK(options.stats_index->RegisterFileDirect(
+          options.dataset, prefix + fname, *meta));
+    }
+    double scale = 1.0;
+    if (options.virtual_bytes_per_file > 0) {
+      scale = static_cast<double>(options.virtual_bytes_per_file) /
+              static_cast<double>(bytes.size());
+    }
+    info.real_bytes += static_cast<int64_t>(bytes.size());
+    info.virtual_bytes +=
+        static_cast<int64_t>(static_cast<double>(bytes.size()) * scale);
+    RETURN_NOT_OK(s3->PutDirect(bucket, prefix + fname,
+                                Buffer::FromVector(std::move(bytes)),
+                                scale));
+  }
+  return info;
+}
+
+int64_t Q1CutoffDate() { return TpchDate(1998, 12, 1) - 90; }
+
+core::Query TpchQ1(const std::string& pattern) {
+  using engine::Avg;
+  using engine::Col;
+  using engine::Count;
+  using engine::Lit;
+  using engine::Sum;
+  auto disc_price =
+      Col("l_extendedprice") * (Lit(1.0) - Col("l_discount"));
+  auto charge = disc_price * (Lit(1.0) + Col("l_tax"));
+  return core::Query::FromParquet(pattern)
+      .Filter(Col("l_shipdate") <= Lit(Q1CutoffDate()))
+      .Aggregate({"l_returnflag", "l_linestatus"},
+                 {Sum(Col("l_quantity"), "sum_qty"),
+                  Sum(Col("l_extendedprice"), "sum_base_price"),
+                  Sum(disc_price, "sum_disc_price"), Sum(charge, "sum_charge"),
+                  Avg(Col("l_quantity"), "avg_qty"),
+                  Avg(Col("l_extendedprice"), "avg_price"),
+                  Avg(Col("l_discount"), "avg_disc"),
+                  Count("count_order")});
+}
+
+core::Query TpchQ6(const std::string& pattern) {
+  using engine::Col;
+  using engine::Lit;
+  return core::Query::FromParquet(pattern)
+      .Filter(Col("l_shipdate") >= Lit(TpchDate(1994, 1, 1)))
+      .Filter(Col("l_shipdate") < Lit(TpchDate(1995, 1, 1)))
+      .Filter(Col("l_discount") >= Lit(0.05) && Col("l_discount") <= Lit(0.07))
+      .Filter(Col("l_quantity") < Lit(24.0))
+      .Map(Col("l_extendedprice") * Col("l_discount"), "revenue_item")
+      .ReduceSum("revenue_item");
+}
+
+engine::TableChunk ReferenceQ1(const TableChunk& li) {
+  engine::HashAggregator agg(
+      {"l_returnflag", "l_linestatus"},
+      {engine::Sum(engine::Col("l_quantity"), "sum_qty"),
+       engine::Sum(engine::Col("l_extendedprice"), "sum_base_price"),
+       engine::Sum(engine::Col("l_extendedprice") *
+                       (engine::Lit(1.0) - engine::Col("l_discount")),
+                   "sum_disc_price"),
+       engine::Sum(engine::Col("l_extendedprice") *
+                       (engine::Lit(1.0) - engine::Col("l_discount")) *
+                       (engine::Lit(1.0) + engine::Col("l_tax")),
+                   "sum_charge"),
+       engine::Avg(engine::Col("l_quantity"), "avg_qty"),
+       engine::Avg(engine::Col("l_extendedprice"), "avg_price"),
+       engine::Avg(engine::Col("l_discount"), "avg_disc"),
+       engine::Count("count_order")});
+  auto mask = (engine::Col("l_shipdate") <= engine::Lit(Q1CutoffDate()))
+                  ->Evaluate(li);
+  LAMBADA_CHECK(mask.ok());
+  std::vector<bool> keep(li.num_rows());
+  for (size_t i = 0; i < keep.size(); ++i) keep[i] = mask->i64()[i] != 0;
+  LAMBADA_CHECK_OK(agg.ConsumeInput(li.Filter(keep)));
+  return agg.Finalize();
+}
+
+double ReferenceQ6(const TableChunk& li) {
+  size_t ship = static_cast<size_t>(li.schema()->FieldIndex("l_shipdate"));
+  size_t disc = static_cast<size_t>(li.schema()->FieldIndex("l_discount"));
+  size_t qty = static_cast<size_t>(li.schema()->FieldIndex("l_quantity"));
+  size_t price =
+      static_cast<size_t>(li.schema()->FieldIndex("l_extendedprice"));
+  const int64_t lo = TpchDate(1994, 1, 1), hi = TpchDate(1995, 1, 1);
+  double revenue = 0;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    int64_t d = li.column(ship).i64()[i];
+    double dc = li.column(disc).f64()[i];
+    if (d >= lo && d < hi && dc >= 0.05 && dc <= 0.07 &&
+        li.column(qty).f64()[i] < 24.0) {
+      revenue += li.column(price).f64()[i] * dc;
+    }
+  }
+  return revenue;
+}
+
+}  // namespace lambada::workload

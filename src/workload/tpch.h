@@ -1,0 +1,94 @@
+#ifndef LAMBADA_WORKLOAD_TPCH_H_
+#define LAMBADA_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/object_store.h"
+#include "common/status.h"
+#include "compress/codec.h"
+#include "core/dataflow.h"
+#include "core/stats_index.h"
+#include "engine/table.h"
+
+namespace lambada::workload {
+
+/// Modified TPC-H dbgen for the LINEITEM relation, numbers instead of
+/// strings (Section 5.1: "Since our prototype does not support strings
+/// yet, we modify dbgen to generate numbers instead of strings") and the
+/// relation sorted by l_shipdate "to show the effect of selection push
+/// downs on that attribute".
+///
+/// Columns (16, all int64/float64):
+///   l_orderkey, l_partkey, l_suppkey, l_linenumber        int64
+///   l_quantity, l_extendedprice, l_discount, l_tax        float64
+///   l_returnflag (0=A,1=N,2=R), l_linestatus (0=F,1=O)    int64
+///   l_shipdate, l_commitdate, l_receiptdate               int64 (day number)
+///   l_shipinstruct, l_shipmode, l_comment                 int64
+
+/// Days since 1992-01-01 for a proleptic Gregorian date.
+int64_t TpchDate(int year, int month, int day);
+
+/// LINEITEM rows per unit scale factor (TPC-H: ~6M at SF 1).
+inline constexpr int64_t kLineitemRowsPerScaleFactor = 6001215;
+
+engine::SchemaPtr LineitemSchema();
+
+/// Generates `num_rows` LINEITEM rows with TPC-H value distributions,
+/// sorted by l_shipdate.
+engine::TableChunk GenerateLineitem(int64_t num_rows, uint64_t seed);
+
+/// How a generated dataset is laid out on (simulated) S3.
+struct LoadOptions {
+  int64_t num_rows = 100000;
+  int num_files = 8;
+  /// Row groups per file — matched to the row-group count a real ~500 MB
+  /// Parquet file would have, so that request patterns are faithful.
+  int row_groups_per_file = 8;
+  compress::CodecId codec = compress::CodecId::kHeavy;
+  /// Virtual size each file models (0 = its real size). The paper's files
+  /// are "about 500 MB" (Section 5.1).
+  int64_t virtual_bytes_per_file = 0;
+  uint64_t seed = 7;
+  /// When set, each file's min/max statistics are registered in this
+  /// central index under `dataset` (Section 5.3 extension).
+  core::StatsIndex* stats_index = nullptr;
+  std::string dataset;
+};
+
+struct DatasetInfo {
+  int64_t rows = 0;
+  int files = 0;
+  int64_t real_bytes = 0;
+  int64_t virtual_bytes = 0;
+};
+
+/// Generates, sorts, splits, encodes and uploads LINEITEM as
+/// "{prefix}part-NNNN.lpq" objects. Host-side (no simulated cost): this is
+/// the dataset that exists before the experiment starts.
+Result<DatasetInfo> LoadLineitem(cloud::ObjectStore* s3,
+                                 const std::string& bucket,
+                                 const std::string& prefix,
+                                 const LoadOptions& options);
+
+// -- Queries -----------------------------------------------------------------
+
+/// TPC-H Q1 (pricing summary report): selects ~98 % of LINEITEM on
+/// l_shipdate, aggregates into 4 groups with 8 aggregates.
+core::Query TpchQ1(const std::string& pattern);
+
+/// TPC-H Q6 (forecasting revenue change): selects ~2 % of LINEITEM,
+/// global SUM(l_extendedprice * l_discount).
+core::Query TpchQ6(const std::string& pattern);
+
+/// The Q1 ship-date cutoff (1998-12-01 minus 90 days).
+int64_t Q1CutoffDate();
+
+// -- Reference results (computed directly, for validating the system) -------
+
+engine::TableChunk ReferenceQ1(const engine::TableChunk& lineitem);
+double ReferenceQ6(const engine::TableChunk& lineitem);
+
+}  // namespace lambada::workload
+
+#endif  // LAMBADA_WORKLOAD_TPCH_H_

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/binio.h"
+#include "common/buffer.h"
+#include "common/glob.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace lambada {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: key x");
+}
+
+TEST(StatusTest, RetriableCodes) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetriable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetriable());
+  EXPECT_TRUE(Status::Timeout("x").IsRetriable());
+  EXPECT_FALSE(Status::Invalid("x").IsRetriable());
+  EXPECT_FALSE(Status::OK().IsRetriable());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err = Status::Invalid("bad");
+  EXPECT_EQ(std::move(err).ValueOr(7), 7);
+  Result<int> ok = 3;
+  EXPECT_EQ(std::move(ok).ValueOr(7), 3);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::Invalid("not positive");
+  return x;
+}
+
+Result<int> DoubleOf(int x) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoubleOf(4), 8);
+  EXPECT_FALSE(DoubleOf(-1).ok());
+}
+
+Status CheckEven(int x) {
+  RETURN_NOT_OK(ParsePositive(x));
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+  EXPECT_FALSE(CheckEven(-2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Buffer
+// ---------------------------------------------------------------------------
+
+TEST(BufferTest, FromStringRoundTrip) {
+  auto b = Buffer::FromString("hello");
+  EXPECT_EQ(b->size(), 5u);
+  EXPECT_EQ(b->ToString(), "hello");
+}
+
+TEST(BufferTest, SliceIsZeroCopyView) {
+  auto b = Buffer::FromString("hello world");
+  auto s = b->Slice(6, 5);
+  EXPECT_EQ(s->ToString(), "world");
+  EXPECT_EQ(s->data(), b->data() + 6);
+}
+
+TEST(BufferTest, SliceKeepsParentAlive) {
+  BufferPtr s;
+  {
+    auto b = Buffer::FromString("hello world");
+    s = b->Slice(0, 5);
+  }
+  EXPECT_EQ(s->ToString(), "hello");
+}
+
+TEST(BufferTest, EmptySlice) {
+  auto b = Buffer::FromString("abc");
+  auto s = b->Slice(3, 0);
+  EXPECT_EQ(s->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BinaryWriter / BinaryReader
+// ---------------------------------------------------------------------------
+
+TEST(BinIoTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(1ull << 40);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 123456u);
+  EXPECT_EQ(*r.GetU64(), 1ull << 40);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_EQ(*r.GetF64(), 3.25);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinIoTest, VarintRoundTripBoundaries) {
+  BinaryWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 16383, 16384,
+                             (1ull << 32), ~0ull};
+  for (uint64_t v : values) w.PutVarint(v);
+  BinaryReader r(w.bytes());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(BinIoTest, StringAndBytesRoundTrip) {
+  BinaryWriter w;
+  w.PutString("abc");
+  w.PutString("");
+  w.PutBytes({1, 2, 3});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(*r.GetString(), "abc");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetBytes(), (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(BinIoTest, TruncatedInputReportsIOError) {
+  BinaryWriter w;
+  w.PutU64(1);
+  BinaryReader r(w.bytes().data(), 3);  // Truncate.
+  auto got = r.GetU64();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinIoTest, CorruptVarintLengthDoesNotCrash) {
+  std::vector<uint8_t> bytes = {0xFF, 0xFF};  // Claims a huge length.
+  BinaryReader r(bytes);
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(1, 5);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 1);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, LognormalMedianApproximatelyCorrect) {
+  Rng r(11);
+  std::vector<double> v;
+  for (int i = 0; i < 20001; ++i) v.push_back(r.Lognormal(0.02, 0.3));
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 0.02, 0.002);
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.Pareto(1.5, 2.0), 1.5);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * kMiB), "2.00 MiB");
+  EXPECT_EQ(FormatBytes(3 * kGiB), "3.00 GiB");
+}
+
+TEST(UnitsTest, FormatUsd) {
+  EXPECT_EQ(FormatUsd(0.0), "$0");
+  EXPECT_EQ(FormatUsd(0.033), "3.3 c");
+  EXPECT_EQ(FormatUsd(12.3), "$12.30");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.125), "125 ms");
+  EXPECT_EQ(FormatSeconds(3.42), "3.42 s");
+  EXPECT_EQ(FormatSeconds(600), "10.0 min");
+}
+
+// ---------------------------------------------------------------------------
+// Glob
+// ---------------------------------------------------------------------------
+
+TEST(GlobTest, Basics) {
+  EXPECT_TRUE(GlobMatch("*.lpq", "part-0001.lpq"));
+  EXPECT_FALSE(GlobMatch("*.lpq", "part-0001.csv"));
+  EXPECT_TRUE(GlobMatch("data/*.lpq", "data/x.lpq"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_TRUE(GlobMatch("**", "anything/at/all"));
+  EXPECT_TRUE(GlobMatch("exact", "exact"));
+  EXPECT_FALSE(GlobMatch("exact", "exactly"));
+}
+
+TEST(GlobTest, StarCrossesSlashes) {
+  EXPECT_TRUE(GlobMatch("data/*", "data/a/b/c"));
+}
+
+TEST(GlobTest, ParseS3Uri) {
+  std::string bucket, key;
+  ASSERT_TRUE(ParseS3Uri("s3://my-bucket/path/to/key", &bucket, &key));
+  EXPECT_EQ(bucket, "my-bucket");
+  EXPECT_EQ(key, "path/to/key");
+  ASSERT_TRUE(ParseS3Uri("s3://b", &bucket, &key));
+  EXPECT_EQ(bucket, "b");
+  EXPECT_EQ(key, "");
+  EXPECT_FALSE(ParseS3Uri("http://x/y", &bucket, &key));
+}
+
+TEST(GlobTest, LiteralPrefix) {
+  EXPECT_EQ(GlobLiteralPrefix("data/part-*.lpq"), "data/part-");
+  EXPECT_EQ(GlobLiteralPrefix("nometa"), "nometa");
+  EXPECT_EQ(GlobLiteralPrefix("*x"), "");
+}
+
+}  // namespace
+}  // namespace lambada

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+
+namespace lambada::compress {
+namespace {
+
+std::vector<uint8_t> RoundTrip(const Codec& codec,
+                               const std::vector<uint8_t>& input) {
+  auto compressed = codec.Compress(input);
+  auto r = codec.Decompress(compressed.data(), compressed.size(),
+                            input.size());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<uint8_t>{};
+}
+
+class AllCodecsTest : public ::testing::TestWithParam<CodecId> {};
+
+INSTANTIATE_TEST_SUITE_P(Codecs, AllCodecsTest,
+                         ::testing::Values(CodecId::kNone, CodecId::kRle,
+                                           CodecId::kLz, CodecId::kHeavy),
+                         [](const auto& info) {
+                           return std::string(CodecName(info.param));
+                         });
+
+TEST_P(AllCodecsTest, EmptyInput) {
+  const Codec& codec = GetCodec(GetParam());
+  EXPECT_EQ(RoundTrip(codec, {}), std::vector<uint8_t>{});
+}
+
+TEST_P(AllCodecsTest, SingleByte) {
+  const Codec& codec = GetCodec(GetParam());
+  std::vector<uint8_t> in = {42};
+  EXPECT_EQ(RoundTrip(codec, in), in);
+}
+
+TEST_P(AllCodecsTest, ShortAscii) {
+  const Codec& codec = GetCodec(GetParam());
+  std::string s = "hello, lambada!";
+  std::vector<uint8_t> in(s.begin(), s.end());
+  EXPECT_EQ(RoundTrip(codec, in), in);
+}
+
+TEST_P(AllCodecsTest, AllSameByte) {
+  const Codec& codec = GetCodec(GetParam());
+  std::vector<uint8_t> in(10000, 0xAB);
+  EXPECT_EQ(RoundTrip(codec, in), in);
+}
+
+TEST_P(AllCodecsTest, RandomBytesRoundTrip) {
+  const Codec& codec = GetCodec(GetParam());
+  Rng rng(99);
+  for (size_t size : {1u, 7u, 100u, 4096u, 70000u}) {
+    std::vector<uint8_t> in(size);
+    for (auto& b : in) b = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(RoundTrip(codec, in), in) << "size " << size;
+  }
+}
+
+TEST_P(AllCodecsTest, RepetitiveDataRoundTrip) {
+  const Codec& codec = GetCodec(GetParam());
+  // Int64 columns with small value ranges: the typical Lambada payload.
+  std::vector<int64_t> values;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.UniformInt(0, 50));
+  std::vector<uint8_t> in(values.size() * sizeof(int64_t));
+  std::memcpy(in.data(), values.data(), in.size());
+  EXPECT_EQ(RoundTrip(codec, in), in);
+}
+
+TEST_P(AllCodecsTest, DecompressRejectsWrongSize) {
+  const Codec& codec = GetCodec(GetParam());
+  std::vector<uint8_t> in(1000, 1);
+  auto compressed = codec.Compress(in);
+  auto r = codec.Decompress(compressed.data(), compressed.size(),
+                            in.size() + 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_P(AllCodecsTest, DecompressRejectsTruncatedInput) {
+  const Codec& codec = GetCodec(GetParam());
+  std::vector<uint8_t> in(5000);
+  Rng rng(3);
+  for (auto& b : in) b = static_cast<uint8_t>(rng.UniformInt(0, 3));
+  auto compressed = codec.Compress(in);
+  ASSERT_GT(compressed.size(), 4u);
+  auto r = codec.Decompress(compressed.data(), compressed.size() / 2,
+                            in.size());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, CompressionRatiosOrdered) {
+  // On repetitive columnar data: heavy <= lz (heavy never worse), and both
+  // do substantially better than raw.
+  std::vector<int64_t> values;
+  Rng rng(17);
+  int64_t v = 0;
+  for (int i = 0; i < 50000; ++i) {
+    v += rng.UniformInt(0, 3);
+    values.push_back(v % 1000);
+  }
+  std::vector<uint8_t> in(values.size() * sizeof(int64_t));
+  std::memcpy(in.data(), values.data(), in.size());
+  size_t lz = GetCodec(CodecId::kLz).Compress(in).size();
+  size_t heavy = GetCodec(CodecId::kHeavy).Compress(in).size();
+  EXPECT_LE(heavy, lz);
+  EXPECT_LT(heavy, in.size() / 2);
+}
+
+TEST(CodecTest, RleCompressesRuns) {
+  std::vector<uint8_t> in(100000, 0);
+  size_t rle = GetCodec(CodecId::kRle).Compress(in).size();
+  EXPECT_LT(rle, in.size() / 40);
+}
+
+TEST(CodecTest, NamesRoundTrip) {
+  for (CodecId id : {CodecId::kNone, CodecId::kRle, CodecId::kLz,
+                     CodecId::kHeavy}) {
+    auto r = CodecFromName(CodecName(id));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, id);
+  }
+  EXPECT_FALSE(CodecFromName("gzip").ok());
+}
+
+TEST(CodecTest, CpuCostModelOrdering) {
+  // Heavier codecs must cost more virtual CPU per output byte.
+  EXPECT_LT(GetCodec(CodecId::kNone).DecompressCpuSecondsPerByte(),
+            GetCodec(CodecId::kRle).DecompressCpuSecondsPerByte());
+  EXPECT_LT(GetCodec(CodecId::kRle).DecompressCpuSecondsPerByte(),
+            GetCodec(CodecId::kLz).DecompressCpuSecondsPerByte());
+  EXPECT_LT(GetCodec(CodecId::kLz).DecompressCpuSecondsPerByte(),
+            GetCodec(CodecId::kHeavy).DecompressCpuSecondsPerByte());
+}
+
+TEST(CodecTest, LzHandlesOverlappingMatches) {
+  // "abcabcabc..." forces offset < match length (self-overlapping copy).
+  std::vector<uint8_t> in;
+  for (int i = 0; i < 3000; ++i) in.push_back("abc"[i % 3]);
+  EXPECT_EQ(RoundTrip(GetCodec(CodecId::kLz), in), in);
+  EXPECT_EQ(RoundTrip(GetCodec(CodecId::kHeavy), in), in);
+}
+
+TEST(CodecTest, LongLiteralRunsUseExtendedLengths) {
+  // Incompressible block > 15 literals exercises extended length paths.
+  Rng rng(23);
+  std::vector<uint8_t> in(1000);
+  for (auto& b : in) b = static_cast<uint8_t>(rng.Next());
+  EXPECT_EQ(RoundTrip(GetCodec(CodecId::kLz), in), in);
+}
+
+}  // namespace
+}  // namespace lambada::compress

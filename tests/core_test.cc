@@ -1,0 +1,619 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <numeric>
+#include <set>
+
+#include "cloud/cloud.h"
+#include "common/rng.h"
+#include "core/dataflow.h"
+#include "core/driver.h"
+#include "core/exchange.h"
+#include "core/messages.h"
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/worker.h"
+#include "engine/chunk_serde.h"
+#include "engine/partition.h"
+#include "format/writer.h"
+
+namespace lambada::core {
+namespace {
+
+using engine::Col;
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Lit;
+using engine::Schema;
+using engine::TableChunk;
+
+// ---------------------------------------------------------------------------
+// Plan / message serialization
+// ---------------------------------------------------------------------------
+
+TEST(PlanTest, FragmentSerializationRoundTrip) {
+  PlanFragment f;
+  f.scan_projection = {"a", "b"};
+  f.scan_filter = Col("a") >= Lit(5);
+  PlanOp filter;
+  filter.kind = PlanOp::Kind::kFilter;
+  filter.expr = Col("b") < Lit(1.5);
+  f.ops.push_back(filter);
+  PlanOp map;
+  map.kind = PlanOp::Kind::kMap;
+  map.expr = Col("a") * Col("b");
+  map.name = "ab";
+  f.ops.push_back(map);
+  PlanOp ex;
+  ex.kind = PlanOp::Kind::kExchange;
+  ExchangeSpec spec;
+  spec.keys = {"a"};
+  spec.levels = 2;
+  spec.exchange_id = "t-x";
+  ex.exchange = spec;
+  f.ops.push_back(ex);
+  PlanOp agg;
+  agg.kind = PlanOp::Kind::kAggregate;
+  agg.group_by = {"a"};
+  agg.aggs = {engine::Sum(Col("ab"), "s"), engine::Count("n")};
+  f.ops.push_back(agg);
+  f.tuning.row_group_parallelism = 3;
+  f.tuning.chunk_bytes = 123456;
+
+  auto bytes = f.Serialize();
+  auto back = PlanFragment::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->scan_projection, f.scan_projection);
+  EXPECT_EQ(back->scan_filter->ToString(), f.scan_filter->ToString());
+  ASSERT_EQ(back->ops.size(), 4u);
+  EXPECT_EQ(back->ops[2].exchange->keys, spec.keys);
+  EXPECT_EQ(back->ops[3].aggs.size(), 2u);
+  EXPECT_EQ(back->tuning.row_group_parallelism, 3);
+  EXPECT_EQ(back->tuning.chunk_bytes, 123456);
+  EXPECT_TRUE(back->EndsInAggregate());
+}
+
+TEST(PlanTest, CorruptFragmentRejected) {
+  PlanFragment f;
+  auto bytes = f.Serialize();
+  EXPECT_FALSE(
+      PlanFragment::Deserialize(bytes.data(), bytes.size() / 2).ok());
+}
+
+TEST(MessagesTest, PayloadRoundTrip) {
+  InvocationPayload p;
+  p.query_id = "q7";
+  p.total_workers = 64;
+  p.plan_bucket = "sys";
+  p.plan_key = "plans/q7";
+  p.result_queue = "results";
+  p.data_scale = 12.5;
+  p.self.worker_id = 3;
+  p.self.files = {{"data", "part-0.lpq"}, {"data", "part-1.lpq"}};
+  WorkerInput child;
+  child.worker_id = 4;
+  child.files = {{"data", "part-2.lpq"}};
+  p.to_invoke.push_back(child);
+
+  auto back = InvocationPayload::Parse(p.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->query_id, "q7");
+  EXPECT_EQ(back->total_workers, 64u);
+  EXPECT_EQ(back->self.files[1].key, "part-1.lpq");
+  ASSERT_EQ(back->to_invoke.size(), 1u);
+  EXPECT_EQ(back->to_invoke[0].worker_id, 4u);
+  EXPECT_DOUBLE_EQ(back->data_scale, 12.5);
+}
+
+TEST(MessagesTest, ResultRoundTripWithError) {
+  ResultMessage m;
+  m.query_id = "q1";
+  m.worker_id = 9;
+  m.status_code = StatusCode::kOutOfMemory;
+  m.status_message = "boom";
+  m.metrics.processing_time_s = 2.5;
+  m.metrics.rows_scanned = 100;
+  m.inline_result = {1, 2, 3};
+  auto back = ResultMessage::Parse(m.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status_code, StatusCode::kOutOfMemory);
+  EXPECT_EQ(back->inline_result, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(back->metrics.processing_time_s, 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, LeadingFiltersPushIntoScan) {
+  auto q = Query::FromParquet("s3://d/*.lpq")
+               .Filter(Col("a") >= Lit(1))
+               .Filter(Col("b") < Lit(2))
+               .Aggregate({}, {engine::Count("n")});
+  auto phys = PlanQuery(q);
+  ASSERT_TRUE(phys.ok());
+  ASSERT_NE(phys->fragment.scan_filter, nullptr);
+  // Both filters folded into one conjunction.
+  EXPECT_NE(phys->fragment.scan_filter->ToString().find("and"),
+            std::string::npos);
+  // Only the aggregate remains as an op.
+  ASSERT_EQ(phys->fragment.ops.size(), 1u);
+  EXPECT_EQ(phys->fragment.ops[0].kind, PlanOp::Kind::kAggregate);
+  EXPECT_TRUE(phys->has_final_aggregate);
+}
+
+TEST(PlannerTest, ProjectionPushdownCollectsReferencedColumns) {
+  auto q = Query::FromParquet("s3://d/*.lpq")
+               .Filter(Col("f") > Lit(0))
+               .Map(Col("x") * Col("y"), "v")
+               .ReduceSum("v");
+  auto phys = PlanQuery(q);
+  ASSERT_TRUE(phys.ok());
+  std::set<std::string> proj(phys->fragment.scan_projection.begin(),
+                             phys->fragment.scan_projection.end());
+  EXPECT_EQ(proj, (std::set<std::string>{"f", "x", "y"}));
+  // The derived column "v" must not be in the scan projection.
+  EXPECT_EQ(proj.count("v"), 0u);
+}
+
+TEST(PlannerTest, AggregateMustBeLast) {
+  auto q = Query::FromParquet("s3://d/*.lpq")
+               .Aggregate({}, {engine::Count("n")})
+               .Filter(Col("n") > Lit(0));
+  EXPECT_FALSE(PlanQuery(q).ok());
+}
+
+TEST(PlannerTest, FilterAfterMapStaysInPipeline) {
+  auto q = Query::FromParquet("s3://d/*.lpq")
+               .Map(Col("x") * Lit(2), "x2")
+               .Filter(Col("x2") > Lit(10));
+  auto phys = PlanQuery(q);
+  ASSERT_TRUE(phys.ok());
+  EXPECT_EQ(phys->fragment.scan_filter, nullptr);
+  ASSERT_EQ(phys->fragment.ops.size(), 2u);
+  EXPECT_EQ(phys->fragment.ops[0].kind, PlanOp::Kind::kMap);
+  EXPECT_EQ(phys->fragment.ops[1].kind, PlanOp::Kind::kFilter);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange factorization
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeFactorTest, ExactProducts) {
+  for (int P : {4, 16, 64, 100, 250, 320, 500, 1000, 1250, 2500, 4096}) {
+    for (int levels : {1, 2}) {
+      auto f = FactorizeWorkers(P, levels);
+      ASSERT_TRUE(f.ok()) << "P=" << P << " levels=" << levels;
+      int prod = 1;
+      for (int s : *f) prod *= s;
+      EXPECT_EQ(prod, P);
+      EXPECT_EQ(f->size(), static_cast<size_t>(levels));
+    }
+  }
+  auto f3 = FactorizeWorkers(1000, 3);
+  ASSERT_TRUE(f3.ok());
+  EXPECT_EQ((*f3)[0] * (*f3)[1] * (*f3)[2], 1000);
+}
+
+TEST(ExchangeFactorTest, BalancedNearRoot) {
+  auto f = FactorizeWorkers(2500, 2);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)[0], 50);
+  EXPECT_EQ((*f)[1], 50);
+  auto g = FactorizeWorkers(4096, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)[0], 16);
+}
+
+TEST(ExchangeFactorTest, LargePrimesRejected) {
+  EXPECT_FALSE(FactorizeWorkers(997, 2).ok());
+  EXPECT_GT(LargestFactorizableWorkerCount(997, 2), 900);
+}
+
+TEST(ExchangeFactorTest, RequestCountModelMatchesTable2) {
+  // Table 2: 1l -> P^2 reads and writes; 2l -> 2P*sqrt(P); write combining
+  // drops writes to (levels * P).
+  auto c1 = PredictExchangeRequests(100, 1, false);
+  EXPECT_DOUBLE_EQ(c1.reads, 100.0 * 100.0);
+  EXPECT_DOUBLE_EQ(c1.writes, 100.0 * 100.0);
+  auto c2 = PredictExchangeRequests(100, 2, false);
+  EXPECT_DOUBLE_EQ(c2.reads, 2.0 * 100.0 * 10.0);
+  auto c2wc = PredictExchangeRequests(100, 2, true);
+  EXPECT_DOUBLE_EQ(c2wc.writes, 200.0);
+  auto c3 = PredictExchangeRequests(1000, 3, false);
+  EXPECT_NEAR(c3.reads, 3.0 * 1000.0 * 10.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end exchange on simulated workers
+// ---------------------------------------------------------------------------
+
+struct ExchangeResult {
+  std::vector<TableChunk> outputs;  // Per worker.
+  Status status = Status::OK();
+};
+
+/// Runs a P-worker exchange where worker p holds rows with values
+/// p*rows_per_worker..(p+1)*rows_per_worker-1, then checks that every row
+/// arrived at exactly the worker its hash designates.
+ExchangeResult RunExchangeExperiment(int P, ExchangeSpec spec,
+                                     int rows_per_worker = 200) {
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = P + 10;
+  cloud::Cloud cloud(cfg);
+  LAMBADA_CHECK_OK(CreateExchangeBuckets(&cloud.s3(), spec));
+  spec.exchange_id = "test-x";
+
+  ExchangeResult result;
+  result.outputs.resize(static_cast<size_t>(P));
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+
+  cloud::FunctionConfig fn;
+  fn.name = "xworker";
+  fn.memory_mib = 2048;
+  fn.handler = [&, schema](cloud::WorkerEnv& env,
+                           std::string payload) -> sim::Async<Status> {
+    int p = std::stoi(payload);
+    std::vector<int64_t> keys;
+    std::vector<double> vals;
+    for (int i = 0; i < rows_per_worker; ++i) {
+      int64_t k = static_cast<int64_t>(p) * rows_per_worker + i;
+      keys.push_back(k);
+      vals.push_back(static_cast<double>(k) * 0.5);
+    }
+    TableChunk input(schema, {Column::Int64(std::move(keys)),
+                              Column::Float64(std::move(vals))});
+    auto out = co_await RunExchange(env, spec, p, P, std::move(input));
+    if (!out.ok()) {
+      if (result.status.ok()) result.status = out.status();
+      co_return out.status();
+    }
+    result.outputs[static_cast<size_t>(p)] = *std::move(out);
+    co_return Status::OK();
+  };
+  LAMBADA_CHECK_OK(cloud.faas().CreateFunction(fn));
+  for (int p = 0; p < P; ++p) {
+    sim::Spawn([](cloud::Cloud* c, int worker) -> sim::Async<void> {
+      co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                &c->driver_rng(), "xworker",
+                                std::to_string(worker));
+    }(&cloud, p));
+  }
+  cloud.sim().Run();
+  return result;
+}
+
+void CheckExchangeCorrect(int P, const ExchangeResult& r,
+                          int rows_per_worker) {
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  int64_t total = 0;
+  std::set<int64_t> seen;
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+  for (int p = 0; p < P; ++p) {
+    const TableChunk& out = r.outputs[static_cast<size_t>(p)];
+    total += static_cast<int64_t>(out.num_rows());
+    if (out.num_rows() == 0) continue;
+    int k_idx = out.schema()->FieldIndex("k");
+    ASSERT_GE(k_idx, 0);
+    for (size_t i = 0; i < out.num_rows(); ++i) {
+      int64_t k = out.column(static_cast<size_t>(k_idx)).i64()[i];
+      // Row must be at the worker its hash designates.
+      TableChunk probe(schema, {Column::Int64({k}), Column::Float64({0})});
+      auto ids = engine::ComputePartitionIds(probe, {0}, P);
+      ASSERT_TRUE(ids.ok());
+      EXPECT_EQ(static_cast<int>((*ids)[0]), p) << "key " << k;
+      EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+    }
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(P) * rows_per_worker);
+}
+
+struct ExchangeVariant {
+  int levels;
+  bool write_combining;
+  bool offsets_in_name;
+  int P;
+};
+
+class ExchangeVariantTest
+    : public ::testing::TestWithParam<ExchangeVariant> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ExchangeVariantTest,
+    ::testing::Values(ExchangeVariant{1, false, false, 9},
+                      ExchangeVariant{1, true, true, 9},
+                      ExchangeVariant{2, false, false, 16},
+                      ExchangeVariant{2, true, true, 16},
+                      ExchangeVariant{2, true, false, 16},
+                      ExchangeVariant{2, true, true, 20},   // Non-square.
+                      ExchangeVariant{3, true, true, 27},
+                      ExchangeVariant{3, true, true, 30}),  // Mixed radix.
+    [](const auto& info) {
+      const auto& v = info.param;
+      return std::to_string(v.levels) + "l" +
+             (v.write_combining ? "wc" : "") +
+             (v.offsets_in_name ? "names" : "idx") + "P" +
+             std::to_string(v.P);
+    });
+
+TEST_P(ExchangeVariantTest, AllRowsReachTheirPartition) {
+  const auto& v = GetParam();
+  ExchangeSpec spec;
+  spec.keys = {"k"};
+  spec.levels = v.levels;
+  spec.write_combining = v.write_combining;
+  spec.offsets_in_name = v.offsets_in_name;
+  spec.num_buckets = 4;
+  auto result = RunExchangeExperiment(v.P, spec, 100);
+  CheckExchangeCorrect(v.P, result, 100);
+}
+
+TEST(ExchangeTest, RequestCountsMatchModel) {
+  // 2l-wc on a 16-worker grid: Table 2 predicts 2*P*sqrt(P) reads
+  // (= 128 GETs) and 2P writes (= 32 PUTs). Our implementation skips GETs
+  // for empty slices, so reads are bounded above by the model.
+  for (bool wc : {false, true}) {
+    cloud::CloudConfig cfg;
+    ExchangeSpec spec;
+    spec.keys = {"k"};
+    spec.levels = 2;
+    spec.write_combining = wc;
+    spec.num_buckets = 4;
+    auto before_counts = [] {};
+    cloud::Cloud cloud(cfg);
+    (void)before_counts;
+    LAMBADA_CHECK_OK(CreateExchangeBuckets(&cloud.s3(), spec));
+    // Re-run the experiment inline to capture this cloud's ledger.
+    // (RunExchangeExperiment owns its own cloud, so replicate briefly.)
+    spec.exchange_id = "cnt-x";
+    const int P = 16;
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"k", DataType::kInt64}});
+    cloud::FunctionConfig fn;
+    fn.name = "xw";
+    fn.memory_mib = 2048;
+    fn.handler = [&, schema](cloud::WorkerEnv& env,
+                             std::string payload) -> sim::Async<Status> {
+      int p = std::stoi(payload);
+      std::vector<int64_t> keys;
+      for (int i = 0; i < 500; ++i) {
+        keys.push_back(static_cast<int64_t>(p) * 500 + i);
+      }
+      TableChunk input(schema, {Column::Int64(std::move(keys))});
+      auto out = co_await RunExchange(env, spec, p, P, std::move(input));
+      co_return out.ok() ? Status::OK() : out.status();
+    };
+    LAMBADA_CHECK_OK(cloud.faas().CreateFunction(fn));
+    for (int p = 0; p < P; ++p) {
+      sim::Spawn([](cloud::Cloud* c, int worker) -> sim::Async<void> {
+        co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                  &c->driver_rng(), "xw",
+                                  std::to_string(worker));
+      }(&cloud, p));
+    }
+    cloud.sim().Run();
+    EXPECT_EQ(cloud.faas().failed_handlers(), 0);
+    auto t = cloud.ledger().totals();
+    auto model = PredictExchangeRequests(P, 2, wc);
+    if (wc) {
+      EXPECT_EQ(t.s3_put_requests, static_cast<int64_t>(model.writes));
+      EXPECT_LE(t.s3_get_requests, static_cast<int64_t>(model.reads));
+      EXPECT_GT(t.s3_get_requests,
+                static_cast<int64_t>(model.reads) / 2);
+      EXPECT_GE(t.s3_list_requests, static_cast<int64_t>(model.lists));
+    } else {
+      EXPECT_EQ(t.s3_put_requests, static_cast<int64_t>(model.writes));
+      EXPECT_GE(t.s3_get_requests, static_cast<int64_t>(model.reads));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver end-to-end
+// ---------------------------------------------------------------------------
+
+class DriverFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cloud_ = std::make_unique<cloud::Cloud>();
+    driver_ = std::make_unique<Driver>(cloud_.get());
+    ASSERT_TRUE(driver_->Install().ok());
+    ASSERT_TRUE(cloud_->s3().CreateBucket("data").ok());
+    // 4 files of a simple (g, x) table: g in 0..3, x = row index.
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"g", DataType::kInt64}, {"x", DataType::kFloat64}});
+    Rng rng(3);
+    for (int f = 0; f < 4; ++f) {
+      std::vector<int64_t> g;
+      std::vector<double> x;
+      for (int i = 0; i < 1000; ++i) {
+        int64_t key = rng.UniformInt(0, 3);
+        g.push_back(key);
+        double val = static_cast<double>(f * 1000 + i);
+        x.push_back(val);
+        expected_sum_[key] += val;
+        expected_count_[key] += 1;
+        total_sum_ += val;
+      }
+      TableChunk t(schema, {Column::Int64(std::move(g)),
+                            Column::Float64(std::move(x))});
+      format::WriterOptions wo;
+      wo.row_group_rows = 250;
+      auto file = format::FileWriter::WriteTable(t, wo);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(cloud_->s3()
+                      .PutDirect("data",
+                                 "t/part-" + std::to_string(f) + ".lpq",
+                                 Buffer::FromVector(*std::move(file)))
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<cloud::Cloud> cloud_;
+  std::unique_ptr<Driver> driver_;
+  std::map<int64_t, double> expected_sum_;
+  std::map<int64_t, int64_t> expected_count_;
+  double total_sum_ = 0;
+};
+
+TEST_F(DriverFixture, GroupedAggregateAcrossWorkers) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .Aggregate({"g"}, {engine::Sum(Col("x"), "s"),
+                                  engine::Count("n")});
+  RunOptions opts;
+  opts.files_per_worker = 1;
+  auto report = driver_->RunToCompletion(q, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->workers, 4);
+  const TableChunk& r = report->result;
+  ASSERT_EQ(r.num_rows(), 4u);
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    int64_t g = r.column(0).i64()[i];
+    EXPECT_NEAR(r.column(1).f64()[i], expected_sum_[g], 1e-6);
+    EXPECT_EQ(r.column(2).i64()[i], expected_count_[g]);
+  }
+  EXPECT_GT(report->latency_s, 0);
+  EXPECT_GT(report->cost.lambda_gib_seconds, 0);
+  EXPECT_EQ(report->cost.lambda_invocations, 4);
+}
+
+TEST_F(DriverFixture, FilterMapReduce) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .Filter(Col("g") == Lit(2))
+               .Map(Col("x") * Lit(2.0), "x2")
+               .ReduceSum("x2");
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->result.num_rows(), 1u);
+  EXPECT_NEAR(report->result.column(0).f64()[0], 2.0 * expected_sum_[2],
+              1e-6);
+}
+
+TEST_F(DriverFixture, FilesPerWorkerControlsWorkerCount) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq").ReduceCount();
+  RunOptions opts;
+  opts.files_per_worker = 2;
+  auto report = driver_->RunToCompletion(q, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->workers, 2);
+  EXPECT_EQ(report->result.column(0).i64()[0], 4000);
+}
+
+TEST_F(DriverFixture, NoMatchingFilesFails) {
+  auto q = Query::FromParquet("s3://data/missing/*.lpq").ReduceCount();
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsNotFound());
+}
+
+TEST_F(DriverFixture, QueryWithExchangeProducesSameAggregate) {
+  // Repartition by g before aggregating: same result, now computed after
+  // a shuffle (each group entirely on one worker).
+  ExchangeSpec spec;
+  spec.levels = 2;
+  spec.num_buckets = 4;
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .Repartition({"g"}, spec)
+               .Aggregate({"g"}, {engine::Sum(Col("x"), "s")});
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->workers, 4);
+  const TableChunk& r = report->result;
+  ASSERT_EQ(r.num_rows(), 4u);
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    int64_t g = r.column(0).i64()[i];
+    EXPECT_NEAR(r.column(1).f64()[i], expected_sum_[g], 1e-6);
+  }
+}
+
+TEST_F(DriverFixture, CollectRowsWithoutAggregate) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .Filter(Col("x") < Lit(10.0));
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->result.num_rows(), 10u);
+}
+
+TEST_F(DriverFixture, SecondRunIsWarm) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq").ReduceCount();
+  auto cold = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(cold.ok());
+  auto hot = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(hot.ok());
+  EXPECT_LT(hot->latency_s, cold->latency_s);
+  for (const auto& m : cold->worker_metrics) EXPECT_TRUE(m.cold_start);
+  for (const auto& m : hot->worker_metrics) EXPECT_FALSE(m.cold_start);
+}
+
+// ---------------------------------------------------------------------------
+// Two-level invocation tree
+// ---------------------------------------------------------------------------
+
+TEST(InvocationTreeTest, AllWorkersStartAndInvocationIsSublinear) {
+  // 256 workers: the driver should only issue ~sqrt(256)=16 Invoke calls;
+  // the rest are started by first-generation workers.
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 1000;
+  cloud::Cloud cloud(cfg);
+  Driver driver(&cloud);
+  ASSERT_TRUE(driver.Install().ok());
+  ASSERT_TRUE(cloud.s3().CreateBucket("data").ok());
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::kInt64}});
+  for (int f = 0; f < 256; ++f) {
+    TableChunk t(schema, {Column::Int64({f})});
+    auto file = format::FileWriter::WriteTable(t, format::WriterOptions{});
+    ASSERT_TRUE(file.ok());
+    char name[32];
+    std::snprintf(name, sizeof(name), "p/%04d.lpq", f);
+    ASSERT_TRUE(cloud.s3()
+                    .PutDirect("data", name,
+                               Buffer::FromVector(*std::move(file)))
+                    .ok());
+  }
+  auto q = Query::FromParquet("s3://data/p/*.lpq").ReduceCount();
+  auto report = driver.RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->workers, 256);
+  EXPECT_EQ(report->result.column(0).i64()[0], 256);
+  // All 256 workers ran exactly once.
+  EXPECT_EQ(report->cost.lambda_invocations, 256);
+  std::set<int64_t> ids;
+  for (const auto& m : report->worker_metrics) ids.insert(m.worker_id);
+  EXPECT_EQ(ids.size(), 256u);
+  // Invocation issue time is far below what 256 sequential driver calls
+  // would take (256/294 ~ 0.87 s at the client rate; the tree needs only
+  // 16 calls + in-region fan-out).
+  EXPECT_LT(report->invocation_issue_s, 0.6);
+}
+
+TEST(InvocationTreeTest, DirectInvocationAlsoWorks) {
+  cloud::Cloud cloud;
+  DriverOptions dopts;
+  dopts.two_level_invocation = false;
+  Driver driver(&cloud, dopts);
+  ASSERT_TRUE(driver.Install().ok());
+  ASSERT_TRUE(cloud.s3().CreateBucket("data").ok());
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::kInt64}});
+  for (int f = 0; f < 16; ++f) {
+    TableChunk t(schema, {Column::Int64({f})});
+    auto file = format::FileWriter::WriteTable(t, format::WriterOptions{});
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(cloud.s3()
+                    .PutDirect("data", "p/" + std::to_string(f) + ".lpq",
+                               Buffer::FromVector(*std::move(file)))
+                    .ok());
+  }
+  auto q = Query::FromParquet("s3://data/p/*.lpq").ReduceCount();
+  auto report = driver.RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->result.column(0).i64()[0], 16);
+}
+
+}  // namespace
+}  // namespace lambada::core

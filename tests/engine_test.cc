@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <set>
+
+#include "cloud/cloud.h"
+#include "common/rng.h"
+#include "engine/aggregate.h"
+#include "engine/chunk_serde.h"
+#include "engine/expr.h"
+#include "engine/partition.h"
+#include "engine/scan.h"
+#include "engine/sort.h"
+#include "engine/table.h"
+#include "format/writer.h"
+
+namespace lambada::engine {
+namespace {
+
+SchemaPtr S3Schema() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64},
+      {"x", DataType::kFloat64},
+      {"y", DataType::kInt64}});
+}
+
+TableChunk SampleChunk() {
+  return TableChunk(S3Schema(), {Column::Int64({1, 2, 1, 3}),
+                                 Column::Float64({0.5, 1.5, 2.5, 3.5}),
+                                 Column::Int64({10, 20, 30, 40})});
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+TEST(ExprTest, ColumnAndLiteralEvaluation) {
+  TableChunk t = SampleChunk();
+  auto col = Col("y")->Evaluate(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->i64(), (std::vector<int64_t>{10, 20, 30, 40}));
+  auto lit = Lit(7)->Evaluate(t);
+  ASSERT_TRUE(lit.ok());
+  EXPECT_EQ(lit->i64(), (std::vector<int64_t>{7, 7, 7, 7}));
+}
+
+TEST(ExprTest, ArithmeticTypePromotion) {
+  TableChunk t = SampleChunk();
+  // int64 * int64 stays int64.
+  auto ii = (Col("k") * Col("y"))->Evaluate(t);
+  ASSERT_TRUE(ii.ok());
+  EXPECT_EQ(ii->type(), DataType::kInt64);
+  EXPECT_EQ(ii->i64(), (std::vector<int64_t>{10, 40, 30, 120}));
+  // int64 * float64 promotes to float64.
+  auto fi = (Col("x") * Col("y"))->Evaluate(t);
+  ASSERT_TRUE(fi.ok());
+  EXPECT_EQ(fi->type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(fi->f64()[1], 30.0);
+}
+
+TEST(ExprTest, ComparisonsYieldBoolInt) {
+  TableChunk t = SampleChunk();
+  auto ge = (Col("x") >= Lit(1.5))->Evaluate(t);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge->i64(), (std::vector<int64_t>{0, 1, 1, 1}));
+  auto both = ((Col("x") >= Lit(1.5)) && (Col("k") == Lit(1)))->Evaluate(t);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->i64(), (std::vector<int64_t>{0, 0, 1, 0}));
+}
+
+TEST(ExprTest, DivisionByZeroYieldsZero) {
+  TableChunk t = SampleChunk();
+  auto div = (Col("y") / Lit(0))->Evaluate(t);
+  ASSERT_TRUE(div.ok());
+  EXPECT_EQ(div->i64(), (std::vector<int64_t>{0, 0, 0, 0}));
+}
+
+TEST(ExprTest, UnknownColumnFails) {
+  TableChunk t = SampleChunk();
+  EXPECT_FALSE(Col("nope")->Evaluate(t).ok());
+  EXPECT_FALSE(Col("nope")->Validate(*t.schema()).ok());
+  EXPECT_TRUE(Col("x")->Validate(*t.schema()).ok());
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = (Col("a") + Col("b")) * Lit(2) >= Col("c");
+  std::set<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExprTest, SerializationRoundTrip) {
+  auto e = ((Col("x") >= Lit(0.05)) && (Col("y") < Lit(24))) ||
+           (Col("k") == Lit(3));
+  BinaryWriter w;
+  e->Serialize(&w);
+  BinaryReader r(w.bytes());
+  auto back = Expr::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->ToString(), e->ToString());
+  // Behavioural equivalence.
+  TableChunk t = SampleChunk();
+  EXPECT_EQ((*back)->Evaluate(t)->i64(), e->Evaluate(t)->i64());
+}
+
+TEST(ExprTest, ExtractBoundsFromConjunction) {
+  auto e = (Col("d") >= Lit(19940101)) && (Col("d") < Lit(19950101)) &&
+           (Col("q") < Lit(24.0));
+  auto bounds = ExtractColumnBounds(e);
+  ASSERT_TRUE(bounds.count("d"));
+  EXPECT_DOUBLE_EQ(bounds["d"].lo, 19940101);
+  EXPECT_DOUBLE_EQ(bounds["d"].hi, 19950101);
+  EXPECT_DOUBLE_EQ(bounds["q"].hi, 24.0);
+  EXPECT_TRUE(bounds["d"].Intersects(19940500, 19940600));
+  EXPECT_FALSE(bounds["d"].Intersects(19960101, 19970101));
+}
+
+TEST(ExprTest, ExtractBoundsIgnoresDisjunction) {
+  // OR cannot tighten bounds for either column.
+  auto e = (Col("a") < Lit(5)) || (Col("b") > Lit(7));
+  auto bounds = ExtractColumnBounds(e);
+  EXPECT_TRUE(bounds.empty());
+}
+
+TEST(ExprTest, ExtractBoundsFlippedComparison) {
+  auto e = Lit(10) >= Col("a");  // means a <= 10.
+  auto bounds = ExtractColumnBounds(e);
+  ASSERT_TRUE(bounds.count("a"));
+  EXPECT_DOUBLE_EQ(bounds["a"].hi, 10);
+}
+
+// ---------------------------------------------------------------------------
+// HashAggregator
+// ---------------------------------------------------------------------------
+
+TEST(AggregateTest, GroupedSumCountAvg) {
+  HashAggregator agg({"k"}, {Sum(Col("x"), "sx"), Count("n"),
+                             Avg(Col("y"), "ay")});
+  ASSERT_TRUE(agg.ConsumeInput(SampleChunk()).ok());
+  TableChunk out = agg.Finalize();
+  // Groups sorted by key: k=1 (rows 0,2), k=2 (row 1), k=3 (row 3).
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.column(0).i64(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(out.column(1).f64()[0], 3.0);   // 0.5 + 2.5
+  EXPECT_EQ(out.column(2).i64()[0], 2);            // count
+  EXPECT_DOUBLE_EQ(out.column(3).f64()[0], 20.0);  // (10+30)/2
+}
+
+TEST(AggregateTest, MinMax) {
+  HashAggregator agg({}, {Min(Col("x"), "mn"), Max(Col("x"), "mx")});
+  ASSERT_TRUE(agg.ConsumeInput(SampleChunk()).ok());
+  TableChunk out = agg.Finalize();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.column(0).f64()[0], 0.5);
+  EXPECT_DOUBLE_EQ(out.column(1).f64()[0], 3.5);
+}
+
+TEST(AggregateTest, PartialMergeEqualsDirect) {
+  // Split input across two "workers", merge partials, compare to direct.
+  auto specs = [] {
+    return std::vector<AggSpec>{Sum(Col("x") * Col("y"), "sxy"), Count("n"),
+                                Avg(Col("x"), "ax"), Min(Col("y"), "mn")};
+  };
+  TableChunk full = SampleChunk();
+  HashAggregator direct({"k"}, specs());
+  ASSERT_TRUE(direct.ConsumeInput(full).ok());
+
+  HashAggregator w1({"k"}, specs()), w2({"k"}, specs());
+  ASSERT_TRUE(w1.ConsumeInput(full.Filter({true, true, false, false})).ok());
+  ASSERT_TRUE(w2.ConsumeInput(full.Filter({false, false, true, true})).ok());
+  HashAggregator merger({"k"}, specs());
+  ASSERT_TRUE(merger.MergePartial(w1.PartialState()).ok());
+  ASSERT_TRUE(merger.MergePartial(w2.PartialState()).ok());
+
+  TableChunk a = direct.Finalize();
+  TableChunk b = merger.Finalize();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.column(c).type() == DataType::kInt64) {
+      EXPECT_EQ(a.column(c).i64(), b.column(c).i64());
+    } else {
+      for (size_t r = 0; r < a.num_rows(); ++r) {
+        EXPECT_DOUBLE_EQ(a.column(c).f64()[r], b.column(c).f64()[r]);
+      }
+    }
+  }
+}
+
+TEST(AggregateTest, EmptyInputEmptyOutput) {
+  HashAggregator agg({"k"}, {Sum(Col("x"), "s")});
+  TableChunk out = agg.Finalize();
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(agg.num_groups(), 0u);
+}
+
+TEST(AggregateTest, GlobalAggregateWithoutGroups) {
+  HashAggregator agg({}, {Sum(Col("y"), "s")});
+  ASSERT_TRUE(agg.ConsumeInput(SampleChunk()).ok());
+  ASSERT_TRUE(agg.ConsumeInput(SampleChunk()).ok());
+  TableChunk out = agg.Finalize();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.column(0).f64()[0], 200.0);
+}
+
+TEST(AggregateTest, PartialSchemaExpandsAvg) {
+  HashAggregator agg({"k"}, {Avg(Col("x"), "a")});
+  auto partial = agg.PartialSchema();
+  ASSERT_EQ(partial->num_fields(), 3u);
+  EXPECT_EQ(partial->field(1).name, "a$sum");
+  EXPECT_EQ(partial->field(2).name, "a$count");
+  auto final_schema = agg.FinalSchema();
+  ASSERT_EQ(final_schema->num_fields(), 2u);
+  EXPECT_EQ(final_schema->field(1).name, "a");
+}
+
+TEST(AggregateTest, MergeRejectsWrongSchema) {
+  HashAggregator agg({"k"}, {Sum(Col("x"), "s")});
+  EXPECT_FALSE(agg.MergePartial(SampleChunk()).ok());
+}
+
+TEST(AggregateTest, NonInt64GroupKeyRejected) {
+  HashAggregator agg({"x"}, {Count("n")});
+  EXPECT_FALSE(agg.ConsumeInput(SampleChunk()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, EveryRowLandsInExactlyOnePartition) {
+  Rng rng(1);
+  std::vector<int64_t> keys;
+  std::vector<double> vals;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(rng.UniformInt(0, 1000));
+    vals.push_back(rng.NextDouble());
+  }
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+  TableChunk t(schema, {Column::Int64(keys), Column::Float64(vals)});
+  auto parts = HashPartition(t, {0}, 16);
+  ASSERT_TRUE(parts.ok());
+  size_t total = 0;
+  double sum = 0;
+  for (const auto& p : *parts) {
+    total += p.num_rows();
+    for (double v : p.column(1).f64()) sum += v;
+  }
+  EXPECT_EQ(total, t.num_rows());
+  double expect_sum = 0;
+  for (double v : vals) expect_sum += v;
+  EXPECT_NEAR(sum, expect_sum, 1e-6);
+}
+
+TEST(PartitionTest, SameKeySamePartition) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"k", DataType::kInt64}});
+  TableChunk t(schema, {Column::Int64({42, 7, 42, 7, 42})});
+  auto ids = ComputePartitionIds(t, {0}, 8);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ((*ids)[0], (*ids)[2]);
+  EXPECT_EQ((*ids)[0], (*ids)[4]);
+  EXPECT_EQ((*ids)[1], (*ids)[3]);
+}
+
+TEST(PartitionTest, DeterministicAcrossCalls) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"k", DataType::kInt64}});
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(i * 37);
+  TableChunk t(schema, {Column::Int64(keys)});
+  auto a = ComputePartitionIds(t, {0}, 13);
+  auto b = ComputePartitionIds(t, {0}, 13);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(PartitionTest, ReasonablyBalanced) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"k", DataType::kInt64}});
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 64000; ++i) keys.push_back(i);
+  TableChunk t(schema, {Column::Int64(keys)});
+  auto parts = HashPartition(t, {0}, 64);
+  ASSERT_TRUE(parts.ok());
+  for (const auto& p : *parts) {
+    EXPECT_GT(p.num_rows(), 700u);   // Expected 1000.
+    EXPECT_LT(p.num_rows(), 1300u);
+  }
+}
+
+TEST(PartitionTest, InvalidArgumentsRejected) {
+  TableChunk t = SampleChunk();
+  EXPECT_FALSE(HashPartition(t, {0}, 0).ok());
+  EXPECT_FALSE(HashPartition(t, {99}, 4).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Chunk serde
+// ---------------------------------------------------------------------------
+
+TEST(ChunkSerdeTest, RoundTrip) {
+  TableChunk t = SampleChunk();
+  auto bytes = SerializeChunk(t);
+  auto back = DeserializeChunk(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back->schema(), *t.schema());
+  EXPECT_EQ(back->column(0).i64(), t.column(0).i64());
+  EXPECT_EQ(back->column(1).f64(), t.column(1).f64());
+}
+
+TEST(ChunkSerdeTest, EmptyChunk) {
+  TableChunk t = TableChunk::Empty(S3Schema());
+  auto back = DeserializeChunk(SerializeChunk(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(*back->schema(), *t.schema());
+}
+
+TEST(ChunkSerdeTest, CorruptionDetected) {
+  auto bytes = SerializeChunk(SampleChunk());
+  EXPECT_FALSE(DeserializeChunk(bytes.data(), bytes.size() / 2).ok());
+  EXPECT_FALSE(DeserializeChunk(bytes.data(), 0).ok());
+}
+
+TEST(ChunkSerdeTest, CombinedOffsetsDelimitChunks) {
+  std::vector<TableChunk> chunks = {SampleChunk(),
+                                    TableChunk::Empty(S3Schema()),
+                                    SampleChunk()};
+  auto combined = SerializeChunksCombined(chunks);
+  ASSERT_EQ(combined.offsets.size(), 4u);
+  EXPECT_EQ(combined.offsets.back(), combined.bytes.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    auto back = DeserializeChunk(
+        combined.bytes.data() + combined.offsets[i],
+        combined.offsets[i + 1] - combined.offsets[i]);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->num_rows(), chunks[i].num_rows());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S3 scan operator (integration with simulated cloud)
+// ---------------------------------------------------------------------------
+
+class ScanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cloud_.s3().CreateBucket("data").ok());
+    // Three files, ids sorted globally across files => min/max pruning on
+    // "id" can skip whole files.
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"id", DataType::kInt64}, {"v", DataType::kFloat64}});
+    int64_t next_id = 0;
+    for (int f = 0; f < 3; ++f) {
+      std::vector<int64_t> ids;
+      std::vector<double> vs;
+      for (int i = 0; i < 3000; ++i) {
+        ids.push_back(next_id++);
+        vs.push_back(static_cast<double>(i % 100));
+      }
+      TableChunk t(schema, {Column::Int64(std::move(ids)),
+                            Column::Float64(std::move(vs))});
+      format::WriterOptions wo;
+      wo.row_group_rows = 1000;
+      auto file = format::FileWriter::WriteTable(t, wo);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(cloud_.s3()
+                      .PutDirect("data", "part-" + std::to_string(f) + ".lpq",
+                                 Buffer::FromVector(*std::move(file)))
+                      .ok());
+    }
+  }
+
+  /// Runs a scan inside a worker and returns (stats, total rows seen).
+  std::pair<ScanStats, int64_t> RunScan(ScanOptions options) {
+    ScanStats stats;
+    int64_t rows = 0;
+    cloud::FunctionConfig fn;
+    fn.name = "scanner";
+    fn.memory_mib = 2048;
+    fn.handler = [&](cloud::WorkerEnv& env,
+                     std::string) -> sim::Async<Status> {
+      std::vector<FileRef> files;
+      for (int f = 0; f < 3; ++f) {
+        files.push_back(FileRef{"data", "part-" + std::to_string(f) + ".lpq"});
+      }
+      auto r = co_await S3ParquetScan(env, files, options,
+                                      [&](const TableChunk& chunk) {
+                                        rows += chunk.num_rows();
+                                        return Status::OK();
+                                      });
+      if (!r.ok()) co_return r.status();
+      stats = *r;
+      co_return Status::OK();
+    };
+    LAMBADA_CHECK_OK(cloud_.faas().CreateFunction(fn));
+    sim::Spawn([](cloud::Cloud* c) -> sim::Async<void> {
+      co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                &c->driver_rng(), "scanner", "");
+    }(&cloud_));
+    cloud_.sim().Run();
+    LAMBADA_CHECK_EQ(cloud_.faas().failed_handlers(), 0);
+    return {stats, rows};
+  }
+
+  cloud::Cloud cloud_;
+};
+
+TEST_F(ScanFixture, FullScanSeesAllRows) {
+  auto [stats, rows] = RunScan(ScanOptions{});
+  EXPECT_EQ(rows, 9000);
+  EXPECT_EQ(stats.files, 3);
+  EXPECT_EQ(stats.row_groups_total, 9);
+  EXPECT_EQ(stats.row_groups_pruned, 0);
+}
+
+TEST_F(ScanFixture, PredicatePrunesRowGroups) {
+  ScanOptions opts;
+  // ids 2000..2999 live in row group 2 of file 0 only. Bounds are
+  // inclusive (min/max pruning treats < as <= conservatively), so use <=
+  // to make the adjacent group [3000..3999] prunable.
+  opts.filter = (Col("id") >= Lit(2000)) && (Col("id") <= Lit(2999));
+  opts.projection = {"id", "v"};
+  auto [stats, rows] = RunScan(opts);
+  EXPECT_EQ(rows, 1000);
+  EXPECT_EQ(stats.row_groups_pruned, 8);
+  EXPECT_EQ(stats.rows_scanned, 1000);
+}
+
+TEST_F(ScanFixture, ResidualFilterAppliedWithinRowGroup) {
+  ScanOptions opts;
+  opts.filter = Col("v") < Lit(10.0);  // 10% of rows, no pruning possible.
+  auto [stats, rows] = RunScan(opts);
+  EXPECT_EQ(stats.row_groups_pruned, 0);
+  EXPECT_EQ(rows, 900);
+}
+
+TEST_F(ScanFixture, ProjectionNarrowsChunks) {
+  ScanOptions opts;
+  opts.projection = {"v"};
+  ScanStats stats;
+  int64_t cols_seen = -1;
+  cloud::FunctionConfig fn;
+  fn.name = "proj";
+  fn.memory_mib = 2048;
+  fn.handler = [&](cloud::WorkerEnv& env, std::string) -> sim::Async<Status> {
+    std::vector<FileRef> files = {FileRef{"data", "part-0.lpq"}};
+    auto r = co_await S3ParquetScan(
+        env, files, opts,
+        [&](const TableChunk& chunk) {
+          cols_seen = static_cast<int64_t>(chunk.num_columns());
+          return Status::OK();
+        });
+    co_return r.ok() ? Status::OK() : r.status();
+  };
+  ASSERT_TRUE(cloud_.faas().CreateFunction(fn).ok());
+  sim::Spawn([](cloud::Cloud* c) -> sim::Async<void> {
+    co_await c->faas().Invoke(c->driver_invoker_profile(), &c->driver_rng(),
+                              "proj", "");
+  }(&cloud_));
+  cloud_.sim().Run();
+  EXPECT_EQ(cols_seen, 1);
+}
+
+TEST_F(ScanFixture, MissingFileFailsHandler) {
+  ScanStats stats;
+  Status scan_status = Status::OK();
+  cloud::FunctionConfig fn;
+  fn.name = "missing";
+  fn.memory_mib = 2048;
+  fn.handler = [&](cloud::WorkerEnv& env, std::string) -> sim::Async<Status> {
+    std::vector<FileRef> files = {FileRef{"data", "nope.lpq"}};
+    auto r = co_await S3ParquetScan(env, files, ScanOptions{},
+                                    [](const TableChunk&) {
+                                      return Status::OK();
+                                    });
+    scan_status = r.status();
+    co_return Status::OK();
+  };
+  ASSERT_TRUE(cloud_.faas().CreateFunction(fn).ok());
+  sim::Spawn([](cloud::Cloud* c) -> sim::Async<void> {
+    co_await c->faas().Invoke(c->driver_invoker_profile(), &c->driver_rng(),
+                              "missing", "");
+  }(&cloud_));
+  cloud_.sim().Run();
+  EXPECT_TRUE(scan_status.IsNotFound());
+}
+
+}  // namespace
+}  // namespace lambada::engine
+
+// ---------------------------------------------------------------------------
+// Sort / TopK
+// ---------------------------------------------------------------------------
+
+namespace lambada::engine {
+namespace {
+
+TEST(SortTest, SingleKeyAscendingDescending) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+  TableChunk t(schema, {Column::Int64({3, 1, 2}),
+                        Column::Float64({0.3, 0.1, 0.2})});
+  auto asc = SortChunk(t, {{"k", true}});
+  ASSERT_TRUE(asc.ok());
+  EXPECT_EQ(asc->column(0).i64(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(asc->column(1).f64()[0], 0.1);
+  auto desc = SortChunk(t, {{"k", false}});
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->column(0).i64(), (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(SortTest, SecondaryKeyBreaksTiesStably) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  TableChunk t(schema, {Column::Int64({1, 1, 0, 0}),
+                        Column::Int64({9, 8, 7, 9})});
+  auto sorted = SortChunk(t, {{"a", true}, {"b", false}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->column(0).i64(), (std::vector<int64_t>{0, 0, 1, 1}));
+  EXPECT_EQ(sorted->column(1).i64(), (std::vector<int64_t>{9, 7, 9, 8}));
+}
+
+TEST(SortTest, TopKLimits) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"v", DataType::kFloat64}});
+  TableChunk t(schema, {Column::Float64({5, 1, 4, 2, 3})});
+  auto top = TopK(t, {{"v", false}}, 2);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(top->column(0).f64()[0], 5);
+  EXPECT_DOUBLE_EQ(top->column(0).f64()[1], 4);
+  // Limit beyond size returns everything.
+  auto all = TopK(t, {{"v", true}}, 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 5u);
+}
+
+TEST(SortTest, UnknownColumnFails) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"v", DataType::kFloat64}});
+  TableChunk t(schema, {Column::Float64({1})});
+  EXPECT_FALSE(SortChunk(t, {{"nope", true}}).ok());
+}
+
+}  // namespace
+}  // namespace lambada::engine

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "cloud/cloud.h"
+#include "core/driver.h"
+#include "core/exchange.h"
+#include "engine/expr.h"
+#include "format/writer.h"
+
+namespace lambada::core {
+namespace {
+
+using engine::Col;
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Lit;
+using engine::Schema;
+using engine::TableChunk;
+
+/// Uploads `files` copies of a (k, v) table with `rows` rows each.
+void UploadTable(cloud::Cloud& cloud, const std::string& prefix, int files,
+                 int rows) {
+  LAMBADA_CHECK_OK(cloud.s3().CreateBucket("data"));
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+  Rng rng(8);
+  for (int f = 0; f < files; ++f) {
+    std::vector<int64_t> k;
+    std::vector<double> v;
+    for (int i = 0; i < rows; ++i) {
+      k.push_back(rng.UniformInt(0, 99));
+      v.push_back(rng.NextDouble());
+    }
+    TableChunk t(schema, {Column::Int64(std::move(k)),
+                          Column::Float64(std::move(v))});
+    format::WriterOptions wo;
+    wo.codec = compress::CodecId::kNone;  // Keep chunks big in memory.
+    auto file = format::FileWriter::WriteTable(t, wo);
+    LAMBADA_CHECK_OK(file);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%spart-%05d.lpq", prefix.c_str(), f);
+    LAMBADA_CHECK_OK(cloud.s3().PutDirect(
+        "data", name, Buffer::FromVector(*std::move(file))));
+  }
+}
+
+TEST(FailureTest, WorkerOutOfMemoryIsReportedNotSilent) {
+  // A 128 MiB worker has a ~32 MiB engine budget; make it collect a chunk
+  // larger than that: rows land in `collected` without an aggregate.
+  cloud::Cloud cloud;
+  Driver driver(&cloud);
+  ASSERT_TRUE(driver.Install().ok());
+  UploadTable(cloud, "big/", 1, 2'500'000);  // ~40 MB of row data.
+  // No filter: projection push-down must not shrink the scan below the
+  // budget (a select-* collect reads both columns).
+  auto q = Query::FromParquet("s3://data/big/*.lpq");
+  RunOptions opts;
+  opts.memory_mib = 128;
+  auto report = driver.RunToCompletion(q, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_NE(report.status().message().find("worker"), std::string::npos);
+}
+
+TEST(FailureTest, LargeResultsSpillToS3) {
+  // Collect ~3 MB of rows: far beyond the 256 KiB SQS limit, so the
+  // worker must spill to S3 and the driver must fetch the spill.
+  cloud::Cloud cloud;
+  Driver driver(&cloud);
+  ASSERT_TRUE(driver.Install().ok());
+  UploadTable(cloud, "spill/", 2, 100'000);
+  auto q = Query::FromParquet("s3://data/spill/*.lpq");
+  auto report = driver.RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->result.num_rows(), 200'000u);
+  int spilled = 0;
+  for (const auto& r : report->worker_results) {
+    if (!r.spill_bucket.empty()) ++spilled;
+    EXPECT_TRUE(r.inline_result.empty() || r.spill_bucket.empty());
+  }
+  EXPECT_EQ(spilled, 2);
+}
+
+TEST(FailureTest, DriverRetriesThroughConcurrencyThrottling) {
+  // 16 workers against a concurrency limit of 4: invocations get
+  // throttled (429) and must succeed via retry as slots free up.
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 4;
+  cloud::Cloud cloud(cfg);
+  DriverOptions dopts;
+  dopts.two_level_invocation = false;  // All 16 invokes from the driver.
+  Driver driver(&cloud, dopts);
+  ASSERT_TRUE(driver.Install().ok());
+  UploadTable(cloud, "throttle/", 16, 2000);
+  auto q = Query::FromParquet("s3://data/throttle/*.lpq").ReduceCount();
+  auto report = driver.RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->result.column(0).i64()[0], 16 * 2000);
+  EXPECT_EQ(report->workers, 16);
+}
+
+TEST(FailureTest, OversizedPayloadFailsCleanly) {
+  // One worker assigned thousands of files: the payload exceeds the
+  // 256 KB async-invocation limit and the driver reports the error
+  // instead of hanging.
+  cloud::Cloud cloud;
+  Driver driver(&cloud);
+  ASSERT_TRUE(driver.Install().ok());
+  LAMBADA_CHECK_OK(cloud.s3().CreateBucket("data"));
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::kInt64}});
+  TableChunk t(schema, {Column::Int64({1})});
+  auto file = format::FileWriter::WriteTable(t, format::WriterOptions{});
+  ASSERT_TRUE(file.ok());
+  auto blob = Buffer::FromVector(*std::move(file));
+  for (int f = 0; f < 12000; ++f) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "many/%08d.lpq", f);
+    ASSERT_TRUE(cloud.s3().PutDirect("data", name, blob).ok());
+  }
+  auto q = Query::FromParquet("s3://data/many/*.lpq").ReduceCount();
+  RunOptions opts;
+  opts.num_workers = 1;  // All 12000 file refs into one payload.
+  auto report = driver.RunToCompletion(q, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureTest, ExchangeSurvivesRateLimitThrottling) {
+  // A single-bucket BasicExchange under tight per-bucket rate limits:
+  // SlowDown responses are retried and the shuffle still completes
+  // correctly (this is the pain that motivates multiple buckets).
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = 64;
+  cfg.s3.read_rate_per_bucket = 150;
+  cfg.s3.write_rate_per_bucket = 100;
+  cfg.s3.rate_burst = 20;
+  cfg.s3.slowdown_queue_threshold_s = 0.2;
+  cloud::Cloud cloud(cfg);
+  ExchangeSpec spec;
+  spec.keys = {"k"};
+  spec.levels = 1;
+  spec.write_combining = false;
+  spec.num_buckets = 1;
+  spec.exchange_id = "throttled";
+  ASSERT_TRUE(CreateExchangeBuckets(&cloud.s3(), spec).ok());
+  const int P = 12;
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"k", DataType::kInt64}});
+  int64_t received = 0;
+  int failures = 0;
+  cloud::FunctionConfig fn;
+  fn.name = "xw";
+  fn.memory_mib = 2048;
+  fn.handler = [&, schema](cloud::WorkerEnv& env,
+                           std::string payload) -> sim::Async<Status> {
+    int p = std::stoi(payload);
+    std::vector<int64_t> keys;
+    for (int i = 0; i < 200; ++i) {
+      keys.push_back(static_cast<int64_t>(p) * 200 + i);
+    }
+    TableChunk input(schema, {Column::Int64(std::move(keys))});
+    auto out = co_await RunExchange(env, spec, p, P, std::move(input));
+    if (!out.ok()) {
+      ++failures;
+      co_return out.status();
+    }
+    received += static_cast<int64_t>(out->num_rows());
+    co_return Status::OK();
+  };
+  ASSERT_TRUE(cloud.faas().CreateFunction(fn).ok());
+  for (int p = 0; p < P; ++p) {
+    sim::Spawn([](cloud::Cloud* c, int worker) -> sim::Async<void> {
+      co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                &c->driver_rng(), "xw",
+                                std::to_string(worker));
+    }(&cloud, p));
+  }
+  cloud.sim().Run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(received, P * 200);
+}
+
+TEST(FailureTest, MalformedPayloadCountsAsHandlerFailure) {
+  cloud::Cloud cloud;
+  Driver driver(&cloud);
+  ASSERT_TRUE(driver.Install().ok());
+  ASSERT_TRUE(driver.EnsureFunction(1792).ok());
+  sim::Spawn([](cloud::Cloud* c) -> sim::Async<void> {
+    co_await c->faas().Invoke(c->driver_invoker_profile(), &c->driver_rng(),
+                              "lambada-w1792", "not a payload");
+  }(&cloud));
+  cloud.sim().Run();
+  EXPECT_EQ(cloud.faas().failed_handlers(), 1);
+}
+
+}  // namespace
+}  // namespace lambada::core

@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "engine/table.h"
+#include "format/encoding.h"
+#include "format/metadata.h"
+#include "format/reader.h"
+#include "format/source.h"
+#include "format/writer.h"
+
+namespace lambada::format {
+namespace {
+
+using engine::Column;
+using engine::DataType;
+using engine::Field;
+using engine::Schema;
+using engine::SchemaPtr;
+using engine::TableChunk;
+
+SchemaPtr TwoColumnSchema() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"id", DataType::kInt64}, {"price", DataType::kFloat64}});
+}
+
+TableChunk MakeTable(size_t rows, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<int64_t> ids;
+  std::vector<double> prices;
+  for (size_t i = 0; i < rows; ++i) {
+    ids.push_back(static_cast<int64_t>(i));
+    prices.push_back(rng.Uniform(0, 1000));
+  }
+  return TableChunk(TwoColumnSchema(),
+                    {Column::Int64(std::move(ids)),
+                     Column::Float64(std::move(prices))});
+}
+
+/// Opens a reader over in-memory bytes and reads everything back.
+TableChunk ReadAll(const std::vector<uint8_t>& file,
+                   std::vector<int> columns = {}) {
+  sim::Simulator sim;
+  auto source = std::make_shared<InMemorySource>(
+      Buffer::FromVector(std::vector<uint8_t>(file)));
+  TableChunk out;
+  bool done = false;
+  sim::Spawn([](std::shared_ptr<InMemorySource> src, std::vector<int> cols,
+                TableChunk* result, bool* flag) -> sim::Async<void> {
+    auto reader = co_await FileReader::Open(src);
+    CO_ASSERT_TRUE(reader.ok());
+    std::vector<int> proj = cols;
+    if (proj.empty()) {
+      for (size_t i = 0; i < (*reader)->schema()->num_fields(); ++i) {
+        proj.push_back(static_cast<int>(i));
+      }
+    }
+    std::vector<TableChunk> chunks;
+    for (int rg = 0; rg < (*reader)->num_row_groups(); ++rg) {
+      auto chunk = co_await (*reader)->ReadRowGroup(rg, proj);
+      CO_ASSERT_TRUE(chunk.ok());
+      chunks.push_back(*std::move(chunk));
+    }
+    auto all = engine::ConcatChunks(chunks);
+    CO_ASSERT_TRUE(all.ok());
+    *result = *std::move(all);
+    *flag = true;
+  }(source, std::move(columns), &out, &done));
+  sim.Run();
+  EXPECT_TRUE(done);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Encodings
+// ---------------------------------------------------------------------------
+
+TEST(EncodingTest, PlainRoundTripInt64) {
+  Column c = Column::Int64({1, -5, 1000000, 0});
+  auto bytes = EncodeColumn(c, Encoding::kPlain);
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecodeColumn(bytes->data(), bytes->size(), DataType::kInt64,
+                           Encoding::kPlain, 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->i64(), c.i64());
+}
+
+TEST(EncodingTest, PlainRoundTripFloat64) {
+  Column c = Column::Float64({1.5, -2.25, 0.0, 1e300});
+  auto bytes = EncodeColumn(c, Encoding::kPlain);
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecodeColumn(bytes->data(), bytes->size(), DataType::kFloat64,
+                           Encoding::kPlain, 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->f64(), c.f64());
+}
+
+TEST(EncodingTest, DeltaRoundTripAndCompact) {
+  std::vector<int64_t> sorted;
+  for (int64_t i = 0; i < 10000; ++i) sorted.push_back(10000 + i / 3);
+  Column c = Column::Int64(sorted);
+  auto bytes = EncodeColumn(c, Encoding::kDelta);
+  ASSERT_TRUE(bytes.ok());
+  // Sorted data: ~1 byte per value vs 8 plain.
+  EXPECT_LT(bytes->size(), sorted.size() * 2);
+  auto back = DecodeColumn(bytes->data(), bytes->size(), DataType::kInt64,
+                           Encoding::kDelta, sorted.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->i64(), sorted);
+}
+
+TEST(EncodingTest, DeltaHandlesNegativesAndExtremes) {
+  std::vector<int64_t> v = {INT64_MAX, INT64_MIN, 0, -1, 1};
+  Column c = Column::Int64(v);
+  auto bytes = EncodeColumn(c, Encoding::kDelta);
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecodeColumn(bytes->data(), bytes->size(), DataType::kInt64,
+                           Encoding::kDelta, v.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->i64(), v);
+}
+
+TEST(EncodingTest, DictRoundTripLowCardinality) {
+  Rng rng(3);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.UniformInt(0, 2));
+  Column c = Column::Int64(v);
+  auto bytes = EncodeColumn(c, Encoding::kDict);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_LT(bytes->size(), v.size() * 2);
+  auto back = DecodeColumn(bytes->data(), bytes->size(), DataType::kInt64,
+                           Encoding::kDict, v.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->i64(), v);
+}
+
+TEST(EncodingTest, DeltaRejectedForFloat) {
+  Column c = Column::Float64({1.0});
+  EXPECT_FALSE(EncodeColumn(c, Encoding::kDelta).ok());
+  EXPECT_FALSE(EncodeColumn(c, Encoding::kDict).ok());
+}
+
+TEST(EncodingTest, AutoPicksCompactEncoding) {
+  // Low-cardinality: dict or delta must beat plain.
+  Rng rng(9);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.UniformInt(0, 4));
+  auto enc = EncodeColumnAuto(Column::Int64(v));
+  EXPECT_NE(enc.encoding, Encoding::kPlain);
+  EXPECT_LT(enc.bytes.size(), v.size() * 8);
+}
+
+TEST(EncodingTest, CorruptDataFailsCleanly) {
+  std::vector<uint8_t> garbage = {0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  EXPECT_FALSE(DecodeColumn(garbage.data(), garbage.size(),
+                            DataType::kInt64, Encoding::kDelta, 100)
+                   .ok());
+  EXPECT_FALSE(DecodeColumn(garbage.data(), garbage.size(),
+                            DataType::kInt64, Encoding::kDict, 100)
+                   .ok());
+  EXPECT_FALSE(DecodeColumn(garbage.data(), garbage.size(),
+                            DataType::kInt64, Encoding::kPlain, 100)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------------
+
+TEST(MetadataTest, StatsComputed) {
+  auto s = ColumnStats::Compute(Column::Int64({5, -2, 9}));
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.min_i64, -2);
+  EXPECT_EQ(s.max_i64, 9);
+  auto f = ColumnStats::Compute(Column::Float64({1.5, 0.25}));
+  EXPECT_DOUBLE_EQ(f.min_f64, 0.25);
+  EXPECT_DOUBLE_EQ(f.max_f64, 1.5);
+  auto e = ColumnStats::Compute(Column::Int64({}));
+  EXPECT_FALSE(e.valid);
+}
+
+TEST(MetadataTest, FooterRoundTrip) {
+  FileMetadata meta;
+  meta.schema = *TwoColumnSchema();
+  meta.num_rows = 100;
+  RowGroupMeta rg;
+  rg.num_rows = 100;
+  ColumnChunkMeta c0;
+  c0.offset = 4;
+  c0.compressed_size = 50;
+  c0.uncompressed_size = 800;
+  c0.encoding = Encoding::kDelta;
+  c0.codec = compress::CodecId::kHeavy;
+  c0.stats.valid = true;
+  c0.stats.min_i64 = 0;
+  c0.stats.max_i64 = 99;
+  ColumnChunkMeta c1;
+  c1.offset = 54;
+  c1.compressed_size = 700;
+  c1.uncompressed_size = 800;
+  c1.codec = compress::CodecId::kLz;
+  c1.stats.valid = true;
+  c1.stats.min_f64 = 0.5;
+  c1.stats.max_f64 = 999.5;
+  rg.columns = {c0, c1};
+  meta.row_groups.push_back(rg);
+
+  auto bytes = meta.Serialize();
+  auto parsed = FileMetadata::Parse(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema, meta.schema);
+  EXPECT_EQ(parsed->num_rows, 100u);
+  ASSERT_EQ(parsed->row_groups.size(), 1u);
+  const auto& prg = parsed->row_groups[0];
+  EXPECT_EQ(prg.columns[0].stats.max_i64, 99);
+  EXPECT_EQ(prg.columns[0].encoding, Encoding::kDelta);
+  EXPECT_EQ(prg.columns[1].codec, compress::CodecId::kLz);
+  EXPECT_DOUBLE_EQ(prg.columns[1].stats.max_f64, 999.5);
+}
+
+TEST(MetadataTest, ParseRejectsCorruption) {
+  FileMetadata meta;
+  meta.schema = *TwoColumnSchema();
+  auto bytes = meta.Serialize();
+  // Truncated.
+  EXPECT_FALSE(FileMetadata::Parse(bytes.data(), bytes.size() / 2).ok());
+  // Bad version.
+  auto bad = bytes;
+  bad[0] = 99;
+  EXPECT_FALSE(FileMetadata::Parse(bad.data(), bad.size()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Writer + Reader round trips
+// ---------------------------------------------------------------------------
+
+class WriterCodecTest : public ::testing::TestWithParam<compress::CodecId> {};
+
+INSTANTIATE_TEST_SUITE_P(Codecs, WriterCodecTest,
+                         ::testing::Values(compress::CodecId::kNone,
+                                           compress::CodecId::kRle,
+                                           compress::CodecId::kLz,
+                                           compress::CodecId::kHeavy),
+                         [](const auto& info) {
+                           return std::string(
+                               compress::CodecName(info.param));
+                         });
+
+TEST_P(WriterCodecTest, RoundTripAllCodecs) {
+  TableChunk table = MakeTable(5000);
+  WriterOptions opts;
+  opts.codec = GetParam();
+  opts.row_group_rows = 1024;
+  auto file = FileWriter::WriteTable(table, opts);
+  ASSERT_TRUE(file.ok());
+  TableChunk back = ReadAll(*file);
+  ASSERT_EQ(back.num_rows(), table.num_rows());
+  EXPECT_EQ(back.column(0).i64(), table.column(0).i64());
+  EXPECT_EQ(back.column(1).f64(), table.column(1).f64());
+}
+
+TEST(WriterTest, RowGroupsCutAtConfiguredSize) {
+  TableChunk table = MakeTable(10000);
+  WriterOptions opts;
+  opts.row_group_rows = 3000;
+  auto file = FileWriter::WriteTable(table, opts);
+  ASSERT_TRUE(file.ok());
+  sim::Simulator sim;
+  auto source = std::make_shared<InMemorySource>(
+      Buffer::FromVector(std::vector<uint8_t>(*file)));
+  std::shared_ptr<FileReader> reader;
+  sim::Spawn([](std::shared_ptr<InMemorySource> src,
+                std::shared_ptr<FileReader>* out) -> sim::Async<void> {
+    auto r = co_await FileReader::Open(src);
+    CO_ASSERT_TRUE(r.ok());
+    *out = *r;
+  }(source, &reader));
+  sim.Run();
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->num_row_groups(), 4);  // 3000+3000+3000+1000.
+  EXPECT_EQ(reader->metadata().row_groups[3].num_rows, 1000u);
+  EXPECT_EQ(reader->metadata().num_rows, 10000u);
+}
+
+TEST(WriterTest, MultipleAppendsAccumulate) {
+  FileWriter writer(TwoColumnSchema(), WriterOptions{});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(writer.Append(MakeTable(100, i)).ok());
+  }
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(ReadAll(*file).num_rows(), 500u);
+}
+
+TEST(WriterTest, EmptyTableProducesValidFile) {
+  auto file = FileWriter::WriteTable(TableChunk::Empty(TwoColumnSchema()));
+  ASSERT_TRUE(file.ok());
+  TableChunk back = ReadAll(*file);
+  EXPECT_EQ(back.num_rows(), 0u);
+}
+
+TEST(WriterTest, SchemaMismatchRejected) {
+  FileWriter writer(TwoColumnSchema(), WriterOptions{});
+  auto other = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::kInt64}});
+  TableChunk wrong(other, {Column::Int64({1})});
+  EXPECT_FALSE(writer.Append(wrong).ok());
+}
+
+TEST(ReaderTest, ProjectionReadsOnlyRequestedColumns) {
+  TableChunk table = MakeTable(2000);
+  auto file = FileWriter::WriteTable(table, WriterOptions{});
+  ASSERT_TRUE(file.ok());
+  TableChunk back = ReadAll(*file, {1});
+  ASSERT_EQ(back.num_columns(), 1u);
+  EXPECT_EQ(back.schema()->field(0).name, "price");
+  EXPECT_EQ(back.column(0).f64(), table.column(1).f64());
+}
+
+TEST(ReaderTest, StatsEnableRowGroupPruning) {
+  // The id column is sorted: each row group covers a distinct range.
+  TableChunk table = MakeTable(9000);
+  WriterOptions opts;
+  opts.row_group_rows = 3000;
+  auto file = FileWriter::WriteTable(table, opts);
+  ASSERT_TRUE(file.ok());
+  sim::Simulator sim;
+  auto source = std::make_shared<InMemorySource>(
+      Buffer::FromVector(std::vector<uint8_t>(*file)));
+  std::shared_ptr<FileReader> reader;
+  sim::Spawn([](std::shared_ptr<InMemorySource> src,
+                std::shared_ptr<FileReader>* out) -> sim::Async<void> {
+    auto r = co_await FileReader::Open(src);
+    CO_ASSERT_TRUE(r.ok());
+    *out = *r;
+  }(source, &reader));
+  sim.Run();
+  ASSERT_NE(reader, nullptr);
+  const auto& rgs = reader->metadata().row_groups;
+  ASSERT_EQ(rgs.size(), 3u);
+  EXPECT_EQ(rgs[0].columns[0].stats.min_i64, 0);
+  EXPECT_EQ(rgs[0].columns[0].stats.max_i64, 2999);
+  EXPECT_EQ(rgs[2].columns[0].stats.min_i64, 6000);
+  EXPECT_EQ(rgs[2].columns[0].stats.max_i64, 8999);
+}
+
+TEST(ReaderTest, CorruptMagicRejected) {
+  auto file = FileWriter::WriteTable(MakeTable(100));
+  ASSERT_TRUE(file.ok());
+  auto bad = *file;
+  bad[bad.size() - 1] = 'X';
+  sim::Simulator sim;
+  auto source = std::make_shared<InMemorySource>(
+      Buffer::FromVector(std::move(bad)));
+  Status status = Status::OK();
+  sim::Spawn([](std::shared_ptr<InMemorySource> src,
+                Status* out) -> sim::Async<void> {
+    auto r = co_await FileReader::Open(src);
+    *out = r.status();
+  }(source, &status));
+  sim.Run();
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// S3Source integration (chunked concurrent reads, request accounting)
+// ---------------------------------------------------------------------------
+
+TEST(S3SourceTest, ReadsThroughSimulatedS3) {
+  cloud::Cloud cloud;
+  ASSERT_TRUE(cloud.s3().CreateBucket("data").ok());
+  TableChunk table = MakeTable(4000);
+  auto file = FileWriter::WriteTable(table, WriterOptions{});
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      cloud.s3().PutDirect("data", "t.lpq", Buffer::FromVector(*file)).ok());
+
+  TableChunk back;
+  sim::Spawn([](cloud::Cloud* c, TableChunk* out) -> sim::Async<void> {
+    cloud::S3Client client(&c->s3(), c->driver_net());
+    auto source = std::make_shared<S3Source>(client, "data", "t.lpq");
+    ReaderOptions opts;
+    opts.sim = &c->sim();
+    auto reader = co_await FileReader::Open(source, opts);
+    CO_ASSERT_TRUE(reader.ok());
+    std::vector<TableChunk> chunks;
+    std::vector<int> proj = {0, 1};
+    for (int rg = 0; rg < (*reader)->num_row_groups(); ++rg) {
+      auto chunk = co_await (*reader)->ReadRowGroup(rg, proj, 4);
+      CO_ASSERT_TRUE(chunk.ok());
+      chunks.push_back(*std::move(chunk));
+    }
+    auto all = engine::ConcatChunks(chunks);
+    *out = *std::move(all);
+  }(&cloud, &back));
+  cloud.sim().Run();
+  ASSERT_EQ(back.num_rows(), 4000u);
+  EXPECT_EQ(back.column(0).i64(), table.column(0).i64());
+  // Footer read + one GET per column chunk.
+  EXPECT_GE(cloud.ledger().totals().s3_get_requests, 3);
+}
+
+TEST(S3SourceTest, ChunkedReadSplitsRequests) {
+  cloud::Cloud cloud;
+  ASSERT_TRUE(cloud.s3().CreateBucket("data").ok());
+  std::vector<uint8_t> blob(10 * kMiB);
+  Rng rng(5);
+  for (auto& b : blob) b = static_cast<uint8_t>(rng.Next());
+  auto expected = blob;
+  ASSERT_TRUE(cloud.s3()
+                  .PutDirect("data", "blob", Buffer::FromVector(std::move(blob)))
+                  .ok());
+  S3Source::Options opts;
+  opts.chunk_bytes = 1 * kMiB;
+  opts.connections = 4;
+  std::vector<uint8_t> got;
+  int64_t requests = 0;
+  sim::Spawn([](cloud::Cloud* c, S3Source::Options o,
+                std::vector<uint8_t>* out, int64_t* reqs) -> sim::Async<void> {
+    cloud::S3Client client(&c->s3(), c->driver_net());
+    S3Source source(client, "data", "blob", o);
+    auto r = co_await source.ReadAt(0, 10 * kMiB);
+    CO_ASSERT_TRUE(r.ok());
+    out->assign((*r)->data(), (*r)->data() + (*r)->size());
+    *reqs = source.request_count();
+  }(&cloud, opts, &got, &requests));
+  cloud.sim().Run();
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(requests, 10);  // 10 MiB / 1 MiB chunks.
+}
+
+TEST(S3SourceTest, MissingObjectReportsNotFound) {
+  cloud::Cloud cloud;
+  ASSERT_TRUE(cloud.s3().CreateBucket("data").ok());
+  Status status = Status::OK();
+  sim::Spawn([](cloud::Cloud* c, Status* out) -> sim::Async<void> {
+    cloud::S3Client client(&c->s3(), c->driver_net());
+    S3Source source(client, "data", "missing");
+    auto r = co_await source.ReadTail(1024);
+    *out = r.status();
+  }(&cloud, &status));
+  cloud.sim().Run();
+  EXPECT_TRUE(status.IsNotFound());
+}
+
+}  // namespace
+}  // namespace lambada::format

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "models/costmodel.h"
+#include "models/qaas.h"
+
+namespace lambada::models {
+namespace {
+
+TEST(CostModelTest, JobScopedIaasTimeDropsCostRises) {
+  auto pts = JobScopedIaas();
+  ASSERT_GE(pts.size(), 2u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].running_time_s, pts[i - 1].running_time_s);
+    EXPECT_GT(pts[i].cost_usd, pts[i - 1].cost_usd);
+  }
+  // Time converges to the startup floor (2 min).
+  EXPECT_GT(pts.back().running_time_s, 120.0);
+  EXPECT_LT(pts.back().running_time_s, 140.0);
+}
+
+TEST(CostModelTest, JobScopedFaasCostNearlyConstant) {
+  auto pts = JobScopedFaas();
+  double lo = pts[0].cost_usd, hi = pts[0].cost_usd;
+  for (const auto& p : pts) {
+    lo = std::min(lo, p.cost_usd);
+    hi = std::max(hi, p.cost_usd);
+  }
+  EXPECT_LT(hi / lo, 1.05);  // Scan cost independent of parallelism.
+  // Time converges to the FaaS startup floor (4 s).
+  EXPECT_LT(pts.back().running_time_s, 10.0);
+}
+
+TEST(CostModelTest, FaasCheaperAtLowFrequencyIaasAtHigh) {
+  auto series = AlwaysOnComparison();
+  ASSERT_EQ(series.size(), 5u);
+  const auto& dram = series[2];
+  const auto& faas = series[4];
+  // At 1 query/hour FaaS is far cheaper than any always-on option.
+  EXPECT_LT(faas.hourly_cost_usd.front(), dram.hourly_cost_usd.front());
+  // At 64 queries/hour the VMs win.
+  EXPECT_GT(faas.hourly_cost_usd.back(), dram.hourly_cost_usd.back());
+}
+
+TEST(CostModelTest, QaasAlwaysAboveFaas) {
+  auto series = AlwaysOnComparison();
+  const auto& qaas = series[3];
+  const auto& faas = series[4];
+  for (size_t i = 0; i < qaas.hourly_cost_usd.size(); ++i) {
+    EXPECT_GT(qaas.hourly_cost_usd[i], faas.hourly_cost_usd[i]);
+  }
+}
+
+TEST(QaasModelTest, AthenaPricesSelectedRowsOnly) {
+  AthenaModel athena;
+  QaasAnchors anchors;
+  QaasQuery q1{7.0 / 16, 0.98, 1.0};
+  QaasQuery q6{4.0 / 16, 0.02, 1.0};
+  auto e1 = athena.Estimate(q1, anchors.athena_q1_s);
+  auto e6 = athena.Estimate(q6, anchors.athena_q6_s);
+  // Q1 scans ~65 GiB => ~$0.32; Q6 scans ~0.75 GiB => ~$0.004.
+  EXPECT_NEAR(e1.cost_usd, 0.32, 0.05);
+  EXPECT_NEAR(e6.cost_usd, 0.004, 0.002);
+  EXPECT_EQ(e1.load_time_s, 0);
+}
+
+TEST(QaasModelTest, AthenaLatencyScalesLinearly) {
+  AthenaModel athena;
+  QaasQuery small{0.5, 1.0, 1.0}, big{0.5, 1.0, 10.0};
+  auto a = athena.Estimate(small, 38.0);
+  auto b = athena.Estimate(big, 38.0);
+  EXPECT_NEAR(b.latency_s / a.latency_s, 9.6, 0.5);
+}
+
+TEST(QaasModelTest, BigQueryBillsFullColumns) {
+  BigQueryModel bq;
+  QaasQuery q1{7.0 / 16, 0.98, 1.0};
+  QaasQuery q6{4.0 / 16, 0.02, 1.0};
+  auto e1 = bq.Estimate(q1, 3.9);
+  auto e6 = bq.Estimate(q6, 1.6);
+  // Selection does NOT reduce the bill: Q6 still pays for 4 full columns.
+  EXPECT_NEAR(e1.cost_usd, 1.76, 0.2);
+  EXPECT_NEAR(e6.cost_usd, 1.0, 0.15);
+  // Loading takes ~40 min at SF 1k and scales linearly.
+  EXPECT_NEAR(e1.load_time_s, 2400.0, 1.0);
+  auto e1_10k = bq.Estimate(QaasQuery{7.0 / 16, 0.98, 10.0}, 3.9);
+  EXPECT_NEAR(e1_10k.load_time_s, 24000.0, 10.0);
+  // Sublinear latency growth.
+  EXPECT_LT(e1_10k.latency_s, 10 * e1.latency_s);
+  EXPECT_GT(e1_10k.latency_s, 5 * e1.latency_s);
+}
+
+}  // namespace
+}  // namespace lambada::models

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/sql.h"
+#include "workload/tpch.h"
+
+namespace lambada::core {
+namespace {
+
+TEST(SqlTest, SimpleProjection) {
+  auto q = ParseSql("SELECT a, b AS bee FROM 's3://d/*.lpq'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->pattern(), "s3://d/*.lpq");
+  ASSERT_EQ(q->ops().size(), 1u);
+  EXPECT_EQ(q->ops()[0].kind, PlanOp::Kind::kSelect);
+  EXPECT_EQ(q->ops()[0].names, (std::vector<std::string>{"a", "bee"}));
+}
+
+TEST(SqlTest, WhereBecomesFilter) {
+  auto q = ParseSql(
+      "SELECT x FROM 's3://d/*' WHERE x >= 0.05 AND y < 24");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ops().size(), 2u);
+  EXPECT_EQ(q->ops()[0].kind, PlanOp::Kind::kFilter);
+  EXPECT_NE(q->ops()[0].expr->ToString().find("and"), std::string::npos);
+}
+
+TEST(SqlTest, GroupByAggregates) {
+  auto q = ParseSql(
+      "SELECT g, SUM(x * y) AS s, COUNT(*) AS n, AVG(x) AS a "
+      "FROM 's3://d/*' GROUP BY g");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ops().size(), 1u);
+  const auto& op = q->ops()[0];
+  EXPECT_EQ(op.kind, PlanOp::Kind::kAggregate);
+  EXPECT_EQ(op.group_by, (std::vector<std::string>{"g"}));
+  ASSERT_EQ(op.aggs.size(), 3u);
+  EXPECT_EQ(op.aggs[0].kind, engine::AggKind::kSum);
+  EXPECT_EQ(op.aggs[1].kind, engine::AggKind::kCount);
+  EXPECT_EQ(op.aggs[2].kind, engine::AggKind::kAvg);
+  EXPECT_EQ(op.aggs[1].output_name, "n");
+}
+
+TEST(SqlTest, GlobalAggregateWithoutGroupBy) {
+  auto q = ParseSql("SELECT SUM(v) FROM 's3://d/*' WHERE v > 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& op = q->ops().back();
+  EXPECT_EQ(op.kind, PlanOp::Kind::kAggregate);
+  EXPECT_TRUE(op.group_by.empty());
+}
+
+TEST(SqlTest, BetweenExpandsToRange) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM 's3://d/*' WHERE d BETWEEN 5 AND 9");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto bounds = engine::ExtractColumnBounds(q->ops()[0].expr);
+  ASSERT_TRUE(bounds.count("d"));
+  EXPECT_DOUBLE_EQ(bounds["d"].lo, 5);
+  EXPECT_DOUBLE_EQ(bounds["d"].hi, 9);
+}
+
+TEST(SqlTest, DateLiteralMatchesTpchDays) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM 's3://d/*' "
+      "WHERE l_shipdate < DATE '1995-01-01'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto bounds = engine::ExtractColumnBounds(q->ops()[0].expr);
+  ASSERT_TRUE(bounds.count("l_shipdate"));
+  EXPECT_DOUBLE_EQ(bounds["l_shipdate"].hi,
+                   static_cast<double>(workload::TpchDate(1995, 1, 1)));
+}
+
+TEST(SqlTest, TpchQ6InSqlPlansLikeBuilderQ6) {
+  auto sql = ParseSql(
+      "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+      "FROM 's3://tpch/li/*.lpq' "
+      "WHERE l_shipdate >= DATE '1994-01-01' "
+      "AND l_shipdate < DATE '1995-01-01' "
+      "AND l_discount BETWEEN 0.05 AND 0.07 "
+      "AND l_quantity < 24.0");
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  auto phys = PlanQuery(*sql);
+  ASSERT_TRUE(phys.ok());
+  // Same pruning bounds as the builder version of Q6.
+  auto bounds = engine::ExtractColumnBounds(phys->fragment.scan_filter);
+  EXPECT_DOUBLE_EQ(bounds["l_shipdate"].lo,
+                   static_cast<double>(workload::TpchDate(1994, 1, 1)));
+  EXPECT_DOUBLE_EQ(bounds["l_discount"].lo, 0.05);
+  EXPECT_DOUBLE_EQ(bounds["l_quantity"].hi, 24.0);
+  // Projection push-down covers exactly the four referenced columns.
+  EXPECT_EQ(phys->fragment.scan_projection.size(), 4u);
+  EXPECT_TRUE(phys->has_final_aggregate);
+}
+
+TEST(SqlTest, OperatorPrecedence) {
+  auto q = ParseSql("SELECT a + b * c AS v FROM 's3://d/*'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ops()[0].exprs[0]->ToString(), "(a + (b * c))");
+  auto q2 = ParseSql("SELECT (a + b) * c AS v FROM 's3://d/*'");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->ops()[0].exprs[0]->ToString(), "((a + b) * c)");
+}
+
+TEST(SqlTest, UnaryMinus) {
+  auto q = ParseSql("SELECT -x AS neg FROM 's3://d/*'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ops()[0].exprs[0]->ToString(), "(0 - x)");
+}
+
+TEST(SqlTest, CaseInsensitiveKeywords) {
+  auto q = ParseSql("select Sum(x) from 's3://d/*' where x > 1 group by g");
+  // "group by g" with no g in select: valid (keys need not be selected).
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(SqlTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM 's3://d/*'").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM no_quotes").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM 's3://d/*' WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a, SUM(b) FROM 's3://d/*'").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM 's3://d/*' GROUP BY").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM 's3://d/*' trailing junk").ok());
+  EXPECT_FALSE(ParseSql("SELECT SUM(a FROM 's3://d/*'").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM 's3://d/*' WHERE x ! 1").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT COUNT(*) FROM 's3://d/*' WHERE d < DATE 'oops'").ok());
+}
+
+}  // namespace
+}  // namespace lambada::core

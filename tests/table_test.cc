@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "engine/table.h"
+
+namespace lambada::engine {
+namespace {
+
+SchemaPtr S2() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"a", DataType::kInt64}, {"b", DataType::kFloat64}});
+}
+
+TEST(SchemaTest, FieldLookup) {
+  auto s = S2();
+  EXPECT_EQ(s->FieldIndex("a"), 0);
+  EXPECT_EQ(s->FieldIndex("b"), 1);
+  EXPECT_EQ(s->FieldIndex("c"), -1);
+  EXPECT_FALSE(s->RequireField("c").ok());
+  EXPECT_EQ(*s->RequireField("b"), 1u);
+}
+
+TEST(SchemaTest, ProjectReorders) {
+  auto p = S2()->Project({1, 0});
+  EXPECT_EQ(p.field(0).name, "b");
+  EXPECT_EQ(p.field(1).name, "a");
+}
+
+TEST(ColumnTest, TypedAccessAndWidening) {
+  Column c = Column::Int64({1, 2, 3});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(2), 3.0);
+  Column f = Column::Float64({2.5});
+  EXPECT_EQ(f.ValueAsInt64(0), 2);
+}
+
+TEST(ColumnTest, Filter) {
+  Column c = Column::Int64({1, 2, 3, 4});
+  Column out = c.Filter({true, false, true, false});
+  EXPECT_EQ(out.i64(), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(TableChunkTest, ConstructionValidatesLengths) {
+  TableChunk t(S2(), {Column::Int64({1, 2}), Column::Float64({0.5, 1.5})});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableChunkTest, ProjectAndFilter) {
+  TableChunk t(S2(), {Column::Int64({1, 2, 3}),
+                      Column::Float64({0.5, 1.5, 2.5})});
+  auto p = t.Project({1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->schema()->field(0).name, "b");
+  TableChunk f = t.Filter({false, true, true});
+  EXPECT_EQ(f.num_rows(), 2u);
+  EXPECT_EQ(f.column(0).i64(), (std::vector<int64_t>{2, 3}));
+  EXPECT_FALSE(t.Project({5}).ok());
+}
+
+TEST(TableChunkTest, AppendChecksSchema) {
+  TableChunk a(S2(), {Column::Int64({1}), Column::Float64({0.5})});
+  TableChunk b(S2(), {Column::Int64({2}), Column::Float64({1.5})});
+  ASSERT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.num_rows(), 2u);
+  auto other = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::kInt64}});
+  TableChunk c(other, {Column::Int64({9})});
+  EXPECT_FALSE(a.Append(c).ok());
+}
+
+TEST(TableChunkTest, ConcatAndEmpty) {
+  auto empty = ConcatChunks({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+  TableChunk a(S2(), {Column::Int64({1}), Column::Float64({0.5})});
+  TableChunk b(S2(), {Column::Int64({2, 3}), Column::Float64({1.5, 2.5})});
+  auto cat = ConcatChunks({a, b});
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->num_rows(), 3u);
+  EXPECT_EQ(cat->column(0).i64(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(TableChunkTest, MemoryBytes) {
+  TableChunk t(S2(), {Column::Int64({1, 2}), Column::Float64({0.5, 1.5})});
+  EXPECT_EQ(t.memory_bytes(), 2 * 2 * 8);
+}
+
+}  // namespace
+}  // namespace lambada::engine

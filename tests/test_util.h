@@ -1,0 +1,24 @@
+#ifndef LAMBADA_TESTS_TEST_UTIL_H_
+#define LAMBADA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+/// ASSERT_* macros use `return`, which is illegal inside coroutines; these
+/// variants record the failure and co_return instead.
+#define CO_ASSERT_TRUE(cond)            \
+  if (!(cond)) {                        \
+    ADD_FAILURE() << "failed: " #cond;  \
+    co_return;                          \
+  }
+
+#define CO_ASSERT_OK(expr)                                        \
+  if (const auto& _co_assert_result = (expr);                     \
+      !_co_assert_result.ok()) {                                  \
+    ADD_FAILURE() << "not OK: "                                   \
+                  << ::lambada::internal::ToStatus(               \
+                         _co_assert_result)                       \
+                         .ToString();                             \
+    co_return;                                                    \
+  }
+
+#endif  // LAMBADA_TESTS_TEST_UTIL_H_

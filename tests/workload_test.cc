@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "cloud/cloud.h"
+#include "common/units.h"
+#include "core/driver.h"
+#include "workload/tpch.h"
+
+namespace lambada::workload {
+namespace {
+
+using engine::TableChunk;
+
+TEST(TpchDateTest, KnownDates) {
+  EXPECT_EQ(TpchDate(1992, 1, 1), 0);
+  EXPECT_EQ(TpchDate(1992, 1, 2), 1);
+  EXPECT_EQ(TpchDate(1992, 2, 1), 31);
+  EXPECT_EQ(TpchDate(1993, 1, 1), 366);  // 1992 is a leap year.
+  EXPECT_EQ(TpchDate(1998, 12, 1), 2526);
+  EXPECT_EQ(Q1CutoffDate(), TpchDate(1998, 9, 2));
+}
+
+TEST(TpchGenTest, SchemaAndSortedness) {
+  TableChunk li = GenerateLineitem(20000, 42);
+  EXPECT_EQ(li.num_rows(), 20000u);
+  EXPECT_EQ(li.num_columns(), 16u);
+  EXPECT_EQ(li.schema()->FieldIndex("l_shipdate"), 10);
+  const auto& ship = li.column(10).i64();
+  for (size_t i = 1; i < ship.size(); ++i) {
+    ASSERT_LE(ship[i - 1], ship[i]) << "not sorted by l_shipdate";
+  }
+}
+
+TEST(TpchGenTest, ValueDistributions) {
+  TableChunk li = GenerateLineitem(50000, 1);
+  const auto& qty = li.column(4).f64();
+  const auto& disc = li.column(6).f64();
+  const auto& tax = li.column(7).f64();
+  const auto& rf = li.column(8).i64();
+  const auto& ls = li.column(9).i64();
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    ASSERT_GE(qty[i], 1.0);
+    ASSERT_LE(qty[i], 50.0);
+    ASSERT_GE(disc[i], 0.0);
+    ASSERT_LE(disc[i], 0.10 + 1e-12);
+    ASSERT_GE(tax[i], 0.0);
+    ASSERT_LE(tax[i], 0.08 + 1e-12);
+    ASSERT_TRUE(rf[i] == 0 || rf[i] == 1 || rf[i] == 2);
+    ASSERT_TRUE(ls[i] == 0 || ls[i] == 1);
+  }
+}
+
+TEST(TpchGenTest, DeterministicForSeed) {
+  TableChunk a = GenerateLineitem(1000, 5);
+  TableChunk b = GenerateLineitem(1000, 5);
+  EXPECT_EQ(a.column(0).i64(), b.column(0).i64());
+  EXPECT_EQ(a.column(5).f64(), b.column(5).f64());
+}
+
+TEST(TpchGenTest, Q1SelectivityAround98Percent) {
+  TableChunk li = GenerateLineitem(50000, 9);
+  const auto& ship = li.column(10).i64();
+  int64_t selected = 0;
+  for (int64_t d : ship) {
+    if (d <= Q1CutoffDate()) ++selected;
+  }
+  double sel = static_cast<double>(selected) / ship.size();
+  EXPECT_GT(sel, 0.95);
+  EXPECT_LT(sel, 0.995);
+}
+
+TEST(TpchGenTest, Q6SelectivityAround2Percent) {
+  TableChunk li = GenerateLineitem(100000, 9);
+  const auto& ship = li.column(10).i64();
+  const auto& disc = li.column(6).f64();
+  const auto& qty = li.column(4).f64();
+  int64_t selected = 0;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    if (ship[i] >= TpchDate(1994, 1, 1) && ship[i] < TpchDate(1995, 1, 1) &&
+        disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24.0) {
+      ++selected;
+    }
+  }
+  double sel = static_cast<double>(selected) / li.num_rows();
+  EXPECT_GT(sel, 0.010);
+  EXPECT_LT(sel, 0.035);
+}
+
+TEST(TpchLoadTest, LoadsFilesWithVirtualScale) {
+  cloud::Cloud cloud;
+  LoadOptions opts;
+  opts.num_rows = 8000;
+  opts.num_files = 4;
+  opts.row_groups_per_file = 4;
+  opts.virtual_bytes_per_file = 500 * kMB;
+  auto info = LoadLineitem(&cloud.s3(), "tpch", "sf/", opts);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  auto files = cloud.s3().ListDirect("tpch", "sf/");
+  ASSERT_EQ(files.size(), 4u);
+  for (const auto& f : files) {
+    EXPECT_NEAR(static_cast<double>(f.size), 500e6, 1e6);
+  }
+  EXPECT_NEAR(static_cast<double>(info->virtual_bytes), 4 * 500e6, 4e6);
+}
+
+class TpchQueryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cloud_ = std::make_unique<cloud::Cloud>();
+    driver_ = std::make_unique<core::Driver>(cloud_.get());
+    ASSERT_TRUE(driver_->Install().ok());
+    LoadOptions opts;
+    opts.num_rows = 30000;
+    opts.num_files = 8;
+    opts.row_groups_per_file = 4;
+    opts.seed = 77;
+    ASSERT_TRUE(LoadLineitem(&cloud_->s3(), "tpch", "li/", opts).ok());
+    reference_input_ = GenerateLineitem(opts.num_rows, opts.seed);
+  }
+
+  std::unique_ptr<cloud::Cloud> cloud_;
+  std::unique_ptr<core::Driver> driver_;
+  TableChunk reference_input_;
+};
+
+TEST_F(TpchQueryFixture, Q1MatchesReference) {
+  auto report = driver_->RunToCompletion(TpchQ1("s3://tpch/li/*.lpq"),
+                                         core::RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  TableChunk expected = ReferenceQ1(reference_input_);
+  const TableChunk& got = report->result;
+  ASSERT_EQ(got.num_rows(), expected.num_rows());
+  ASSERT_EQ(got.num_columns(), expected.num_columns());
+  for (size_t c = 0; c < got.num_columns(); ++c) {
+    for (size_t r = 0; r < got.num_rows(); ++r) {
+      if (got.column(c).type() == engine::DataType::kInt64) {
+        EXPECT_EQ(got.column(c).i64()[r], expected.column(c).i64()[r])
+            << "col " << c << " row " << r;
+      } else {
+        double e = expected.column(c).f64()[r];
+        EXPECT_NEAR(got.column(c).f64()[r], e,
+                    std::abs(e) * 1e-9 + 1e-9)
+            << "col " << c << " row " << r;
+      }
+    }
+  }
+  // Q1 prunes only the tail of the relation (ships after 1998-09-02).
+  int64_t pruned = 0, total = 0;
+  for (const auto& wr : report->worker_results) {
+    pruned += wr.metrics.row_groups_pruned;
+    total += wr.metrics.row_groups_total;
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(pruned) / total, 0.15);
+}
+
+TEST_F(TpchQueryFixture, Q6MatchesReferenceAndPrunesMost) {
+  auto report = driver_->RunToCompletion(TpchQ6("s3://tpch/li/*.lpq"),
+                                         core::RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  double expected = ReferenceQ6(reference_input_);
+  ASSERT_EQ(report->result.num_rows(), 1u);
+  EXPECT_NEAR(report->result.column(0).f64()[0], expected,
+              std::abs(expected) * 1e-9 + 1e-9);
+  // The relation is sorted by l_shipdate and Q6 selects one year of seven:
+  // most row groups must be pruned via min/max statistics (Section 5.3).
+  int64_t pruned = 0, total = 0;
+  for (const auto& wr : report->worker_results) {
+    pruned += wr.metrics.row_groups_pruned;
+    total += wr.metrics.row_groups_total;
+  }
+  double frac = static_cast<double>(pruned) / total;
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST_F(TpchQueryFixture, Q6CheaperAndLighterThanQ1) {
+  auto q1 = driver_->RunToCompletion(TpchQ1("s3://tpch/li/*.lpq"),
+                                     core::RunOptions{});
+  auto q6 = driver_->RunToCompletion(TpchQ6("s3://tpch/li/*.lpq"),
+                                     core::RunOptions{});
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q6.ok());
+  // Q6 reads fewer bytes (pruning + fewer columns).
+  EXPECT_LT(q6->cost.s3_bytes_read, q1->cost.s3_bytes_read);
+}
+
+}  // namespace
+}  // namespace lambada::workload
