@@ -31,10 +31,11 @@ int main() {
     double cheapest_faas = faas.front().cost_usd;
     double fastest_iaas = iaas.back().running_time_s;
     double fastest_faas = faas.back().running_time_s;
-    std::printf(
-        "\nShape check: cheapest IaaS %s vs cheapest FaaS %s (IaaS ~%0.0fx "
+    std::printf("\n");
+    Notef(
+        "Shape check: cheapest IaaS %s vs cheapest FaaS %s (IaaS ~%0.0fx "
         "cheaper);\n  fastest IaaS %s vs fastest FaaS %s (FaaS wins on "
-        "latency)\n",
+        "latency)",
         FormatUsd(cheapest_iaas).c_str(), FormatUsd(cheapest_faas).c_str(),
         cheapest_faas / cheapest_iaas, FormatSeconds(fastest_iaas).c_str(),
         FormatSeconds(fastest_faas).c_str());
@@ -60,9 +61,10 @@ int main() {
     double dram = series[2].hourly_cost_usd[0];
     double faas_per_query = series[4].hourly_cost_usd[0] /
                             params.queries_per_hour[0];
-    std::printf(
-        "\nShape check: FaaS ($%.2f/query) is cheaper than 3 DRAM VMs "
-        "($%.2f/h) below ~%.0f queries/hour\n",
+    std::printf("\n");
+    Notef(
+        "Shape check: FaaS ($%.2f/query) is cheaper than 3 DRAM VMs "
+        "($%.2f/h) below ~%.0f queries/hour",
         faas_per_query, dram, dram / faas_per_query);
   }
   return 0;

@@ -102,11 +102,12 @@ int main() {
            Fmt("%.2f s", r.children_done - r.running)});
   }
   std::sort(started.begin(), started.end());
-  std::printf("\nworkers started:        %zu\n", started.size());
-  std::printf("driver done invoking:   %.2f s\n", driver_done);
-  std::printf("last gen-1 initiated:   %.2f s\n",
-              gen1.empty() ? 0.0 : gen1.back().initiated);
-  std::printf("all workers running at: %.2f s\n", started.back());
+  std::printf("\n");
+  Notef("workers started:        %zu", started.size());
+  Notef("driver done invoking:   %.2f s", driver_done);
+  Notef("last gen-1 initiated:   %.2f s",
+        gen1.empty() ? 0.0 : gen1.back().initiated);
+  Notef("all workers running at: %.2f s", started.back());
   double naive = kWorkers / 294.0;
   std::printf(
       "\nPaper: last worker initiated ~2.5 s, all 4096 running in ~3 s;\n"

@@ -40,10 +40,11 @@ int main() {
   }
   auto c1l = core::PredictExchangeRequests(4096, 1, false);
   double cost_4k = c1l.reads * pricing.s3_get + c1l.writes * pricing.s3_put;
-  std::printf(
-      "\nShape check: BasicExchange (1l) with 4k workers costs %s in\n"
+  std::printf("\n");
+  Notef(
+      "Shape check: BasicExchange (1l) with 4k workers costs %s in\n"
       "requests alone (paper: ~$100); 3l-wc brings requests below the\n"
-      "worker cost everywhere.\n",
+      "worker cost everywhere.",
       FormatUsd(cost_4k).c_str());
   return 0;
 }

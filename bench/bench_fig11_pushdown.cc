@@ -19,8 +19,7 @@ struct Distribution {
   int64_t pruned = 0, total = 0;
 };
 
-Distribution RunQuery(cloud::Cloud& cloud, core::Driver& driver,
-                      const core::Query& q) {
+Distribution RunQuery(core::Driver& driver, const core::Query& q) {
   core::RunOptions opts;
   opts.memory_mib = 1792;
   opts.files_per_worker = 1;
@@ -37,12 +36,11 @@ Distribution RunQuery(cloud::Cloud& cloud, core::Driver& driver,
 }
 
 void Describe(const char* name, const Distribution& d) {
-  std::printf("\n%s: %zu workers, %lld/%lld row groups pruned (%.0f%%)\n",
-              name, d.processing_s.size(),
-              static_cast<long long>(d.pruned),
-              static_cast<long long>(d.total),
-              100.0 * d.pruned / d.total);
-  Table t({"percentile", "processing time"});
+  std::printf("\n");
+  Notef("%s: %zu workers, %lld/%lld row groups pruned (%.0f%%)", name,
+        d.processing_s.size(), static_cast<long long>(d.pruned),
+        static_cast<long long>(d.total), 100.0 * d.pruned / d.total);
+  Table t({"percentile", "processing time"}, std::string(name));
   for (double p : {0.0, 0.05, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
     t.Row({Fmt("p%.0f", p * 100),
            FormatSeconds(Percentile(d.processing_s, p))});
@@ -52,9 +50,8 @@ void Describe(const char* name, const Distribution& d) {
   for (double s : d.processing_s) {
     if (s < 0.5) ++fast;
   }
-  std::printf("workers returning after metadata only: %d of %zu (%.0f%%)\n",
-              fast, d.processing_s.size(),
-              100.0 * fast / d.processing_s.size());
+  Notef("workers returning after metadata only: %d of %zu (%.0f%%)", fast,
+        d.processing_s.size(), 100.0 * fast / d.processing_s.size());
 }
 
 }  // namespace
@@ -74,9 +71,9 @@ int main() {
       workload::LoadLineitem(&cloud.s3(), "tpch", "sf1000/", load));
 
   Banner("Figure 11", "per-worker processing time distribution (Q1 vs Q6)");
-  auto q1 = RunQuery(cloud, driver, workload::TpchQ1("s3://tpch/sf1000/*.lpq"));
+  auto q1 = RunQuery(driver, workload::TpchQ1("s3://tpch/sf1000/*.lpq"));
   Describe("Q1 (98% selected, 7 attributes)", q1);
-  auto q6 = RunQuery(cloud, driver, workload::TpchQ6("s3://tpch/sf1000/*.lpq"));
+  auto q6 = RunQuery(driver, workload::TpchQ6("s3://tpch/sf1000/*.lpq"));
   Describe("Q6 (2% selected, 4 attributes)", q6);
   std::printf(
       "\nPaper: two categories — ~100-200 ms (all row groups pruned via\n"

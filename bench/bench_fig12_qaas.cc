@@ -115,7 +115,7 @@ int main() {
     t.Row({"BigQuery cold (load)",
            FormatSeconds(b.latency_s + b.load_time_s),
            FormatUsd(b.cost_usd)});
-    std::printf("speedup vs Athena: %.1fx\n", a.latency_s / lambada_hot);
+    Notef("speedup vs Athena: %.1fx", a.latency_s / lambada_hot);
   }
   std::printf(
       "\nPaper: Lambada ~4x faster than Athena on Q1 / on par on Q6 at\n"

@@ -93,7 +93,8 @@ void Describe(const char* title, const BreakdownResult& r) {
       wait.push_back(m.rounds[round].wait_s);
       read.push_back(m.rounds[round].read_s);
     }
-    Table t({"phase", "fastest", "median", "p95", "slowest"});
+    Table t({"phase", "fastest", "median", "p95", "slowest"},
+            std::string(title) + ", round " + std::to_string(round + 1));
     auto row = [&](const char* name, std::vector<double> v) {
       t.Row({name, FormatSeconds(Percentile(v, 0.0)),
              FormatSeconds(Percentile(v, 0.5)),
@@ -123,15 +124,15 @@ void Describe(const char* title, const BreakdownResult& r) {
     for (const auto& round : m.rounds) total_wait += round.wait_s;
   }
   for (double t : r.total_s) total_time += t;
-  std::printf(
-      "\nfastest worker end-to-end: %s (%.0f%% of slowest %s)\n"
-      "sum of fastest phases (lower bound): %s\n"
-      "share of worker time spent waiting: %.0f%%\n",
-      FormatSeconds(fastest_total).c_str(),
-      100.0 * fastest_total / slowest_total,
-      FormatSeconds(slowest_total).c_str(),
-      FormatSeconds(sum_fastest_phases).c_str(),
-      100.0 * total_wait / total_time);
+  std::printf("\n");
+  Notef("fastest worker end-to-end: %s (%.0f%% of slowest %s)",
+        FormatSeconds(fastest_total).c_str(),
+        100.0 * fastest_total / slowest_total,
+        FormatSeconds(slowest_total).c_str());
+  Notef("sum of fastest phases (lower bound): %s",
+        FormatSeconds(sum_fastest_phases).c_str());
+  Notef("share of worker time spent waiting: %.0f%%",
+        100.0 * total_wait / total_time);
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+// Shared JSON reporter backing bench_util.h. Linked into every console
+// bench binary (lambada_bench_common); holds the JsonReport singleton and
+// the serializer so the header stays declaration-only.
+
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace lambada::bench {
+namespace {
+
+/// JSON string escaping for the banner/header/cell text we emit. Control
+/// characters below 0x20 are \u-escaped; everything else passes through.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// True if the whole cell is a valid JSON number ("36", "0.042", "1e3",
+/// "-2.5E+7"). Stricter than strtod on purpose: forms like "0x1f", ".5",
+/// "5.", "036", "inf" would be invalid JSON unquoted, so they (and cells
+/// with units, "36 ms") stay strings.
+bool IsNumber(const std::string& s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  if (i < n && s[i] == '-') ++i;
+  if (i >= n || !IsDigit(s[i])) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (i < n && IsDigit(s[i])) ++i;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (i >= n || !IsDigit(s[i])) return false;
+    while (i < n && IsDigit(s[i])) ++i;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= n || !IsDigit(s[i])) return false;
+    while (i < n && IsDigit(s[i])) ++i;
+  }
+  return i == n;
+}
+
+/// A cell: raw JSON number when it parses as one, quoted string otherwise.
+std::string CellJson(const std::string& s) {
+  if (IsNumber(s)) return s;
+  return "\"" + Escape(s) + "\"";
+}
+
+void FlushAtExit() { JsonReport::Get().Flush(); }
+
+}  // namespace
+
+JsonReport& JsonReport::Get() {
+  static JsonReport* report = [] {
+    auto* r = new JsonReport();
+    std::atexit(FlushAtExit);
+    return r;
+  }();
+  return *report;
+}
+
+void JsonReport::BeginExperiment(const std::string& id,
+                                 const std::string& title) {
+  experiments_.push_back(Experiment{id, title, {}, {}});
+}
+
+void JsonReport::BeginTable(const std::vector<std::string>& headers,
+                            const std::string& caption) {
+  // A Table created before any Banner gets an anonymous experiment.
+  if (experiments_.empty()) {
+    experiments_.push_back(Experiment{"", "", {}, {}});
+  }
+  experiments_.back().tables.push_back(TableData{caption, headers, {}});
+}
+
+void JsonReport::AddRow(const std::vector<std::string>& cells) {
+  if (experiments_.empty() || experiments_.back().tables.empty()) return;
+  experiments_.back().tables.back().rows.push_back(cells);
+}
+
+void JsonReport::AddNote(const std::string& note) {
+  if (experiments_.empty()) {
+    experiments_.push_back(Experiment{"", "", {}, {}});
+  }
+  experiments_.back().notes.push_back(note);
+}
+
+void JsonReport::Flush() {
+  if (flushed_) return;
+  const char* path = std::getenv("LAMBADA_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0' || experiments_.empty()) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for JSON report\n", path);
+    return;
+  }
+  flushed_ = true;
+  std::fprintf(f, "{\n  \"schema\": \"lambada-bench-v1\",\n");
+  std::fprintf(f, "  \"experiments\": [");
+  WriteExperiments(f);
+  std::fprintf(f, "\n  ]\n}\n");
+  // A truncated report (disk full, IO error) must not look like a fresh
+  // measurement: delete it so run_benches.sh's non-empty check fails.
+  bool bad = std::ferror(f) != 0;
+  bad = (std::fclose(f) != 0) || bad;
+  if (bad) {
+    std::fprintf(stderr, "bench: failed writing JSON report %s\n", path);
+    std::remove(path);
+  }
+}
+
+void JsonReport::WriteExperiments(std::FILE* f) {
+  for (size_t e = 0; e < experiments_.size(); ++e) {
+    const Experiment& exp = experiments_[e];
+    std::fprintf(f, "%s\n    {\"id\": \"%s\", \"title\": \"%s\",", e ? "," : "",
+                 Escape(exp.id).c_str(), Escape(exp.title).c_str());
+    if (!exp.notes.empty()) {
+      std::fprintf(f, "\n     \"notes\": [");
+      for (size_t m = 0; m < exp.notes.size(); ++m) {
+        std::fprintf(f, "%s\n      \"%s\"", m ? "," : "",
+                     Escape(exp.notes[m]).c_str());
+      }
+      std::fprintf(f, "\n     ],");
+    }
+    std::fprintf(f, " \"tables\": [");
+    for (size_t t = 0; t < exp.tables.size(); ++t) {
+      const TableData& tab = exp.tables[t];
+      std::fprintf(f, "%s\n      {", t ? "," : "");
+      if (!tab.caption.empty()) {
+        std::fprintf(f, "\"caption\": \"%s\",\n       ",
+                     Escape(tab.caption).c_str());
+      }
+      std::fprintf(f, "\"headers\": [");
+      for (size_t h = 0; h < tab.headers.size(); ++h) {
+        std::fprintf(f, "%s\"%s\"", h ? ", " : "",
+                     Escape(tab.headers[h]).c_str());
+      }
+      std::fprintf(f, "],\n       \"rows\": [");
+      for (size_t r = 0; r < tab.rows.size(); ++r) {
+        std::fprintf(f, "%s\n        [", r ? "," : "");
+        for (size_t c = 0; c < tab.rows[r].size(); ++c) {
+          std::fprintf(f, "%s%s", c ? ", " : "",
+                       CellJson(tab.rows[r][c]).c_str());
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "%s]}", tab.rows.empty() ? "" : "\n       ");
+    }
+    std::fprintf(f, "%s]}", exp.tables.empty() ? "" : "\n    ");
+  }
+}
+
+}  // namespace lambada::bench

@@ -2,6 +2,7 @@
 #define LAMBADA_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -10,15 +11,104 @@
 
 namespace lambada::bench {
 
+/// Structured mirror of the console output. Every Banner / Table / Row call
+/// is also recorded here, and when the environment variable
+/// LAMBADA_BENCH_JSON names a file, the recording is flushed to it as JSON at
+/// process exit (see scripts/run_benches.sh, which sets the variable to
+/// BENCH_<figure>.json per binary). When the variable is unset the reporter
+/// is a cheap in-memory no-op, so bench binaries behave exactly as before.
+///
+/// JSON shape ("lambada-bench-v1"):
+///   { "schema": "lambada-bench-v1",
+///     "experiments": [ { "id": "Figure 7", "title": "...",
+///                        "tables": [ { "headers": [...],
+///                                      "rows": [[...], ...] } ] } ] }
+/// Cells that parse as numbers are emitted as JSON numbers so that perf
+/// trajectories can be diffed numerically across PRs.
+class JsonReport {
+ public:
+  /// Process-wide singleton; registers an atexit flush on first use.
+  static JsonReport& Get();
+
+  /// Starts a new experiment section (one per Banner call).
+  void BeginExperiment(const std::string& id, const std::string& title);
+
+  /// Starts a new table under the current experiment. The caption labels
+  /// the table in the JSON (e.g. which query a distribution belongs to) so
+  /// regression tooling need not rely on table order.
+  void BeginTable(const std::vector<std::string>& headers,
+                  const std::string& caption);
+
+  /// Appends a row to the current table.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Records a free-form headline metric line under the current experiment.
+  void AddNote(const std::string& note);
+
+  /// Writes the report to $LAMBADA_BENCH_JSON. No-op when the variable is
+  /// unset or empty, or when nothing was recorded. Idempotent.
+  void Flush();
+
+ private:
+  struct TableData {
+    std::string caption;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Experiment {
+    std::string id;
+    std::string title;
+    std::vector<std::string> notes;
+    std::vector<TableData> tables;
+  };
+
+  void WriteExperiments(std::FILE* f);
+
+  std::vector<Experiment> experiments_;
+  bool flushed_ = false;
+};
+
 /// Prints the standard experiment banner.
 inline void Banner(const std::string& id, const std::string& title) {
   std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+  JsonReport::Get().BeginExperiment(id, title);
 }
 
-/// Fixed-width row printer for the experiment tables.
+/// Prints a headline metric line and records it in the JSON report.
+inline void Note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+  JsonReport::Get().AddNote(text);
+}
+
+/// printf-style Note, sized exactly — no fixed buffer at call sites.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline void
+Notef(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string s;
+  if (n > 0) {
+    s.resize(static_cast<size_t>(n));
+    std::vsnprintf(s.data(), s.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  Note(s);
+}
+
+/// Fixed-width row printer for the experiment tables. The optional caption
+/// is JSON-only metadata labelling the table (console output unchanged).
 class Table {
  public:
-  explicit Table(std::vector<std::string> headers, int width = 14)
+  static constexpr int kDefaultWidth = 14;
+
+  explicit Table(std::vector<std::string> headers, int width = kDefaultWidth,
+                 std::string caption = "")
       : width_(width), cols_(headers.size()) {
     for (const auto& h : headers) {
       std::printf("%-*s", width_, h.c_str());
@@ -28,13 +118,19 @@ class Table {
       std::printf("-");
     }
     std::printf("\n");
+    JsonReport::Get().BeginTable(headers, caption);
   }
+
+  /// Captioned table at the default width.
+  Table(std::vector<std::string> headers, std::string caption)
+      : Table(std::move(headers), kDefaultWidth, std::move(caption)) {}
 
   void Row(const std::vector<std::string>& cells) {
     for (const auto& c : cells) {
       std::printf("%-*s", width_, c.c_str());
     }
     std::printf("\n");
+    JsonReport::Get().AddRow(cells);
   }
 
  private:

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs every paper-figure bench binary and writes BENCH_<figure>.json files
+# to the repo root — the perf-trajectory record that optimisation PRs diff
+# against. Console benches emit JSON via the bench_util.h reporter
+# (LAMBADA_BENCH_JSON); bench_micro_kernels uses google-benchmark's native
+# JSON writer.
+#
+# Usage: scripts/run_benches.sh [build-dir]   (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+fi
+cmake --build "$BUILD" --target benches -j "$JOBS"
+
+# bench_fig01_architectures -> fig01; bench_tab03_exchange -> tab03;
+# bench_ablation_stats_index -> ablation_stats_index.
+figure_name() {
+  local stem="${1#bench_}"
+  case "$stem" in
+    fig[0-9]*|tab[0-9]*) echo "${stem%%_*}" ;;
+    *) echo "$stem" ;;
+  esac
+}
+
+ran=0
+for bin in "$BUILD"/bench/bench_*; do
+  [ -x "$bin" ] && [ -f "$bin" ] || continue
+  base="$(basename "$bin")"
+  fig="$(figure_name "$base")"
+  out="$ROOT/BENCH_${fig}.json"
+  echo "== $base -> BENCH_${fig}.json"
+  # Write to a temp file and move into place only after validation, so the
+  # committed trajectory files are never left stale, deleted, or mixed
+  # across runs when a bench fails mid-loop.
+  tmp="$out.tmp"
+  rm -f "$tmp"
+  if [ "$base" = "bench_micro_kernels" ]; then
+    "$bin" --benchmark_min_time=0.05 \
+           --benchmark_out="$tmp" --benchmark_out_format=json >/dev/null
+  else
+    LAMBADA_BENCH_JSON="$tmp" "$bin" >/dev/null
+  fi
+  [ -s "$tmp" ] || { echo "error: $base produced no JSON" >&2; exit 1; }
+  if command -v python3 >/dev/null; then
+    python3 -m json.tool "$tmp" >/dev/null \
+      || { echo "error: $base wrote invalid JSON" >&2; exit 1; }
+  fi
+  mv "$tmp" "$out"
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no bench binaries found under $BUILD/bench" >&2
+  exit 1
+fi
+echo "wrote $ran BENCH_*.json files to $ROOT"

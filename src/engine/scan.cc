@@ -18,7 +18,7 @@ struct FileState {
   std::unique_ptr<sim::Event> ready;
 };
 
-sim::Async<void> OpenReader(cloud::WorkerEnv* env, FileState* state,
+sim::Async<void> OpenReader(FileState* state,
                             format::ReaderOptions reader_options) {
   state->reader = co_await FileReader::Open(state->source, reader_options);
   state->ready->Set();
@@ -86,16 +86,15 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
   if (options.prefetch_metadata) {
     // Level (4): a dedicated thread downloads the metadata for all files
     // that should be scanned, hiding the latency of these small requests.
-    sim::Spawn([](cloud::WorkerEnv* e,
-                  std::shared_ptr<std::vector<FileState>> sts,
+    sim::Spawn([](std::shared_ptr<std::vector<FileState>> sts,
                   std::shared_ptr<sim::Event> done,
                   std::function<format::ReaderOptions(const FileState&)>
                       make_opts) -> sim::Async<void> {
       for (auto& st : *sts) {
-        co_await OpenReader(e, &st, make_opts(st));
+        co_await OpenReader(&st, make_opts(st));
       }
       done->Set();
-    }(&env, states, prefetch_done, reader_options_for));
+    }(states, prefetch_done, reader_options_for));
   } else {
     prefetch_done->Set();
   }
@@ -108,7 +107,7 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     if (options.prefetch_metadata) {
       co_await st.ready->Wait();
     } else {
-      co_await OpenReader(&env, &st, reader_options_for(st));
+      co_await OpenReader(&st, reader_options_for(st));
     }
     if (!st.reader.ok()) {
       scan_error = st.reader.status();
