@@ -32,7 +32,7 @@ int main() {
       workload::LoadLineitem(&cloud.s3(), "tpch", "sf1000/", load));
 
   Banner("Ablation", "central min/max index (Section 5.3 extension)");
-  Table t({"query", "index", "workers", "time", "cost"}, 14);
+  Table t({"query", "index", "workers", "time [s]", "cost [USD]"}, 14);
   for (bool is_q1 : {false, true}) {
     core::Query q = is_q1 ? workload::TpchQ1("s3://tpch/sf1000/*.lpq")
                           : workload::TpchQ6("s3://tpch/sf1000/*.lpq");
@@ -45,8 +45,8 @@ int main() {
       auto report = driver.RunToCompletion(q, opts);
       LAMBADA_CHECK(report.ok()) << report.status().ToString();
       t.Row({name, use_index ? "yes" : "no", FmtInt(report->workers),
-             FormatSeconds(report->latency_s),
-             FormatUsd(report->CostUsd(cloud.pricing()))});
+             Fmt("%.2f", report->latency_s),
+             Fmt("%.4g", report->CostUsd(cloud.pricing()))});
     }
   }
   std::printf(

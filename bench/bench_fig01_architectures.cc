@@ -16,14 +16,14 @@ using namespace lambada::bench; // NOLINT
 int main() {
   Banner("Figure 1a", "job-scoped resources: 1 TB scan, cost vs time");
   {
-    Table t({"series", "workers", "time", "cost"});
+    Table t({"series", "workers", "time [s]", "cost [USD]"});
     for (const auto& p : models::JobScopedIaas()) {
-      t.Row({"IaaS (VM)", FmtInt(p.workers), FormatSeconds(p.running_time_s),
-             FormatUsd(p.cost_usd)});
+      t.Row({"IaaS (VM)", FmtInt(p.workers), Fmt("%.2f", p.running_time_s),
+             Fmt("%.4g", p.cost_usd)});
     }
     for (const auto& p : models::JobScopedFaas()) {
-      t.Row({"FaaS", FmtInt(p.workers), FormatSeconds(p.running_time_s),
-             FormatUsd(p.cost_usd)});
+      t.Row({"FaaS", FmtInt(p.workers), Fmt("%.2f", p.running_time_s),
+             Fmt("%.4g", p.cost_usd)});
     }
     auto iaas = models::JobScopedIaas();
     auto faas = models::JobScopedFaas();
@@ -47,13 +47,13 @@ int main() {
     models::AlwaysOnParams params;
     auto series = models::AlwaysOnComparison(params);
     std::vector<std::string> headers = {"queries/h"};
-    for (const auto& s : series) headers.push_back(s.label);
+    for (const auto& s : series) headers.push_back(s.label + " [USD/h]");
     Table t(headers, 16);
     for (size_t i = 0; i < params.queries_per_hour.size(); ++i) {
       std::vector<std::string> row = {
           Fmt("%.0f", params.queries_per_hour[i])};
       for (const auto& s : series) {
-        row.push_back(FormatUsd(s.hourly_cost_usd[i]));
+        row.push_back(Fmt("%.4g", s.hourly_cost_usd[i]));
       }
       t.Row(row);
     }

@@ -94,12 +94,14 @@ int main() {
   cloud.sim().Run();
 
   Banner("Figure 5", "two-level invocation of 4096 workers (cold start)");
-  Table t({"gen1 worker", "before own inv", "own inv", "invoking kids"});
+  Table t({"gen1 worker", "before own inv [s]", "own inv [s]",
+           "invoking kids [s]"},
+          20);
   for (size_t i = 0; i < gen1.size(); i += 8) {
     const auto& r = gen1[i];
-    t.Row({FmtInt(static_cast<int64_t>(i)), Fmt("%.2f s", r.initiated),
-           Fmt("%.2f s", r.running - r.initiated),
-           Fmt("%.2f s", r.children_done - r.running)});
+    t.Row({FmtInt(static_cast<int64_t>(i)), Fmt("%.2f", r.initiated),
+           Fmt("%.2f", r.running - r.initiated),
+           Fmt("%.2f", r.children_done - r.running)});
   }
   std::sort(started.begin(), started.end());
   std::printf("\n");

@@ -61,11 +61,13 @@ double ScanBandwidth(int memory_mib, int connections, int64_t file_bytes) {
 
 void RunSeries(const char* title, int64_t file_bytes) {
   Banner("Figure 6", title);
-  Table t({"memory [MiB]", "1 conn", "2 conns", "4 conns"});
+  Table t({"memory [MiB]", "1 conn [MiB/s]", "2 conns [MiB/s]",
+           "4 conns [MiB/s]"},
+          16);
   for (int mem : {512, 1024, 2048, 3008}) {
     std::vector<std::string> row = {FmtInt(mem)};
     for (int conns : {1, 2, 4}) {
-      row.push_back(Fmt("%.0f MiB/s", ScanBandwidth(mem, conns, file_bytes)));
+      row.push_back(Fmt("%.0f", ScanBandwidth(mem, conns, file_bytes)));
     }
     t.Row(row);
   }

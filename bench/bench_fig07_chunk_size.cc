@@ -73,9 +73,9 @@ ChunkResult DownloadChunked(int64_t chunk_bytes, int connections) {
 int main() {
   Banner("Figure 7", "chunk size vs scan bandwidth and request cost");
   cloud::Pricing pricing;
-  Table t({"chunk", "conns", "bandwidth", "requests", "cost(1k runs)",
-           "req/worker"},
-          13);
+  Table t({"chunk [MiB]", "conns", "bandwidth [MiB/s]", "requests",
+           "cost 1k runs [USD]", "req/worker [x]"},
+          19);
   for (int64_t chunk_mib : {1, 2, 4, 8, 16}) {
     // (0.5 MiB handled separately below to keep the loop integral.)
     for (int conns : {1, 2, 4}) {
@@ -84,10 +84,10 @@ int main() {
           static_cast<double>(r.requests) * pricing.s3_get * 1000.0;
       double worker_cost_1k = r.worker_seconds * 2.0 *
                               pricing.lambda_gib_second * 1000.0;
-      t.Row({Fmt("%.1f MiB", static_cast<double>(chunk_mib)),
-             FmtInt(conns), Fmt("%.0f MiB/s", r.bandwidth_mib_s),
-             FmtInt(r.requests), FormatUsd(request_cost_1k),
-             Fmt("%.2fx", request_cost_1k / worker_cost_1k)});
+      t.Row({Fmt("%.1f", static_cast<double>(chunk_mib)),
+             FmtInt(conns), Fmt("%.0f", r.bandwidth_mib_s),
+             FmtInt(r.requests), Fmt("%.4g", request_cost_1k),
+             Fmt("%.2f", request_cost_1k / worker_cost_1k)});
     }
   }
   {
@@ -96,9 +96,9 @@ int main() {
         static_cast<double>(r.requests) * pricing.s3_get * 1000.0;
     double worker_cost_1k =
         r.worker_seconds * 2.0 * pricing.lambda_gib_second * 1000.0;
-    t.Row({"0.5 MiB", "4", Fmt("%.0f MiB/s", r.bandwidth_mib_s),
-           FmtInt(r.requests), FormatUsd(request_cost_1k),
-           Fmt("%.2fx", request_cost_1k / worker_cost_1k)});
+    t.Row({"0.5", "4", Fmt("%.0f", r.bandwidth_mib_s),
+           FmtInt(r.requests), Fmt("%.4g", request_cost_1k),
+           Fmt("%.2f", request_cost_1k / worker_cost_1k)});
   }
   std::printf(
       "\nPaper: 1 connection needs 16 MB chunks to approach peak; 4\n"

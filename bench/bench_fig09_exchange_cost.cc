@@ -13,7 +13,8 @@ using namespace lambada::bench; // NOLINT
 int main() {
   Banner("Figure 9", "cost of S3-based exchange algorithms per worker");
   cloud::Pricing pricing;
-  Table t({"P", "variant", "reads", "writes+lists", "cost/worker"}, 15);
+  Table t({"P", "variant", "reads", "writes+lists", "cost/worker [USD]"},
+          18);
   struct Variant {
     const char* name;
     int levels;
@@ -28,15 +29,16 @@ int main() {
       double cost = c.reads * pricing.s3_get +
                     c.writes * pricing.s3_put + c.lists * pricing.s3_list;
       t.Row({FmtInt(P), v.name, Fmt("%.0f", c.reads),
-             Fmt("%.0f", c.writes + c.lists), FormatUsd(cost / P)});
+             Fmt("%.0f", c.writes + c.lists), Fmt("%.4g", cost / P)});
     }
     // Worker-cost band: one scan of 100 MiB up to three scans of 1 GiB at
     // 85 MiB/s, at the 2 GiB worker price (the paper's horizontal range).
+    // Two rows so both band edges stay numeric.
     double second_price = 2.0 * pricing.lambda_gib_second;
     double lo = (100.0 / 85.0) * second_price;
     double hi = 3.0 * (1024.0 / 85.0) * second_price;
-    t.Row({FmtInt(P), "worker cost", "-", "-",
-           FormatUsd(lo) + ".." + FormatUsd(hi)});
+    t.Row({FmtInt(P), "worker cost lo", "-", "-", Fmt("%.4g", lo)});
+    t.Row({FmtInt(P), "worker cost hi", "-", "-", Fmt("%.4g", hi)});
   }
   auto c1l = core::PredictExchangeRequests(4096, 1, false);
   double cost_4k = c1l.reads * pricing.s3_get + c1l.writes * pricing.s3_put;

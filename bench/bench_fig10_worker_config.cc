@@ -68,32 +68,35 @@ int main() {
   Deployment dep;
   Banner("Figure 10a", "Q1, F=1 (320 workers), varying memory M");
   {
-    Table t({"M [MiB]", "cold time", "cold cost", "hot time", "hot cost"});
+    Table t({"M [MiB]", "cold time [s]", "cold cost [USD]", "hot time [s]",
+             "hot cost [USD]"},
+            16);
     for (int mem : {512, 1024, 1792, 2048, 3008}) {
       auto r = RunConfig(dep, mem, 1);
-      t.Row({FmtInt(mem), FormatSeconds(r.cold_s), FormatUsd(r.cold_usd),
-             FormatSeconds(r.hot_s), FormatUsd(r.hot_usd)});
+      t.Row({FmtInt(mem), Fmt("%.2f", r.cold_s), Fmt("%.4g", r.cold_usd),
+             Fmt("%.2f", r.hot_s), Fmt("%.4g", r.hot_usd)});
     }
   }
   Banner("Figure 10b", "Q1, M=1792 MiB, varying files per worker F");
   {
-    Table t({"F", "workers", "cold time", "cold cost", "hot time",
-             "hot cost"});
+    Table t({"F", "workers", "cold time [s]", "cold cost [USD]",
+             "hot time [s]", "hot cost [USD]"},
+            16);
     for (int f : {4, 2, 1}) {
       auto r = RunConfig(dep, 1792, f);
-      t.Row({FmtInt(f), FmtInt(320 / f), FormatSeconds(r.cold_s),
-             FormatUsd(r.cold_usd), FormatSeconds(r.hot_s),
-             FormatUsd(r.hot_usd)});
+      t.Row({FmtInt(f), FmtInt(320 / f), Fmt("%.2f", r.cold_s),
+             Fmt("%.4g", r.cold_usd), Fmt("%.2f", r.hot_s),
+             Fmt("%.4g", r.hot_usd)});
     }
   }
   Banner("Figure 10c", "Q1, all M x F combinations (hot runs)");
   {
-    Table t({"M [MiB]", "F", "time", "cost"});
+    Table t({"M [MiB]", "F", "time [s]", "cost [USD]"});
     for (int mem : {512, 1024, 1792, 2048, 3008}) {
       for (int f : {4, 2, 1}) {
         auto r = RunConfig(dep, mem, f);
-        t.Row({FmtInt(mem), FmtInt(f), FormatSeconds(r.hot_s),
-               FormatUsd(r.hot_usd)});
+        t.Row({FmtInt(mem), FmtInt(f), Fmt("%.2f", r.hot_s),
+               Fmt("%.4g", r.hot_usd)});
       }
     }
   }

@@ -40,10 +40,11 @@ void Describe(const char* name, const Distribution& d) {
   Notef("%s: %zu workers, %lld/%lld row groups pruned (%.0f%%)", name,
         d.processing_s.size(), static_cast<long long>(d.pruned),
         static_cast<long long>(d.total), 100.0 * d.pruned / d.total);
-  Table t({"percentile", "processing time"}, std::string(name));
+  Table t({"percentile", "processing time [s]"},
+          Table::kDefaultWidth + 6, std::string(name));
   for (double p : {0.0, 0.05, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
     t.Row({Fmt("p%.0f", p * 100),
-           FormatSeconds(Percentile(d.processing_s, p))});
+           Fmt("%.3f", Percentile(d.processing_s, p))});
   }
   // Count the two worker categories of the paper.
   int fast = 0;

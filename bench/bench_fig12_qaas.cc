@@ -89,7 +89,7 @@ int main() {
   };
   for (const auto& w : workloads) {
     Banner("Figure 12", w.name);
-    Table t({"system", "time", "cost"}, 22);
+    Table t({"system", "time [s]", "cost [USD]"}, 22);
     core::Query q = w.is_q1 ? workload::TpchQ1(w.pattern)
                             : workload::TpchQ6(w.pattern);
     double lambada_hot = 0;
@@ -97,9 +97,9 @@ int main() {
       auto r = RunLambada(cloud, driver, q, mem);
       if (mem == 1792) lambada_hot = r.hot_s;
       t.Row({"Lambada cold M=" + std::to_string(mem),
-             FormatSeconds(r.cold_s), FormatUsd(r.cold_usd)});
+             Fmt("%.2f", r.cold_s), Fmt("%.4g", r.cold_usd)});
       t.Row({"Lambada hot  M=" + std::to_string(mem),
-             FormatSeconds(r.hot_s), FormatUsd(r.hot_usd)});
+             Fmt("%.2f", r.hot_s), Fmt("%.4g", r.hot_usd)});
     }
     models::QaasQuery mq;
     mq.used_column_fraction = w.is_q1 ? 7.0 / 16 : 4.0 / 16;
@@ -107,14 +107,14 @@ int main() {
     mq.sf_ratio = w.sf_ratio;
     auto a = athena.Estimate(
         mq, w.is_q1 ? anchors.athena_q1_s : anchors.athena_q6_s);
-    t.Row({"Athena", FormatSeconds(a.latency_s), FormatUsd(a.cost_usd)});
+    t.Row({"Athena", Fmt("%.2f", a.latency_s), Fmt("%.4g", a.cost_usd)});
     auto b = bigquery.Estimate(
         mq, w.is_q1 ? anchors.bigquery_q1_s : anchors.bigquery_q6_s);
-    t.Row({"BigQuery hot", FormatSeconds(b.latency_s),
-           FormatUsd(b.cost_usd)});
+    t.Row({"BigQuery hot", Fmt("%.2f", b.latency_s),
+           Fmt("%.4g", b.cost_usd)});
     t.Row({"BigQuery cold (load)",
-           FormatSeconds(b.latency_s + b.load_time_s),
-           FormatUsd(b.cost_usd)});
+           Fmt("%.2f", b.latency_s + b.load_time_s),
+           Fmt("%.4g", b.cost_usd)});
     Notef("speedup vs Athena: %.1fx", a.latency_s / lambada_hot);
   }
   std::printf(

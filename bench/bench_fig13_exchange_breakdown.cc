@@ -93,13 +93,14 @@ void Describe(const char* title, const BreakdownResult& r) {
       wait.push_back(m.rounds[round].wait_s);
       read.push_back(m.rounds[round].read_s);
     }
-    Table t({"phase", "fastest", "median", "p95", "slowest"},
+    Table t({"phase", "fastest [s]", "median [s]", "p95 [s]",
+             "slowest [s]"},
             std::string(title) + ", round " + std::to_string(round + 1));
     auto row = [&](const char* name, std::vector<double> v) {
-      t.Row({name, FormatSeconds(Percentile(v, 0.0)),
-             FormatSeconds(Percentile(v, 0.5)),
-             FormatSeconds(Percentile(v, 0.95)),
-             FormatSeconds(Percentile(v, 1.0))});
+      t.Row({name, Fmt("%.3f", Percentile(v, 0.0)),
+             Fmt("%.3f", Percentile(v, 0.5)),
+             Fmt("%.3f", Percentile(v, 0.95)),
+             Fmt("%.3f", Percentile(v, 1.0))});
     };
     std::printf("round %d:\n", round + 1);
     row("write", write);

@@ -59,3 +59,13 @@ if [ "$ran" -eq 0 ]; then
   exit 1
 fi
 echo "wrote $ran BENCH_*.json files to $ROOT"
+
+# Flag slowdowns beyond the threshold against the committed baselines.
+# Warn-only by default (the CI freshness gate is what enforces determinism);
+# set LAMBADA_BENCH_STRICT=1 to fail on regressions.
+if command -v python3 >/dev/null; then
+  strict_flag=""
+  [ "${LAMBADA_BENCH_STRICT:-0}" = "1" ] && strict_flag="--strict"
+  python3 "$ROOT/scripts/check_bench_regression.py" \
+    --baseline-ref HEAD ${strict_flag:+$strict_flag}
+fi

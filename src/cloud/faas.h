@@ -17,6 +17,7 @@
 #include "cloud/regions.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "sim/async.h"
 #include "sim/resources.h"
 #include "sim/simulator.h"
@@ -119,6 +120,13 @@ class WorkerEnv {
 
   /// Scale factor applied to modeled data sizes and compute work.
   double data_scale = 1.0;
+
+  /// Morsel-driven runtime knobs for this worker's local kernels
+  /// (partition/serde/codec) and its batched exchange I/O. Host-side
+  /// configuration like data_scale: it never travels in payloads, and the
+  /// default is strictly serial, which keeps default virtual-time
+  /// schedules identical to the pre-exec runtime.
+  exec::ExecContext exec;
 
  private:
   Services services_;

@@ -1,8 +1,10 @@
 #include "cloud/object_store.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.h"
+#include "exec/request_batcher.h"
 
 namespace lambada::cloud {
 
@@ -319,6 +321,48 @@ sim::Async<Result<BufferPtr>> S3Client::GetWhenAvailable(
     }
     co_await sim::Sleep(store_->simulator(), poll_interval_s);
   }
+}
+
+sim::Async<std::vector<Result<BufferPtr>>> S3Client::BatchGet(
+    std::vector<RangeRequest> requests, int depth) {
+  exec::RequestBatcher batcher(store_->simulator(), depth);
+  std::vector<std::function<sim::Async<Result<BufferPtr>>()>> thunks;
+  thunks.reserve(requests.size());
+  for (auto& req : requests) {
+    thunks.push_back([this, req = std::move(req)]() {
+      return Get(req.bucket, req.key, req.offset, req.length);
+    });
+  }
+  co_return co_await batcher.Run(std::move(thunks));
+}
+
+sim::Async<std::vector<Status>> S3Client::BatchPut(
+    std::vector<PutRequest> requests, int depth) {
+  exec::RequestBatcher batcher(store_->simulator(), depth);
+  std::vector<std::function<sim::Async<Status>()>> thunks;
+  thunks.reserve(requests.size());
+  for (auto& req : requests) {
+    thunks.push_back([this, req = std::move(req)]() mutable {
+      return Put(req.bucket, req.key, std::move(req.data), req.scale);
+    });
+  }
+  co_return co_await batcher.Run(std::move(thunks));
+}
+
+sim::Async<std::vector<Result<BufferPtr>>> S3Client::BatchGetWhenAvailable(
+    std::vector<KeyRequest> requests, double poll_interval_s,
+    double timeout_s, int depth) {
+  exec::RequestBatcher batcher(store_->simulator(), depth);
+  std::vector<std::function<sim::Async<Result<BufferPtr>>()>> thunks;
+  thunks.reserve(requests.size());
+  for (auto& req : requests) {
+    thunks.push_back([this, req = std::move(req), poll_interval_s,
+                      timeout_s]() {
+      return GetWhenAvailable(req.bucket, req.key, poll_interval_s,
+                              timeout_s);
+    });
+  }
+  co_return co_await batcher.Run(std::move(thunks));
 }
 
 }  // namespace lambada::cloud

@@ -184,6 +184,43 @@ class S3Client {
                                                  double poll_interval_s,
                                                  double timeout_s);
 
+  // -- Batched entry points --------------------------------------------------
+  // Fan out several requests with at most `depth` in flight (see
+  // exec::RequestBatcher: slot-ordered issue and results; depth 1 is the
+  // exact sequential schedule). Retry/backoff applies per request as in
+  // the single-request verbs. These are the object-store's public batch
+  // seam (covered by cloud_test) for callers whose unit of work is a
+  // whole request — e.g. a future real-S3 backend; the exchange drives
+  // RequestBatcher directly instead because its slots interleave
+  // deserialization and compute charging with each request.
+
+  struct RangeRequest {
+    std::string bucket;
+    std::string key;
+    int64_t offset = 0;
+    int64_t length = -1;  ///< < 0: to the end.
+  };
+  sim::Async<std::vector<Result<BufferPtr>>> BatchGet(
+      std::vector<RangeRequest> requests, int depth);
+
+  struct PutRequest {
+    std::string bucket;
+    std::string key;
+    BufferPtr data;
+    double scale = 1.0;
+  };
+  sim::Async<std::vector<Status>> BatchPut(std::vector<PutRequest> requests,
+                                           int depth);
+
+  /// Batched polling GET of whole objects (wait-then-read).
+  struct KeyRequest {
+    std::string bucket;
+    std::string key;
+  };
+  sim::Async<std::vector<Result<BufferPtr>>> BatchGetWhenAvailable(
+      std::vector<KeyRequest> requests, double poll_interval_s,
+      double timeout_s, int depth);
+
   const NetContext& ctx() const { return ctx_; }
   ObjectStore* store() { return store_; }
 

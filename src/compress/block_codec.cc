@@ -1,0 +1,111 @@
+#include "compress/block_codec.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "common/binio.h"
+#include "exec/parallel_for.h"
+
+namespace lambada::compress {
+
+std::vector<uint8_t> CompressBlocks(const Codec& codec,
+                                    const std::vector<uint8_t>& input,
+                                    const exec::ExecContext& ctx,
+                                    const BlockFrameOptions& options) {
+  const size_t block = options.block_bytes == 0 ? 1 : options.block_bytes;
+  const size_t num_blocks = input.empty() ? 0 : (input.size() + block - 1) / block;
+
+  // Compress blocks in parallel (one task per block), then frame them in
+  // block order — the assembly order, not the completion order, defines
+  // the output bytes.
+  std::vector<std::vector<uint8_t>> compressed(num_blocks);
+  exec::ParallelForEach(ctx, num_blocks, [&](size_t i) {
+    size_t begin = i * block;
+    size_t end = std::min(input.size(), begin + block);
+    compressed[i] = codec.Compress(input.data() + begin, end - begin);
+  });
+
+  BinaryWriter w;
+  w.PutVarint(num_blocks);
+  for (size_t i = 0; i < num_blocks; ++i) {
+    size_t begin = i * block;
+    size_t end = std::min(input.size(), begin + block);
+    w.PutVarint(end - begin);
+    w.PutVarint(compressed[i].size());
+    w.PutRaw(compressed[i].data(), compressed[i].size());
+  }
+  return w.Take();
+}
+
+Result<std::vector<uint8_t>> DecompressBlocks(const Codec& codec,
+                                              const uint8_t* data,
+                                              size_t size,
+                                              const exec::ExecContext& ctx) {
+  BinaryReader r(data, size);
+  ASSIGN_OR_RETURN(uint64_t num_blocks, r.GetVarint());
+  // Every block contributes at least two varint bytes to the frame, so a
+  // count beyond size/2 is corrupt — and bounding it here keeps the
+  // reserve below from amplifying a crafted count into a giant
+  // allocation.
+  if (num_blocks > size / 2) {
+    return Status::IOError("block frame: implausible block count");
+  }
+  struct Block {
+    const uint8_t* data;
+    size_t compressed_size;
+    size_t uncompressed_size;
+    size_t output_offset;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(num_blocks);
+  // Size caps: a legitimate block never exceeds the writer's block_bytes,
+  // and none of our codecs expands by more than ~256x (LZ extended
+  // lengths add <= 255 per byte). A generous bound on both keeps a
+  // crafted frame from overflowing `total` or driving a giant allocation
+  // out of this Result-returning API.
+  constexpr uint64_t kMaxBlockBytes = uint64_t{1} << 30;
+  constexpr uint64_t kMaxTotalBytes = uint64_t{1} << 34;
+  size_t total = 0;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    ASSIGN_OR_RETURN(uint64_t uncompressed, r.GetVarint());
+    ASSIGN_OR_RETURN(uint64_t compressed, r.GetVarint());
+    if (compressed > r.remaining()) {
+      return Status::IOError("block frame: truncated block");
+    }
+    if (uncompressed > kMaxBlockBytes ||
+        uncompressed > compressed * 1024 + 16) {
+      return Status::IOError("block frame: implausible block size");
+    }
+    if (total + uncompressed > kMaxTotalBytes) {
+      return Status::IOError("block frame: implausible frame size");
+    }
+    blocks.push_back(Block{data + r.position(), compressed, uncompressed,
+                           total});
+    total += uncompressed;
+    RETURN_NOT_OK(r.Skip(compressed));
+  }
+  if (r.remaining() != 0) {
+    return Status::IOError("block frame: trailing bytes");
+  }
+
+  std::vector<uint8_t> out(total);
+  std::vector<Status> statuses(blocks.size(), Status::OK());
+  exec::ParallelForEach(ctx, blocks.size(), [&](size_t i) {
+    const Block& blk = blocks[i];
+    auto bytes = codec.Decompress(blk.data, blk.compressed_size,
+                                  blk.uncompressed_size);
+    if (!bytes.ok()) {
+      statuses[i] = bytes.status();
+      return;
+    }
+    std::memcpy(out.data() + blk.output_offset, bytes->data(),
+                bytes->size());
+  });
+  for (const auto& s : statuses) {
+    RETURN_NOT_OK(s);
+  }
+  return out;
+}
+
+}  // namespace lambada::compress

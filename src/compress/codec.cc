@@ -39,9 +39,9 @@ class NoneCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::kNone; }
 
-  std::vector<uint8_t> Compress(
-      const std::vector<uint8_t>& input) const override {
-    return input;
+  std::vector<uint8_t> Compress(const uint8_t* input,
+                                size_t size) const override {
+    return std::vector<uint8_t>(input, input + size);
   }
 
   Result<std::vector<uint8_t>> Decompress(
@@ -69,12 +69,12 @@ class RleCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::kRle; }
 
-  std::vector<uint8_t> Compress(
-      const std::vector<uint8_t>& input) const override {
+  std::vector<uint8_t> Compress(const uint8_t* input,
+                                size_t size) const override {
     std::vector<uint8_t> out;
-    out.reserve(input.size() / 2 + 16);
+    out.reserve(size / 2 + 16);
     size_t i = 0;
-    const size_t n = input.size();
+    const size_t n = size;
     while (i < n) {
       // Measure the run at i.
       size_t run = 1;
@@ -96,8 +96,7 @@ class RleCodec final : public Codec {
       }
       size_t lit_len = i - lit_start;
       out.push_back(static_cast<uint8_t>(lit_len - 1));
-      out.insert(out.end(), input.begin() + lit_start,
-                 input.begin() + lit_start + lit_len);
+      out.insert(out.end(), input + lit_start, input + lit_start + lit_len);
     }
     return out;
   }
@@ -164,9 +163,8 @@ uint32_t Hash4(const uint8_t* p) {
   return (v * 2654435761u) >> 16;  // 16-bit hash bucket space.
 }
 
-std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
+std::vector<uint8_t> LzCompress(const uint8_t* input, size_t n,
                                 const LzParams& params) {
-  const size_t n = input.size();
   std::vector<uint8_t> out;
   out.reserve(n / 2 + 64);
   if (n < 13) {
@@ -175,7 +173,7 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
     uint8_t token = static_cast<uint8_t>(std::min<size_t>(lit, 15) << 4);
     out.push_back(token);
     if (lit >= 15) PutExtendedLength(&out, lit - 15);
-    out.insert(out.end(), input.begin(), input.end());
+    out.insert(out.end(), input, input + n);
     return out;
   }
 
@@ -197,8 +195,7 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
                              std::min<size_t>(ml, 15));
     out.push_back(token);
     if (lit_len >= 15) PutExtendedLength(&out, lit_len - 15);
-    out.insert(out.end(), input.begin() + lit_start,
-               input.begin() + lit_start + lit_len);
+    out.insert(out.end(), input + lit_start, input + lit_start + lit_len);
     out.push_back(static_cast<uint8_t>(offset & 0xFF));
     out.push_back(static_cast<uint8_t>(offset >> 8));
     if (ml >= 15) PutExtendedLength(&out, ml - 15);
@@ -206,7 +203,7 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
 
   while (i <= match_limit) {
     // Probe the hash chain for the best match.
-    uint32_t h = Hash4(input.data() + i);
+    uint32_t h = Hash4(input + i);
     int64_t cand = head[h];
     size_t best_len = 0;
     size_t best_off = 0;
@@ -214,8 +211,8 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
     while (cand >= 0 && depth-- > 0) {
       size_t off = i - static_cast<size_t>(cand);
       if (off > window || off > 65535) break;
-      const uint8_t* a = input.data() + i;
-      const uint8_t* b = input.data() + cand;
+      const uint8_t* a = input + i;
+      const uint8_t* b = input + cand;
       size_t max_len = n - i - 5;  // Keep the terminal literals intact.
       size_t len = 0;
       while (len < max_len && a[len] == b[len]) ++len;
@@ -231,7 +228,7 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
       size_t end = i + best_len;
       size_t step = best_len > 64 ? 8 : 1;
       for (size_t j = i; j < end && j <= match_limit; j += step) {
-        uint32_t hj = Hash4(input.data() + j);
+        uint32_t hj = Hash4(input + j);
         prev[j] = head[hj];
         head[hj] = static_cast<int64_t>(j);
       }
@@ -248,7 +245,7 @@ std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input,
   uint8_t token = static_cast<uint8_t>(std::min<size_t>(lit, 15) << 4);
   out.push_back(token);
   if (lit >= 15) PutExtendedLength(&out, lit - 15);
-  out.insert(out.end(), input.begin() + literal_start, input.end());
+  out.insert(out.end(), input + literal_start, input + n);
   return out;
 }
 
@@ -304,10 +301,10 @@ class LzCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::kLz; }
 
-  std::vector<uint8_t> Compress(
-      const std::vector<uint8_t>& input) const override {
-    return LzCompress(input, LzParams{/*window_bits=*/14,
-                                      /*chain_depth=*/4});
+  std::vector<uint8_t> Compress(const uint8_t* input,
+                                size_t size) const override {
+    return LzCompress(input, size, LzParams{/*window_bits=*/14,
+                                            /*chain_depth=*/4});
   }
 
   Result<std::vector<uint8_t>> Decompress(
@@ -323,13 +320,13 @@ class HeavyCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::kHeavy; }
 
-  std::vector<uint8_t> Compress(
-      const std::vector<uint8_t>& input) const override {
+  std::vector<uint8_t> Compress(const uint8_t* input,
+                                size_t size) const override {
     // Depth 12 keeps compression tractable on small hosts while staying
     // clearly ahead of the light codec's ratio; the *decompression* CPU
     // model below is what the experiments depend on.
-    return LzCompress(input, LzParams{/*window_bits=*/16,
-                                      /*chain_depth=*/12});
+    return LzCompress(input, size, LzParams{/*window_bits=*/16,
+                                            /*chain_depth=*/12});
   }
 
   Result<std::vector<uint8_t>> Decompress(

@@ -33,9 +33,13 @@ class Codec {
 
   /// Compresses `input`; output is self-contained (carries the sizes it
   /// needs for decompression except the uncompressed size, which the
-  /// caller persists).
-  virtual std::vector<uint8_t> Compress(
-      const std::vector<uint8_t>& input) const = 0;
+  /// caller persists). The pointer form lets block-parallel callers
+  /// compress slices of a larger buffer without copying them out first.
+  virtual std::vector<uint8_t> Compress(const uint8_t* input,
+                                        size_t size) const = 0;
+  std::vector<uint8_t> Compress(const std::vector<uint8_t>& input) const {
+    return Compress(input.data(), input.size());
+  }
 
   /// Decompresses into exactly `uncompressed_size` bytes; fails with
   /// IOError on corruption.

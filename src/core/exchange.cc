@@ -10,6 +10,8 @@
 #include "cloud/object_store.h"
 #include "engine/chunk_serde.h"
 #include "engine/partition.h"
+#include "exec/parallel_for.h"
+#include "exec/request_batcher.h"
 
 namespace lambada::core {
 
@@ -223,6 +225,56 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
   auto* sim = env.sim();
   cloud::S3Client client(env.services().s3, env.net());
   const double scale = env.data_scale;
+  // Worker-local runtime: kernels are morsel-parallel, request fan-out is
+  // bounded by io_depth. The default (serial, depth 1) reproduces the
+  // sequential schedule bit for bit; any other setting changes only
+  // timing, never output bytes (deterministic merge order below).
+  const exec::ExecContext& xc = env.exec;
+  exec::RequestBatcher batcher(sim, xc.io_depth);
+
+  // Shared wait+read machinery for all three exchange layouts: fetch(i)
+  // returns sender i's raw slice bytes (a null buffer means "nothing for
+  // us", no request issued); this wrapper deserializes and charges
+  // compute per slot, fanned out through the batcher. Results land in
+  // sender-slot order, so the merge is identical to the sequential read
+  // order. An abort flag short-circuits slots not yet started once an
+  // earlier slot fails, like the old sequential loop — and since the
+  // FIFO gate starts slots in order, sentinel slots can only follow the
+  // failing slot, so the first failure is still the one reported.
+  auto read_slices = [&](size_t n, auto fetch)
+      -> sim::Async<Result<std::vector<TableChunk>>> {
+    bool failed = false;
+    std::vector<std::function<sim::Async<Result<TableChunk>>()>> reads;
+    reads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      reads.push_back([&, i]() -> sim::Async<Result<TableChunk>> {
+        if (failed) co_return TableChunk();  // Unattempted slot.
+        auto part = co_await fetch(i);
+        if (!part.ok()) {
+          failed = true;
+          co_return part.status();
+        }
+        if (*part == nullptr) co_return TableChunk();  // Empty slice.
+        auto chunk =
+            engine::DeserializeChunk((*part)->data(), (*part)->size(), xc);
+        if (!chunk.ok()) {
+          failed = true;
+          co_return chunk.status();
+        }
+        co_await env.Compute(static_cast<double>((*part)->size()) *
+                             kDeserializeCpuPerByte * scale);
+        co_return *std::move(chunk);
+      });
+    }
+    auto slices = co_await batcher.Run(std::move(reads));
+    std::vector<TableChunk> out;
+    for (auto& slice : slices) {
+      if (!slice.ok()) co_return slice.status();
+      if (slice->num_columns() == 0) continue;  // Empty slice sentinel.
+      out.push_back(*std::move(slice));
+    }
+    co_return out;
+  };
 
   // Resolve key columns once (schema is stable across phases).
   std::vector<int> key_cols;
@@ -252,13 +304,15 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     // phase's coordinate, per Algorithm 2). ----
     double t0 = sim->Now();
     std::vector<uint32_t> ids(current.num_rows());
-    for (size_t row = 0; row < current.num_rows(); ++row) {
-      int dest = static_cast<int>(engine::HashRow(current, key_cols, row) %
-                                  static_cast<uint64_t>(P));
-      ids[row] = static_cast<uint32_t>(grid.Coord(dest, phase));
-    }
+    exec::ParallelFor(xc, 0, current.num_rows(), [&](size_t b, size_t e) {
+      for (size_t row = b; row < e; ++row) {
+        int dest = static_cast<int>(engine::HashRow(current, key_cols, row) %
+                                    static_cast<uint64_t>(P));
+        ids[row] = static_cast<uint32_t>(grid.Coord(dest, phase));
+      }
+    });
     std::vector<TableChunk> parts =
-        engine::PartitionBy(current, ids, side);
+        engine::PartitionBy(current, ids, side, xc);
     co_await env.Compute(static_cast<double>(current.num_rows()) *
                          kPartitionCpuPerRow * scale);
     current = TableChunk();  // Free the input.
@@ -268,7 +322,7 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     t0 = sim->Now();
     std::vector<uint64_t> my_offsets;
     if (spec.write_combining) {
-      auto combined = engine::SerializeChunksCombined(parts);
+      auto combined = engine::SerializeChunksCombined(parts, xc);
       my_offsets = combined.offsets;
       co_await env.Compute(static_cast<double>(combined.bytes.size()) *
                            kSerializeCpuPerByte * scale);
@@ -298,16 +352,37 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         ++m.put_requests;
       }
     } else {
+      // One file per receiver: serialize + charge + PUT per slot, fanned
+      // out with bounded depth (slot order == the old sequential order).
+      // The abort flag short-circuits like the old sequential loop did:
+      // slots not yet started when an earlier slot fails return
+      // immediately (zero virtual time), and only started requests — at
+      // most `depth` — still run out.
+      bool put_failed = false;
+      std::vector<std::function<sim::Async<Status>()>> puts;
+      puts.reserve(static_cast<size_t>(side));
       for (int j = 0; j < side; ++j) {
-        auto blob = engine::SerializeChunk(parts[static_cast<size_t>(j)]);
-        co_await env.Compute(static_cast<double>(blob.size()) *
-                             kSerializeCpuPerByte * scale);
-        Status put = co_await client.Put(
-            bucket,
-            prefix + "s" + std::to_string(my_j) + "r" + std::to_string(j),
-            Buffer::FromVector(std::move(blob)));
+        puts.push_back([&, j]() -> sim::Async<Status> {
+          if (put_failed) co_return Status::OK();  // Unattempted slot.
+          auto blob =
+              engine::SerializeChunk(parts[static_cast<size_t>(j)], xc);
+          co_await env.Compute(static_cast<double>(blob.size()) *
+                               kSerializeCpuPerByte * scale);
+          Status put = co_await client.Put(
+              bucket,
+              prefix + "s" + std::to_string(my_j) + "r" + std::to_string(j),
+              Buffer::FromVector(std::move(blob)));
+          if (put.ok()) {
+            ++m.put_requests;
+          } else {
+            put_failed = true;
+          }
+          co_return put;
+        });
+      }
+      auto statuses = co_await batcher.Run(std::move(puts));
+      for (const Status& put : statuses) {
         if (!put.ok()) co_return put;
-        ++m.put_requests;
       }
     }
     parts.clear();
@@ -349,26 +424,26 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       }
       round.wait_s = sim->Now() - t0;
       t0 = sim->Now();
-      for (size_t i = 0; i < senders.size(); ++i) {
-        const auto& [sender_j, offsets] = senders[i];
+      // Ranged GET per sender; offsets came with the LISTed names.
+      auto fetch = [&](size_t i) -> sim::Async<Result<BufferPtr>> {
+        const auto& offsets = senders[i].second;
         uint64_t begin = offsets[static_cast<size_t>(my_j)];
         uint64_t end = offsets[static_cast<size_t>(my_j) + 1];
-        if (end <= begin) continue;
+        if (end <= begin) co_return BufferPtr();
         auto part = co_await client.Get(bucket, keys_found[i],
                                         static_cast<int64_t>(begin),
                                         static_cast<int64_t>(end - begin));
-        if (!part.ok()) co_return part.status();
-        ++m.get_requests;
-        auto chunk = engine::DeserializeChunk((*part)->data(),
-                                              (*part)->size());
-        if (!chunk.ok()) co_return chunk.status();
-        co_await env.Compute(static_cast<double>((*part)->size()) *
-                             kDeserializeCpuPerByte * scale);
-        received.push_back(*std::move(chunk));
-      }
+        if (part.ok()) ++m.get_requests;
+        co_return part;
+      };
+      auto slices = co_await read_slices(senders.size(), fetch);
+      if (!slices.ok()) co_return slices.status();
+      received = *std::move(slices);
     } else if (spec.write_combining) {
-      // Offsets in a separate file: doubles the read requests.
-      for (int j = 0; j < side; ++j) {
+      // Offsets in a separate file: doubles the read requests. Each
+      // sender's idx-poll + ranged data GET runs as one batched slot.
+      auto fetch = [&](size_t i) -> sim::Async<Result<BufferPtr>> {
+        int j = static_cast<int>(i);
         auto idx = co_await client.GetWhenAvailable(
             bucket, prefix + "s" + std::to_string(j) + "-idx",
             spec.poll_interval_s, spec.timeout_s);
@@ -383,35 +458,30 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         }
         uint64_t begin = offsets[static_cast<size_t>(my_j)];
         uint64_t end = offsets[static_cast<size_t>(my_j) + 1];
-        if (end <= begin) continue;
+        if (end <= begin) co_return BufferPtr();
         auto part = co_await client.Get(
             bucket, prefix + "s" + std::to_string(j) + "-data",
             static_cast<int64_t>(begin), static_cast<int64_t>(end - begin));
-        if (!part.ok()) co_return part.status();
-        ++m.get_requests;
-        auto chunk = engine::DeserializeChunk((*part)->data(),
-                                              (*part)->size());
-        if (!chunk.ok()) co_return chunk.status();
-        co_await env.Compute(static_cast<double>((*part)->size()) *
-                             kDeserializeCpuPerByte * scale);
-        received.push_back(*std::move(chunk));
-      }
+        if (part.ok()) ++m.get_requests;
+        co_return part;
+      };
+      auto slices = co_await read_slices(static_cast<size_t>(side), fetch);
+      if (!slices.ok()) co_return slices.status();
+      received = *std::move(slices);
     } else {
-      // BasicExchange: one file per (sender, receiver) pair.
-      for (int j = 0; j < side; ++j) {
+      // BasicExchange: one file per (sender, receiver) pair, polled per
+      // batched slot.
+      auto fetch = [&](size_t i) -> sim::Async<Result<BufferPtr>> {
         auto part = co_await client.GetWhenAvailable(
             bucket,
-            prefix + "s" + std::to_string(j) + "r" + std::to_string(my_j),
+            prefix + "s" + std::to_string(i) + "r" + std::to_string(my_j),
             spec.poll_interval_s, spec.timeout_s);
-        if (!part.ok()) co_return part.status();
-        ++m.get_requests;
-        auto chunk = engine::DeserializeChunk((*part)->data(),
-                                              (*part)->size());
-        if (!chunk.ok()) co_return chunk.status();
-        co_await env.Compute(static_cast<double>((*part)->size()) *
-                             kDeserializeCpuPerByte * scale);
-        received.push_back(*std::move(chunk));
-      }
+        if (part.ok()) ++m.get_requests;
+        co_return part;
+      };
+      auto slices = co_await read_slices(static_cast<size_t>(side), fetch);
+      if (!slices.ok()) co_return slices.status();
+      received = *std::move(slices);
     }
     auto merged = engine::ConcatChunks(received);
     if (!merged.ok()) co_return merged.status();

@@ -1,0 +1,157 @@
+#ifndef LAMBADA_EXEC_PARALLEL_FOR_H_
+#define LAMBADA_EXEC_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
+
+namespace lambada::exec {
+
+/// Morsel-driven loops over row ranges.
+///
+/// A range [begin, end) is cut into fixed morsels of ctx.morsel_rows rows;
+/// workers self-schedule morsels off a shared cursor (the classic
+/// morsel-driven design: scheduling is dynamic, data placement is not).
+/// Determinism contract: morsel boundaries depend only on the range and
+/// ctx.morsel_rows, so any kernel that writes through its morsel index —
+/// or folds per-morsel results in morsel order, as ParallelReduce does —
+/// produces bit-identical output for every thread count, including 1.
+
+/// Number of morsels ParallelFor will cut [0, n) into.
+inline size_t NumMorsels(const ExecContext& ctx, size_t n) {
+  size_t morsel = static_cast<size_t>(std::max<int64_t>(1, ctx.morsel_rows));
+  return n == 0 ? 0 : (n + morsel - 1) / morsel;
+}
+
+namespace internal {
+
+/// Runs body(morsel_index, morsel_begin, morsel_end) for every morsel of
+/// [begin, end), on the calling thread alone or with pool help. The caller
+/// always participates, so progress never depends on free pool threads.
+template <typename Body>
+void RunMorsels(const ExecContext& ctx, size_t begin, size_t end,
+                const Body& body) {
+  if (begin >= end) return;
+  const size_t morsel =
+      static_cast<size_t>(std::max<int64_t>(1, ctx.morsel_rows));
+  const size_t n = end - begin;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+
+  auto run_one = [&](size_t m) {
+    size_t b = begin + m * morsel;
+    size_t e = std::min(end, b + morsel);
+    body(m, b, e);
+  };
+
+  if (!ctx.parallel() || num_morsels <= 1) {
+    for (size_t m = 0; m < num_morsels; ++m) run_one(m);
+    return;
+  }
+
+  ThreadPool& pool = ctx.pool != nullptr ? *ctx.pool : ThreadPool::Shared();
+  struct Shared {
+    std::atomic<size_t> cursor{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t exited = 0;
+  } state;
+  auto worker = [&state, &run_one, num_morsels] {
+    while (true) {
+      size_t m = state.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) break;
+      run_one(m);
+    }
+  };
+
+  const size_t helpers = static_cast<size_t>(std::min<int64_t>(
+      std::max(1, ctx.num_threads) - 1,
+      static_cast<int64_t>(num_morsels) - 1));
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Submit([&state, worker] {
+      worker();
+      // Notify under the lock: the caller may destroy `state` the moment
+      // it observes the final exit, so nothing may touch it afterwards.
+      std::lock_guard<std::mutex> lock(state.mu);
+      ++state.exited;
+      state.cv.notify_all();
+    });
+  }
+  worker();  // The caller claims morsels too.
+  // Helping wait: a queued helper may never get a pool thread (every pool
+  // thread can itself be a caller stuck here, e.g. under nested
+  // ParallelFor), so run pool tasks while waiting instead of blocking.
+  // Once RunOneTask finds every queue empty, all helpers have been
+  // claimed by some thread, and the plain wait below cannot miss the
+  // final notify (exited is published under state.mu).
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      if (state.exited == helpers) return;
+    }
+    if (pool.RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock,
+                  [&state, helpers] { return state.exited == helpers; });
+    return;
+  }
+}
+
+}  // namespace internal
+
+/// Applies fn to every morsel of [begin, end). fn is either
+/// fn(size_t morsel_begin, size_t morsel_end) or
+/// fn(size_t morsel_index, size_t morsel_begin, size_t morsel_end).
+template <typename Fn>
+void ParallelFor(const ExecContext& ctx, size_t begin, size_t end,
+                 const Fn& fn) {
+  if constexpr (std::is_invocable_v<const Fn&, size_t, size_t, size_t>) {
+    internal::RunMorsels(ctx, begin, end, fn);
+  } else {
+    internal::RunMorsels(ctx, begin, end,
+                         [&fn](size_t, size_t b, size_t e) { fn(b, e); });
+  }
+}
+
+/// Runs fn(i) for every i in [0, n) as one-element morsels: task-level
+/// parallelism for heterogeneous units (chunks, columns, codec blocks)
+/// where row-granularity morsels make no sense. Same determinism contract
+/// as ParallelFor — callers write through their task index.
+template <typename Fn>
+void ParallelForEach(const ExecContext& ctx, size_t n, const Fn& fn) {
+  ExecContext per_item = ctx;
+  per_item.morsel_rows = 1;
+  internal::RunMorsels(per_item, 0, n,
+                       [&fn](size_t, size_t b, size_t e) {
+                         for (size_t i = b; i < e; ++i) fn(i);
+                       });
+}
+
+/// Maps every morsel of [begin, end) through map(morsel_begin, morsel_end)
+/// -> T, then folds the per-morsel values **in morsel order** with
+/// combine(accumulated, value). The fold order is what makes the result
+/// (floating-point included) independent of the thread count.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(const ExecContext& ctx, size_t begin, size_t end, T init,
+                 const MapFn& map, const CombineFn& combine) {
+  size_t n = begin < end ? end - begin : 0;
+  std::vector<T> partials(NumMorsels(ctx, n), init);
+  internal::RunMorsels(ctx, begin, end,
+                       [&partials, &map](size_t m, size_t b, size_t e) {
+                         partials[m] = map(b, e);
+                       });
+  T acc = std::move(init);
+  for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace lambada::exec
+
+#endif  // LAMBADA_EXEC_PARALLEL_FOR_H_

@@ -1,0 +1,77 @@
+#ifndef LAMBADA_EXEC_REQUEST_BATCHER_H_
+#define LAMBADA_EXEC_REQUEST_BATCHER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "sim/async.h"
+#include "sim/simulator.h"
+
+namespace lambada::exec {
+
+/// Fans out simulated object-store requests (PUT/GET/LIST coroutines)
+/// with a bounded number in flight.
+///
+/// Requests are *started* strictly in slot order — the FIFO semaphore
+/// grants slot i+1 only after an earlier slot releases — and results land
+/// in slot order regardless of completion order, so callers that merge
+/// results by slot are schedule-independent. Retry and backoff come from
+/// the thunks themselves: exchange callers wrap cloud::S3Client, whose
+/// every verb already retries retriable failures with exponential backoff.
+///
+/// depth == 1 is special-cased to a plain sequential await loop: the
+/// virtual-time schedule (and therefore every latency RNG draw) is
+/// bit-identical to pre-batcher code, which keeps the committed
+/// sim-deterministic BENCH_*.json figures stable.
+class RequestBatcher {
+ public:
+  RequestBatcher(sim::Simulator* sim, int depth)
+      : sim_(sim), depth_(depth < 1 ? 1 : depth) {}
+
+  int depth() const { return depth_; }
+
+  /// Runs all thunks, at most `depth` in flight; returns results in slot
+  /// order once every request has completed.
+  template <typename T>
+  sim::Async<std::vector<T>> Run(
+      std::vector<std::function<sim::Async<T>()>> thunks) {
+    if (depth_ <= 1) {
+      std::vector<T> results;
+      results.reserve(thunks.size());
+      for (auto& thunk : thunks) {
+        results.push_back(co_await thunk());
+      }
+      co_return results;
+    }
+    // The gate lives on this frame: WhenAll completes only after every
+    // gated task has finished, so nothing touches it after resume.
+    sim::Semaphore gate(sim_, depth_);
+    std::vector<sim::Async<T>> tasks;
+    tasks.reserve(thunks.size());
+    for (auto& thunk : thunks) {
+      // Creation order is slot order; the FIFO semaphore then guarantees
+      // requests are issued in slot order too.
+      tasks.push_back(Gated<T>(&gate, std::move(thunk)));
+    }
+    co_return co_await sim::WhenAll(sim_, std::move(tasks));
+  }
+
+ private:
+  template <typename T>
+  static sim::Async<T> Gated(sim::Semaphore* gate,
+                             std::function<sim::Async<T>()> thunk) {
+    co_await gate->Acquire();
+    T result = co_await thunk();
+    gate->Release();
+    co_return result;
+  }
+
+  sim::Simulator* sim_;
+  int depth_;
+};
+
+}  // namespace lambada::exec
+
+#endif  // LAMBADA_EXEC_REQUEST_BATCHER_H_

@@ -1,0 +1,119 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace lambada::exec {
+
+namespace {
+// Pool threads remember which deque is theirs so Submit from inside a task
+// goes to the local deque (LIFO fast path) and stealing skips it first.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_index = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  queues_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t q;
+  if (tls_pool == this) {
+    q = tls_index;  // Pool thread: local push.
+  } else {
+    q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    // Publish under idle_mu_ so a worker between its failed scan and its
+    // cv wait cannot miss the increment (lost-wakeup protection). The
+    // increment must precede the push: a worker that pops the task
+    // decrements pending_, and popping after the increment is what keeps
+    // the counter from wrapping below zero. A woken worker may scan once
+    // before the push lands and retry — brief, bounded, and benign.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::PopFrom(size_t q, bool own, std::function<void()>* task) {
+  Queue& queue = *queues_[q];
+  std::lock_guard<std::mutex> lock(queue.mu);
+  if (queue.tasks.empty()) return false;
+  if (own) {
+    *task = std::move(queue.tasks.back());  // LIFO on the own deque.
+    queue.tasks.pop_back();
+  } else {
+    *task = std::move(queue.tasks.front());  // FIFO when stealing.
+    queue.tasks.pop_front();
+  }
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::TryRunTask(size_t home) {
+  std::function<void()> task;
+  if (!PopFrom(home, /*own=*/true, &task)) {
+    bool stolen = false;
+    for (size_t k = 1; k < queues_.size() && !stolen; ++k) {
+      stolen = PopFrom((home + k) % queues_.size(), /*own=*/false, &task);
+    }
+    if (!stolen) return false;
+  }
+  task();
+  return true;
+}
+
+bool ThreadPool::RunOneTask() {
+  size_t home = tls_pool == this
+                    ? tls_index
+                    : next_queue_.load(std::memory_order_relaxed) %
+                          queues_.size();
+  return TryRunTask(home);
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_index = self;
+  while (true) {
+    if (TryRunTask(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace lambada::exec

@@ -1,0 +1,73 @@
+#ifndef LAMBADA_EXEC_THREAD_POOL_H_
+#define LAMBADA_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lambada::exec {
+
+/// Work-stealing thread pool for worker-local compute kernels.
+///
+/// Each pool thread owns a deque: it pushes and pops its own work LIFO
+/// (cache-friendly for recursive splits) and steals FIFO from victims when
+/// its deque runs dry. External submitters distribute round-robin.
+///
+/// The pool carries no ordering guarantees on purpose: every kernel built
+/// on top (ParallelFor, ParallelReduce) writes results into
+/// caller-preallocated, morsel-indexed slots, so the *output* of a kernel
+/// is deterministic even though the *schedule* is not. Pool threads must
+/// never touch the simulator: virtual time is single-threaded, and the
+/// kernels only ever hand the pool pure data transforms.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(queues_.size()); }
+
+  /// Enqueues a task. Callable from any thread, including pool threads
+  /// (which push onto their own deque).
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task if any is available, returning whether it did.
+  /// Callers waiting on a subset of tasks use this to help instead of
+  /// blocking, so a pool saturated with parents waiting on children can
+  /// not deadlock.
+  bool RunOneTask();
+
+  /// Process-wide pool sized to the hardware, created on first use. Used
+  /// whenever an ExecContext asks for parallelism without providing its
+  /// own pool.
+  static ThreadPool& Shared();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  bool TryRunTask(size_t home);
+  bool PopFrom(size_t q, bool own, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace lambada::exec
+
+#endif  // LAMBADA_EXEC_THREAD_POOL_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <map>
 
 #include "common/binio.h"
+#include "exec/parallel_for.h"
 
 namespace lambada::format {
 
@@ -160,14 +162,25 @@ Result<Column> DecodeColumn(const uint8_t* data, size_t size, DataType type,
   return Status::IOError("unknown encoding");
 }
 
-EncodedColumn EncodeColumnAuto(const Column& column) {
-  EncodedColumn best{Encoding::kPlain, EncodePlain(column)};
-  if (column.type() == DataType::kInt64 && column.size() > 0) {
-    auto delta = EncodeDelta(column);
+EncodedColumn EncodeColumnAuto(const Column& column,
+                               const exec::ExecContext& ctx) {
+  // Encode the candidates (concurrently under a threaded context), then
+  // replay the sequential comparison order so the choice is identical.
+  std::vector<uint8_t> plain, delta, dict;
+  const bool try_int = column.type() == DataType::kInt64 && column.size() > 0;
+  std::vector<std::function<void()>> candidates;
+  candidates.push_back([&] { plain = EncodePlain(column); });
+  if (try_int) {
+    candidates.push_back([&] { delta = EncodeDelta(column); });
+    candidates.push_back([&] { dict = EncodeDict(column); });
+  }
+  exec::ParallelForEach(ctx, candidates.size(),
+                        [&](size_t i) { candidates[i](); });
+  EncodedColumn best{Encoding::kPlain, std::move(plain)};
+  if (try_int) {
     if (delta.size() < best.bytes.size()) {
       best = EncodedColumn{Encoding::kDelta, std::move(delta)};
     }
-    auto dict = EncodeDict(column);
     if (dict.size() < best.bytes.size()) {
       best = EncodedColumn{Encoding::kDict, std::move(dict)};
     }

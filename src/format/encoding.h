@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "exec/exec_context.h"
 
 namespace lambada::format {
 
@@ -31,12 +32,16 @@ Result<engine::Column> DecodeColumn(const uint8_t* data, size_t size,
 
 /// Picks the smallest applicable encoding for the column by encoding
 /// candidates and comparing sizes (cheap at our row-group sizes). Returns
-/// the winning encoding and its bytes.
+/// the winning encoding and its bytes. A threaded ExecContext encodes the
+/// candidates concurrently; the comparison replays in a fixed order
+/// (plain, delta, dict), so the winner — and its bytes — never depend on
+/// the thread count.
 struct EncodedColumn {
-  Encoding encoding;
+  Encoding encoding = Encoding::kPlain;
   std::vector<uint8_t> bytes;
 };
-EncodedColumn EncodeColumnAuto(const engine::Column& column);
+EncodedColumn EncodeColumnAuto(const engine::Column& column,
+                               const exec::ExecContext& ctx = {});
 
 }  // namespace lambada::format
 
