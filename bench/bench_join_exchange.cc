@@ -1,0 +1,118 @@
+// The operator the exchange machinery was built for: TPC-H Q12 (LINEITEM
+// x ORDERS) and Q14 (LINEITEM x PART) as distributed hash joins. Both
+// inputs hash-partition through the serverless exchange on their join
+// keys — one two-level exchange round per side — and the join runs
+// co-partitioned on every worker. The table tracks end-to-end latency,
+// query cost, the exchange request traffic of both sides, and the join
+// output cardinality across fleet sizes.
+
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "cloud/cloud.h"
+#include "core/driver.h"
+#include "workload/tpch.h"
+
+using namespace lambada;         // NOLINT
+using namespace lambada::bench;  // NOLINT
+
+namespace {
+
+constexpr int64_t kLineitemRows = 120000;
+constexpr int kLineitemFiles = 16;
+
+struct JoinRun {
+  double time_s = 0;
+  double cost_usd = 0;
+  int64_t exchange_puts = 0;
+  int64_t exchange_gets = 0;
+  int64_t rows_joined = 0;
+};
+
+JoinRun RunQuery(int query, int workers, int64_t orders_rows) {
+  cloud::CloudConfig cfg;
+  cfg.concurrency_limit = workers + 64;
+  cloud::Cloud cloud(cfg);
+  core::Driver driver(&cloud);
+  LAMBADA_CHECK_OK(driver.Install());
+
+  workload::LoadOptions li;
+  li.num_rows = kLineitemRows;
+  li.num_files = kLineitemFiles;
+  li.seed = 7;
+  LAMBADA_CHECK_OK(workload::LoadLineitem(&cloud.s3(), "tpch", "li/", li));
+
+  core::Query q = [&] {
+    if (query == 12) {
+      workload::LoadOptions oo;
+      oo.num_rows = orders_rows;
+      oo.num_files = 8;
+      oo.seed = 13;
+      LAMBADA_CHECK_OK(
+          workload::LoadOrders(&cloud.s3(), "tpch", "orders/", oo));
+      return workload::TpchQ12("s3://tpch/li/*.lpq",
+                               "s3://tpch/orders/*.lpq");
+    }
+    workload::LoadOptions po;
+    po.num_rows = workload::kPartCount;
+    po.num_files = 8;
+    po.seed = 13;
+    LAMBADA_CHECK_OK(workload::LoadPart(&cloud.s3(), "tpch", "part/", po));
+    return workload::TpchQ14("s3://tpch/li/*.lpq", "s3://tpch/part/*.lpq");
+  }();
+
+  core::RunOptions opts;
+  opts.num_workers = workers;
+  auto report = driver.RunToCompletion(q, opts);
+  LAMBADA_CHECK(report.ok()) << report.status().ToString();
+  LAMBADA_CHECK_EQ(report->workers, workers);
+
+  JoinRun out;
+  out.time_s = report->latency_s;
+  out.cost_usd = report->CostUsd(cloud.pricing());
+  for (const auto& wr : report->worker_results) {
+    out.exchange_puts += wr.metrics.exchange_put_requests;
+    out.exchange_gets += wr.metrics.exchange_get_requests;
+    out.rows_joined += wr.metrics.rows_joined;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t orders_rows =
+      workload::MaxOrderKey(workload::GenerateLineitem(kLineitemRows, 7));
+
+  Banner("Join exchange",
+         "TPC-H Q12/Q14 as two-sided partitioned-exchange hash joins");
+  Table t({"query", "workers", "time [s]", "cost [USD]", "exchange PUTs",
+           "exchange GETs", "rows joined"},
+          15, "distributed hash join across fleet sizes");
+  int64_t q12_rows = -1, q14_rows = -1;
+  for (int query : {12, 14}) {
+    for (int workers : {4, 8, 16}) {
+      JoinRun r = RunQuery(query, workers, orders_rows);
+      t.Row({"Q" + std::to_string(query), FmtInt(workers),
+             Fmt("%.2f", r.time_s), Fmt("%.5f", r.cost_usd),
+             FmtInt(r.exchange_puts), FmtInt(r.exchange_gets),
+             FmtInt(r.rows_joined)});
+      // The join result must not depend on the fleet size.
+      int64_t& expect = query == 12 ? q12_rows : q14_rows;
+      if (expect < 0) {
+        expect = r.rows_joined;
+      } else {
+        LAMBADA_CHECK_EQ(expect, r.rows_joined);
+      }
+    }
+  }
+  Notef("join cardinality is fleet-size invariant: Q12 joins %lld rows, "
+        "Q14 joins %lld rows at 4/8/16 workers",
+        static_cast<long long>(q12_rows), static_cast<long long>(q14_rows));
+  std::printf(
+      "\nEach side of the join pays one two-level exchange (write-combined:"
+      "\n2P PUTs and <= 2P*sqrt(P) ranged GETs per side), which is what"
+      "\nmakes full relational analytics viable on functions + S3.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Keeps the docs from rotting. Two checks, run in CI:
+
+1. Every bench binary (bench/bench_*.cc) must appear in the README's
+   figure tables, so new figures cannot land undocumented.
+2. Every intra-repo markdown link ([text](path), non-http, non-anchor)
+   in the repo's markdown files must resolve to an existing file or
+   directory.
+
+Exit code: 0 when clean, 1 with one line per violation otherwise.
+
+Usage: scripts/check_docs.py [repo-root]
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Markdown files to scan for links; build trees and vendored dirs are not
+# documentation.
+SKIP_DIRS = {"build", "build-tsan", ".git", ".claude"}
+
+# [text](target) — excluding images is unnecessary (same resolution rule).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def check_bench_rows(root, errors):
+    readme_path = os.path.join(root, "README.md")
+    try:
+        with open(readme_path, encoding="utf-8") as f:
+            readme = f.read()
+    except OSError as e:
+        errors.append(f"README.md: unreadable ({e})")
+        return
+    for src in sorted(glob.glob(os.path.join(root, "bench", "bench_*.cc"))):
+        name = os.path.splitext(os.path.basename(src))[0]
+        if name == "bench_main":
+            continue  # The shared JSON reporter, not a bench binary.
+        if f"`{name}`" not in readme:
+            errors.append(
+                f"README.md: bench binary {name} has no figure-table row "
+                f"(add `| ... | `{name}` | BENCH_*.json |`)")
+
+
+def check_links(root, errors):
+    for md in markdown_files(root):
+        rel_md = os.path.relpath(md, root)
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-z]+:", target):  # http:, https:, mailto: ...
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # Pure anchor.
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md),
+                                                     path))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}: broken link -> {target}")
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir))
+    errors = []
+    check_bench_rows(root, errors)
+    check_links(root, errors)
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print("check_docs: README bench rows and markdown links are clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

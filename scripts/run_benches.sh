@@ -18,11 +18,12 @@ fi
 cmake --build "$BUILD" --target benches -j "$JOBS"
 
 # bench_fig01_architectures -> fig01; bench_tab03_exchange -> tab03;
-# bench_ablation_stats_index -> ablation_stats_index.
+# bench_join_exchange -> join; bench_ablation_stats_index stays whole.
 figure_name() {
   local stem="${1#bench_}"
   case "$stem" in
     fig[0-9]*|tab[0-9]*) echo "${stem%%_*}" ;;
+    join_*) echo "join" ;;
     *) echo "$stem" ;;
   esac
 }

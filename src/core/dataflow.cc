@@ -46,6 +46,25 @@ Query Query::Repartition(std::vector<std::string> keys,
   return WithOp(std::move(op));
 }
 
+Query Query::JoinWith(const Query& build,
+                      std::vector<std::string> probe_keys,
+                      std::vector<std::string> build_keys,
+                      engine::JoinType type, ExchangeSpec exchange) const {
+  LAMBADA_CHECK(!probe_keys.empty());
+  LAMBADA_CHECK_EQ(probe_keys.size(), build_keys.size());
+  PlanOp op;
+  op.kind = PlanOp::Kind::kJoin;
+  JoinSpec spec;
+  spec.type = type;
+  spec.probe_keys = std::move(probe_keys);
+  spec.build_keys = std::move(build_keys);
+  spec.build_pattern = build.pattern();
+  spec.build_ops = build.ops();
+  spec.build_exchange = std::move(exchange);
+  op.join = std::move(spec);
+  return WithOp(std::move(op));
+}
+
 Query Query::Aggregate(std::vector<std::string> group_by,
                        std::vector<engine::AggSpec> aggs) const {
   PlanOp op;

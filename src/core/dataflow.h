@@ -42,6 +42,23 @@ class Query {
   Query Repartition(std::vector<std::string> keys,
                     ExchangeSpec spec = ExchangeSpec()) const;
 
+  /// Hash-joins this query (the probe side) with `build` on
+  /// probe_keys[i] == build_keys[i]. The planner partitions both sides
+  /// through the serverless exchange on their keys, so the join executes
+  /// co-partitioned on every worker; `exchange` is the template for both
+  /// sides (levels, buckets, write combining — its keys are ignored).
+  /// The inner-join output carries the probe columns plus the non-key
+  /// build columns: the build keys are dropped (equal to the probe keys
+  /// by definition), so downstream ops must reference the probe name.
+  /// `build` must be a pipeline of Filter/Map/Select over its own scan.
+  /// Ending it with an explicit Select is recommended: a closed build
+  /// column set is what lets the planner push precise projections into
+  /// both scans.
+  Query JoinWith(const Query& build, std::vector<std::string> probe_keys,
+                 std::vector<std::string> build_keys,
+                 engine::JoinType type = engine::JoinType::kInner,
+                 ExchangeSpec exchange = ExchangeSpec()) const;
+
   /// Grouped aggregation; must be the last operator if present.
   Query Aggregate(std::vector<std::string> group_by,
                   std::vector<engine::AggSpec> aggs) const;

@@ -38,7 +38,7 @@ Status Driver::EnsureFunction(int memory_mib) {
   fn.name = name;
   fn.memory_mib = memory_mib;
   fn.timeout_s = 900.0;
-  fn.handler = MakeWorkerHandler();
+  fn.handler = MakeWorkerHandler(options_.worker_exec);
   return cloud_->faas().CreateFunction(std::move(fn));
 }
 
@@ -121,11 +121,19 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   auto physical = PlanQuery(query, options.tuning);
   if (!physical.ok()) co_return physical.status();
   std::string query_id = "q" + std::to_string(next_query_id_++);
-  // Stamp exchange instances with a unique id and ensure their buckets.
-  for (auto& op : physical->fragment.ops) {
+  // Stamp exchange instances with a unique id and ensure their buckets. A
+  // join fragment carries two: the probe-side kExchange op and the build
+  // side's exchange inside the JoinSpec.
+  for (size_t i = 0; i < physical->fragment.ops.size(); ++i) {
+    auto& op = physical->fragment.ops[i];
     if (op.kind == PlanOp::Kind::kExchange) {
-      op.exchange->exchange_id = query_id + "-x";
+      op.exchange->exchange_id = query_id + "-x" + std::to_string(i);
       CO_RETURN_NOT_OK(CreateExchangeBuckets(&cloud_->s3(), *op.exchange));
+    } else if (op.kind == PlanOp::Kind::kJoin) {
+      op.join->build_exchange.exchange_id =
+          query_id + "-xb" + std::to_string(i);
+      CO_RETURN_NOT_OK(
+          CreateExchangeBuckets(&cloud_->s3(), op.join->build_exchange));
     }
   }
 
@@ -168,6 +176,29 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     }
   }
 
+  // ---- Expand the build-relation glob of a join query. ----
+  std::vector<engine::FileRef> build_files;
+  if (!physical->build_pattern.empty()) {
+    std::string build_bucket, build_key_pattern;
+    if (!ParseS3Uri(physical->build_pattern, &build_bucket,
+                    &build_key_pattern)) {
+      co_return Status::Invalid("bad build input pattern: " +
+                                physical->build_pattern);
+    }
+    auto build_listing = co_await client.List(
+        build_bucket, GlobLiteralPrefix(build_key_pattern));
+    if (!build_listing.ok()) co_return build_listing.status();
+    for (const auto& obj : *build_listing) {
+      if (GlobMatch(build_key_pattern, obj.key)) {
+        build_files.push_back(engine::FileRef{build_bucket, obj.key});
+      }
+    }
+    if (build_files.empty()) {
+      co_return Status::NotFound("no build input files match " +
+                                 physical->build_pattern);
+    }
+  }
+
   // ---- Decide the worker count (W = files / F, Section 5.2). ----
   int workers;
   if (options.num_workers > 0) {
@@ -179,10 +210,14 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   }
   workers = std::max(1, std::min<int>(workers, static_cast<int>(files.size())));
   // Exchanges need a factorizable worker grid; round down if necessary.
+  // Both exchanges of a join run over the same grid, so both constrain it.
   for (const auto& op : physical->fragment.ops) {
-    if (op.kind == PlanOp::Kind::kExchange) {
-      int adjusted =
-          LargestFactorizableWorkerCount(workers, op.exchange->levels);
+    const ExchangeSpec* specs[2] = {
+        op.kind == PlanOp::Kind::kExchange ? &*op.exchange : nullptr,
+        op.kind == PlanOp::Kind::kJoin ? &op.join->build_exchange : nullptr};
+    for (const ExchangeSpec* spec : specs) {
+      if (spec == nullptr) continue;
+      int adjusted = LargestFactorizableWorkerCount(workers, spec->levels);
       if (adjusted != workers) {
         LAMBADA_LOG(Info) << "adjusting worker count " << workers << " -> "
                           << adjusted << " for the exchange grid";
@@ -214,6 +249,17 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     size_t end = files.size() * (static_cast<size_t>(w) + 1) /
                  static_cast<size_t>(workers);
     p.self.files.assign(files.begin() + begin, files.begin() + end);
+    if (!build_files.empty()) {
+      // Contiguous build-file ranges; workers beyond the build file count
+      // get none (the exchange redistributes, so local coverage does not
+      // matter for correctness).
+      size_t bbegin = build_files.size() * static_cast<size_t>(w) /
+                      static_cast<size_t>(workers);
+      size_t bend = build_files.size() * (static_cast<size_t>(w) + 1) /
+                    static_cast<size_t>(workers);
+      p.self.build_files.assign(build_files.begin() + bbegin,
+                                build_files.begin() + bend);
+    }
     payloads.push_back(std::move(p));
   }
 

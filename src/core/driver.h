@@ -6,6 +6,7 @@
 
 #include "cloud/cloud.h"
 #include "core/dataflow.h"
+#include "exec/exec_context.h"
 #include "core/messages.h"
 #include "core/planner.h"
 #include "engine/table.h"
@@ -34,6 +35,11 @@ struct DriverOptions {
   /// Default exchange buckets created at install.
   int exchange_buckets = 10;
   std::string exchange_bucket_prefix = "lambada-x";
+  /// Morsel-runtime knobs applied to every worker this driver starts
+  /// (host-side configuration, never in payloads). The serial default
+  /// reproduces the single-threaded virtual-time schedule exactly; other
+  /// settings change timing only — results are byte-identical.
+  exec::ExecContext worker_exec;
 };
 
 /// Per-query execution knobs (the M and F of Section 5.2).

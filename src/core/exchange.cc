@@ -276,15 +276,25 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     co_return out;
   };
 
-  // Resolve key columns once (schema is stable across phases).
+  // Key columns resolve lazily from the first chunk that has a schema: a
+  // worker whose local input is empty (e.g. the build side of a join when
+  // the relation has fewer files than workers) enters the exchange with a
+  // schema-less chunk, sends its empty slices so receivers never stall,
+  // and learns the schema from the rows other senders deliver.
   std::vector<int> key_cols;
-  for (const auto& k : spec.keys) {
-    int idx = input.schema()->FieldIndex(k);
-    if (idx < 0) {
-      co_return Status::Invalid("exchange key column not found: " + k);
+  bool keys_resolved = false;
+  auto resolve_keys = [&](const engine::SchemaPtr& s) -> Status {
+    key_cols.clear();
+    for (const auto& k : spec.keys) {
+      int idx = s->FieldIndex(k);
+      if (idx < 0) {
+        return Status::Invalid("exchange key column not found: " + k);
+      }
+      key_cols.push_back(idx);
     }
-    key_cols.push_back(idx);
-  }
+    keys_resolved = true;
+    return Status::OK();
+  };
 
   engine::SchemaPtr schema = input.schema();
   TableChunk current = std::move(input);
@@ -303,16 +313,27 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     // ---- Partition (DramPartitioning of Algorithm 1, projected onto this
     // phase's coordinate, per Algorithm 2). ----
     double t0 = sim->Now();
-    std::vector<uint32_t> ids(current.num_rows());
-    exec::ParallelFor(xc, 0, current.num_rows(), [&](size_t b, size_t e) {
-      for (size_t row = b; row < e; ++row) {
-        int dest = static_cast<int>(engine::HashRow(current, key_cols, row) %
-                                    static_cast<uint64_t>(P));
-        ids[row] = static_cast<uint32_t>(grid.Coord(dest, phase));
+    std::vector<TableChunk> parts;
+    if (current.num_columns() == 0) {
+      // Nothing local to route, but the group still expects this sender's
+      // slices: emit `side` empty parts.
+      parts.assign(static_cast<size_t>(side), TableChunk());
+    } else {
+      if (!keys_resolved) {
+        Status keys = resolve_keys(current.schema());
+        if (!keys.ok()) co_return keys;
       }
-    });
-    std::vector<TableChunk> parts =
-        engine::PartitionBy(current, ids, side, xc);
+      std::vector<uint32_t> ids(current.num_rows());
+      exec::ParallelFor(xc, 0, current.num_rows(), [&](size_t b, size_t e) {
+        for (size_t row = b; row < e; ++row) {
+          int dest = static_cast<int>(
+              engine::HashRow(current, key_cols, row) %
+              static_cast<uint64_t>(P));
+          ids[row] = static_cast<uint32_t>(grid.Coord(dest, phase));
+        }
+      });
+      parts = engine::PartitionBy(current, ids, side, xc);
+    }
     co_await env.Compute(static_cast<double>(current.num_rows()) *
                          kPartitionCpuPerRow * scale);
     current = TableChunk();  // Free the input.
@@ -487,8 +508,11 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     if (!merged.ok()) co_return merged.status();
     current = *std::move(merged);
     if (current.num_columns() == 0) {
-      // Every slice was empty: keep the schema for the next phase.
+      // Every slice was empty: keep the schema for the next phase (a null
+      // schema stays null — senders with no local rows anywhere).
       current = TableChunk::Empty(schema);
+    } else {
+      schema = current.schema();
     }
     round.read_s = sim->Now() - t0;
     m.rounds.push_back(round);

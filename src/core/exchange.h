@@ -46,6 +46,12 @@ int LargestFactorizableWorkerCount(int P, int levels);
 /// Workers communicate only through the object store: writers PUT
 /// partition files (optionally write-combined with offsets encoded in the
 /// file name), readers poll (LIST or GET) until the senders' files exist.
+///
+/// `input` may be a schema-less empty chunk (zero columns): the worker
+/// then still writes its (empty) slices every round — so no receiver ever
+/// stalls waiting for it — and adopts the schema of whatever rows it
+/// receives. This is what lets every worker of a join fragment join both
+/// exchanges even when the build relation has fewer files than workers.
 sim::Async<Result<engine::TableChunk>> RunExchange(
     cloud::WorkerEnv& env, const ExchangeSpec& spec, int p, int P,
     engine::TableChunk input, ExchangeMetrics* metrics = nullptr);

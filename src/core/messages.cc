@@ -2,27 +2,43 @@
 
 namespace lambada::core {
 
-void WorkerInput::Serialize(BinaryWriter* w) const {
-  w->PutU32(worker_id);
-  w->PutVarint(files.size());
-  for (const auto& f : files) {
+namespace {
+
+void PutFileRefs(BinaryWriter* w, const std::vector<engine::FileRef>& v) {
+  w->PutVarint(v.size());
+  for (const auto& f : v) {
     w->PutString(f.bucket);
     w->PutString(f.key);
   }
 }
 
-Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
-  WorkerInput in;
-  ASSIGN_OR_RETURN(in.worker_id, r->GetU32());
+Result<std::vector<engine::FileRef>> GetFileRefs(BinaryReader* r) {
   ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
   if (n > 1000000) return Status::IOError("implausible file count");
-  in.files.reserve(n);
+  std::vector<engine::FileRef> v;
+  v.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     engine::FileRef f;
     ASSIGN_OR_RETURN(f.bucket, r->GetString());
     ASSIGN_OR_RETURN(f.key, r->GetString());
-    in.files.push_back(std::move(f));
+    v.push_back(std::move(f));
   }
+  return v;
+}
+
+}  // namespace
+
+void WorkerInput::Serialize(BinaryWriter* w) const {
+  w->PutU32(worker_id);
+  PutFileRefs(w, files);
+  PutFileRefs(w, build_files);
+}
+
+Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
+  WorkerInput in;
+  ASSIGN_OR_RETURN(in.worker_id, r->GetU32());
+  ASSIGN_OR_RETURN(in.files, GetFileRefs(r));
+  ASSIGN_OR_RETURN(in.build_files, GetFileRefs(r));
   return in;
 }
 
@@ -69,6 +85,11 @@ void WorkerResultMetrics::Serialize(BinaryWriter* w) const {
   w->PutI64(rows_emitted);
   w->PutI64(row_groups_total);
   w->PutI64(row_groups_pruned);
+  w->PutI64(rows_joined);
+  w->PutI64(exchange_rounds);
+  w->PutI64(exchange_put_requests);
+  w->PutI64(exchange_get_requests);
+  w->PutI64(exchange_list_requests);
 }
 
 Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
@@ -79,6 +100,11 @@ Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
   ASSIGN_OR_RETURN(m.rows_emitted, r->GetI64());
   ASSIGN_OR_RETURN(m.row_groups_total, r->GetI64());
   ASSIGN_OR_RETURN(m.row_groups_pruned, r->GetI64());
+  ASSIGN_OR_RETURN(m.rows_joined, r->GetI64());
+  ASSIGN_OR_RETURN(m.exchange_rounds, r->GetI64());
+  ASSIGN_OR_RETURN(m.exchange_put_requests, r->GetI64());
+  ASSIGN_OR_RETURN(m.exchange_get_requests, r->GetI64());
+  ASSIGN_OR_RETURN(m.exchange_list_requests, r->GetI64());
   return m;
 }
 

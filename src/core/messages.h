@@ -11,10 +11,24 @@
 
 namespace lambada::core {
 
-/// The work assignment of one worker: its id and input files.
+// The binary formats below follow the serialization contract stated in
+// core/plan.h: discriminator tags are append-only and never renumbered,
+// the field sequence of a released message is frozen (extending one means
+// appending fields *and* bumping no tag — driver and workers always run
+// the same build, and Parse rejects trailing bytes, so a mismatch is a
+// loud error, not silent misinterpretation), and readers bounds-check
+// every tag and count they consume.
+
+/// The work assignment of one worker: its id and input files. Everything
+/// that differs per worker MUST live here — first-generation workers of
+/// the invocation tree rebuild their children's payloads from their own
+/// (core/worker.cc), swapping in only the child's WorkerInput.
 struct WorkerInput {
   uint32_t worker_id = 0;
   std::vector<engine::FileRef> files;
+  /// Build-relation files of a join fragment (often empty: the build
+  /// relation usually has fewer files than workers).
+  std::vector<engine::FileRef> build_files;
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerInput> Deserialize(BinaryReader* r);
@@ -44,10 +58,18 @@ struct InvocationPayload {
 /// Per-worker execution metrics shipped back in the result message.
 struct WorkerResultMetrics {
   double processing_time_s = 0;  ///< Executing the plan fragment.
-  int64_t rows_scanned = 0;
+  int64_t rows_scanned = 0;      ///< Both scans of a join fragment.
   int64_t rows_emitted = 0;
   int64_t row_groups_total = 0;
   int64_t row_groups_pruned = 0;
+  /// Join output rows (0 for single-table fragments).
+  int64_t rows_joined = 0;
+  /// Exchange traffic across every exchange this worker ran (a join
+  /// fragment runs two); mirrors core::ExchangeMetrics.
+  int64_t exchange_rounds = 0;
+  int64_t exchange_put_requests = 0;
+  int64_t exchange_get_requests = 0;
+  int64_t exchange_list_requests = 0;
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerResultMetrics> Deserialize(BinaryReader* r);

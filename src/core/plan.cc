@@ -32,6 +32,13 @@ Result<engine::ExprPtr> GetOptionalExpr(BinaryReader* r) {
   return engine::Expr::Deserialize(r);
 }
 
+/// Body of PlanOp::Deserialize after the kind tag has been read and
+/// validated. Split out so JoinSpec::Deserialize can reject non-row-op
+/// tags BEFORE recursing: a crafted blob nesting kJoin inside build_ops
+/// would otherwise drive unbounded mutual recursion (stack overflow)
+/// before the row-ops-only check ever fired.
+Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r);
+
 }  // namespace
 
 void ExchangeSpec::Serialize(BinaryWriter* w) const {
@@ -65,6 +72,51 @@ Result<ExchangeSpec> ExchangeSpec::Deserialize(BinaryReader* r) {
   return s;
 }
 
+void JoinSpec::Serialize(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type));
+  PutStringVec(w, probe_keys);
+  PutStringVec(w, build_keys);
+  w->PutString(build_pattern);
+  PutStringVec(w, build_scan_projection);
+  PutOptionalExpr(w, build_scan_filter);
+  w->PutVarint(build_ops.size());
+  for (const auto& op : build_ops) op.Serialize(w);
+  build_exchange.Serialize(w);
+}
+
+Result<JoinSpec> JoinSpec::Deserialize(BinaryReader* r) {
+  JoinSpec s;
+  ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+  if (type > static_cast<uint8_t>(engine::JoinType::kLeftSemi)) {
+    return Status::IOError("bad join type");
+  }
+  s.type = static_cast<engine::JoinType>(type);
+  ASSIGN_OR_RETURN(s.probe_keys, GetStringVec(r));
+  ASSIGN_OR_RETURN(s.build_keys, GetStringVec(r));
+  if (s.probe_keys.empty() || s.probe_keys.size() != s.build_keys.size()) {
+    return Status::IOError("bad join key lists");
+  }
+  ASSIGN_OR_RETURN(s.build_pattern, r->GetString());
+  ASSIGN_OR_RETURN(s.build_scan_projection, GetStringVec(r));
+  ASSIGN_OR_RETURN(s.build_scan_filter, GetOptionalExpr(r));
+  ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 10000) return Status::IOError("implausible build op count");
+  for (uint64_t i = 0; i < n; ++i) {
+    // Check the tag before deserializing the body: rejecting a nested
+    // kJoin only afterwards would recurse unboundedly on crafted input.
+    ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+    if (kind > static_cast<uint8_t>(PlanOp::Kind::kSelect)) {
+      return Status::IOError("build pipeline may contain row ops only");
+    }
+    ASSIGN_OR_RETURN(
+        PlanOp op,
+        DeserializePlanOpBody(static_cast<PlanOp::Kind>(kind), r));
+    s.build_ops.push_back(std::move(op));
+  }
+  ASSIGN_OR_RETURN(s.build_exchange, ExchangeSpec::Deserialize(r));
+  return s;
+}
+
 void PlanOp::Serialize(BinaryWriter* w) const {
   w->PutU8(static_cast<uint8_t>(kind));
   switch (kind) {
@@ -90,16 +142,26 @@ void PlanOp::Serialize(BinaryWriter* w) const {
       w->PutVarint(aggs.size());
       for (const auto& a : aggs) a.Serialize(w);
       break;
+    case Kind::kJoin:
+      join->Serialize(w);
+      break;
   }
 }
 
 Result<PlanOp> PlanOp::Deserialize(BinaryReader* r) {
-  PlanOp op;
   ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
-  if (kind > static_cast<uint8_t>(Kind::kAggregate)) {
+  if (kind > static_cast<uint8_t>(Kind::kJoin)) {
     return Status::IOError("bad plan op kind");
   }
-  op.kind = static_cast<Kind>(kind);
+  return DeserializePlanOpBody(static_cast<Kind>(kind), r);
+}
+
+namespace {
+
+Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r) {
+  using Kind = PlanOp::Kind;
+  PlanOp op;
+  op.kind = kind;
   switch (op.kind) {
     case Kind::kFilter: {
       ASSIGN_OR_RETURN(op.expr, engine::Expr::Deserialize(r));
@@ -137,9 +199,16 @@ Result<PlanOp> PlanOp::Deserialize(BinaryReader* r) {
       }
       break;
     }
+    case Kind::kJoin: {
+      ASSIGN_OR_RETURN(JoinSpec spec, JoinSpec::Deserialize(r));
+      op.join = std::move(spec);
+      break;
+    }
   }
   return op;
 }
+
+}  // namespace
 
 void ScanTuning::Serialize(BinaryWriter* w) const {
   w->PutU32(static_cast<uint32_t>(row_group_parallelism));

@@ -9,8 +9,37 @@
 #include "common/status.h"
 #include "engine/aggregate.h"
 #include "engine/expr.h"
+#include "engine/join.h"
 
 namespace lambada::core {
+
+// ---------------------------------------------------------------------------
+// Serialization contract
+// ---------------------------------------------------------------------------
+// Plan fragments travel from the driver to workers through S3 (the payload
+// carries only a pointer), so every struct below has a binary form. The
+// rules that keep that form evolvable:
+//
+//  * **Tag compatibility.** Variant-like structs (PlanOp via its `kind`
+//    byte, engine::Expr via its `Kind` byte) are discriminated by a
+//    one-byte tag. Tags are append-only: a new operator or expression
+//    claims the next unused value (kJoin took 5 after kAggregate's 4) and
+//    existing tags are NEVER renumbered or reused, so any recorded plan
+//    bytes keep meaning the same thing. Readers bounds-check the tag and
+//    reject unknown values instead of guessing.
+//  * **Fixed layout within a tag.** The field sequence serialized for one
+//    tag is frozen once released. Extending an operator means a new tag
+//    (e.g. a hypothetical kJoinV2), not new trailing fields on the old
+//    one — readers consume exactly the fields they know, and
+//    `PlanFragment::Deserialize` rejects trailing bytes, so silent
+//    truncation or overhang is impossible.
+//  * **Same-release pairing.** Driver and workers always run the same
+//    build (the driver uploads the plan the moment it fans out), so there
+//    is no cross-version skew to tolerate at runtime; the two rules above
+//    exist so that *adding* operators like kJoin is a local, reviewable
+//    change with a stated contract rather than an ad-hoc format edit.
+//
+// The same rules govern the SQS/Invoke messages in core/messages.h.
 
 /// Configuration of a serverless exchange (Section 4.4), carried inside a
 /// plan fragment.
@@ -39,7 +68,55 @@ struct ExchangeSpec {
   static Result<ExchangeSpec> Deserialize(BinaryReader* r);
 };
 
+/// Tuning knobs of the scan operator carried with the plan (Section 4.3.2).
+struct ScanTuning {
+  int row_group_parallelism = 2;
+  int column_fetch_parallelism = 4;
+  int64_t chunk_bytes = 8 * 1024 * 1024;
+  int connections_per_read = 1;
+  bool prefetch_metadata = true;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<ScanTuning> Deserialize(BinaryReader* r);
+};
+
+struct PlanOp;
+
+/// Everything a kJoin operator carries: the join itself (type and key
+/// pairs) plus the build side's complete scan pipeline. A join fragment is
+/// therefore self-contained — one fragment, two scans. The planner routes
+/// both sides through hash exchanges on their respective keys so that
+/// co-partitioned (probe, build) pairs land on the same worker: the probe
+/// exchange is the regular kExchange op preceding the kJoin, the build
+/// side's lives here as `build_exchange`.
+struct JoinSpec {
+  engine::JoinType type = engine::JoinType::kInner;
+  /// Equi-join key pairs: probe_keys[i] joins build_keys[i].
+  std::vector<std::string> probe_keys;
+  std::vector<std::string> build_keys;
+
+  // -- Build-side input pipeline (the second scan of the fragment) --------
+  /// Input file glob of the build relation. Logical-plan information: the
+  /// driver expands it and ships concrete per-worker file lists in the
+  /// invocation payload; workers never touch the pattern.
+  std::string build_pattern;
+  /// Projection/selection pushed into the build scan by the planner.
+  std::vector<std::string> build_scan_projection;
+  engine::ExprPtr build_scan_filter;  ///< May be null.
+  /// Row-wise ops (filter/map/select only) applied to scanned build chunks
+  /// before the build exchange.
+  std::vector<PlanOp> build_ops;
+  /// Hash exchange of the build rows on `build_keys` (planner-filled).
+  ExchangeSpec build_exchange;
+
+  void Serialize(BinaryWriter* w) const;
+  static Result<JoinSpec> Deserialize(BinaryReader* r);
+};
+
 /// One operator applied to chunks after the scan, in order.
+///
+/// Serialized as the one-byte kind tag followed by that kind's fixed field
+/// sequence — see the serialization contract above before adding kinds.
 struct PlanOp {
   enum class Kind : uint8_t {
     kFilter = 0,     ///< Keep rows where `expr` is non-zero.
@@ -48,6 +125,8 @@ struct PlanOp {
     kExchange = 3,   ///< Repartition across workers (pipeline breaker).
     kAggregate = 4,  ///< Grouped aggregation (terminal; workers emit
                      ///< partial state).
+    kJoin = 5,       ///< Hash join against a second scan pipeline
+                     ///< (pipeline breaker; see JoinSpec).
   };
 
   Kind kind = Kind::kFilter;
@@ -62,27 +141,19 @@ struct PlanOp {
   // kAggregate:
   std::vector<std::string> group_by;
   std::vector<engine::AggSpec> aggs;
+  // kJoin:
+  std::optional<JoinSpec> join;
 
   void Serialize(BinaryWriter* w) const;
   static Result<PlanOp> Deserialize(BinaryReader* r);
-};
-
-/// Tuning knobs of the scan operator carried with the plan (Section 4.3.2).
-struct ScanTuning {
-  int row_group_parallelism = 2;
-  int column_fetch_parallelism = 4;
-  int64_t chunk_bytes = 8 * 1024 * 1024;
-  int connections_per_read = 1;
-  bool prefetch_metadata = true;
-
-  void Serialize(BinaryWriter* w) const;
-  static Result<ScanTuning> Deserialize(BinaryReader* r);
 };
 
 /// The executable unit shipped to serverless workers: a scan (with pushed
 /// projection/selection) followed by a linear pipeline of operators. This
 /// is the "serverless scope" of the paper's query plans (Section 3.2); the
 /// driver-side post-processing (merging partials) is the driver scope.
+/// A kJoin op embeds the build relation's scan pipeline (JoinSpec), so a
+/// two-table fragment is still one linear `ops` chain on the probe side.
 struct PlanFragment {
   std::vector<std::string> scan_projection;  ///< Empty = all columns.
   engine::ExprPtr scan_filter;               ///< May be null.
@@ -93,6 +164,14 @@ struct PlanFragment {
   /// partial aggregate state, merged by the driver).
   bool EndsInAggregate() const {
     return !ops.empty() && ops.back().kind == PlanOp::Kind::kAggregate;
+  }
+
+  /// Index of the kJoin op, or -1 if this is a single-table fragment.
+  int JoinIndex() const {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == PlanOp::Kind::kJoin) return static_cast<int>(i);
+    }
+    return -1;
   }
 
   std::vector<uint8_t> Serialize() const;

@@ -14,7 +14,10 @@ namespace lambada::core {
 /// (executed by every worker over its file subset) plus the driver-scope
 /// finalization (Section 3.2).
 struct PhysicalQuery {
-  std::string pattern;          ///< Input file glob.
+  std::string pattern;          ///< Input file glob (probe side of a join).
+  /// Build-relation glob of a join query; empty for single-table queries.
+  /// The driver expands it and ships per-worker build file lists.
+  std::string build_pattern;
   PlanFragment fragment;        ///< Worker-side plan.
   /// If the fragment ends in an aggregate, the driver merges partial
   /// states with these specs and finalizes; otherwise it concatenates the
@@ -33,7 +36,12 @@ struct PhysicalQuery {
 ///  * projection push-down: only columns referenced anywhere downstream
 ///    are read from storage;
 ///  * data-parallel transformation: a terminal aggregate becomes
-///    worker-side partial aggregation plus driver-side merge.
+///    worker-side partial aggregation plus driver-side merge;
+///  * join distribution: a JoinWith becomes a two-sided partitioned
+///    exchange — both inputs hash-partition on their join keys over the
+///    same worker grid, so co-partitioned (probe, build) pairs meet on
+///    one worker and the join runs locally there. Push-downs apply to
+///    each side's scan independently.
 Result<PhysicalQuery> PlanQuery(const Query& query,
                                 const ScanTuning& tuning = ScanTuning());
 

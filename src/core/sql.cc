@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -156,6 +157,8 @@ class Parser {
     }
     std::string pattern = Next().text;
 
+    ASSIGN_OR_RETURN(JoinClause join, ParseJoinClause());
+
     ExprPtr where;
     if (AcceptKeyword("WHERE")) {
       ASSIGN_OR_RETURN(where, ParseExpr());
@@ -174,8 +177,8 @@ class Parser {
     if (Peek().kind != TokenKind::kEnd) {
       return Status::Invalid("unexpected trailing tokens after query");
     }
-    return Assemble(std::move(pattern), std::move(items), where,
-                    std::move(group_by));
+    return Assemble(std::move(pattern), std::move(join), std::move(items),
+                    where, std::move(group_by));
   }
 
  private:
@@ -214,6 +217,61 @@ class Parser {
                              "'");
     }
     return Status::OK();
+  }
+
+  // -- JOIN clause ----------------------------------------------------------
+
+  struct JoinClause {
+    bool present = false;
+    engine::JoinType type = engine::JoinType::kInner;
+    std::string pattern;
+    std::vector<std::string> probe_keys;
+    std::vector<std::string> build_keys;
+  };
+
+  /// [[LEFT] SEMI] JOIN 'pattern' ON a = b [AND c = d]*. The left column
+  /// of each equality references the FROM relation, the right column the
+  /// joined one (see sql.h).
+  Result<JoinClause> ParseJoinClause() {
+    JoinClause join;
+    if (AcceptKeyword("LEFT")) {
+      RETURN_NOT_OK(ExpectKeyword("SEMI"));
+      RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join.type = engine::JoinType::kLeftSemi;
+    } else if (AcceptKeyword("SEMI")) {
+      RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join.type = engine::JoinType::kLeftSemi;
+    } else if (AcceptKeyword("JOIN")) {
+      join.type = engine::JoinType::kInner;
+    } else {
+      return join;  // No join clause.
+    }
+    join.present = true;
+    if (Peek().kind != TokenKind::kString) {
+      return Status::Invalid("JOIN expects a quoted s3:// pattern");
+    }
+    join.pattern = Next().text;
+    RETURN_NOT_OK(ExpectKeyword("ON"));
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::Invalid(
+            "JOIN ON expects probe_column = build_column equalities");
+      }
+      std::string probe = Next().text;
+      if (!AcceptSymbol("=")) {
+        return Status::Invalid(
+            "JOIN ON supports only column = column equalities; put "
+            "residual predicates in WHERE");
+      }
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::Invalid(
+            "JOIN ON expects a build-side column after '='");
+      }
+      join.probe_keys.push_back(std::move(probe));
+      join.build_keys.push_back(Next().text);
+      if (!AcceptKeyword("AND")) break;
+    }
+    return join;
   }
 
   // -- Select list ----------------------------------------------------------
@@ -409,9 +467,49 @@ class Parser {
 
   // -- Assembly ---------------------------------------------------------------
 
-  Result<Query> Assemble(std::string pattern, std::vector<SelectItem> items,
-                         ExprPtr where, std::vector<std::string> group_by) {
+  /// Rewrites column references per `renames` (used to map build-key
+  /// names to their probe-key equivalents: the join output drops the
+  /// build keys, but ON equality makes the probe column the same value).
+  static ExprPtr RenameColumns(
+      const ExprPtr& e, const std::map<std::string, std::string>& renames) {
+    if (e == nullptr) return e;
+    switch (e->kind()) {
+      case Expr::Kind::kColumn: {
+        auto it = renames.find(e->column_name());
+        return it == renames.end() ? e : Expr::Column(it->second);
+      }
+      case Expr::Kind::kBinary:
+        return Expr::Binary(e->op(), RenameColumns(e->left(), renames),
+                            RenameColumns(e->right(), renames));
+      default:
+        return e;
+    }
+  }
+
+  Result<Query> Assemble(std::string pattern, JoinClause join,
+                         std::vector<SelectItem> items, ExprPtr where,
+                         std::vector<std::string> group_by) {
     Query q = Query::FromParquet(std::move(pattern));
+    if (join.present) {
+      // The join output carries the probe keys but drops the build keys
+      // (their values are equal). Let WHERE / SELECT / GROUP BY reference
+      // either name by rewriting build keys to their probe partner.
+      std::map<std::string, std::string> renames;
+      for (size_t i = 0; i < join.build_keys.size(); ++i) {
+        renames[join.build_keys[i]] = join.probe_keys[i];
+      }
+      where = RenameColumns(where, renames);
+      for (auto& item : items) item.expr = RenameColumns(item.expr, renames);
+      for (auto& g : group_by) {
+        auto it = renames.find(g);
+        if (it != renames.end()) g = it->second;
+      }
+      q = q.JoinWith(Query::FromParquet(std::move(join.pattern)),
+                     std::move(join.probe_keys),
+                     std::move(join.build_keys), join.type);
+    }
+    // WHERE runs after the join (it may reference both sides); for
+    // single-table queries this is the position it always had.
     if (where != nullptr) q = q.Filter(where);
 
     bool any_agg = false;

@@ -16,6 +16,8 @@ namespace lambada::core {
 ///
 ///   SELECT select_item [, select_item]*
 ///   FROM 's3://bucket/pattern'
+///   [[LEFT] SEMI] JOIN 's3://bucket/pattern'
+///     ON probe_col = build_col [AND probe_col = build_col]*
 ///   [WHERE predicate]
 ///   [GROUP BY column [, column]*]
 ///
@@ -25,6 +27,25 @@ namespace lambada::core {
 ///   expr        := arithmetic over columns and numeric literals with
 ///                  + - * /, comparisons = != <> < <= > >=, AND, OR,
 ///                  BETWEEN a AND b, and parentheses
+///
+/// JOIN compiles to the distributed hash join: both inputs repartition
+/// through the serverless exchange on their keys. The ON clause takes
+/// equality conjunctions only, with the FROM relation's column on the
+/// left of each `=` and the joined relation's on the right (column names
+/// are disjoint across our numeric TPC-H relations, so there is no
+/// table-qualification syntax); residual predicates belong in WHERE,
+/// which is evaluated after the join and may reference both sides. The
+/// join output drops the build-side key columns (their values equal the
+/// probe keys); references to them in WHERE / SELECT / GROUP BY are
+/// rewritten to the probe-key name, so both spellings work.
+///
+/// Planning caveat: without relation schemas the SQL layer cannot tell
+/// which WHERE conjuncts belong to which side, so in a join query the
+/// whole WHERE evaluates after the join and both scans read all columns
+/// — the unfiltered probe relation traverses the exchange. Queries that
+/// need pre-join push-down (like workload::TpchQ12) should use the
+/// dataflow API, where Filter-before-JoinWith and a build-side Select
+/// give both scans exact predicates and projections.
 ///
 /// Aggregates and plain expressions cannot be mixed unless the plain
 /// expressions are GROUP BY keys. DATE 'YYYY-MM-DD' literals are turned

@@ -10,6 +10,7 @@
 #include "core/plan.h"
 #include "engine/aggregate.h"
 #include "engine/chunk_serde.h"
+#include "engine/join.h"
 #include "engine/scan.h"
 
 namespace lambada::core {
@@ -22,6 +23,9 @@ using engine::TableChunk;
 constexpr double kRowOpCpuPerRow = 2e-9;
 /// Per-row CPU cost of hash-aggregation consume.
 constexpr double kAggCpuPerRow = 5e-9;
+/// Per-row CPU cost of the hash join (charged for build + probe + output
+/// rows: table insert, probe walk, and materialization).
+constexpr double kJoinCpuPerRow = 8e-9;
 /// Results larger than this spill to S3 (SQS limit is 256 KiB; leave room
 /// for the envelope).
 constexpr size_t kInlineResultLimit = 200 * 1024;
@@ -64,11 +68,227 @@ Result<TableChunk> ApplyRowOp(const PlanOp& op, TableChunk chunk) {
   }
 }
 
+/// Builds the ScanOptions a fragment's tuning prescribes.
+engine::ScanOptions MakeScanOptions(const ScanTuning& tuning,
+                                    std::vector<std::string> projection,
+                                    engine::ExprPtr filter) {
+  engine::ScanOptions scan_options;
+  scan_options.projection = std::move(projection);
+  scan_options.filter = std::move(filter);
+  scan_options.row_group_parallelism = tuning.row_group_parallelism;
+  scan_options.column_fetch_parallelism = tuning.column_fetch_parallelism;
+  scan_options.source.chunk_bytes = tuning.chunk_bytes;
+  scan_options.source.connections = tuning.connections_per_read;
+  scan_options.prefetch_metadata = tuning.prefetch_metadata;
+  return scan_options;
+}
+
+/// Scans `files` and streams every chunk through the row ops
+/// [ops_begin, ops_end) of `ops`, concatenating the survivors: one scan
+/// pipeline of a join fragment (the probe stage, or — with the JoinSpec's
+/// op list — the build side). Scan counters accumulate into `metrics`.
+sim::Async<Result<TableChunk>> RunScanPipeline(
+    cloud::WorkerEnv& env, const std::vector<engine::FileRef>& files,
+    engine::ScanOptions scan_options, const std::vector<PlanOp>& ops,
+    size_t ops_begin, size_t ops_end, const char* phase_label,
+    WorkerResultMetrics* metrics) {
+  std::vector<TableChunk> collected;
+  int64_t collected_bytes = 0;
+  auto sink = [&](const TableChunk& chunk) -> Status {
+    TableChunk current = chunk;
+    for (size_t i = ops_begin; i < ops_end; ++i) {
+      auto next = ApplyRowOp(ops[i], std::move(current));
+      if (!next.ok()) return next.status();
+      current = *std::move(next);
+    }
+    RETURN_NOT_OK(env.ReserveMemory(current.memory_bytes()));
+    collected_bytes += current.memory_bytes();
+    collected.push_back(std::move(current));
+    return Status::OK();
+  };
+  double scan_start = env.sim()->Now();
+  auto scan_stats =
+      co_await engine::S3ParquetScan(env, files, scan_options, sink);
+  if (!scan_stats.ok()) co_return scan_stats.status();
+  env.RecordPhase(phase_label, scan_start);
+  metrics->rows_scanned += scan_stats->rows_scanned;
+  metrics->rows_emitted += scan_stats->rows_emitted;
+  metrics->row_groups_total += scan_stats->row_groups_total;
+  metrics->row_groups_pruned += scan_stats->row_groups_pruned;
+  co_await env.Compute(static_cast<double>(scan_stats->rows_emitted) *
+                       kRowOpCpuPerRow *
+                       static_cast<double>(ops_end - ops_begin) *
+                       env.data_scale);
+  auto out = engine::ConcatChunks(collected);
+  env.ReleaseMemory(collected_bytes);
+  if (!out.ok()) co_return out.status();
+  co_return *std::move(out);
+}
+
+/// Accumulates one exchange run's traffic into the worker metrics.
+void AddExchangeMetrics(WorkerResultMetrics* metrics,
+                        const ExchangeMetrics& xm) {
+  metrics->exchange_rounds += static_cast<int64_t>(xm.rounds.size());
+  metrics->exchange_put_requests += xm.put_requests;
+  metrics->exchange_get_requests += xm.get_requests;
+  metrics->exchange_list_requests += xm.list_requests;
+}
+
+/// Runs the tail of a fragment after its last pipeline breaker (exchange
+/// or join): the row ops [begin, ops.size()) and the optional terminal
+/// aggregate. A schema-less empty `current` — a worker that sent and
+/// received nothing — short-circuits to the empty terminal, since row ops
+/// cannot resolve their columns against no schema.
+sim::Async<Result<TableChunk>> RunPostOps(cloud::WorkerEnv& env,
+                                          const PlanFragment& fragment,
+                                          size_t begin,
+                                          TableChunk current) {
+  size_t end = fragment.ops.size();
+  bool aggregates = fragment.EndsInAggregate();
+  if (aggregates) --end;
+  if (current.num_columns() == 0) {
+    if (aggregates) {
+      const PlanOp& op = fragment.ops.back();
+      engine::HashAggregator agg(op.group_by, op.aggs);
+      co_return agg.PartialState();
+    }
+    co_return current;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    co_await env.Compute(static_cast<double>(current.num_rows()) *
+                         kRowOpCpuPerRow * env.data_scale);
+    auto next = ApplyRowOp(fragment.ops[i], std::move(current));
+    if (!next.ok()) co_return next.status();
+    current = *std::move(next);
+  }
+  if (aggregates) {
+    const PlanOp& op = fragment.ops.back();
+    engine::HashAggregator agg(op.group_by, op.aggs);
+    co_await env.Compute(static_cast<double>(current.num_rows()) *
+                         kAggCpuPerRow * env.data_scale);
+    if (current.num_rows() > 0) {
+      CO_RETURN_NOT_OK(agg.ConsumeInput(current));
+    }
+    co_return agg.PartialState();
+  }
+  co_return current;
+}
+
+/// Executes a two-table join fragment (Section 4.4 put to work): build
+/// pipeline (scan -> row ops -> exchange on build keys), probe pipeline
+/// (scan -> row ops -> exchange on probe keys), the local hash join over
+/// the co-partitioned pair, then the post-join ops. Every worker runs the
+/// build side first, so the two exchange rounds never interleave across
+/// the fleet.
+sim::Async<Result<TableChunk>> ExecuteJoinFragment(
+    cloud::WorkerEnv& env, const PlanFragment& fragment, size_t join_at,
+    const InvocationPayload& payload, WorkerResultMetrics* metrics) {
+  const JoinSpec& join = *fragment.ops[join_at].join;
+  const int p = static_cast<int>(payload.self.worker_id);
+  const int P = static_cast<int>(payload.total_workers);
+  // The planner always feeds the join from a probe-side exchange; anything
+  // else is a hand-built fragment we refuse to guess about.
+  if (join_at == 0 ||
+      fragment.ops[join_at - 1].kind != PlanOp::Kind::kExchange) {
+    co_return Status::Invalid("join must be fed by a probe-side exchange");
+  }
+
+  auto run_exchange = [&](const ExchangeSpec& spec, TableChunk in)
+      -> sim::Async<Result<TableChunk>> {
+    ExchangeMetrics xm;
+    auto out = co_await RunExchange(env, spec, p, P, std::move(in), &xm);
+    AddExchangeMetrics(metrics, xm);
+    co_return out;
+  };
+
+  // ---- Build side. ----
+  auto build_local = co_await RunScanPipeline(
+      env, payload.self.build_files,
+      MakeScanOptions(fragment.tuning, join.build_scan_projection,
+                      join.build_scan_filter),
+      join.build_ops, 0, join.build_ops.size(), "scan-build", metrics);
+  if (!build_local.ok()) co_return build_local.status();
+  double t0 = env.sim()->Now();
+  auto build_side =
+      co_await run_exchange(join.build_exchange, *std::move(build_local));
+  if (!build_side.ok()) co_return build_side.status();
+  env.RecordPhase("exchange-build", t0);
+
+  // ---- Probe side. ----
+  auto probe_local = co_await RunScanPipeline(
+      env, payload.self.files,
+      MakeScanOptions(fragment.tuning, fragment.scan_projection,
+                      fragment.scan_filter),
+      fragment.ops, 0, join_at - 1, "scan", metrics);
+  if (!probe_local.ok()) co_return probe_local.status();
+  t0 = env.sim()->Now();
+  auto probe_side = co_await run_exchange(
+      *fragment.ops[join_at - 1].exchange, *std::move(probe_local));
+  if (!probe_side.ok()) co_return probe_side.status();
+  env.RecordPhase("exchange-probe", t0);
+
+  // ---- Join the co-partitioned pair. ----
+  t0 = env.sim()->Now();
+  TableChunk build_chunk = *std::move(build_side);
+  TableChunk probe_chunk = *std::move(probe_side);
+  TableChunk current;
+  if (probe_chunk.num_columns() == 0) {
+    // No probe rows reached this worker from anywhere: schema unknown,
+    // output empty either way.
+    current = TableChunk();
+  } else if (build_chunk.num_columns() == 0) {
+    // No build rows reached this worker, so no probe row here can match
+    // (equal keys hash to the same worker). A semi join keeps the probe
+    // schema; an inner join's output schema is unknowable without the
+    // build columns.
+    current = join.type == engine::JoinType::kLeftSemi
+                  ? TableChunk::Empty(probe_chunk.schema())
+                  : TableChunk();
+  } else {
+    std::vector<int> probe_cols, build_cols;
+    for (size_t k = 0; k < join.probe_keys.size(); ++k) {
+      int pc = probe_chunk.schema()->FieldIndex(join.probe_keys[k]);
+      int bc = build_chunk.schema()->FieldIndex(join.build_keys[k]);
+      if (pc < 0 || bc < 0) {
+        co_return Status::Invalid("join key column not found: " +
+                                  (pc < 0 ? join.probe_keys[k]
+                                          : join.build_keys[k]));
+      }
+      probe_cols.push_back(pc);
+      build_cols.push_back(bc);
+    }
+    co_await env.Compute(static_cast<double>(build_chunk.num_rows() +
+                                             probe_chunk.num_rows()) *
+                         kJoinCpuPerRow * env.data_scale);
+    auto joined = engine::HashJoin(probe_chunk, probe_cols, build_chunk,
+                                   build_cols, join.type, env.exec);
+    if (!joined.ok()) co_return joined.status();
+    co_await env.Compute(static_cast<double>(joined->num_rows()) *
+                         kJoinCpuPerRow * env.data_scale);
+    current = *std::move(joined);
+  }
+  metrics->rows_joined += static_cast<int64_t>(current.num_rows());
+  env.RecordPhase("join", t0);
+  build_chunk = TableChunk();
+  probe_chunk = TableChunk();
+
+  // ---- Post-join ops. ----
+  co_return co_await RunPostOps(env, fragment, join_at + 1,
+                                std::move(current));
+}
+
 /// Executes the plan fragment over the worker's files; returns the
 /// worker's partial result chunk.
 sim::Async<Result<TableChunk>> ExecuteFragment(
     cloud::WorkerEnv& env, const PlanFragment& fragment,
     const InvocationPayload& payload, WorkerResultMetrics* metrics) {
+  // Two-table fragments take the join path; the single-table pipeline
+  // below is untouched.
+  int join_at = fragment.JoinIndex();
+  if (join_at >= 0) {
+    co_return co_await ExecuteJoinFragment(
+        env, fragment, static_cast<size_t>(join_at), payload, metrics);
+  }
   // Split the pipeline at the exchange (a pipeline breaker).
   int exchange_at = -1;
   for (size_t i = 0; i < fragment.ops.size(); ++i) {
@@ -94,16 +314,8 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
   std::vector<TableChunk> collected;
   int64_t collected_bytes = 0;
 
-  engine::ScanOptions scan_options;
-  scan_options.projection = fragment.scan_projection;
-  scan_options.filter = fragment.scan_filter;
-  scan_options.row_group_parallelism =
-      fragment.tuning.row_group_parallelism;
-  scan_options.column_fetch_parallelism =
-      fragment.tuning.column_fetch_parallelism;
-  scan_options.source.chunk_bytes = fragment.tuning.chunk_bytes;
-  scan_options.source.connections = fragment.tuning.connections_per_read;
-  scan_options.prefetch_metadata = fragment.tuning.prefetch_metadata;
+  engine::ScanOptions scan_options = MakeScanOptions(
+      fragment.tuning, fragment.scan_projection, fragment.scan_filter);
 
   // The fused pipeline: row ops + terminal consumer, run per scanned
   // chunk. CPU for these stages is charged after the scan completes
@@ -158,35 +370,17 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
   // ---- Exchange + stage 2 ----
   const PlanOp& ex_op = fragment.ops[static_cast<size_t>(exchange_at)];
   double ex_start = env.sim()->Now();
+  ExchangeMetrics xm;
   auto exchanged = co_await RunExchange(
       env, *ex_op.exchange, static_cast<int>(payload.self.worker_id),
-      static_cast<int>(payload.total_workers), *std::move(stage1_out));
+      static_cast<int>(payload.total_workers), *std::move(stage1_out), &xm);
   if (!exchanged.ok()) co_return exchanged.status();
+  AddExchangeMetrics(metrics, xm);
   env.RecordPhase("exchange", ex_start);
 
-  TableChunk current = *std::move(exchanged);
-  size_t stage2_begin = static_cast<size_t>(exchange_at) + 1;
-  size_t stage2_end = fragment.ops.size();
-  bool stage2_aggregates = fragment.EndsInAggregate();
-  if (stage2_aggregates) --stage2_end;
-  for (size_t i = stage2_begin; i < stage2_end; ++i) {
-    co_await env.Compute(static_cast<double>(current.num_rows()) *
-                         kRowOpCpuPerRow * env.data_scale);
-    auto next = ApplyRowOp(fragment.ops[i], std::move(current));
-    if (!next.ok()) co_return next.status();
-    current = *std::move(next);
-  }
-  if (stage2_aggregates) {
-    const PlanOp& op = fragment.ops.back();
-    engine::HashAggregator agg2(op.group_by, op.aggs);
-    co_await env.Compute(static_cast<double>(current.num_rows()) *
-                         kAggCpuPerRow * env.data_scale);
-    if (current.num_rows() > 0) {
-      CO_RETURN_NOT_OK(agg2.ConsumeInput(current));
-    }
-    co_return agg2.PartialState();
-  }
-  co_return current;
+  co_return co_await RunPostOps(env, fragment,
+                                static_cast<size_t>(exchange_at) + 1,
+                                *std::move(exchanged));
 }
 
 /// Sends the (success or error) result message, spilling large payloads
@@ -288,8 +482,9 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
 
 }  // namespace
 
-cloud::Handler MakeWorkerHandler() {
-  return [](cloud::WorkerEnv& env, std::string payload) {
+cloud::Handler MakeWorkerHandler(exec::ExecContext exec) {
+  return [exec](cloud::WorkerEnv& env, std::string payload) {
+    env.exec = exec;
     return WorkerMain(env, std::move(payload));
   };
 }

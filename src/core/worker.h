@@ -2,16 +2,22 @@
 #define LAMBADA_CORE_WORKER_H_
 
 #include "cloud/faas.h"
+#include "exec/exec_context.h"
 
 namespace lambada::core {
 
 /// Builds the Lambda event handler of a Lambada worker (Section 3.3):
 /// it parses the invocation payload, invokes second-generation workers of
 /// the invocation tree (Section 4.2), fetches the plan fragment from S3,
-/// executes it (scan -> pipeline -> optional exchange -> partial
+/// executes it (scan -> pipeline -> exchange rounds -> join / partial
 /// aggregation), and posts the result — or the error — to the result
 /// queue in SQS.
-cloud::Handler MakeWorkerHandler();
+///
+/// `exec` configures the worker-local morsel runtime (host-side like
+/// data_scale: it never travels in payloads). The serial default keeps
+/// virtual-time schedules identical to the single-threaded runtime; any
+/// other setting changes timing only, never result bytes.
+cloud::Handler MakeWorkerHandler(exec::ExecContext exec = {});
 
 }  // namespace lambada::core
 

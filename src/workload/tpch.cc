@@ -1,7 +1,9 @@
 #include "workload/tpch.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -156,14 +158,113 @@ TableChunk GenerateLineitem(int64_t num_rows, uint64_t seed) {
        Column::Int64(std::move(shipmode)), Column::Int64(std::move(comment))});
 }
 
-Result<DatasetInfo> LoadLineitem(cloud::ObjectStore* s3,
-                                 const std::string& bucket,
-                                 const std::string& prefix,
-                                 const LoadOptions& options) {
+SchemaPtr OrdersSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(
+      std::vector<Field>{{"o_orderkey", DataType::kInt64},
+                         {"o_custkey", DataType::kInt64},
+                         {"o_orderstatus", DataType::kInt64},
+                         {"o_totalprice", DataType::kFloat64},
+                         {"o_orderdate", DataType::kInt64},
+                         {"o_orderpriority", DataType::kInt64},
+                         {"o_clerk", DataType::kInt64},
+                         {"o_shippriority", DataType::kInt64},
+                         {"o_comment", DataType::kInt64}});
+  return kSchema;
+}
+
+TableChunk GenerateOrders(int64_t num_orders, uint64_t seed) {
+  Rng rng(seed);
+  size_t n = static_cast<size_t>(num_orders);
+  std::vector<int64_t> orderkey(n), custkey(n), orderstatus(n);
+  std::vector<double> totalprice(n);
+  std::vector<int64_t> orderdate(n), orderpriority(n), clerk(n),
+      shippriority(n), comment(n);
+  const int64_t order_min_date = TpchDate(1992, 1, 1);
+  const int64_t order_max_date = TpchDate(1998, 8, 2);
+  for (size_t i = 0; i < n; ++i) {
+    orderkey[i] = static_cast<int64_t>(i) + 1;
+    custkey[i] = rng.UniformInt(1, 150000);
+    orderstatus[i] = rng.UniformInt(0, 2);
+    totalprice[i] =
+        1000.0 + static_cast<double>(rng.UniformInt(0, 45000000)) / 100.0;
+    orderdate[i] = rng.UniformInt(order_min_date, order_max_date);
+    orderpriority[i] = rng.UniformInt(0, 4);
+    clerk[i] = rng.UniformInt(1, 1000);
+    shippriority[i] = 0;
+    comment[i] = static_cast<int64_t>(rng.Next() >> 16);
+  }
+  return TableChunk(
+      OrdersSchema(),
+      {Column::Int64(std::move(orderkey)), Column::Int64(std::move(custkey)),
+       Column::Int64(std::move(orderstatus)),
+       Column::Float64(std::move(totalprice)),
+       Column::Int64(std::move(orderdate)),
+       Column::Int64(std::move(orderpriority)),
+       Column::Int64(std::move(clerk)),
+       Column::Int64(std::move(shippriority)),
+       Column::Int64(std::move(comment))});
+}
+
+SchemaPtr PartSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(
+      std::vector<Field>{{"p_partkey", DataType::kInt64},
+                         {"p_name", DataType::kInt64},
+                         {"p_mfgr", DataType::kInt64},
+                         {"p_brand", DataType::kInt64},
+                         {"p_type", DataType::kInt64},
+                         {"p_size", DataType::kInt64},
+                         {"p_retailprice", DataType::kFloat64},
+                         {"p_comment", DataType::kInt64}});
+  return kSchema;
+}
+
+TableChunk GeneratePart(int64_t num_parts, uint64_t seed) {
+  Rng rng(seed);
+  size_t n = static_cast<size_t>(num_parts);
+  std::vector<int64_t> partkey(n), name(n), mfgr(n), brand(n), type(n),
+      size_col(n);
+  std::vector<double> retailprice(n);
+  std::vector<int64_t> comment(n);
+  for (size_t i = 0; i < n; ++i) {
+    partkey[i] = static_cast<int64_t>(i) + 1;
+    name[i] = static_cast<int64_t>(rng.Next() >> 32);
+    mfgr[i] = rng.UniformInt(0, 4);
+    brand[i] = mfgr[i] * 5 + rng.UniformInt(0, 4);
+    type[i] = rng.UniformInt(0, 149);
+    size_col[i] = rng.UniformInt(1, 50);
+    // TPC-H retail price formula modulo the string parts.
+    retailprice[i] =
+        90000.0 + static_cast<double>((partkey[i] / 10) % 20001) +
+        100.0 * static_cast<double>(partkey[i] % 1000);
+    comment[i] = static_cast<int64_t>(rng.Next() >> 16);
+  }
+  return TableChunk(
+      PartSchema(),
+      {Column::Int64(std::move(partkey)), Column::Int64(std::move(name)),
+       Column::Int64(std::move(mfgr)), Column::Int64(std::move(brand)),
+       Column::Int64(std::move(type)), Column::Int64(std::move(size_col)),
+       Column::Float64(std::move(retailprice)),
+       Column::Int64(std::move(comment))});
+}
+
+int64_t MaxOrderKey(const TableChunk& lineitem) {
+  int idx = lineitem.schema()->FieldIndex("l_orderkey");
+  LAMBADA_CHECK(idx >= 0);
+  int64_t max_key = 0;
+  for (int64_t k : lineitem.column(static_cast<size_t>(idx)).i64()) {
+    if (k > max_key) max_key = k;
+  }
+  return max_key;
+}
+
+Result<DatasetInfo> LoadTableChunk(cloud::ObjectStore* s3,
+                                   const std::string& bucket,
+                                   const std::string& prefix,
+                                   const TableChunk& all,
+                                   const LoadOptions& options) {
   RETURN_NOT_OK(s3->CreateBucket(bucket));
-  TableChunk all = GenerateLineitem(options.num_rows, options.seed);
   DatasetInfo info;
-  info.rows = options.num_rows;
+  info.rows = static_cast<int64_t>(all.num_rows());
   info.files = options.num_files;
   size_t n = all.num_rows();
   for (int f = 0; f < options.num_files; ++f) {
@@ -208,6 +309,33 @@ Result<DatasetInfo> LoadLineitem(cloud::ObjectStore* s3,
   return info;
 }
 
+Result<DatasetInfo> LoadLineitem(cloud::ObjectStore* s3,
+                                 const std::string& bucket,
+                                 const std::string& prefix,
+                                 const LoadOptions& options) {
+  return LoadTableChunk(s3, bucket, prefix,
+                        GenerateLineitem(options.num_rows, options.seed),
+                        options);
+}
+
+Result<DatasetInfo> LoadOrders(cloud::ObjectStore* s3,
+                               const std::string& bucket,
+                               const std::string& prefix,
+                               const LoadOptions& options) {
+  return LoadTableChunk(s3, bucket, prefix,
+                        GenerateOrders(options.num_rows, options.seed),
+                        options);
+}
+
+Result<DatasetInfo> LoadPart(cloud::ObjectStore* s3,
+                             const std::string& bucket,
+                             const std::string& prefix,
+                             const LoadOptions& options) {
+  return LoadTableChunk(s3, bucket, prefix,
+                        GeneratePart(options.num_rows, options.seed),
+                        options);
+}
+
 int64_t Q1CutoffDate() { return TpchDate(1998, 12, 1) - 90; }
 
 core::Query TpchQ1(const std::string& pattern) {
@@ -241,6 +369,51 @@ core::Query TpchQ6(const std::string& pattern) {
       .Filter(Col("l_quantity") < Lit(24.0))
       .Map(Col("l_extendedprice") * Col("l_discount"), "revenue_item")
       .ReduceSum("revenue_item");
+}
+
+core::Query TpchQ12(const std::string& lineitem_pattern,
+                    const std::string& orders_pattern) {
+  using engine::Col;
+  using engine::Lit;
+  using engine::Sum;
+  // Build side: only the key and the priority survive the Select, so the
+  // planner pushes a two-column projection into the ORDERS scan.
+  auto orders =
+      core::Query::FromParquet(orders_pattern)
+          .Select({Col("o_orderkey"), Col("o_orderpriority")},
+                  {"o_orderkey", "o_orderpriority"});
+  // CASE WHEN priority IN ('1-URGENT','2-HIGH') -> the 0/1 comparison.
+  auto high = Col("o_orderpriority") <= Lit(kHighPriorityMax);
+  return core::Query::FromParquet(lineitem_pattern)
+      .Filter(Col("l_shipmode") == Lit(kShipmodeMail) ||
+              Col("l_shipmode") == Lit(kShipmodeShip))
+      .Filter(Col("l_commitdate") < Col("l_receiptdate"))
+      .Filter(Col("l_shipdate") < Col("l_commitdate"))
+      .Filter(Col("l_receiptdate") >= Lit(TpchDate(1994, 1, 1)))
+      .Filter(Col("l_receiptdate") < Lit(TpchDate(1995, 1, 1)))
+      .JoinWith(orders, {"l_orderkey"}, {"o_orderkey"})
+      .Aggregate({"l_shipmode"}, {Sum(high, "high_line_count"),
+                                  Sum(Lit(1) - high, "low_line_count")});
+}
+
+core::Query TpchQ14(const std::string& lineitem_pattern,
+                    const std::string& part_pattern) {
+  using engine::Col;
+  using engine::Lit;
+  using engine::Sum;
+  auto part = core::Query::FromParquet(part_pattern)
+                  .Select({Col("p_partkey"), Col("p_type")},
+                          {"p_partkey", "p_type"});
+  auto disc_price =
+      Col("l_extendedprice") * (Lit(1.0) - Col("l_discount"));
+  // CASE WHEN p_type LIKE 'PROMO%' -> the 0/1 comparison as a factor.
+  auto promo = Col("p_type") < Lit(kPromoTypeCutoff);
+  return core::Query::FromParquet(lineitem_pattern)
+      .Filter(Col("l_shipdate") >= Lit(TpchDate(1995, 9, 1)))
+      .Filter(Col("l_shipdate") < Lit(TpchDate(1995, 10, 1)))
+      .JoinWith(part, {"l_partkey"}, {"p_partkey"})
+      .Aggregate({}, {Sum(promo * disc_price, "promo_revenue"),
+                      Sum(disc_price, "total_revenue")});
 }
 
 engine::TableChunk ReferenceQ1(const TableChunk& li) {
@@ -285,6 +458,89 @@ double ReferenceQ6(const TableChunk& li) {
     }
   }
   return revenue;
+}
+
+TableChunk ReferenceQ12(const TableChunk& li, const TableChunk& orders) {
+  std::unordered_map<int64_t, int64_t> priority_of;
+  {
+    size_t ok = static_cast<size_t>(
+        orders.schema()->FieldIndex("o_orderkey"));
+    size_t op = static_cast<size_t>(
+        orders.schema()->FieldIndex("o_orderpriority"));
+    priority_of.reserve(orders.num_rows() * 2);
+    for (size_t i = 0; i < orders.num_rows(); ++i) {
+      priority_of[orders.column(ok).i64()[i]] = orders.column(op).i64()[i];
+    }
+  }
+  size_t okey = static_cast<size_t>(li.schema()->FieldIndex("l_orderkey"));
+  size_t mode = static_cast<size_t>(li.schema()->FieldIndex("l_shipmode"));
+  size_t ship = static_cast<size_t>(li.schema()->FieldIndex("l_shipdate"));
+  size_t commit =
+      static_cast<size_t>(li.schema()->FieldIndex("l_commitdate"));
+  size_t receipt =
+      static_cast<size_t>(li.schema()->FieldIndex("l_receiptdate"));
+  const int64_t lo = TpchDate(1994, 1, 1), hi = TpchDate(1995, 1, 1);
+  std::map<int64_t, std::pair<int64_t, int64_t>> counts;  // mode -> (hi,lo)
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    int64_t m = li.column(mode).i64()[i];
+    if (m != kShipmodeMail && m != kShipmodeShip) continue;
+    int64_t r = li.column(receipt).i64()[i];
+    if (li.column(commit).i64()[i] >= r) continue;
+    if (li.column(ship).i64()[i] >= li.column(commit).i64()[i]) continue;
+    if (r < lo || r >= hi) continue;
+    auto it = priority_of.find(li.column(okey).i64()[i]);
+    if (it == priority_of.end()) continue;  // Inner join drops it.
+    auto& c = counts[m];
+    if (it->second <= kHighPriorityMax) {
+      ++c.first;
+    } else {
+      ++c.second;
+    }
+  }
+  std::vector<int64_t> modes;
+  std::vector<double> high, low;
+  for (const auto& [m, c] : counts) {
+    modes.push_back(m);
+    high.push_back(static_cast<double>(c.first));
+    low.push_back(static_cast<double>(c.second));
+  }
+  return TableChunk(
+      std::make_shared<Schema>(
+          std::vector<Field>{{"l_shipmode", DataType::kInt64},
+                             {"high_line_count", DataType::kFloat64},
+                             {"low_line_count", DataType::kFloat64}}),
+      {Column::Int64(std::move(modes)), Column::Float64(std::move(high)),
+       Column::Float64(std::move(low))});
+}
+
+Q14Result ReferenceQ14(const TableChunk& li, const TableChunk& part) {
+  std::unordered_map<int64_t, int64_t> type_of;
+  {
+    size_t pk = static_cast<size_t>(part.schema()->FieldIndex("p_partkey"));
+    size_t pt = static_cast<size_t>(part.schema()->FieldIndex("p_type"));
+    type_of.reserve(part.num_rows() * 2);
+    for (size_t i = 0; i < part.num_rows(); ++i) {
+      type_of[part.column(pk).i64()[i]] = part.column(pt).i64()[i];
+    }
+  }
+  size_t pkey = static_cast<size_t>(li.schema()->FieldIndex("l_partkey"));
+  size_t ship = static_cast<size_t>(li.schema()->FieldIndex("l_shipdate"));
+  size_t price =
+      static_cast<size_t>(li.schema()->FieldIndex("l_extendedprice"));
+  size_t disc = static_cast<size_t>(li.schema()->FieldIndex("l_discount"));
+  const int64_t lo = TpchDate(1995, 9, 1), hi = TpchDate(1995, 10, 1);
+  Q14Result out;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    int64_t d = li.column(ship).i64()[i];
+    if (d < lo || d >= hi) continue;
+    auto it = type_of.find(li.column(pkey).i64()[i]);
+    if (it == type_of.end()) continue;
+    double revenue =
+        li.column(price).f64()[i] * (1.0 - li.column(disc).f64()[i]);
+    if (it->second < kPromoTypeCutoff) out.promo_revenue += revenue;
+    out.total_revenue += revenue;
+  }
+  return out;
 }
 
 }  // namespace lambada::workload

@@ -32,11 +32,53 @@ int64_t TpchDate(int year, int month, int day);
 /// LINEITEM rows per unit scale factor (TPC-H: ~6M at SF 1).
 inline constexpr int64_t kLineitemRowsPerScaleFactor = 6001215;
 
+/// The l_partkey / p_partkey domain of the generator (1..kPartCount): a
+/// GeneratePart(kPartCount, ...) relation covers every lineitem part key.
+inline constexpr int64_t kPartCount = 200000;
+
+/// Numeric stand-ins for the string attributes the joins read.
+/// l_shipmode draws uniformly from 0..6 (7 TPC-H modes); Q12's MAIL and
+/// SHIP are these two values.
+inline constexpr int64_t kShipmodeMail = 2;
+inline constexpr int64_t kShipmodeShip = 4;
+/// o_orderpriority draws uniformly from 0..4 (0='1-URGENT', 1='2-HIGH',
+/// ...); Q12 counts priorities <= this value as "high".
+inline constexpr int64_t kHighPriorityMax = 1;
+/// p_type draws uniformly from 0..149 (TPC-H has 150 types, 25 of which
+/// start with PROMO); Q14 treats types below this cutoff as promotional.
+inline constexpr int64_t kPromoTypeCutoff = 25;
+
 engine::SchemaPtr LineitemSchema();
 
 /// Generates `num_rows` LINEITEM rows with TPC-H value distributions,
 /// sorted by l_shipdate.
 engine::TableChunk GenerateLineitem(int64_t num_rows, uint64_t seed);
+
+/// ORDERS, numbers-only like LINEITEM (9 columns):
+///   o_orderkey, o_custkey, o_orderstatus (0=F,1=O,2=P)        int64
+///   o_totalprice                                              float64
+///   o_orderdate (day number), o_orderpriority (0..4),
+///   o_clerk, o_shippriority, o_comment                        int64
+engine::SchemaPtr OrdersSchema();
+
+/// Generates ORDERS rows with o_orderkey 1..num_orders, sorted by key.
+/// GenerateOrders(MaxOrderKey(lineitem), ...) covers every l_orderkey of
+/// a GenerateLineitem relation.
+engine::TableChunk GenerateOrders(int64_t num_orders, uint64_t seed);
+
+/// PART, numbers-only (8 columns):
+///   p_partkey, p_name, p_mfgr (0..4), p_brand (0..24),
+///   p_type (0..149), p_size (1..50)                           int64
+///   p_retailprice                                             float64
+///   p_comment                                                 int64
+engine::SchemaPtr PartSchema();
+
+/// Generates PART rows with p_partkey 1..num_parts, sorted by key.
+engine::TableChunk GeneratePart(int64_t num_parts, uint64_t seed);
+
+/// Largest l_orderkey in a generated LINEITEM chunk — the ORDERS row
+/// count that covers it.
+int64_t MaxOrderKey(const engine::TableChunk& lineitem);
 
 /// How a generated dataset is laid out on (simulated) S3.
 struct LoadOptions {
@@ -63,13 +105,34 @@ struct DatasetInfo {
   int64_t virtual_bytes = 0;
 };
 
+/// Splits an already-generated table into `options.num_files` row-group
+/// encoded "{prefix}part-NNNN.lpq" objects and uploads them. Host-side
+/// (no simulated cost): this is the dataset that exists before the
+/// experiment starts. `options.num_rows` is ignored (the chunk decides).
+Result<DatasetInfo> LoadTableChunk(cloud::ObjectStore* s3,
+                                   const std::string& bucket,
+                                   const std::string& prefix,
+                                   const engine::TableChunk& all,
+                                   const LoadOptions& options);
+
 /// Generates, sorts, splits, encodes and uploads LINEITEM as
-/// "{prefix}part-NNNN.lpq" objects. Host-side (no simulated cost): this is
-/// the dataset that exists before the experiment starts.
+/// "{prefix}part-NNNN.lpq" objects (LoadTableChunk of GenerateLineitem).
 Result<DatasetInfo> LoadLineitem(cloud::ObjectStore* s3,
                                  const std::string& bucket,
                                  const std::string& prefix,
                                  const LoadOptions& options);
+
+/// LoadTableChunk of GenerateOrders(options.num_rows, options.seed).
+Result<DatasetInfo> LoadOrders(cloud::ObjectStore* s3,
+                               const std::string& bucket,
+                               const std::string& prefix,
+                               const LoadOptions& options);
+
+/// LoadTableChunk of GeneratePart(options.num_rows, options.seed).
+Result<DatasetInfo> LoadPart(cloud::ObjectStore* s3,
+                             const std::string& bucket,
+                             const std::string& prefix,
+                             const LoadOptions& options);
 
 // -- Queries -----------------------------------------------------------------
 
@@ -81,6 +144,20 @@ core::Query TpchQ1(const std::string& pattern);
 /// global SUM(l_extendedprice * l_discount).
 core::Query TpchQ6(const std::string& pattern);
 
+/// TPC-H Q12 (shipping modes and order priority): LINEITEM joined with
+/// ORDERS on the order key through the two-sided partitioned exchange;
+/// counts high/low-priority lines per ship mode for two modes shipped in
+/// 1994. The CASE WHEN of the original becomes arithmetic over the 0/1
+/// comparison results.
+core::Query TpchQ12(const std::string& lineitem_pattern,
+                    const std::string& orders_pattern);
+
+/// TPC-H Q14 (promotion effect): LINEITEM joined with PART on the part
+/// key; returns SUM(promo revenue) and SUM(total revenue) for one month
+/// of shipments — the published percentage is 100 * promo / total.
+core::Query TpchQ14(const std::string& lineitem_pattern,
+                    const std::string& part_pattern);
+
 /// The Q1 ship-date cutoff (1998-12-01 minus 90 days).
 int64_t Q1CutoffDate();
 
@@ -88,6 +165,21 @@ int64_t Q1CutoffDate();
 
 engine::TableChunk ReferenceQ1(const engine::TableChunk& lineitem);
 double ReferenceQ6(const engine::TableChunk& lineitem);
+
+/// Q12 reference: rows (l_shipmode, high_line_count, low_line_count)
+/// ascending by ship mode, float64 counts like the engine's SUM emits.
+engine::TableChunk ReferenceQ12(const engine::TableChunk& lineitem,
+                                const engine::TableChunk& orders);
+
+struct Q14Result {
+  double promo_revenue = 0;
+  double total_revenue = 0;
+  double promo_pct() const {
+    return total_revenue == 0 ? 0 : 100.0 * promo_revenue / total_revenue;
+  }
+};
+Q14Result ReferenceQ14(const engine::TableChunk& lineitem,
+                       const engine::TableChunk& part);
 
 }  // namespace lambada::workload
 

@@ -76,6 +76,100 @@ TEST(PlanTest, FragmentSerializationRoundTrip) {
   EXPECT_TRUE(back->EndsInAggregate());
 }
 
+TEST(PlanTest, JoinFragmentSerializationRoundTrip) {
+  PlanFragment f;
+  f.scan_projection = {"l_orderkey", "l_shipmode"};
+  PlanOp ex;
+  ex.kind = PlanOp::Kind::kExchange;
+  ExchangeSpec probe_spec;
+  probe_spec.keys = {"l_orderkey"};
+  probe_spec.exchange_id = "q-x";
+  ex.exchange = probe_spec;
+  f.ops.push_back(ex);
+  PlanOp jop;
+  jop.kind = PlanOp::Kind::kJoin;
+  JoinSpec join;
+  join.type = engine::JoinType::kLeftSemi;
+  join.probe_keys = {"l_orderkey"};
+  join.build_keys = {"o_orderkey"};
+  join.build_pattern = "s3://tpch/orders/*.lpq";
+  join.build_scan_projection = {"o_orderkey", "o_orderpriority"};
+  join.build_scan_filter = Col("o_orderpriority") <= Lit(1);
+  PlanOp bsel;
+  bsel.kind = PlanOp::Kind::kSelect;
+  bsel.exprs = {Col("o_orderkey")};
+  bsel.names = {"o_orderkey"};
+  join.build_ops.push_back(bsel);
+  join.build_exchange.keys = {"o_orderkey"};
+  join.build_exchange.exchange_id = "q-xb";
+  jop.join = join;
+  f.ops.push_back(jop);
+  PlanOp agg;
+  agg.kind = PlanOp::Kind::kAggregate;
+  agg.group_by = {"l_shipmode"};
+  agg.aggs = {engine::Count("n")};
+  f.ops.push_back(agg);
+
+  auto bytes = f.Serialize();
+  auto back = PlanFragment::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->JoinIndex(), 1);
+  const JoinSpec& j = *back->ops[1].join;
+  EXPECT_EQ(j.type, engine::JoinType::kLeftSemi);
+  EXPECT_EQ(j.probe_keys, join.probe_keys);
+  EXPECT_EQ(j.build_keys, join.build_keys);
+  EXPECT_EQ(j.build_pattern, join.build_pattern);
+  EXPECT_EQ(j.build_scan_projection, join.build_scan_projection);
+  EXPECT_EQ(j.build_scan_filter->ToString(),
+            join.build_scan_filter->ToString());
+  ASSERT_EQ(j.build_ops.size(), 1u);
+  EXPECT_EQ(j.build_ops[0].kind, PlanOp::Kind::kSelect);
+  EXPECT_EQ(j.build_exchange.exchange_id, "q-xb");
+  EXPECT_TRUE(back->EndsInAggregate());
+}
+
+TEST(PlanTest, NestedJoinInBuildOpsRejectedWithoutRecursing) {
+  // A hand-built (or crafted) plan nesting a kJoin inside build_ops must
+  // come back as a clean parse error — the tag is rejected before the
+  // deserializer recurses, so arbitrarily deep nesting cannot smash the
+  // stack.
+  JoinSpec inner_spec;
+  inner_spec.probe_keys = {"a"};
+  inner_spec.build_keys = {"b"};
+  PlanOp inner;
+  inner.kind = PlanOp::Kind::kJoin;
+  inner.join = inner_spec;
+  JoinSpec outer_spec;
+  outer_spec.probe_keys = {"a"};
+  outer_spec.build_keys = {"b"};
+  outer_spec.build_ops.push_back(inner);
+  PlanOp outer;
+  outer.kind = PlanOp::Kind::kJoin;
+  outer.join = outer_spec;
+  PlanFragment f;
+  f.ops.push_back(outer);
+  auto bytes = f.Serialize();
+  auto back = PlanFragment::Deserialize(bytes.data(), bytes.size());
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("row ops only"),
+            std::string::npos);
+}
+
+TEST(PlanTest, UnknownOpKindRejected) {
+  // A plan whose op tag is beyond the known range must be refused, not
+  // guessed at — the tag-compatibility rule of plan.h.
+  PlanFragment f;
+  PlanOp filter;
+  filter.kind = PlanOp::Kind::kFilter;
+  filter.expr = Col("a") >= Lit(5);
+  f.ops.push_back(filter);
+  auto bytes = f.Serialize();
+  // The op tag byte follows the projection vector (varint 0), the null
+  // filter byte, and the op-count varint (1).
+  bytes[3] = 0x7f;
+  EXPECT_FALSE(PlanFragment::Deserialize(bytes.data(), bytes.size()).ok());
+}
+
 TEST(PlanTest, CorruptFragmentRejected) {
   PlanFragment f;
   auto bytes = f.Serialize();
@@ -93,9 +187,11 @@ TEST(MessagesTest, PayloadRoundTrip) {
   p.data_scale = 12.5;
   p.self.worker_id = 3;
   p.self.files = {{"data", "part-0.lpq"}, {"data", "part-1.lpq"}};
+  p.self.build_files = {{"data", "orders-0.lpq"}};
   WorkerInput child;
   child.worker_id = 4;
   child.files = {{"data", "part-2.lpq"}};
+  child.build_files = {{"data", "orders-1.lpq"}};
   p.to_invoke.push_back(child);
 
   auto back = InvocationPayload::Parse(p.Serialize());
@@ -103,8 +199,13 @@ TEST(MessagesTest, PayloadRoundTrip) {
   EXPECT_EQ(back->query_id, "q7");
   EXPECT_EQ(back->total_workers, 64u);
   EXPECT_EQ(back->self.files[1].key, "part-1.lpq");
+  ASSERT_EQ(back->self.build_files.size(), 1u);
+  EXPECT_EQ(back->self.build_files[0].key, "orders-0.lpq");
   ASSERT_EQ(back->to_invoke.size(), 1u);
   EXPECT_EQ(back->to_invoke[0].worker_id, 4u);
+  // Build files are part of the per-worker WorkerInput, so the invocation
+  // tree forwards each child its own.
+  EXPECT_EQ(back->to_invoke[0].build_files[0].key, "orders-1.lpq");
   EXPECT_DOUBLE_EQ(back->data_scale, 12.5);
 }
 
@@ -176,6 +277,123 @@ TEST(PlannerTest, FilterAfterMapStaysInPipeline) {
   ASSERT_EQ(phys->fragment.ops.size(), 2u);
   EXPECT_EQ(phys->fragment.ops[0].kind, PlanOp::Kind::kMap);
   EXPECT_EQ(phys->fragment.ops[1].kind, PlanOp::Kind::kFilter);
+}
+
+TEST(PlannerTest, JoinInsertsTwoSidedExchange) {
+  auto build = Query::FromParquet("s3://d/orders/*.lpq")
+                   .Filter(Col("o_orderpriority") <= Lit(1))
+                   .Select({Col("o_orderkey"), Col("o_orderpriority")},
+                           {"o_orderkey", "o_orderpriority"});
+  auto q = Query::FromParquet("s3://d/li/*.lpq")
+               .Filter(Col("l_shipmode") == Lit(2))
+               .JoinWith(build, {"l_orderkey"}, {"o_orderkey"})
+               .Aggregate({"l_shipmode"},
+                          {engine::Sum(Col("o_orderpriority"), "s")});
+  auto phys = PlanQuery(q);
+  ASSERT_TRUE(phys.ok()) << phys.status().ToString();
+  EXPECT_EQ(phys->build_pattern, "s3://d/orders/*.lpq");
+  // Probe pipeline: filter pushed into the scan, then exchange -> join ->
+  // aggregate.
+  ASSERT_NE(phys->fragment.scan_filter, nullptr);
+  ASSERT_EQ(phys->fragment.ops.size(), 3u);
+  EXPECT_EQ(phys->fragment.ops[0].kind, PlanOp::Kind::kExchange);
+  EXPECT_EQ(phys->fragment.ops[0].exchange->keys,
+            (std::vector<std::string>{"l_orderkey"}));
+  EXPECT_EQ(phys->fragment.ops[1].kind, PlanOp::Kind::kJoin);
+  EXPECT_EQ(phys->fragment.ops[2].kind, PlanOp::Kind::kAggregate);
+  const JoinSpec& join = *phys->fragment.ops[1].join;
+  EXPECT_EQ(join.build_exchange.keys,
+            (std::vector<std::string>{"o_orderkey"}));
+  // Build-side pushdown: the filter moved into the build scan, and the
+  // closed Select output lets both projections be exact.
+  ASSERT_NE(join.build_scan_filter, nullptr);
+  ASSERT_EQ(join.build_ops.size(), 1u);
+  EXPECT_EQ(join.build_ops[0].kind, PlanOp::Kind::kSelect);
+  EXPECT_EQ(join.build_scan_projection,
+            (std::vector<std::string>{"o_orderkey", "o_orderpriority"}));
+  std::set<std::string> probe_proj(phys->fragment.scan_projection.begin(),
+                                   phys->fragment.scan_projection.end());
+  EXPECT_EQ(probe_proj,
+            (std::set<std::string>{"l_orderkey", "l_shipmode"}));
+  EXPECT_TRUE(phys->has_final_aggregate);
+}
+
+TEST(PlannerTest, JoinWithoutClosedBuildOutputScansEverything) {
+  // No terminal Select on the build side: post-join references cannot be
+  // attributed to a side, so both scans read all columns.
+  auto build = Query::FromParquet("s3://d/orders/*.lpq");
+  auto q = Query::FromParquet("s3://d/li/*.lpq")
+               .JoinWith(build, {"l_orderkey"}, {"o_orderkey"})
+               .Aggregate({}, {engine::Sum(Col("o_totalprice"), "s")});
+  auto phys = PlanQuery(q);
+  ASSERT_TRUE(phys.ok()) << phys.status().ToString();
+  EXPECT_TRUE(phys->fragment.scan_projection.empty());
+  const JoinSpec& join = *phys->fragment.ops[phys->fragment.JoinIndex()]
+                              .join;
+  EXPECT_TRUE(join.build_scan_projection.empty());
+}
+
+TEST(PlannerTest, JoinProvidedColumnsRespectJoinType) {
+  // A probe column may share its name with a build output ("w"). A
+  // left-semi join drops ALL build columns, so the post-join reference
+  // must read probe's own "w"; an inner join's dropped build key ("dg")
+  // likewise stays attributable to the probe scan.
+  auto build = Query::FromParquet("s3://d/dim/*.lpq")
+                   .Select({Col("dg"), Col("w")}, {"dg", "w"});
+  auto semi = PlanQuery(Query::FromParquet("s3://d/t/*.lpq")
+                            .JoinWith(build, {"g"}, {"dg"},
+                                      engine::JoinType::kLeftSemi)
+                            .Aggregate({}, {engine::Sum(Col("w"), "s")}));
+  ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+  std::set<std::string> semi_proj(semi->fragment.scan_projection.begin(),
+                                  semi->fragment.scan_projection.end());
+  EXPECT_EQ(semi_proj, (std::set<std::string>{"g", "w"}));
+
+  auto inner = PlanQuery(Query::FromParquet("s3://d/t/*.lpq")
+                             .JoinWith(build, {"g"}, {"dg"})
+                             .Aggregate({"dg"}, {engine::Sum(Col("w"),
+                                                             "s")}));
+  ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+  std::set<std::string> inner_proj(
+      inner->fragment.scan_projection.begin(),
+      inner->fragment.scan_projection.end());
+  // "w" comes from the build side (provided); the dropped build key "dg"
+  // referenced post-join must come from the probe scan.
+  EXPECT_EQ(inner_proj, (std::set<std::string>{"dg", "g"}));
+}
+
+TEST(PlannerTest, JoinRejections) {
+  auto build = Query::FromParquet("s3://d/b/*.lpq");
+  // Two joins.
+  EXPECT_FALSE(PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
+                             .JoinWith(build, {"k"}, {"k2"})
+                             .JoinWith(build, {"k"}, {"k2"}))
+                   .ok());
+  // Explicit repartition before the join.
+  EXPECT_FALSE(PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
+                             .Repartition({"k"})
+                             .JoinWith(build, {"k"}, {"k2"}))
+                   .ok());
+  // Aggregating build side.
+  EXPECT_FALSE(
+      PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
+                    .JoinWith(build.Aggregate({}, {engine::Count("n")}),
+                              {"k"}, {"k2"}))
+          .ok());
+  // Build-side Select that drops the build key.
+  EXPECT_FALSE(
+      PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
+                    .JoinWith(build.Select({Col("v")}, {"v"}), {"k"},
+                              {"k2"}))
+          .ok());
+  // Probe-side Select that drops the probe key: caught at plan time, not
+  // after the fleet is already running.
+  EXPECT_FALSE(
+      PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
+                    .Select({Col("v")}, {"v"})
+                    .JoinWith(build.Select({Col("k2")}, {"k2"}), {"k"},
+                              {"k2"}))
+          .ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -471,6 +689,7 @@ class DriverFixture : public ::testing::Test {
         expected_sum_[key] += val;
         expected_count_[key] += 1;
         total_sum_ += val;
+        if (key == 2 && val < 250.0) expected_g2_small_ += val;
       }
       TableChunk t(schema, {Column::Int64(std::move(g)),
                             Column::Float64(std::move(x))});
@@ -484,6 +703,25 @@ class DriverFixture : public ::testing::Test {
                                  Buffer::FromVector(*std::move(file)))
                       .ok());
     }
+    // One dimension file (dg, w): dg = 0..3, w = dg * 10. A single build
+    // file also exercises workers whose build scan is empty.
+    auto dim_schema = std::make_shared<Schema>(std::vector<Field>{
+        {"dg", DataType::kInt64}, {"w", DataType::kFloat64}});
+    TableChunk dim(dim_schema, {Column::Int64({0, 1, 2, 3}),
+                                Column::Float64({0, 10, 20, 30})});
+    auto dim_file =
+        format::FileWriter::WriteTable(dim, format::WriterOptions{});
+    ASSERT_TRUE(dim_file.ok());
+    ASSERT_TRUE(cloud_->s3()
+                    .PutDirect("data", "dim/part-0.lpq",
+                               Buffer::FromVector(*std::move(dim_file)))
+                    .ok());
+  }
+
+  /// The dimension table as a build-side query with a closed output set.
+  static Query DimQuery() {
+    return Query::FromParquet("s3://data/dim/*.lpq")
+        .Select({Col("dg"), Col("w")}, {"dg", "w"});
   }
 
   std::unique_ptr<cloud::Cloud> cloud_;
@@ -491,6 +729,7 @@ class DriverFixture : public ::testing::Test {
   std::map<int64_t, double> expected_sum_;
   std::map<int64_t, int64_t> expected_count_;
   double total_sum_ = 0;
+  double expected_g2_small_ = 0;
 };
 
 TEST_F(DriverFixture, GroupedAggregateAcrossWorkers) {
@@ -580,6 +819,94 @@ TEST_F(DriverFixture, SecondRunIsWarm) {
   EXPECT_LT(hot->latency_s, cold->latency_s);
   for (const auto& m : cold->worker_metrics) EXPECT_TRUE(m.cold_start);
   for (const auto& m : hot->worker_metrics) EXPECT_FALSE(m.cold_start);
+}
+
+TEST_F(DriverFixture, ExchangeToleratesFullyPrunedWorkers) {
+  // x < 250 prunes every row group on workers 1-3 (their x ranges start
+  // at 1000), so they enter the exchange schema-less; g == 2 then routes
+  // every surviving row to one worker, so at least two of them receive
+  // nothing either and must contribute an empty partial instead of
+  // failing the post-exchange Map on an unknown column.
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .Filter(Col("x") < Lit(250.0))
+               .Filter(Col("g") == Lit(2))
+               .Repartition({"g"})
+               .Map(Col("x") * Lit(2.0), "x2")
+               .Aggregate({}, {engine::Sum(Col("x2"), "s")});
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->result.num_rows(), 1u);
+  EXPECT_NEAR(report->result.column(0).f64()[0], 2.0 * expected_g2_small_,
+              1e-6);
+}
+
+TEST_F(DriverFixture, InnerJoinThroughTwoSidedExchange) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .JoinWith(DimQuery(), {"g"}, {"dg"})
+               .Aggregate({"g"}, {engine::Sum(Col("x"), "sx"),
+                                  engine::Sum(Col("w"), "sw")});
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->workers, 4);
+  const TableChunk& r = report->result;
+  ASSERT_EQ(r.num_rows(), 4u);
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    int64_t g = r.column(0).i64()[i];
+    // Every probe row matched exactly one dimension row.
+    EXPECT_NEAR(r.column(1).f64()[i], expected_sum_[g], 1e-6);
+    EXPECT_NEAR(r.column(2).f64()[i],
+                static_cast<double>(expected_count_[g] * g) * 10.0, 1e-6);
+  }
+  // Both exchanges ran on every worker.
+  int64_t rounds = 0, joined = 0;
+  for (const auto& wr : report->worker_results) {
+    rounds += wr.metrics.exchange_rounds;
+    joined += wr.metrics.rows_joined;
+  }
+  EXPECT_EQ(rounds, 4 * 2 * 2);  // 4 workers x 2 exchanges x 2 levels.
+  EXPECT_EQ(joined, 4000);
+}
+
+TEST_F(DriverFixture, LeftSemiJoinFiltersProbeRows) {
+  auto dim = Query::FromParquet("s3://data/dim/*.lpq")
+                 .Filter(Col("dg") <= Lit(1))
+                 .Select({Col("dg")}, {"dg"});
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .JoinWith(dim, {"g"}, {"dg"}, engine::JoinType::kLeftSemi)
+               .ReduceSum("x");
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->result.num_rows(), 1u);
+  EXPECT_NEAR(report->result.column(0).f64()[0],
+              expected_sum_[0] + expected_sum_[1], 1e-6);
+}
+
+TEST_F(DriverFixture, JoinWithoutAggregateCollectsRows) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .Filter(Col("x") < Lit(10.0))
+               .JoinWith(DimQuery(), {"g"}, {"dg"});
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->result.num_rows(), 10u);
+  ASSERT_EQ(report->result.num_columns(), 3u);  // g, x, w.
+  int w_idx = report->result.schema()->FieldIndex("w");
+  ASSERT_GE(w_idx, 0);
+  for (size_t i = 0; i < report->result.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        report->result.column(static_cast<size_t>(w_idx)).f64()[i],
+        static_cast<double>(report->result.column(0).i64()[i]) * 10.0);
+  }
+}
+
+TEST_F(DriverFixture, MissingBuildFilesFails) {
+  auto dim = Query::FromParquet("s3://data/nothing/*.lpq")
+                 .Select({Col("dg")}, {"dg"});
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .JoinWith(dim, {"g"}, {"dg"}, engine::JoinType::kLeftSemi)
+               .ReduceCount();
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsNotFound());
 }
 
 // ---------------------------------------------------------------------------

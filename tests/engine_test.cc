@@ -9,6 +9,7 @@
 #include "engine/aggregate.h"
 #include "engine/chunk_serde.h"
 #include "engine/expr.h"
+#include "engine/join.h"
 #include "engine/partition.h"
 #include "engine/scan.h"
 #include "engine/sort.h"
@@ -298,6 +299,151 @@ TEST(PartitionTest, InvalidArgumentsRejected) {
 // ---------------------------------------------------------------------------
 // Chunk serde
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+TableChunk ProbeChunk() {
+  // Keys 1,2,2,3,5 with a payload identifying each row.
+  return TableChunk(
+      std::make_shared<Schema>(std::vector<Field>{
+          {"pk", DataType::kInt64}, {"pv", DataType::kFloat64}}),
+      {Column::Int64({1, 2, 2, 3, 5}),
+       Column::Float64({0.1, 0.2, 0.3, 0.4, 0.5})});
+}
+
+TableChunk BuildChunk() {
+  // Key 2 appears twice (rows 1 and 3 in build order); probe key 5 has no
+  // build partner.
+  return TableChunk(
+      std::make_shared<Schema>(std::vector<Field>{
+          {"bk", DataType::kInt64}, {"bv", DataType::kInt64}}),
+      {Column::Int64({1, 2, 3, 2}), Column::Int64({100, 200, 300, 201})});
+}
+
+TEST(HashJoinTest, InnerEmitsProbeOrderThenBuildOrder) {
+  auto joined = HashJoin(ProbeChunk(), {0}, BuildChunk(), {0},
+                         JoinType::kInner);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // Output columns: pk, pv, bv (build key dropped).
+  ASSERT_EQ(joined->num_columns(), 3u);
+  EXPECT_EQ(joined->schema()->field(2).name, "bv");
+  // Probe rows in order; probe key 2 matches build rows 1 then 3.
+  EXPECT_EQ(joined->column(0).i64(),
+            (std::vector<int64_t>{1, 2, 2, 2, 2, 3}));
+  EXPECT_EQ(joined->column(2).i64(),
+            (std::vector<int64_t>{100, 200, 201, 200, 201, 300}));
+}
+
+TEST(HashJoinTest, LeftSemiKeepsProbeColumnsOnce) {
+  auto joined = HashJoin(ProbeChunk(), {0}, BuildChunk(), {0},
+                         JoinType::kLeftSemi);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  ASSERT_EQ(joined->num_columns(), 2u);  // Probe columns only.
+  // Probe keys 1, 2, 2, 3 match (each probe row at most once); 5 does not.
+  EXPECT_EQ(joined->column(0).i64(), (std::vector<int64_t>{1, 2, 2, 3}));
+  EXPECT_EQ(joined->column(1).f64(),
+            (std::vector<double>{0.1, 0.2, 0.3, 0.4}));
+}
+
+TEST(HashJoinTest, MultiColumnKeysAndNoMatches) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  TableChunk probe(schema, {Column::Int64({1, 1, 2}),
+                            Column::Int64({10, 11, 10})});
+  TableChunk build(
+      std::make_shared<Schema>(std::vector<Field>{
+          {"c", DataType::kInt64}, {"d", DataType::kInt64},
+          {"tag", DataType::kInt64}}),
+      {Column::Int64({1, 2}), Column::Int64({10, 99}),
+       Column::Int64({7, 8})});
+  auto joined = HashJoin(probe, {0, 1}, build, {0, 1}, JoinType::kInner);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // Only (1,10) matches; (1,11) and (2,10) share one key half each.
+  ASSERT_EQ(joined->num_rows(), 1u);
+  EXPECT_EQ(joined->column(0).i64()[0], 1);
+  EXPECT_EQ(joined->column(2).i64()[0], 7);
+}
+
+TEST(HashJoinTest, EmptySidesProduceEmptyOutput) {
+  TableChunk empty_probe = TableChunk::Empty(ProbeChunk().schema());
+  auto a = HashJoin(empty_probe, {0}, BuildChunk(), {0}, JoinType::kInner);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_rows(), 0u);
+  EXPECT_EQ(a->num_columns(), 3u);  // Schema still complete.
+  TableChunk empty_build = TableChunk::Empty(BuildChunk().schema());
+  auto b = HashJoin(ProbeChunk(), {0}, empty_build, {0}, JoinType::kInner);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_rows(), 0u);
+}
+
+TEST(HashJoinTest, RejectsBadKeysAndDuplicateNames) {
+  // Float key.
+  EXPECT_FALSE(HashJoin(ProbeChunk(), {1}, BuildChunk(), {0},
+                        JoinType::kInner)
+                   .ok());
+  // Mismatched key list lengths / empty keys.
+  EXPECT_FALSE(HashJoin(ProbeChunk(), {0}, BuildChunk(), {0, 1},
+                        JoinType::kInner)
+                   .ok());
+  EXPECT_FALSE(HashJoin(ProbeChunk(), {}, BuildChunk(), {},
+                        JoinType::kInner)
+                   .ok());
+  // Key index out of range.
+  EXPECT_FALSE(HashJoin(ProbeChunk(), {5}, BuildChunk(), {0},
+                        JoinType::kInner)
+                   .ok());
+  // Duplicate output name: build payload column named like a probe column.
+  TableChunk clash(
+      std::make_shared<Schema>(std::vector<Field>{
+          {"bk", DataType::kInt64}, {"pv", DataType::kFloat64}}),
+      {Column::Int64({1}), Column::Float64({9.0})});
+  EXPECT_FALSE(
+      HashJoin(ProbeChunk(), {0}, clash, {0}, JoinType::kInner).ok());
+  // The semi join drops build columns, so the same clash is fine there.
+  EXPECT_TRUE(
+      HashJoin(ProbeChunk(), {0}, clash, {0}, JoinType::kLeftSemi).ok());
+}
+
+TEST(HashJoinTest, ParallelEqualsSequentialByteForByte) {
+  // Large skewed input: many duplicate keys so morsels emit variable
+  // match counts — the hard case for deterministic scatter windows.
+  Rng rng(11);
+  const size_t n_probe = 50000, n_build = 8000;
+  std::vector<int64_t> pk(n_probe), pv(n_probe);
+  for (size_t i = 0; i < n_probe; ++i) {
+    pk[i] = rng.UniformInt(0, 4000);
+    pv[i] = static_cast<int64_t>(i);
+  }
+  std::vector<int64_t> bk(n_build);
+  std::vector<double> bv(n_build);
+  for (size_t i = 0; i < n_build; ++i) {
+    bk[i] = rng.UniformInt(0, 4000);
+    bv[i] = rng.NextDouble();
+  }
+  TableChunk probe(std::make_shared<Schema>(std::vector<Field>{
+                       {"k", DataType::kInt64}, {"pv", DataType::kInt64}}),
+                   {Column::Int64(std::move(pk)),
+                    Column::Int64(std::move(pv))});
+  TableChunk build(std::make_shared<Schema>(std::vector<Field>{
+                       {"k2", DataType::kInt64},
+                       {"bv", DataType::kFloat64}}),
+                   {Column::Int64(std::move(bk)),
+                    Column::Float64(std::move(bv))});
+  for (JoinType type : {JoinType::kInner, JoinType::kLeftSemi}) {
+    auto serial = HashJoin(probe, {0}, build, {0}, type);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_GT(serial->num_rows(), 0u);
+    for (int threads : {2, 8}) {
+      auto parallel = HashJoin(probe, {0}, build, {0}, type,
+                               exec::ExecContext::Parallel(threads, 1024));
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(SerializeChunk(*serial), SerializeChunk(*parallel))
+          << JoinTypeName(type) << " at " << threads << " threads";
+    }
+  }
+}
 
 TEST(ChunkSerdeTest, RoundTrip) {
   TableChunk t = SampleChunk();

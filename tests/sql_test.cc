@@ -127,5 +127,106 @@ TEST(SqlTest, Errors) {
       ParseSql("SELECT COUNT(*) FROM 's3://d/*' WHERE d < DATE 'oops'").ok());
 }
 
+// ---------------------------------------------------------------------------
+// JOIN ... ON
+// ---------------------------------------------------------------------------
+
+TEST(SqlJoinTest, InnerJoinParsesToJoinOp) {
+  auto q = ParseSql(
+      "SELECT l_shipmode, COUNT(*) AS n "
+      "FROM 's3://tpch/li/*.lpq' "
+      "JOIN 's3://tpch/orders/*.lpq' ON l_orderkey = o_orderkey "
+      "WHERE o_orderpriority <= 1 "
+      "GROUP BY l_shipmode");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ops().size(), 3u);  // join, filter (WHERE), aggregate.
+  const auto& jop = q->ops()[0];
+  ASSERT_EQ(jop.kind, PlanOp::Kind::kJoin);
+  EXPECT_EQ(jop.join->type, engine::JoinType::kInner);
+  EXPECT_EQ(jop.join->probe_keys, (std::vector<std::string>{"l_orderkey"}));
+  EXPECT_EQ(jop.join->build_keys, (std::vector<std::string>{"o_orderkey"}));
+  EXPECT_EQ(jop.join->build_pattern, "s3://tpch/orders/*.lpq");
+  EXPECT_TRUE(jop.join->build_ops.empty());
+  EXPECT_EQ(q->ops()[1].kind, PlanOp::Kind::kFilter);
+  // And the whole thing plans as a two-sided exchange fragment.
+  auto phys = PlanQuery(*q);
+  ASSERT_TRUE(phys.ok()) << phys.status().ToString();
+  EXPECT_EQ(phys->build_pattern, "s3://tpch/orders/*.lpq");
+  EXPECT_GE(phys->fragment.JoinIndex(), 1);
+}
+
+TEST(SqlJoinTest, SemiJoinVariants) {
+  for (const char* prefix : {"SEMI JOIN", "LEFT SEMI JOIN"}) {
+    auto q = ParseSql(std::string("SELECT COUNT(*) FROM 's3://d/a/*' ") +
+                      prefix + " 's3://d/b/*' ON k = k2");
+    ASSERT_TRUE(q.ok()) << prefix << ": " << q.status().ToString();
+    ASSERT_EQ(q->ops()[0].kind, PlanOp::Kind::kJoin);
+    EXPECT_EQ(q->ops()[0].join->type, engine::JoinType::kLeftSemi);
+  }
+}
+
+TEST(SqlJoinTest, MultiKeyOnConjunction) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM 's3://d/a/*' JOIN 's3://d/b/*' "
+      "ON k = k2 AND j = j2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->ops()[0].join->probe_keys,
+            (std::vector<std::string>{"k", "j"}));
+  EXPECT_EQ(q->ops()[0].join->build_keys,
+            (std::vector<std::string>{"k2", "j2"}));
+}
+
+TEST(SqlJoinTest, BuildKeyReferencesRewriteToProbeKey) {
+  // The join output drops o_orderkey (build key), so references to it in
+  // WHERE / SELECT / GROUP BY must resolve to l_orderkey instead.
+  auto q = ParseSql(
+      "SELECT o_orderkey, COUNT(*) AS n FROM 's3://d/li/*' "
+      "JOIN 's3://d/orders/*' ON l_orderkey = o_orderkey "
+      "WHERE o_orderkey > 100 GROUP BY o_orderkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ops().size(), 3u);  // join, filter, aggregate.
+  const auto& filter = q->ops()[1];
+  ASSERT_EQ(filter.kind, PlanOp::Kind::kFilter);
+  EXPECT_NE(filter.expr->ToString().find("l_orderkey"), std::string::npos);
+  EXPECT_EQ(filter.expr->ToString().find("o_orderkey"), std::string::npos);
+  EXPECT_EQ(q->ops().back().group_by,
+            (std::vector<std::string>{"l_orderkey"}));
+  ASSERT_TRUE(PlanQuery(*q).ok());
+}
+
+TEST(SqlJoinTest, MalformedJoinRejected) {
+  // Missing build pattern.
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM 's3://d/a/*' JOIN ON k = k2").ok());
+  // Unquoted build pattern.
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM 's3://d/a/*' JOIN tbl ON k = k2").ok());
+  // Missing ON clause.
+  EXPECT_FALSE(ParseSql("SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*'").ok());
+  // ON with a non-equality comparison.
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k < k2")
+          .ok());
+  // ON with a literal operand.
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k = 5")
+          .ok());
+  // Trailing AND.
+  EXPECT_FALSE(
+      ParseSql(
+          "SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k = k2 AND")
+          .ok());
+  // LEFT without SEMI JOIN.
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM 's3://d/a/*' LEFT JOIN 's3://d/b/*' "
+               "ON k = k2")
+          .ok());
+  // A second JOIN clause is trailing junk.
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k = k2 "
+               "JOIN 's3://d/c/*' ON j = j2")
+          .ok());
+}
+
 }  // namespace
 }  // namespace lambada::core

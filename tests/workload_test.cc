@@ -2,9 +2,13 @@
 
 #include "test_util.h"
 
+#include <cmath>
+#include <optional>
+
 #include "cloud/cloud.h"
 #include "common/units.h"
 #include "core/driver.h"
+#include "engine/chunk_serde.h"
 #include "workload/tpch.h"
 
 namespace lambada::workload {
@@ -184,6 +188,147 @@ TEST_F(TpchQueryFixture, Q6CheaperAndLighterThanQ1) {
   ASSERT_TRUE(q6.ok());
   // Q6 reads fewer bytes (pruning + fewer columns).
   EXPECT_LT(q6->cost.s3_bytes_read, q1->cost.s3_bytes_read);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed joins: Q12 (orders) and Q14 (part)
+// ---------------------------------------------------------------------------
+
+TEST(TpchGenJoinTest, OrdersAndPartCoverTheLineitemKeys) {
+  TableChunk li = GenerateLineitem(20000, 7);
+  int64_t max_order = MaxOrderKey(li);
+  EXPECT_GT(max_order, 0);
+  TableChunk orders = GenerateOrders(max_order, 9);
+  EXPECT_EQ(orders.num_rows(), static_cast<size_t>(max_order));
+  EXPECT_EQ(orders.num_columns(), 9u);
+  // o_orderkey is dense 1..N, so every l_orderkey has its order.
+  EXPECT_EQ(orders.column(0).i64().front(), 1);
+  EXPECT_EQ(orders.column(0).i64().back(), max_order);
+  TableChunk part = GeneratePart(kPartCount, 9);
+  EXPECT_EQ(part.num_rows(), static_cast<size_t>(kPartCount));
+  const auto& types = part.column(4).i64();
+  int64_t promo = 0;
+  for (int64_t t : types) {
+    ASSERT_GE(t, 0);
+    ASSERT_LE(t, 149);
+    if (t < kPromoTypeCutoff) ++promo;
+  }
+  // ~1/6 of types are promotional, as in TPC-H.
+  double frac = static_cast<double>(promo) / static_cast<double>(kPartCount);
+  EXPECT_GT(frac, 0.13);
+  EXPECT_LT(frac, 0.21);
+}
+
+/// Runs Q12 or Q14 through the simulated fleet with the given worker-local
+/// kernel thread count. A fresh cloud per run keeps the virtual-time
+/// schedule identical across thread counts — the runtime must not leak
+/// into results, so the reports must be byte-identical.
+class TpchJoinFixture : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 24000;
+  static constexpr uint64_t kSeed = 77;
+
+  void SetUp() override {
+    reference_lineitem_ = GenerateLineitem(kRows, kSeed);
+    orders_rows_ = MaxOrderKey(reference_lineitem_);
+    reference_orders_ = GenerateOrders(orders_rows_, 123);
+    reference_part_ = GeneratePart(kPartCount, 321);
+  }
+
+  TableChunk RunFleet(int query, int threads) {
+    cloud::Cloud cloud;
+    core::DriverOptions dopts;
+    if (threads > 1) {
+      dopts.worker_exec = exec::ExecContext::Parallel(threads, 4096);
+    }
+    core::Driver driver(&cloud, dopts);
+    LAMBADA_CHECK_OK(driver.Install());
+    LoadOptions li;
+    li.num_rows = kRows;
+    li.num_files = 8;
+    li.row_groups_per_file = 4;
+    li.seed = kSeed;
+    LAMBADA_CHECK_OK(LoadLineitem(&cloud.s3(), "tpch", "li/", li));
+    std::optional<core::Query> q;
+    if (query == 12) {
+      LoadOptions oo;
+      oo.num_rows = orders_rows_;
+      oo.num_files = 4;
+      oo.seed = 123;
+      LAMBADA_CHECK_OK(LoadOrders(&cloud.s3(), "tpch", "orders/", oo));
+      q = TpchQ12("s3://tpch/li/*.lpq", "s3://tpch/orders/*.lpq");
+    } else {
+      LoadOptions po;
+      po.num_rows = kPartCount;
+      po.num_files = 4;
+      po.seed = 321;
+      LAMBADA_CHECK_OK(LoadPart(&cloud.s3(), "tpch", "part/", po));
+      q = TpchQ14("s3://tpch/li/*.lpq", "s3://tpch/part/*.lpq");
+    }
+    auto report = driver.RunToCompletion(*q, core::RunOptions{});
+    LAMBADA_CHECK(report.ok()) << report.status().ToString();
+    LAMBADA_CHECK_EQ(report->workers, 8);
+    return std::move(report->result);
+  }
+
+  TableChunk reference_lineitem_;
+  TableChunk reference_orders_;
+  TableChunk reference_part_;
+  int64_t orders_rows_ = 0;
+};
+
+TEST_F(TpchJoinFixture, Q12MatchesReferenceAtEveryThreadCount) {
+  TableChunk expected =
+      ReferenceQ12(reference_lineitem_, reference_orders_);
+  ASSERT_EQ(expected.num_rows(), 2u);  // MAIL and SHIP.
+  TableChunk base = RunFleet(12, 1);
+  ASSERT_EQ(base.num_rows(), expected.num_rows());
+  ASSERT_EQ(base.num_columns(), 3u);
+  // High/low line counts are integral sums of 0/1 — exact in float64, so
+  // the fleet must match the single-process reference exactly.
+  for (size_t e = 0; e < expected.num_rows(); ++e) {
+    int64_t mode = expected.column(0).i64()[e];
+    bool found = false;
+    for (size_t r = 0; r < base.num_rows(); ++r) {
+      if (base.column(0).i64()[r] != mode) continue;
+      found = true;
+      EXPECT_EQ(base.column(1).f64()[r], expected.column(1).f64()[e])
+          << "high_line_count for mode " << mode;
+      EXPECT_EQ(base.column(2).f64()[r], expected.column(2).f64()[e])
+          << "low_line_count for mode " << mode;
+    }
+    EXPECT_TRUE(found) << "mode " << mode << " missing";
+  }
+  // The morsel runtime must not leak into results: byte-identical at
+  // every worker thread count.
+  auto base_bytes = engine::SerializeChunk(base);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(engine::SerializeChunk(RunFleet(12, threads)), base_bytes)
+        << threads << " threads";
+  }
+}
+
+TEST_F(TpchJoinFixture, Q14MatchesReferenceAtEveryThreadCount) {
+  Q14Result expected = ReferenceQ14(reference_lineitem_, reference_part_);
+  ASSERT_GT(expected.total_revenue, 0);
+  TableChunk base = RunFleet(14, 1);
+  ASSERT_EQ(base.num_rows(), 1u);
+  ASSERT_EQ(base.num_columns(), 2u);
+  double promo = base.column(0).f64()[0];
+  double total = base.column(1).f64()[0];
+  EXPECT_NEAR(promo, expected.promo_revenue,
+              std::abs(expected.promo_revenue) * 1e-9 + 1e-9);
+  EXPECT_NEAR(total, expected.total_revenue,
+              std::abs(expected.total_revenue) * 1e-9 + 1e-9);
+  // ~1/6 of parts are promotional.
+  double pct = 100.0 * promo / total;
+  EXPECT_GT(pct, 8.0);
+  EXPECT_LT(pct, 25.0);
+  auto base_bytes = engine::SerializeChunk(base);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(engine::SerializeChunk(RunFleet(14, threads)), base_bytes)
+        << threads << " threads";
+  }
 }
 
 }  // namespace
