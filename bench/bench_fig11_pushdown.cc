@@ -17,6 +17,8 @@ namespace {
 struct Distribution {
   std::vector<double> processing_s;  // Sorted ascending.
   int64_t pruned = 0, total = 0;
+  int64_t bytes_moved = 0;  // Post-encoding scan bytes across the fleet.
+  int64_t rows_dict_filtered = 0;
 };
 
 Distribution RunQuery(core::Driver& driver, const core::Query& q) {
@@ -30,6 +32,8 @@ Distribution RunQuery(core::Driver& driver, const core::Query& q) {
     d.processing_s.push_back(wr.metrics.processing_time_s);
     d.pruned += wr.metrics.row_groups_pruned;
     d.total += wr.metrics.row_groups_total;
+    d.bytes_moved += wr.metrics.scan_bytes_moved;
+    d.rows_dict_filtered += wr.metrics.rows_dict_filtered;
   }
   std::sort(d.processing_s.begin(), d.processing_s.end());
   return d;
@@ -40,6 +44,10 @@ void Describe(const char* name, const Distribution& d) {
   Notef("%s: %zu workers, %lld/%lld row groups pruned (%.0f%%)", name,
         d.processing_s.size(), static_cast<long long>(d.pruned),
         static_cast<long long>(d.total), 100.0 * d.pruned / d.total);
+  Notef("scan bytes moved (post-encoding): %.2f MiB across the fleet; "
+        "%lld rows dict-filtered pre-materialization",
+        static_cast<double>(d.bytes_moved) / kMiB,
+        static_cast<long long>(d.rows_dict_filtered));
   Table t({"percentile", "processing time [s]"},
           Table::kDefaultWidth + 6, std::string(name));
   for (double p : {0.0, 0.05, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {

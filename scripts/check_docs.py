@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Keeps the docs from rotting. Two checks, run in CI:
+"""Keeps the docs from rotting. Three checks, run in CI:
 
 1. Every bench binary (bench/bench_*.cc) must appear in the README's
    figure tables, so new figures cannot land undocumented.
 2. Every intra-repo markdown link ([text](path), non-http, non-anchor)
    in the repo's markdown files must resolve to an existing file or
    directory.
+3. docs/FORMAT.md's encoding-tag table must match the Encoding enum in
+   src/format/encoding.h exactly (same names, same values), so the
+   on-disk spec cannot silently drift from the code.
 
 Exit code: 0 when clean, 1 with one line per violation otherwise.
 
@@ -73,17 +76,70 @@ def check_links(root, errors):
                 errors.append(f"{rel_md}: broken link -> {target}")
 
 
+# `kName = N,` entries inside the `enum class Encoding` block.
+ENUM_ENTRY_RE = re.compile(r"^\s*(k\w+)\s*=\s*(\d+)\s*,", re.MULTILINE)
+# FORMAT.md encoding-table rows: `| 0   | `kPlain` | ... |`.
+DOC_TAG_ROW_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*`(k\w+)`", re.MULTILINE)
+
+
+def check_encoding_tags(root, errors):
+    header_path = os.path.join(root, "src", "format", "encoding.h")
+    doc_path = os.path.join(root, "docs", "FORMAT.md")
+    try:
+        with open(header_path, encoding="utf-8") as f:
+            header = f.read()
+        with open(doc_path, encoding="utf-8") as f:
+            doc = f.read()
+    except OSError as e:
+        errors.append(f"encoding tag check: unreadable input ({e})")
+        return
+    enum_match = re.search(r"enum class Encoding[^{]*\{(.*?)\};", header,
+                           re.DOTALL)
+    if not enum_match:
+        errors.append("src/format/encoding.h: Encoding enum not found")
+        return
+    enum_tags = {name: int(value)
+                 for name, value in ENUM_ENTRY_RE.findall(enum_match.group(1))}
+    if not enum_tags:
+        errors.append("src/format/encoding.h: Encoding enum has no entries")
+        return
+    # The doc's value-encoding table lists `| value | `kName` |` rows; codec
+    # rows reuse names like `kRle`, so compare (value, name) pairs from the
+    # section between the "Value encodings" and "Compression" headings.
+    section = doc.split("## Value encodings", 1)
+    section = section[1].split("## Compression", 1)[0] if len(section) == 2 \
+        else ""
+    doc_tags = {name: int(value)
+                for value, name in DOC_TAG_ROW_RE.findall(section)}
+    for name, value in sorted(enum_tags.items(), key=lambda kv: kv[1]):
+        if name not in doc_tags:
+            errors.append(
+                f"docs/FORMAT.md: encoding tag {name} (= {value}) missing "
+                f"from the value-encodings table")
+        elif doc_tags[name] != value:
+            errors.append(
+                f"docs/FORMAT.md: encoding tag {name} documented as "
+                f"{doc_tags[name]} but the enum says {value}")
+    for name in sorted(doc_tags):
+        if name not in enum_tags:
+            errors.append(
+                f"docs/FORMAT.md: encoding tag {name} documented but not in "
+                f"src/format/encoding.h")
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.abspath(
         os.path.join(os.path.dirname(__file__), os.pardir))
     errors = []
     check_bench_rows(root, errors)
     check_links(root, errors)
+    check_encoding_tags(root, errors)
     for e in errors:
         print(f"check_docs: {e}", file=sys.stderr)
     if errors:
         return 1
-    print("check_docs: README bench rows and markdown links are clean")
+    print("check_docs: README bench rows, markdown links, and encoding "
+          "tags are clean")
     return 0
 
 

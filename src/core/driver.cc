@@ -1,9 +1,10 @@
 #include "core/driver.h"
 
 #include <algorithm>
-#include <set>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <set>
 
 #include "common/glob.h"
 #include "core/exchange.h"
@@ -147,9 +148,11 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
       co_await client.List(bucket, GlobLiteralPrefix(key_pattern));
   if (!listing.ok()) co_return listing.status();
   std::vector<engine::FileRef> files;
+  std::map<std::string, int64_t> file_sizes;  // Virtual (scaled) bytes.
   for (const auto& obj : *listing) {
     if (GlobMatch(key_pattern, obj.key)) {
       files.push_back(engine::FileRef{bucket, obj.key});
+      file_sizes[obj.key] = obj.size;
     }
   }
   if (files.empty()) {
@@ -224,6 +227,20 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
         workers = adjusted;
       }
     }
+  }
+
+  // ---- Resolve adaptive scan tuning from table stats (Figure 7). ----
+  // The listing gave the post-encoding (compressed) size of every input
+  // file; together with the worker count that yields the bytes one worker
+  // actually moves, which picks the request size balancing bandwidth
+  // saturation against request count. The probe relation dominates a
+  // join's scan traffic, so its files drive the choice for both sides.
+  if (physical->fragment.tuning.chunk_bytes <= 0) {
+    int64_t scan_bytes = 0;
+    for (const auto& f : files) scan_bytes += file_sizes[f.key];
+    physical->fragment.tuning.chunk_bytes = AdaptiveChunkBytes(
+        scan_bytes / std::max(1, workers),
+        physical->fragment.tuning.connections_per_read);
   }
 
   // ---- Upload the plan once; payloads carry the pointer. ----

@@ -359,16 +359,21 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       } else {
         key = prefix + "s" + std::to_string(my_j) + "-data";
       }
+      const int64_t combined_bytes =
+          static_cast<int64_t>(combined.bytes.size());
       Status put = co_await client.Put(
           bucket, key, Buffer::FromVector(std::move(combined.bytes)));
       if (!put.ok()) co_return put;
       ++m.put_requests;
+      m.bytes_written += combined_bytes;
       if (!spec.offsets_in_name) {
         BinaryWriter w;
         for (uint64_t off : combined.offsets) w.PutU64(off);
+        auto idx_bytes = w.Take();
+        m.bytes_written += static_cast<int64_t>(idx_bytes.size());
         Status idx = co_await client.Put(
             bucket, prefix + "s" + std::to_string(my_j) + "-idx",
-            Buffer::FromVector(w.Take()));
+            Buffer::FromVector(std::move(idx_bytes)));
         if (!idx.ok()) co_return idx;
         ++m.put_requests;
       }
@@ -389,12 +394,14 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
               engine::SerializeChunk(parts[static_cast<size_t>(j)], xc);
           co_await env.Compute(static_cast<double>(blob.size()) *
                                kSerializeCpuPerByte * scale);
+          const int64_t blob_bytes = static_cast<int64_t>(blob.size());
           Status put = co_await client.Put(
               bucket,
               prefix + "s" + std::to_string(my_j) + "r" + std::to_string(j),
               Buffer::FromVector(std::move(blob)));
           if (put.ok()) {
             ++m.put_requests;
+            m.bytes_written += blob_bytes;
           } else {
             put_failed = true;
           }
@@ -454,7 +461,10 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         auto part = co_await client.Get(bucket, keys_found[i],
                                         static_cast<int64_t>(begin),
                                         static_cast<int64_t>(end - begin));
-        if (part.ok()) ++m.get_requests;
+        if (part.ok()) {
+          ++m.get_requests;
+          m.bytes_read += static_cast<int64_t>(end - begin);
+        }
         co_return part;
       };
       auto slices = co_await read_slices(senders.size(), fetch);
@@ -470,6 +480,7 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
             spec.poll_interval_s, spec.timeout_s);
         if (!idx.ok()) co_return idx.status();
         ++m.get_requests;
+        m.bytes_read += static_cast<int64_t>((*idx)->size());
         BinaryReader r((*idx)->data(), (*idx)->size());
         std::vector<uint64_t> offsets;
         for (int k = 0; k <= side; ++k) {
@@ -483,7 +494,10 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         auto part = co_await client.Get(
             bucket, prefix + "s" + std::to_string(j) + "-data",
             static_cast<int64_t>(begin), static_cast<int64_t>(end - begin));
-        if (part.ok()) ++m.get_requests;
+        if (part.ok()) {
+          ++m.get_requests;
+          m.bytes_read += static_cast<int64_t>(end - begin);
+        }
         co_return part;
       };
       auto slices = co_await read_slices(static_cast<size_t>(side), fetch);
@@ -497,7 +511,12 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
             bucket,
             prefix + "s" + std::to_string(i) + "r" + std::to_string(my_j),
             spec.poll_interval_s, spec.timeout_s);
-        if (part.ok()) ++m.get_requests;
+        if (part.ok()) {
+          ++m.get_requests;
+          if (*part != nullptr) {
+            m.bytes_read += static_cast<int64_t>((*part)->size());
+          }
+        }
         co_return part;
       };
       auto slices = co_await read_slices(static_cast<size_t>(side), fetch);

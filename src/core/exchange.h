@@ -25,6 +25,10 @@ struct ExchangeMetrics {
   int64_t put_requests = 0;
   int64_t get_requests = 0;
   int64_t list_requests = 0;
+  /// Serialized partition bytes this worker uploaded / downloaded across
+  /// all rounds — the exchange's share of the query's bytes moved.
+  int64_t bytes_written = 0;
+  int64_t bytes_read = 0;
 };
 
 /// Decomposes P into `levels` near-equal factors whose product is exactly

@@ -90,6 +90,10 @@ void WorkerResultMetrics::Serialize(BinaryWriter* w) const {
   w->PutI64(exchange_put_requests);
   w->PutI64(exchange_get_requests);
   w->PutI64(exchange_list_requests);
+  w->PutI64(scan_bytes_moved);
+  w->PutI64(rows_dict_filtered);
+  w->PutI64(exchange_bytes_written);
+  w->PutI64(exchange_bytes_read);
 }
 
 Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
@@ -105,6 +109,10 @@ Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
   ASSIGN_OR_RETURN(m.exchange_put_requests, r->GetI64());
   ASSIGN_OR_RETURN(m.exchange_get_requests, r->GetI64());
   ASSIGN_OR_RETURN(m.exchange_list_requests, r->GetI64());
+  ASSIGN_OR_RETURN(m.scan_bytes_moved, r->GetI64());
+  ASSIGN_OR_RETURN(m.rows_dict_filtered, r->GetI64());
+  ASSIGN_OR_RETURN(m.exchange_bytes_written, r->GetI64());
+  ASSIGN_OR_RETURN(m.exchange_bytes_read, r->GetI64());
   return m;
 }
 

@@ -70,6 +70,16 @@ struct WorkerResultMetrics {
   int64_t exchange_put_requests = 0;
   int64_t exchange_get_requests = 0;
   int64_t exchange_list_requests = 0;
+  /// Modeled bytes this worker moved (virtual scaling applied, so the
+  /// numbers are in the same units as the latencies and costs beside
+  /// them): post-encoding bytes fetched by its scans (footers + coalesced
+  /// column-chunk extents) and serialized partition bytes through its
+  /// exchanges. These are the quantities the encoding/chunk-size work
+  /// optimizes, reported so BENCH figures can show them directly.
+  int64_t scan_bytes_moved = 0;
+  int64_t rows_dict_filtered = 0;  ///< Rows dropped on dictionary codes.
+  int64_t exchange_bytes_written = 0;
+  int64_t exchange_bytes_read = 0;
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerResultMetrics> Deserialize(BinaryReader* r);

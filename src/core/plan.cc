@@ -216,6 +216,7 @@ void ScanTuning::Serialize(BinaryWriter* w) const {
   w->PutU64(static_cast<uint64_t>(chunk_bytes));
   w->PutU32(static_cast<uint32_t>(connections_per_read));
   w->PutU8(prefetch_metadata ? 1 : 0);
+  w->PutU64(static_cast<uint64_t>(coalesce_gap_bytes));
 }
 
 Result<ScanTuning> ScanTuning::Deserialize(BinaryReader* r) {
@@ -230,6 +231,8 @@ Result<ScanTuning> ScanTuning::Deserialize(BinaryReader* r) {
   t.connections_per_read = static_cast<int>(conns);
   ASSIGN_OR_RETURN(uint8_t pf, r->GetU8());
   t.prefetch_metadata = pf != 0;
+  ASSIGN_OR_RETURN(uint64_t gap, r->GetU64());
+  t.coalesce_gap_bytes = static_cast<int64_t>(gap);
   return t;
 }
 

@@ -72,9 +72,18 @@ struct ExchangeSpec {
 struct ScanTuning {
   int row_group_parallelism = 2;
   int column_fetch_parallelism = 4;
-  int64_t chunk_bytes = 8 * 1024 * 1024;
+  /// Request ("chunk") size for splitting large reads. <= 0 means
+  /// adaptive: the driver resolves it from the table's post-encoding
+  /// bytes per worker and the connection count (AdaptiveChunkBytes,
+  /// reproducing the Figure 7 tradeoff) before the plan is uploaded, so
+  /// workers always deserialize a concrete positive value.
+  int64_t chunk_bytes = 0;
   int connections_per_read = 1;
   bool prefetch_metadata = true;
+  /// Row-group IO coalescing budget: a projected column chunk shares the
+  /// preceding ranged read when that grows the read by at most this many
+  /// bytes (see format::ReaderOptions). 0 disables.
+  int64_t coalesce_gap_bytes = 1024 * 1024;
 
   void Serialize(BinaryWriter* w) const;
   static Result<ScanTuning> Deserialize(BinaryReader* r);

@@ -45,6 +45,20 @@ struct PhysicalQuery {
 Result<PhysicalQuery> PlanQuery(const Query& query,
                                 const ScanTuning& tuning = ScanTuning());
 
+/// Resolves an adaptive chunk ("request") size from table statistics — the
+/// Figure 7 tradeoff made into a rule. With one connection the request
+/// latency is serial with the transfer, so chunks must reach ~16 MiB to
+/// approach peak S3 bandwidth; k connections pipeline their first-byte
+/// latencies and divide that requirement by k. Against that, requests
+/// cost money and a worker scanning few post-encoding bytes gains nothing
+/// from giant chunks, so the chunk also shrinks toward 1/8 of the bytes
+/// one worker actually moves (keeping ~8 requests in flight to overlap
+/// download with decompression), floored at 1 MiB where the request cost
+/// line of Figure 7 starts to dominate the worker cost.
+/// `scan_bytes_per_worker` <= 0 (unknown stats) yields the bandwidth-
+/// saturating choice for the connection count.
+int64_t AdaptiveChunkBytes(int64_t scan_bytes_per_worker, int connections);
+
 }  // namespace lambada::core
 
 #endif  // LAMBADA_CORE_PLANNER_H_

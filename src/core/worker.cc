@@ -80,6 +80,7 @@ engine::ScanOptions MakeScanOptions(const ScanTuning& tuning,
   scan_options.source.chunk_bytes = tuning.chunk_bytes;
   scan_options.source.connections = tuning.connections_per_read;
   scan_options.prefetch_metadata = tuning.prefetch_metadata;
+  scan_options.coalesce_gap_bytes = tuning.coalesce_gap_bytes;
   return scan_options;
 }
 
@@ -115,6 +116,8 @@ sim::Async<Result<TableChunk>> RunScanPipeline(
   metrics->rows_emitted += scan_stats->rows_emitted;
   metrics->row_groups_total += scan_stats->row_groups_total;
   metrics->row_groups_pruned += scan_stats->row_groups_pruned;
+  metrics->scan_bytes_moved += scan_stats->bytes_moved;
+  metrics->rows_dict_filtered += scan_stats->rows_dict_filtered;
   co_await env.Compute(static_cast<double>(scan_stats->rows_emitted) *
                        kRowOpCpuPerRow *
                        static_cast<double>(ops_end - ops_begin) *
@@ -126,12 +129,18 @@ sim::Async<Result<TableChunk>> RunScanPipeline(
 }
 
 /// Accumulates one exchange run's traffic into the worker metrics.
+/// `data_scale` converts the exchange's real partition bytes into modeled
+/// bytes (virtually-scaled experiments shuffle scale x the real rows).
 void AddExchangeMetrics(WorkerResultMetrics* metrics,
-                        const ExchangeMetrics& xm) {
+                        const ExchangeMetrics& xm, double data_scale) {
   metrics->exchange_rounds += static_cast<int64_t>(xm.rounds.size());
   metrics->exchange_put_requests += xm.put_requests;
   metrics->exchange_get_requests += xm.get_requests;
   metrics->exchange_list_requests += xm.list_requests;
+  metrics->exchange_bytes_written += static_cast<int64_t>(
+      static_cast<double>(xm.bytes_written) * data_scale);
+  metrics->exchange_bytes_read += static_cast<int64_t>(
+      static_cast<double>(xm.bytes_read) * data_scale);
 }
 
 /// Runs the tail of a fragment after its last pipeline breaker (exchange
@@ -197,7 +206,7 @@ sim::Async<Result<TableChunk>> ExecuteJoinFragment(
       -> sim::Async<Result<TableChunk>> {
     ExchangeMetrics xm;
     auto out = co_await RunExchange(env, spec, p, P, std::move(in), &xm);
-    AddExchangeMetrics(metrics, xm);
+    AddExchangeMetrics(metrics, xm, env.data_scale);
     co_return out;
   };
 
@@ -347,6 +356,8 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
   metrics->rows_emitted = scan_stats->rows_emitted;
   metrics->row_groups_total = scan_stats->row_groups_total;
   metrics->row_groups_pruned = scan_stats->row_groups_pruned;
+  metrics->scan_bytes_moved = scan_stats->bytes_moved;
+  metrics->rows_dict_filtered = scan_stats->rows_dict_filtered;
   // Post-scan pipeline CPU (row ops + aggregation).
   double pipeline_rows = static_cast<double>(scan_stats->rows_emitted);
   double pipeline_cpu =
@@ -375,7 +386,7 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
       env, *ex_op.exchange, static_cast<int>(payload.self.worker_id),
       static_cast<int>(payload.total_workers), *std::move(stage1_out), &xm);
   if (!exchanged.ok()) co_return exchanged.status();
-  AddExchangeMetrics(metrics, xm);
+  AddExchangeMetrics(metrics, xm, env.data_scale);
   env.RecordPhase("exchange", ex_start);
 
   co_return co_await RunPostOps(env, fragment,

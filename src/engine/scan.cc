@@ -66,17 +66,37 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     auto scale = services.s3->Scale(files[i].bucket, files[i].key);
     (*states)[i].scale = scale.ok() ? *scale : 1.0;
     cloud::S3Client client(services.s3, env.net());
+    // chunk_bytes is a MODELED request size (the planner derives it from
+    // virtual byte counts), but S3Source splits real ranges — so descale
+    // it per file, like the coalescing budget below: a x250-scaled file
+    // then issues ~virtual_extent/chunk_bytes requests, the pattern the
+    // Figure 7/8 tradeoffs are about, instead of one giant GET.
+    format::S3Source::Options src = options.source;
+    if (src.chunk_bytes > 0 && (*states)[i].scale > 1.0) {
+      src.chunk_bytes = std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(src.chunk_bytes) /
+                                  (*states)[i].scale));
+    }
     (*states)[i].source = std::make_shared<S3Source>(
-        client, files[i].bucket, files[i].key, options.source);
+        client, files[i].bucket, files[i].key, src);
     (*states)[i].ready = std::make_unique<sim::Event>(sim);
   }
 
   cloud::WorkerEnv* env_ptr = &env;
-  auto reader_options_for = [env_ptr, sim](const FileState& st) {
+  auto reader_options_for = [env_ptr, sim, &options](const FileState& st) {
     format::ReaderOptions ro;
     ro.sim = sim;
     ro.cpu.compute = [env_ptr](double vcpu) { return env_ptr->Compute(vcpu); };
     ro.cpu.scale = st.scale;
+    // The coalescing budget is a transfer-time-vs-request-latency
+    // breakeven in MODELED bytes. A virtually-scaled object transfers
+    // scale x more virtual bytes per real byte, so the budget on real
+    // file offsets shrinks by the scale — without this, merging across a
+    // 100 KB real gap on a x250-scaled file would buy one request with a
+    // ~25 MB virtual transfer.
+    ro.coalesce_gap_bytes = static_cast<int64_t>(
+        static_cast<double>(options.coalesce_gap_bytes) /
+        std::max(1.0, st.scale));
     return ro;
   };
 
@@ -135,6 +155,20 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     }
     if (!scan_error.ok()) break;
 
+    // Push the filter's per-column value intervals into the reader (keyed
+    // by file-schema column index): dict-encoded chunks evaluate them on
+    // dictionary codes before materialization. Only when the residual
+    // filter runs — raw row-group readers must see every row.
+    std::map<int, format::ColumnBound> dict_bounds;
+    if (options.filter != nullptr && options.apply_residual_filter) {
+      for (const auto& [column, interval] : bounds) {
+        int idx = file_schema.FieldIndex(column);
+        if (idx >= 0) {
+          dict_bounds[idx] = format::ColumnBound{interval.lo, interval.hi};
+        }
+      }
+    }
+
     // Prune row groups on min/max statistics (Section 5.3): workers whose
     // files are fully pruned return after the metadata round trip.
     std::vector<int> surviving;
@@ -159,13 +193,15 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
       tasks.push_back([](cloud::WorkerEnv* e, const ScanOptions* opts,
                          std::shared_ptr<FileReader> rdr, double scale,
                          int rg_idx, std::vector<int> proj_cols,
+                         const std::map<int, format::ColumnBound>* bnds,
                          sim::Semaphore* g, ScanStats* out,
                          const std::function<Status(const TableChunk&)>* snk,
                          Status* sink_st) -> sim::Async<void> {
         co_await g->Acquire();
-        // Level (2): column chunks of this group fetched concurrently.
+        // Level (2): column chunks of this group fetched concurrently
+        // (coalesced into extents), with dict-code predicate push-down.
         auto chunk = co_await rdr->ReadRowGroup(
-            rg_idx, proj_cols, opts->column_fetch_parallelism);
+            rg_idx, proj_cols, opts->column_fetch_parallelism, bnds);
         if (!chunk.ok()) {
           if (sink_st->ok()) *sink_st = chunk.status();
           g->Release();
@@ -204,10 +240,15 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
         if (!s.ok() && sink_st->ok()) *sink_st = s;
         e->ReleaseMemory(result.memory_bytes());
         g->Release();
-      }(&env, &options, reader, st.scale, rg, proj, &gate, &stats, &sink,
-        &sink_status));
+      }(&env, &options, reader, st.scale, rg, proj, &dict_bounds, &gate,
+        &stats, &sink, &sink_status));
     }
     co_await sim::WhenAllVoid(sim, std::move(tasks));
+    // Report MODELED bytes: a virtually-scaled object moves scale x more
+    // bytes through the simulated network than its real backing store.
+    stats.bytes_moved += static_cast<int64_t>(
+        static_cast<double>(reader->bytes_fetched()) * st.scale);
+    stats.rows_dict_filtered += reader->rows_dict_filtered();
     if (!sink_status.ok()) {
       scan_error = sink_status;
       break;

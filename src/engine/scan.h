@@ -40,6 +40,11 @@ struct ScanOptions {
   int column_fetch_parallelism = 4;
   format::S3Source::Options source;
   bool prefetch_metadata = true;
+  /// Row-group IO coalescing budget forwarded to the reader (scaled down
+  /// for virtually-scaled objects): a projected column chunk shares the
+  /// preceding ranged read when that grows it by at most this many bytes
+  /// (format::ReaderOptions::coalesce_gap_bytes). 0 disables.
+  int64_t coalesce_gap_bytes = 1024 * 1024;
 };
 
 /// Counters reported by one scan execution.
@@ -50,6 +55,14 @@ struct ScanStats {
   int64_t rows_scanned = 0;    ///< Rows decoded (before residual filter).
   int64_t rows_emitted = 0;    ///< Rows after the residual filter.
   int64_t get_requests = 0;
+  /// Modeled bytes fetched from storage (footers + column-chunk extents,
+  /// including coalescing gaps, times each object's virtual scale): the
+  /// post-encoding bytes moved, the number the paper's Figure 7/11
+  /// tradeoffs are about. Equals real bytes on unscaled data.
+  int64_t bytes_moved = 0;
+  /// Rows dropped by dictionary-code predicate evaluation in the reader,
+  /// before materialization and the residual filter.
+  int64_t rows_dict_filtered = 0;
 };
 
 /// Per-row CPU cost of the residual filter + downstream chunk handoff in

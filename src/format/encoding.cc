@@ -96,30 +96,118 @@ std::vector<uint8_t> EncodeDict(const Column& c) {
   return w.Take();
 }
 
-Result<Column> DecodeDict(const uint8_t* data, size_t size,
-                          size_t num_rows) {
+std::vector<uint8_t> EncodeRle(const Column& c) {
+  BinaryWriter w;
+  if (c.type() == DataType::kInt64) {
+    const auto& v = c.i64();
+    int64_t prev_run = 0;
+    size_t i = 0;
+    while (i < v.size()) {
+      size_t j = i;
+      while (j < v.size() && v[j] == v[i]) ++j;
+      w.PutVarint(j - i);
+      // Wrapping difference in uint64 (INT64_MIN - INT64_MAX would be
+      // signed overflow); zigzag round-trips the wrapped value exactly.
+      w.PutVarint(ZigzagEncode(static_cast<int64_t>(
+          static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(prev_run))));
+      prev_run = v[i];
+      i = j;
+    }
+  } else {
+    const auto& v = c.f64();
+    size_t i = 0;
+    while (i < v.size()) {
+      // Bit-pattern equality: NaNs and signed zeros round-trip exactly.
+      uint64_t bits;
+      std::memcpy(&bits, &v[i], 8);
+      size_t j = i;
+      for (; j < v.size(); ++j) {
+        uint64_t b;
+        std::memcpy(&b, &v[j], 8);
+        if (b != bits) break;
+      }
+      w.PutVarint(j - i);
+      w.PutF64(v[i]);
+      i = j;
+    }
+  }
+  return w.Take();
+}
+
+Result<Column> DecodeRle(const uint8_t* data, size_t size, DataType type,
+                         size_t num_rows) {
+  BinaryReader r(data, size);
+  if (type == DataType::kInt64) {
+    std::vector<int64_t> v;
+    v.reserve(num_rows);
+    int64_t prev_run = 0;
+    while (v.size() < num_rows) {
+      ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
+      if (run == 0 || run > num_rows - v.size()) {
+        return Status::IOError("rle: bad run length");
+      }
+      ASSIGN_OR_RETURN(uint64_t z, r.GetVarint());
+      prev_run = static_cast<int64_t>(static_cast<uint64_t>(prev_run) +
+                                      static_cast<uint64_t>(ZigzagDecode(z)));
+      v.insert(v.end(), static_cast<size_t>(run), prev_run);
+    }
+    if (r.remaining() != 0) return Status::IOError("rle: trailing bytes");
+    return Column::Int64(std::move(v));
+  }
+  std::vector<double> v;
+  v.reserve(num_rows);
+  while (v.size() < num_rows) {
+    ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
+    if (run == 0 || run > num_rows - v.size()) {
+      return Status::IOError("rle: bad run length");
+    }
+    ASSIGN_OR_RETURN(double value, r.GetF64());
+    v.insert(v.end(), static_cast<size_t>(run), value);
+  }
+  if (r.remaining() != 0) return Status::IOError("rle: trailing bytes");
+  return Column::Float64(std::move(v));
+}
+
+}  // namespace
+
+Result<DictView> DecodeDictView(const uint8_t* data, size_t size,
+                                size_t num_rows) {
   BinaryReader r(data, size);
   ASSIGN_OR_RETURN(uint64_t dict_size, r.GetVarint());
   if (dict_size > size) return Status::IOError("dict: implausible size");
-  std::vector<int64_t> dict;
-  dict.reserve(dict_size);
+  DictView view;
+  view.values.reserve(dict_size);
   int64_t prev = 0;
   for (uint64_t i = 0; i < dict_size; ++i) {
     ASSIGN_OR_RETURN(uint64_t z, r.GetVarint());
     prev += ZigzagDecode(z);
-    dict.push_back(prev);
+    view.values.push_back(prev);
   }
-  std::vector<int64_t> v;
-  v.reserve(num_rows);
+  view.codes.reserve(num_rows);
   for (size_t i = 0; i < num_rows; ++i) {
     ASSIGN_OR_RETURN(uint64_t idx, r.GetVarint());
-    if (idx >= dict.size()) return Status::IOError("dict: bad index");
-    v.push_back(dict[idx]);
+    if (idx >= view.values.size()) return Status::IOError("dict: bad index");
+    view.codes.push_back(static_cast<uint32_t>(idx));
   }
   if (r.remaining() != 0) {
     return Status::IOError("dict encoding: trailing bytes");
   }
+  return view;
+}
+
+Column MaterializeDictView(const DictView& view) {
+  std::vector<int64_t> v;
+  v.reserve(view.codes.size());
+  for (uint32_t code : view.codes) v.push_back(view.values[code]);
   return Column::Int64(std::move(v));
+}
+
+namespace {
+
+Result<Column> DecodeDict(const uint8_t* data, size_t size,
+                          size_t num_rows) {
+  ASSIGN_OR_RETURN(DictView view, DecodeDictView(data, size, num_rows));
+  return MaterializeDictView(view);
 }
 
 }  // namespace
@@ -139,6 +227,8 @@ Result<std::vector<uint8_t>> EncodeColumn(const Column& column,
         return Status::Invalid("dict encoding requires int64");
       }
       return EncodeDict(column);
+    case Encoding::kRle:
+      return EncodeRle(column);
   }
   return Status::Invalid("unknown encoding");
 }
@@ -158,6 +248,8 @@ Result<Column> DecodeColumn(const uint8_t* data, size_t size, DataType type,
         return Status::IOError("dict encoding on non-int64 column");
       }
       return DecodeDict(data, size, num_rows);
+    case Encoding::kRle:
+      return DecodeRle(data, size, type, num_rows);
   }
   return Status::IOError("unknown encoding");
 }
@@ -166,26 +258,59 @@ EncodedColumn EncodeColumnAuto(const Column& column,
                                const exec::ExecContext& ctx) {
   // Encode the candidates (concurrently under a threaded context), then
   // replay the sequential comparison order so the choice is identical.
-  std::vector<uint8_t> plain, delta, dict;
-  const bool try_int = column.type() == DataType::kInt64 && column.size() > 0;
+  std::vector<uint8_t> plain, delta, dict, rle;
+  const bool nonempty = column.size() > 0;
+  const bool try_int = column.type() == DataType::kInt64 && nonempty;
   std::vector<std::function<void()>> candidates;
   candidates.push_back([&] { plain = EncodePlain(column); });
   if (try_int) {
     candidates.push_back([&] { delta = EncodeDelta(column); });
     candidates.push_back([&] { dict = EncodeDict(column); });
   }
+  if (nonempty) {
+    candidates.push_back([&] { rle = EncodeRle(column); });
+  }
   exec::ParallelForEach(ctx, candidates.size(),
                         [&](size_t i) { candidates[i](); });
-  EncodedColumn best{Encoding::kPlain, std::move(plain)};
+  // Decide on sizes alone, moving no buffer until the winner is final.
+  Encoding winner = Encoding::kPlain;
+  size_t winner_size = plain.size();
   if (try_int) {
-    if (delta.size() < best.bytes.size()) {
-      best = EncodedColumn{Encoding::kDelta, std::move(delta)};
+    if (delta.size() < winner_size) {
+      winner = Encoding::kDelta;
+      winner_size = delta.size();
     }
-    if (dict.size() < best.bytes.size()) {
-      best = EncodedColumn{Encoding::kDict, std::move(dict)};
+    if (dict.size() < winner_size) {
+      winner = Encoding::kDict;
+      winner_size = dict.size();
     }
   }
-  return best;
+  if (nonempty && rle.size() < winner_size) {
+    winner = Encoding::kRle;
+    winner_size = rle.size();
+  }
+  // Dict is strategically preferred when it is within a few percent of the
+  // best: it is the only encoding the reader can evaluate predicates on
+  // without materializing (code-range push-down), worth far more than the
+  // last percent of size. On small-range integers dict and delta are both
+  // one byte per value, so without this tie-break delta would always edge
+  // out dict by its few bytes of dictionary header.
+  if (try_int && winner != Encoding::kDict &&
+      static_cast<double>(dict.size()) <=
+          1.05 * static_cast<double>(winner_size)) {
+    winner = Encoding::kDict;
+  }
+  switch (winner) {
+    case Encoding::kDelta:
+      return EncodedColumn{Encoding::kDelta, std::move(delta)};
+    case Encoding::kDict:
+      return EncodedColumn{Encoding::kDict, std::move(dict)};
+    case Encoding::kRle:
+      return EncodedColumn{Encoding::kRle, std::move(rle)};
+    case Encoding::kPlain:
+      break;
+  }
+  return EncodedColumn{Encoding::kPlain, std::move(plain)};
 }
 
 }  // namespace lambada::format

@@ -101,7 +101,9 @@ Result<FileMetadata> FileMetadata::Parse(const uint8_t* data, size_t size) {
       ASSIGN_OR_RETURN(cc.compressed_size, r.GetU64());
       ASSIGN_OR_RETURN(cc.uncompressed_size, r.GetU64());
       ASSIGN_OR_RETURN(uint8_t enc, r.GetU8());
-      if (enc > 2) return Status::IOError("unknown encoding in footer");
+      if (enc > kMaxEncoding) {
+        return Status::IOError("unknown encoding in footer");
+      }
       cc.encoding = static_cast<Encoding>(enc);
       ASSIGN_OR_RETURN(uint8_t codec, r.GetU8());
       if (codec > 3) return Status::IOError("unknown codec in footer");

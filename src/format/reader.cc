@@ -1,11 +1,40 @@
 #include "format/reader.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "format/encoding.h"
 
 namespace lambada::format {
 
 using engine::Column;
 using engine::TableChunk;
+
+namespace {
+
+/// Maps a closed value interval [lo, hi] (doubles, possibly infinite) to
+/// the closed integer interval [*lo_i, *hi_i] it admits. Returns false if
+/// no int64 can qualify. Exact: the double->int64 edges are computed with
+/// ceil/floor and explicit 2^63 overflow branches, so values beyond 2^53
+/// are never mis-classified by double rounding (the residual filter is
+/// exact, but rows dropped here never reach it).
+bool IntIntervalOf(const ColumnBound& bound, int64_t* lo_i, int64_t* hi_i) {
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63 exactly.
+  if (bound.lo >= kTwo63 || bound.hi < -kTwo63 || bound.lo > bound.hi) {
+    return false;
+  }
+  *lo_i = bound.lo <= -kTwo63 ? std::numeric_limits<int64_t>::min()
+                              : static_cast<int64_t>(std::ceil(bound.lo));
+  *hi_i = bound.hi >= kTwo63 ? std::numeric_limits<int64_t>::max()
+                             : static_cast<int64_t>(std::floor(bound.hi));
+  return *lo_i <= *hi_i;
+}
+
+}  // namespace
 
 sim::Async<Result<std::shared_ptr<FileReader>>> FileReader::Open(
     std::shared_ptr<RandomAccessSource> source, ReaderOptions options) {
@@ -14,6 +43,7 @@ sim::Async<Result<std::shared_ptr<FileReader>>> FileReader::Open(
   auto tail = co_await source->ReadTail(options.footer_probe_bytes);
   if (!tail.ok()) co_return tail.status();
   const BufferPtr& probe = tail->data;
+  int64_t fetched = static_cast<int64_t>(probe->size());
   if (probe->size() < 12) co_return Status::IOError("file too small");
   const uint8_t* end = probe->data() + probe->size();
   if (std::memcmp(end - 4, kMagic, 4) != 0) {
@@ -35,41 +65,78 @@ sim::Async<Result<std::shared_ptr<FileReader>>> FileReader::Open(
     auto r = co_await source->ReadAt(footer_start, footer_len);
     if (!r.ok()) co_return r.status();
     footer = *r;
+    fetched += static_cast<int64_t>(footer->size());
   }
   auto meta = FileMetadata::Parse(footer->data(), footer->size());
   if (!meta.ok()) co_return meta.status();
   // Footer parsing is cheap but not free.
   co_await options.cpu.Charge(static_cast<double>(footer->size()) / 200e6);
-  co_return std::shared_ptr<FileReader>(
+  auto reader = std::shared_ptr<FileReader>(
       new FileReader(std::move(source), std::move(options),
                      *std::move(meta)));
+  reader->bytes_fetched_ = fetched;
+  co_return reader;
 }
 
-sim::Async<Result<Column>> FileReader::ReadColumnChunk(int rg, int column) {
-  const auto& rg_meta = metadata_.row_groups[static_cast<size_t>(rg)];
-  const auto& cc = rg_meta.columns[static_cast<size_t>(column)];
-  auto raw = co_await source_->ReadAt(static_cast<int64_t>(cc.offset),
-                                      static_cast<int64_t>(cc.compressed_size));
-  if (!raw.ok()) co_return raw.status();
+sim::Async<Result<std::vector<uint8_t>>> FileReader::DecompressChunk(
+    const ColumnChunkMeta& cc, const uint8_t* raw, size_t raw_size) {
   const auto& codec = compress::GetCodec(cc.codec);
-  auto decompressed =
-      codec.Decompress((*raw)->data(), (*raw)->size(), cc.uncompressed_size);
+  auto decompressed = codec.Decompress(raw, raw_size, cc.uncompressed_size);
   if (!decompressed.ok()) co_return decompressed.status();
   // Charge decompression CPU: the paper's Q1 is CPU-bound on exactly this.
   co_await options_.cpu.Charge(static_cast<double>(cc.uncompressed_size) *
                                codec.DecompressCpuSecondsPerByte());
-  auto col = DecodeColumn(decompressed->data(), decompressed->size(),
-                          metadata_.schema.field(column).type, cc.encoding,
-                          rg_meta.num_rows);
-  if (!col.ok()) co_return col.status();
-  // Decoding (varint/delta) cost.
-  co_await options_.cpu.Charge(static_cast<double>(rg_meta.num_rows) * 8.0 /
-                               2e9);
-  co_return *std::move(col);
+  co_return *std::move(decompressed);
+}
+
+sim::Async<void> FileReader::FetchExtent(
+    Extent* extent, const std::vector<size_t>& chunk_positions,
+    const std::vector<int>& columns, const RowGroupMeta& rg_meta,
+    const std::vector<uint8_t>& keep_bytes,
+    std::vector<std::vector<uint8_t>>* chunk_data,
+    std::vector<std::optional<engine::Column>>* decoded, Status* error) {
+  auto raw = co_await source_->ReadAt(
+      static_cast<int64_t>(extent->begin),
+      static_cast<int64_t>(extent->end - extent->begin));
+  if (!raw.ok()) {
+    if (error->ok()) *error = raw.status();
+    co_return;
+  }
+  extent->data = *std::move(raw);
+  bytes_fetched_ += static_cast<int64_t>(extent->end - extent->begin);
+  const size_t num_rows = static_cast<size_t>(rg_meta.num_rows);
+  for (size_t k : chunk_positions) {
+    const auto& cc = rg_meta.columns[static_cast<size_t>(columns[k])];
+    auto bytes = co_await DecompressChunk(
+        cc, extent->data->data() + (cc.offset - extent->begin),
+        static_cast<size_t>(cc.compressed_size));
+    if (!bytes.ok()) {
+      if (error->ok()) *error = bytes.status();
+      co_return;
+    }
+    if (keep_bytes[k] != 0) {
+      (*chunk_data)[k] = *std::move(bytes);
+      continue;
+    }
+    auto col = DecodeColumn(
+        bytes->data(), bytes->size(),
+        metadata_.schema.field(static_cast<size_t>(columns[k])).type,
+        cc.encoding, num_rows);
+    if (!col.ok()) {
+      if (error->ok()) *error = col.status();
+      co_return;
+    }
+    // Decoding (varint/delta/rle) cost, charged here so it overlaps the
+    // other extents' transfers.
+    co_await options_.cpu.Charge(static_cast<double>(num_rows) * 8.0 / 2e9);
+    (*decoded)[k] = *std::move(col);
+  }
+  extent->data = nullptr;  // Only the decoded chunks survive.
 }
 
 sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
-    int rg, std::vector<int> columns, int fetch_parallelism) {
+    int rg, std::vector<int> columns, int fetch_parallelism,
+    const std::map<int, ColumnBound>* bounds) {
   if (rg < 0 || rg >= num_row_groups()) {
     co_return Status::OutOfRange("row group index out of range");
   }
@@ -78,39 +145,149 @@ sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
       co_return Status::OutOfRange("column index out of range");
     }
   }
-  std::vector<Result<Column>> results;
-  results.reserve(columns.size());
-  for (size_t i = 0; i < columns.size(); ++i) {
-    results.emplace_back(Status::Internal("not fetched"));
+  const auto& rg_meta = metadata_.row_groups[static_cast<size_t>(rg)];
+  const size_t num_rows = static_cast<size_t>(rg_meta.num_rows);
+
+  // ---- Plan extents: projected chunks in file order, coalescing
+  // latency-dominated neighbors into one ranged read each. A merge may
+  // grow the extent by at most the budget (the skipped hole PLUS the
+  // incoming chunk): small encoded chunks — dictionaries, run lengths —
+  // ride along for free, while a bandwidth-dominated chunk keeps its own
+  // read so the fetch parallelism below still overlaps its transfer with
+  // its neighbors' instead of serializing them into one connection.
+  std::vector<size_t> order(columns.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rg_meta.columns[static_cast<size_t>(columns[a])].offset <
+           rg_meta.columns[static_cast<size_t>(columns[b])].offset;
+  });
+  const uint64_t budget =
+      static_cast<uint64_t>(std::max<int64_t>(0, options_.coalesce_gap_bytes));
+  std::vector<Extent> extents;
+  std::vector<size_t> extent_of(columns.size());  // Projection pos -> extent.
+  for (size_t k : order) {
+    const auto& cc = rg_meta.columns[static_cast<size_t>(columns[k])];
+    uint64_t begin = cc.offset;
+    uint64_t end = cc.offset + cc.compressed_size;
+    if (!extents.empty() && budget > 0 && begin >= extents.back().begin &&
+        std::max(end, extents.back().end) <= extents.back().end + budget) {
+      extents.back().end = std::max(extents.back().end, end);
+    } else {
+      extents.push_back(Extent{begin, end, nullptr});
+    }
+    extent_of[k] = extents.size() - 1;
   }
-  // Fetch column chunks with bounded concurrency (level 2).
+
+  // ---- Fetch extents with bounded concurrency (when simulated) and
+  // decompress each extent's chunks as soon as its bytes land, so the
+  // codec CPU of one extent overlaps the transfers of the others — the
+  // overlap the per-column reader had, kept across the coalescing
+  // rewrite. The raw extent buffer is freed as soon as its chunks are
+  // decompressed.
+  std::vector<std::vector<size_t>> extent_chunks(extents.size());
+  for (size_t k = 0; k < columns.size(); ++k) {
+    extent_chunks[extent_of[k]].push_back(k);
+  }
+  // Columns awaiting dict-code predicate evaluation stop at decompressed
+  // bytes (pass 1 decodes their views); everything else decodes inside
+  // the concurrent fetches.
+  std::vector<uint8_t> keep_bytes(columns.size(), 0);
+  std::vector<std::optional<Column>> decoded(columns.size());
+  if (bounds != nullptr) {
+    for (size_t k = 0; k < columns.size(); ++k) {
+      const auto& cc = rg_meta.columns[static_cast<size_t>(columns[k])];
+      keep_bytes[k] =
+          bounds->find(columns[k]) != bounds->end() &&
+                  cc.encoding == Encoding::kDict &&
+                  metadata_.schema.field(static_cast<size_t>(columns[k]))
+                          .type == engine::DataType::kInt64
+              ? 1
+              : 0;
+    }
+  }
+  std::vector<std::vector<uint8_t>> chunk_data(columns.size());
   sim::Simulator* sim = options_.sim;
-  if (sim != nullptr && fetch_parallelism > 1 && columns.size() > 1) {
+  Status fetch_error = Status::OK();
+  if (sim != nullptr && fetch_parallelism > 1 && extents.size() > 1) {
     sim::Semaphore gate(sim, fetch_parallelism);
     std::vector<sim::Async<void>> fetches;
-    for (size_t i = 0; i < columns.size(); ++i) {
-      fetches.push_back([](FileReader* self, sim::Semaphore* g, int rg_idx,
-                           int col, Result<Column>* out) -> sim::Async<void> {
+    fetches.reserve(extents.size());
+    for (size_t e = 0; e < extents.size(); ++e) {
+      fetches.push_back([](FileReader* self, sim::Semaphore* g, Extent* ext,
+                           const std::vector<size_t>* ks,
+                           const std::vector<int>* cols,
+                           const RowGroupMeta* meta,
+                           const std::vector<uint8_t>* kb,
+                           std::vector<std::vector<uint8_t>>* out,
+                           std::vector<std::optional<Column>>* dec,
+                           Status* err) -> sim::Async<void> {
         co_await g->Acquire();
-        *out = co_await self->ReadColumnChunk(rg_idx, col);
+        co_await self->FetchExtent(ext, *ks, *cols, *meta, *kb, out, dec,
+                                   err);
         g->Release();
-      }(this, &gate, rg, columns[i], &results[i]));
+      }(this, &gate, &extents[e], &extent_chunks[e], &columns, &rg_meta,
+        &keep_bytes, &chunk_data, &decoded, &fetch_error));
     }
     co_await sim::WhenAllVoid(sim, std::move(fetches));
   } else {
-    for (size_t i = 0; i < columns.size(); ++i) {
-      results[i] = co_await ReadColumnChunk(rg, columns[i]);
+    for (size_t e = 0; e < extents.size(); ++e) {
+      co_await FetchExtent(&extents[e], extent_chunks[e], columns, rg_meta,
+                           keep_bytes, &chunk_data, &decoded, &fetch_error);
+      if (!fetch_error.ok()) break;
     }
   }
+  if (!fetch_error.ok()) co_return fetch_error;
+
+  auto proj_schema =
+      std::make_shared<engine::Schema>(metadata_.schema.Project(columns));
+  std::vector<bool> keep(num_rows, true);
+  size_t dropped = 0;
+
+  // ---- Dict-code predicate pass: the flagged columns' sorted
+  // dictionaries map each pushed interval to a code range; rows are
+  // tested on their codes, and an empty range proves the whole group
+  // empty before any materialization.
+  for (size_t k = 0; k < columns.size(); ++k) {
+    if (keep_bytes[k] == 0) continue;
+    auto it = bounds->find(columns[k]);
+    auto view =
+        DecodeDictView(chunk_data[k].data(), chunk_data[k].size(), num_rows);
+    if (!view.ok()) co_return view.status();
+    co_await options_.cpu.Charge(static_cast<double>(num_rows) * 8.0 / 2e9);
+    int64_t lo_i, hi_i;
+    uint32_t lo_code = 0, hi_code = 0;
+    if (IntIntervalOf(it->second, &lo_i, &hi_i)) {
+      lo_code = static_cast<uint32_t>(
+          std::lower_bound(view->values.begin(), view->values.end(), lo_i) -
+          view->values.begin());
+      hi_code = static_cast<uint32_t>(
+          std::upper_bound(view->values.begin(), view->values.end(), hi_i) -
+          view->values.begin());
+    }
+    if (lo_code >= hi_code) {
+      // No dictionary value intersects the interval: the group is empty.
+      rows_dict_filtered_ += static_cast<int64_t>(num_rows);
+      co_return TableChunk::Empty(proj_schema);
+    }
+    for (size_t row = 0; row < num_rows; ++row) {
+      uint32_t code = view->codes[row];
+      if ((code < lo_code || code >= hi_code) && keep[row]) {
+        keep[row] = false;
+        ++dropped;
+      }
+    }
+    decoded[k] = MaterializeDictView(*view);
+  }
+
   std::vector<Column> cols;
   cols.reserve(columns.size());
-  for (auto& r : results) {
-    if (!r.ok()) co_return r.status();
-    cols.push_back(*std::move(r));
+  for (auto& c : decoded) cols.push_back(*std::move(c));
+  TableChunk chunk(proj_schema, std::move(cols));
+  if (dropped > 0) {
+    rows_dict_filtered_ += static_cast<int64_t>(dropped);
+    chunk = chunk.Filter(keep);
   }
-  auto schema =
-      std::make_shared<engine::Schema>(metadata_.schema.Project(columns));
-  co_return TableChunk(std::move(schema), std::move(cols));
+  co_return chunk;
 }
 
 }  // namespace lambada::format

@@ -2,7 +2,9 @@
 #define LAMBADA_FORMAT_READER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +42,24 @@ struct ReaderOptions {
   /// Required for concurrent column-chunk fetches; when null, fetches are
   /// sequential (host-side tools).
   sim::Simulator* sim = nullptr;
+  /// Row-group IO coalescing budget: a projected column chunk merges into
+  /// the preceding read when doing so grows that read by at most this
+  /// many bytes (the skipped hole plus the chunk itself). At S3-class
+  /// first-byte latencies, transferring up to ~1 MiB extra is cheaper
+  /// than another request round trip — but only for latency-dominated
+  /// (small) chunks; a large chunk keeps its own read so concurrent
+  /// fetches still overlap its transfer. 0 disables coalescing (one read
+  /// per chunk). The scan scales this down for virtually-scaled objects.
+  int64_t coalesce_gap_bytes = 1024 * 1024;
+};
+
+/// Closed value interval [lo, hi] a column's rows must intersect to
+/// survive the scan's filter (mirrors engine::Interval, kept separate so
+/// the format layer does not depend on the expression engine). Used by
+/// ReadRowGroup to evaluate the bound directly on dictionary codes.
+struct ColumnBound {
+  double lo = 0;
+  double hi = 0;
 };
 
 /// Reads .lpq files: one tail read for the footer, then one ranged read per
@@ -59,12 +79,38 @@ class FileReader {
   }
 
   /// Reads and decodes the given columns (by index) of row group `rg`.
-  /// Column chunks are fetched with up to `fetch_parallelism` concurrent
-  /// reads — concurrency level (2) of Section 4.3.2.
+  /// Small adjacent column chunks coalesce into extents
+  /// (ReaderOptions::coalesce_gap_bytes); extents are fetched with up to
+  /// `fetch_parallelism` concurrent reads — concurrency level (2) of
+  /// Section 4.3.2.
+  ///
+  /// `bounds` (optional, keyed by file-schema column index) pushes the
+  /// scan's per-column value intervals into the decode: a kDict chunk's
+  /// sorted dictionary maps each interval to a contiguous code range, so
+  /// rows are tested on their small integer codes before materialization
+  /// and non-qualifying rows never reach the residual filter. Bounds are
+  /// conservative (rows outside an interval cannot satisfy the filter),
+  /// so pre-filtering here never changes query results; columns that are
+  /// not dict-encoded ignore their bound. Dropped rows accumulate in
+  /// rows_dict_filtered().
   sim::Async<Result<engine::TableChunk>> ReadRowGroup(
-      int rg, std::vector<int> columns, int fetch_parallelism = 1);
+      int rg, std::vector<int> columns, int fetch_parallelism = 1,
+      const std::map<int, ColumnBound>* bounds = nullptr);
+
+  /// Bytes fetched from the source so far (footer probe + data extents,
+  /// including coalescing gap bytes) — the file's real bytes moved.
+  int64_t bytes_fetched() const { return bytes_fetched_; }
+  /// Rows dropped by dictionary-code predicate evaluation.
+  int64_t rows_dict_filtered() const { return rows_dict_filtered_; }
 
  private:
+  /// One ranged read covering one or more coalesced column chunks.
+  struct Extent {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    BufferPtr data;
+  };
+
   FileReader(std::shared_ptr<RandomAccessSource> source,
              ReaderOptions options, FileMetadata metadata)
       : source_(std::move(source)),
@@ -72,12 +118,33 @@ class FileReader {
         metadata_(std::move(metadata)),
         schema_(std::make_shared<engine::Schema>(metadata_.schema)) {}
 
-  sim::Async<Result<engine::Column>> ReadColumnChunk(int rg, int column);
+  /// Decompresses one column chunk's bytes and charges the codec CPU.
+  sim::Async<Result<std::vector<uint8_t>>> DecompressChunk(
+      const ColumnChunkMeta& cc, const uint8_t* raw, size_t raw_size);
+
+  /// Fetches one extent and immediately decompresses AND decodes the
+  /// chunks it covers (projection positions `chunk_positions`), so both
+  /// codec and decode CPU overlap the other extents' transfers. Columns
+  /// flagged in `keep_bytes` (dict chunks awaiting code-range predicate
+  /// evaluation) stop at decompressed bytes in `chunk_data`; the rest
+  /// decode straight into `decoded`. The raw extent buffer is freed
+  /// afterwards; the first error lands in `error`.
+  sim::Async<void> FetchExtent(Extent* extent,
+                               const std::vector<size_t>& chunk_positions,
+                               const std::vector<int>& columns,
+                               const RowGroupMeta& rg_meta,
+                               const std::vector<uint8_t>& keep_bytes,
+                               std::vector<std::vector<uint8_t>>* chunk_data,
+                               std::vector<std::optional<engine::Column>>*
+                                   decoded,
+                               Status* error);
 
   std::shared_ptr<RandomAccessSource> source_;
   ReaderOptions options_;
   FileMetadata metadata_;
   engine::SchemaPtr schema_;
+  int64_t bytes_fetched_ = 0;
+  int64_t rows_dict_filtered_ = 0;
 };
 
 }  // namespace lambada::format

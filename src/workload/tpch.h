@@ -88,8 +88,16 @@ struct LoadOptions {
   /// Parquet file would have, so that request patterns are faithful.
   int row_groups_per_file = 8;
   compress::CodecId codec = compress::CodecId::kHeavy;
-  /// Virtual size each file models (0 = its real size). The paper's files
-  /// are "about 500 MB" (Section 5.1).
+  /// Per-column auto-selection of the value encoding (plain/delta/dict/
+  /// rle). Off writes plain-encoded fixtures — the ablation baseline the
+  /// bytes-moved benches compare against.
+  bool auto_encoding = true;
+  /// Virtual size each file's PLAIN-encoded form models (0 = real size).
+  /// The paper's files are "about 500 MB" (Section 5.1). With
+  /// auto_encoding on, the written file's virtual size comes out BELOW
+  /// this target by exactly the encodings' savings — the scale factor is
+  /// anchored to a plain reference write so encodings shrink modeled
+  /// bytes instead of inflating the per-byte scale.
   int64_t virtual_bytes_per_file = 0;
   uint64_t seed = 7;
   /// When set, each file's min/max statistics are registered in this

@@ -62,6 +62,7 @@ TEST(PlanTest, FragmentSerializationRoundTrip) {
   f.ops.push_back(agg);
   f.tuning.row_group_parallelism = 3;
   f.tuning.chunk_bytes = 123456;
+  f.tuning.coalesce_gap_bytes = 65536;
 
   auto bytes = f.Serialize();
   auto back = PlanFragment::Deserialize(bytes.data(), bytes.size());
@@ -73,6 +74,7 @@ TEST(PlanTest, FragmentSerializationRoundTrip) {
   EXPECT_EQ(back->ops[3].aggs.size(), 2u);
   EXPECT_EQ(back->tuning.row_group_parallelism, 3);
   EXPECT_EQ(back->tuning.chunk_bytes, 123456);
+  EXPECT_EQ(back->tuning.coalesce_gap_bytes, 65536);
   EXPECT_TRUE(back->EndsInAggregate());
 }
 
@@ -217,12 +219,20 @@ TEST(MessagesTest, ResultRoundTripWithError) {
   m.status_message = "boom";
   m.metrics.processing_time_s = 2.5;
   m.metrics.rows_scanned = 100;
+  m.metrics.scan_bytes_moved = 123456789;
+  m.metrics.rows_dict_filtered = 42;
+  m.metrics.exchange_bytes_written = 1000;
+  m.metrics.exchange_bytes_read = 2000;
   m.inline_result = {1, 2, 3};
   auto back = ResultMessage::Parse(m.Serialize());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->status_code, StatusCode::kOutOfMemory);
   EXPECT_EQ(back->inline_result, (std::vector<uint8_t>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(back->metrics.processing_time_s, 2.5);
+  EXPECT_EQ(back->metrics.scan_bytes_moved, 123456789);
+  EXPECT_EQ(back->metrics.rows_dict_filtered, 42);
+  EXPECT_EQ(back->metrics.exchange_bytes_written, 1000);
+  EXPECT_EQ(back->metrics.exchange_bytes_read, 2000);
 }
 
 // ---------------------------------------------------------------------------
@@ -751,6 +761,24 @@ TEST_F(DriverFixture, GroupedAggregateAcrossWorkers) {
   EXPECT_GT(report->latency_s, 0);
   EXPECT_GT(report->cost.lambda_gib_seconds, 0);
   EXPECT_EQ(report->cost.lambda_invocations, 4);
+  // Every worker reports the real bytes its scan moved.
+  for (const auto& wr : report->worker_results) {
+    EXPECT_GT(wr.metrics.scan_bytes_moved, 0);
+  }
+}
+
+TEST(PlannerTest, AdaptiveChunkBytesFollowsFigure7) {
+  constexpr int64_t kMiB = 1024 * 1024;
+  // One connection on a big scan: the bandwidth-saturating 16 MiB knee.
+  EXPECT_EQ(AdaptiveChunkBytes(1000 * kMiB, 1), 16 * kMiB);
+  // k connections pipeline their request latencies: chunk divides by k.
+  EXPECT_EQ(AdaptiveChunkBytes(1000 * kMiB, 4), 4 * kMiB);
+  // Small per-worker scans shrink toward 1/8 of their bytes...
+  EXPECT_EQ(AdaptiveChunkBytes(32 * kMiB, 1), 4 * kMiB);
+  // ...but never below the 1 MiB request-cost floor.
+  EXPECT_EQ(AdaptiveChunkBytes(2 * kMiB, 1), kMiB);
+  EXPECT_EQ(AdaptiveChunkBytes(0, 1), 16 * kMiB);  // Unknown stats.
+  EXPECT_EQ(AdaptiveChunkBytes(1000 * kMiB, 64), kMiB);  // Floor again.
 }
 
 TEST_F(DriverFixture, FilterMapReduce) {

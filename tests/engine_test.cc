@@ -609,6 +609,58 @@ TEST_F(ScanFixture, ProjectionNarrowsChunks) {
   EXPECT_EQ(cols_seen, 1);
 }
 
+TEST_F(ScanFixture, ScaledObjectsDescaleChunkAndCoalescingBudgets) {
+  // A virtually-scaled file models scale x more bytes per real byte, so
+  // the scan must descale both the request ("chunk") size and the
+  // coalescing budget: the scaled scan then splits its reads into many
+  // more GETs (the modeled request pattern) while producing identical
+  // rows.
+  auto scan = [&](const std::string& bucket) {
+    ScanOptions opts;
+    opts.filter = Col("id") >= Lit(0);
+    opts.source.chunk_bytes = 4 * 1024;  // Modeled bytes.
+    ScanStats stats;
+    int64_t rows = 0;
+    static int counter = 0;
+    cloud::FunctionConfig fn;
+    fn.name = "scaled-scanner-" + std::to_string(counter++);
+    fn.memory_mib = 2048;
+    fn.handler = [&, bucket](cloud::WorkerEnv& env,
+                             std::string) -> sim::Async<Status> {
+      std::vector<FileRef> files = {FileRef{bucket, "part-0.lpq"}};
+      auto r = co_await S3ParquetScan(env, files, opts,
+                                      [&](const TableChunk& chunk) {
+                                        rows += chunk.num_rows();
+                                        return Status::OK();
+                                      });
+      if (!r.ok()) co_return r.status();
+      stats = *r;
+      co_return Status::OK();
+    };
+    LAMBADA_CHECK_OK(cloud_.faas().CreateFunction(fn));
+    sim::Spawn([](cloud::Cloud* c, std::string name) -> sim::Async<void> {
+      co_await c->faas().Invoke(c->driver_invoker_profile(),
+                                &c->driver_rng(), name, "");
+    }(&cloud_, fn.name));
+    cloud_.sim().Run();
+    return std::make_pair(stats, rows);
+  };
+  // Re-upload file 0 into a second bucket with a x100 virtual scale.
+  auto blob = cloud_.s3().GetDirect("data", "part-0.lpq");
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(cloud_.s3().CreateBucket("scaled").ok());
+  ASSERT_TRUE(cloud_.s3()
+                  .PutDirect("scaled", "part-0.lpq", *blob, 100.0)
+                  .ok());
+  auto [plain_stats, plain_rows] = scan("data");
+  auto [scaled_stats, scaled_rows] = scan("scaled");
+  EXPECT_EQ(scaled_rows, plain_rows);
+  // The descaled chunk (4 KiB / 100 = ~41 B real) splits each row-group
+  // extent (a few hundred real bytes — the codec crushes these columns)
+  // into several GETs; the unscaled scan reads each extent whole.
+  EXPECT_GT(scaled_stats.get_requests, 2 * plain_stats.get_requests);
+}
+
 TEST_F(ScanFixture, MissingFileFailsHandler) {
   ScanStats stats;
   Status scan_status = Status::OK();

@@ -102,10 +102,23 @@ TEST(TpchLoadTest, LoadsFilesWithVirtualScale) {
   ASSERT_TRUE(info.ok()) << info.status().ToString();
   auto files = cloud.s3().ListDirect("tpch", "sf/");
   ASSERT_EQ(files.size(), 4u);
+  // 500 MB is the PLAIN file's virtual size; the auto-encoded file models
+  // fewer bytes by exactly the encodings' savings.
   for (const auto& f : files) {
+    EXPECT_LE(static_cast<double>(f.size), 501e6);
+    EXPECT_GE(static_cast<double>(f.size), 200e6);
+  }
+  EXPECT_LE(static_cast<double>(info->virtual_bytes), 4 * 501e6);
+
+  // A plain-encoded fixture hits the target exactly.
+  opts.auto_encoding = false;
+  auto plain_info = LoadLineitem(&cloud.s3(), "tpch", "sf-plain/", opts);
+  ASSERT_TRUE(plain_info.ok());
+  for (const auto& f : cloud.s3().ListDirect("tpch", "sf-plain/")) {
     EXPECT_NEAR(static_cast<double>(f.size), 500e6, 1e6);
   }
-  EXPECT_NEAR(static_cast<double>(info->virtual_bytes), 4 * 500e6, 4e6);
+  EXPECT_NEAR(static_cast<double>(plain_info->virtual_bytes), 4 * 500e6,
+              4e6);
 }
 
 class TpchQueryFixture : public ::testing::Test {
