@@ -33,11 +33,12 @@ Result<engine::ExprPtr> GetOptionalExpr(BinaryReader* r) {
 }
 
 /// Body of PlanOp::Deserialize after the kind tag has been read and
-/// validated. Split out so JoinSpec::Deserialize can reject non-row-op
-/// tags BEFORE recursing: a crafted blob nesting kJoin inside build_ops
-/// would otherwise drive unbounded mutual recursion (stack overflow)
-/// before the row-ops-only check ever fired.
-Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r);
+/// validated. `depth` counts the JoinSpecs currently open on the call
+/// stack: a kJoin body recurses into JoinSpec::Deserialize, which fails
+/// once depth reaches kMaxPlanDepth, so a crafted blob nesting joins
+/// arbitrarily deep gets a clean parse error instead of a stack overflow.
+Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r,
+                                     int depth);
 
 }  // namespace
 
@@ -84,7 +85,10 @@ void JoinSpec::Serialize(BinaryWriter* w) const {
   build_exchange.Serialize(w);
 }
 
-Result<JoinSpec> JoinSpec::Deserialize(BinaryReader* r) {
+Result<JoinSpec> JoinSpec::Deserialize(BinaryReader* r, int depth) {
+  if (depth >= kMaxPlanDepth) {
+    return Status::IOError("plan exceeds kMaxPlanDepth join nesting");
+  }
   JoinSpec s;
   ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
   if (type > static_cast<uint8_t>(engine::JoinType::kLeftSemi)) {
@@ -102,15 +106,16 @@ Result<JoinSpec> JoinSpec::Deserialize(BinaryReader* r) {
   ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
   if (n > 10000) return Status::IOError("implausible build op count");
   for (uint64_t i = 0; i < n; ++i) {
-    // Check the tag before deserializing the body: rejecting a nested
-    // kJoin only afterwards would recurse unboundedly on crafted input.
     ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
-    if (kind > static_cast<uint8_t>(PlanOp::Kind::kSelect)) {
-      return Status::IOError("build pipeline may contain row ops only");
+    if (kind > static_cast<uint8_t>(PlanOp::Kind::kJoin)) {
+      return Status::IOError("bad plan op kind");
     }
+    // A nested kJoin recurses one level deeper; JoinSpec::Deserialize
+    // bounds that with kMaxPlanDepth. Whether a breaker is *allowed* in a
+    // build pipeline is the executor's call, not the parser's.
     ASSIGN_OR_RETURN(
         PlanOp op,
-        DeserializePlanOpBody(static_cast<PlanOp::Kind>(kind), r));
+        DeserializePlanOpBody(static_cast<PlanOp::Kind>(kind), r, depth + 1));
     s.build_ops.push_back(std::move(op));
   }
   ASSIGN_OR_RETURN(s.build_exchange, ExchangeSpec::Deserialize(r));
@@ -153,12 +158,13 @@ Result<PlanOp> PlanOp::Deserialize(BinaryReader* r) {
   if (kind > static_cast<uint8_t>(Kind::kJoin)) {
     return Status::IOError("bad plan op kind");
   }
-  return DeserializePlanOpBody(static_cast<Kind>(kind), r);
+  return DeserializePlanOpBody(static_cast<Kind>(kind), r, 0);
 }
 
 namespace {
 
-Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r) {
+Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r,
+                                     int depth) {
   using Kind = PlanOp::Kind;
   PlanOp op;
   op.kind = kind;
@@ -200,7 +206,7 @@ Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r) {
       break;
     }
     case Kind::kJoin: {
-      ASSIGN_OR_RETURN(JoinSpec spec, JoinSpec::Deserialize(r));
+      ASSIGN_OR_RETURN(JoinSpec spec, JoinSpec::Deserialize(r, depth));
       op.join = std::move(spec);
       break;
     }

@@ -41,6 +41,15 @@ namespace lambada::core {
 //
 // The same rules govern the SQS/Invoke messages in core/messages.h.
 
+/// Maximum join-nesting depth a deserialized plan may have: a JoinSpec's
+/// build_ops may themselves contain kJoin ops (each embedding another
+/// JoinSpec), and this bounds that recursion. The limit exists so a
+/// crafted or corrupted blob cannot drive the mutually recursive
+/// deserializers into a stack overflow — parsing fails with a clean error
+/// instead. Eight levels is far beyond what the optimizer emits (it plans
+/// chained joins as a linear op sequence, not nested build pipelines).
+inline constexpr int kMaxPlanDepth = 8;
+
 /// Configuration of a serverless exchange (Section 4.4), carried inside a
 /// plan fragment.
 struct ExchangeSpec {
@@ -119,7 +128,9 @@ struct JoinSpec {
   ExchangeSpec build_exchange;
 
   void Serialize(BinaryWriter* w) const;
-  static Result<JoinSpec> Deserialize(BinaryReader* r);
+  /// `depth` is the number of JoinSpecs already being deserialized on the
+  /// call stack; parsing fails once it reaches kMaxPlanDepth.
+  static Result<JoinSpec> Deserialize(BinaryReader* r, int depth = 0);
 };
 
 /// One operator applied to chunks after the scan, in order.

@@ -130,30 +130,54 @@ TEST(PlanTest, JoinFragmentSerializationRoundTrip) {
   EXPECT_TRUE(back->EndsInAggregate());
 }
 
-TEST(PlanTest, NestedJoinInBuildOpsRejectedWithoutRecursing) {
-  // A hand-built (or crafted) plan nesting a kJoin inside build_ops must
-  // come back as a clean parse error — the tag is rejected before the
-  // deserializer recurses, so arbitrarily deep nesting cannot smash the
-  // stack.
+/// Wraps `op` in a fresh JoinSpec-carrying kJoin whose build_ops is {op}.
+PlanOp NestJoin(PlanOp op) {
+  JoinSpec spec;
+  spec.probe_keys = {"a"};
+  spec.build_keys = {"b"};
+  spec.build_ops.push_back(std::move(op));
+  PlanOp join;
+  join.kind = PlanOp::Kind::kJoin;
+  join.join = std::move(spec);
+  return join;
+}
+
+TEST(PlanTest, NestedJoinWithinDepthLimitRoundTrips) {
+  // A kJoin inside build_ops is representable up to kMaxPlanDepth levels;
+  // whether the executor accepts a breaker there is its own check.
   JoinSpec inner_spec;
   inner_spec.probe_keys = {"a"};
   inner_spec.build_keys = {"b"};
   PlanOp inner;
   inner.kind = PlanOp::Kind::kJoin;
   inner.join = inner_spec;
-  JoinSpec outer_spec;
-  outer_spec.probe_keys = {"a"};
-  outer_spec.build_keys = {"b"};
-  outer_spec.build_ops.push_back(inner);
-  PlanOp outer;
-  outer.kind = PlanOp::Kind::kJoin;
-  outer.join = outer_spec;
   PlanFragment f;
-  f.ops.push_back(outer);
+  f.ops.push_back(NestJoin(inner));
+  auto bytes = f.Serialize();
+  auto back = PlanFragment::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->ops.size(), 1u);
+  ASSERT_EQ(back->ops[0].join->build_ops.size(), 1u);
+  EXPECT_EQ(back->ops[0].join->build_ops[0].kind, PlanOp::Kind::kJoin);
+}
+
+TEST(PlanTest, JoinNestingBeyondDepthLimitRejected) {
+  // Nesting past kMaxPlanDepth must come back as a clean parse error —
+  // the guard fires before the mutually recursive deserializers can smash
+  // the stack on crafted input.
+  JoinSpec leaf;
+  leaf.probe_keys = {"a"};
+  leaf.build_keys = {"b"};
+  PlanOp op;
+  op.kind = PlanOp::Kind::kJoin;
+  op.join = leaf;
+  for (int i = 0; i < kMaxPlanDepth; ++i) op = NestJoin(std::move(op));
+  PlanFragment f;
+  f.ops.push_back(op);
   auto bytes = f.Serialize();
   auto back = PlanFragment::Deserialize(bytes.data(), bytes.size());
   ASSERT_FALSE(back.ok());
-  EXPECT_NE(back.status().message().find("row ops only"),
+  EXPECT_NE(back.status().message().find("kMaxPlanDepth"),
             std::string::npos);
 }
 
