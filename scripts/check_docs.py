@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Keeps the docs from rotting. Three checks, run in CI:
+"""Keeps the docs from rotting. Four checks, run in CI:
 
 1. Every bench binary (bench/bench_*.cc) must appear in the README's
    figure tables, so new figures cannot land undocumented.
@@ -9,6 +9,10 @@
 3. docs/FORMAT.md's encoding-tag table must match the Encoding enum in
    src/format/encoding.h exactly (same names, same values), so the
    on-disk spec cannot silently drift from the code.
+4. Every TPC-H query the workload declares (TpchQ<N> in
+   src/workload/tpch.h) must have a row in the README's TPC-H coverage
+   matrix, and every matrix row must name a declared query, so the
+   matrix can neither lag behind nor overstate the implementation.
 
 Exit code: 0 when clean, 1 with one line per violation otherwise.
 
@@ -127,6 +131,43 @@ def check_encoding_tags(root, errors):
                 f"src/format/encoding.h")
 
 
+# `core::Query TpchQ3(` declarations in the workload header.
+TPCH_DECL_RE = re.compile(r"core::Query\s+TpchQ(\d+)\s*\(")
+# Coverage-matrix rows: `| Q12 (shipping modes) | ... |`.
+TPCH_ROW_RE = re.compile(r"^\|\s*Q(\d+)\b", re.MULTILINE)
+
+
+def check_tpch_matrix(root, errors):
+    header_path = os.path.join(root, "src", "workload", "tpch.h")
+    readme_path = os.path.join(root, "README.md")
+    try:
+        with open(header_path, encoding="utf-8") as f:
+            header = f.read()
+        with open(readme_path, encoding="utf-8") as f:
+            readme = f.read()
+    except OSError as e:
+        errors.append(f"tpch matrix check: unreadable input ({e})")
+        return
+    declared = set(TPCH_DECL_RE.findall(header))
+    if not declared:
+        errors.append("src/workload/tpch.h: no TpchQ<N> declarations found")
+        return
+    section = readme.split("## TPC-H coverage", 1)
+    if len(section) != 2:
+        errors.append("README.md: '## TPC-H coverage' section not found")
+        return
+    body = section[1].split("\n## ", 1)[0]
+    documented = set(TPCH_ROW_RE.findall(body))
+    for q in sorted(declared - documented, key=int):
+        errors.append(
+            f"README.md: TpchQ{q} is implemented (src/workload/tpch.h) but "
+            f"has no row in the TPC-H coverage matrix")
+    for q in sorted(documented - declared, key=int):
+        errors.append(
+            f"README.md: the TPC-H coverage matrix lists Q{q} but "
+            f"src/workload/tpch.h declares no TpchQ{q}")
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.abspath(
         os.path.join(os.path.dirname(__file__), os.pardir))
@@ -134,12 +175,13 @@ def main(argv):
     check_bench_rows(root, errors)
     check_links(root, errors)
     check_encoding_tags(root, errors)
+    check_tpch_matrix(root, errors)
     for e in errors:
         print(f"check_docs: {e}", file=sys.stderr)
     if errors:
         return 1
-    print("check_docs: README bench rows, markdown links, and encoding "
-          "tags are clean")
+    print("check_docs: README bench rows, markdown links, encoding tags, "
+          "and the TPC-H matrix are clean")
     return 0
 
 

@@ -1,6 +1,10 @@
 #include "core/dataflow.h"
 
+#include "core/optimizer.h"
+
 namespace lambada::core {
+
+Result<std::string> Query::Explain() const { return ExplainQuery(*this); }
 
 Query Query::FromParquet(std::string pattern) {
   return Query(std::move(pattern));

@@ -68,6 +68,14 @@ class Query {
   /// Convenience: global row count.
   Query ReduceCount() const;
 
+  /// Renders the physical plan this query compiles to as deterministic
+  /// text (scan filters/projections, join order and per-join strategy
+  /// decisions with modeled costs, aggregate, HAVING). Without a catalog
+  /// the optimizer keeps the syntactic join order and partitioned
+  /// exchanges; the driver's EXPLAIN output (QueryReport::explain_text)
+  /// shows the choices made with real statistics.
+  Result<std::string> Explain() const;
+
   const std::string& pattern() const { return pattern_; }
   const std::vector<PlanOp>& ops() const { return ops_; }
 

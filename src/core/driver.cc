@@ -8,12 +8,48 @@
 
 #include "common/glob.h"
 #include "core/exchange.h"
+#include "core/logical_plan.h"
 #include "core/stats_index.h"
 #include "core/worker.h"
 #include "engine/aggregate.h"
 #include "engine/chunk_serde.h"
 
 namespace lambada::core {
+
+namespace {
+
+/// One expanded input glob: the matched files, their virtual (scaled)
+/// sizes, and the derived stats-index dataset name.
+struct PatternListing {
+  std::string bucket;
+  std::string key_pattern;
+  std::string dataset;
+  std::vector<engine::FileRef> files;
+  std::map<std::string, int64_t> sizes;
+  int64_t total_bytes = 0;
+};
+
+sim::Async<Result<PatternListing>> ListPattern(cloud::S3Client* client,
+                                               const std::string& pattern) {
+  PatternListing out;
+  if (!ParseS3Uri(pattern, &out.bucket, &out.key_pattern)) {
+    co_return Status::Invalid("bad input pattern: " + pattern);
+  }
+  auto listing =
+      co_await client->List(out.bucket, GlobLiteralPrefix(out.key_pattern));
+  if (!listing.ok()) co_return listing.status();
+  for (const auto& obj : *listing) {
+    if (GlobMatch(out.key_pattern, obj.key)) {
+      out.files.push_back(engine::FileRef{out.bucket, obj.key});
+      out.sizes[obj.key] = obj.size;
+      out.total_bytes += obj.size;
+    }
+  }
+  out.dataset = out.bucket + "/" + GlobLiteralPrefix(out.key_pattern);
+  co_return out;
+}
+
+}  // namespace
 
 Driver::Driver(cloud::Cloud* cloud, DriverOptions options)
     : cloud_(cloud), options_(std::move(options)) {}
@@ -118,13 +154,142 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   const cloud::CostSnapshot cost_before = cloud_->ledger().Snapshot();
   const size_t metrics_before = cloud_->faas().completed_metrics().size();
 
-  // ---- Compile. ----
-  auto physical = PlanQuery(query, options.tuning);
-  if (!physical.ok()) co_return physical.status();
+  // ---- Compile (joins list their relations first, to build a catalog).
+  cloud::S3Client client(&cloud_->s3(), cloud_->driver_net());
+  bool has_join = false;
+  for (const auto& op : query.ops()) {
+    if (op.kind == PlanOp::Kind::kJoin) has_join = true;
+  }
+
+  Result<PhysicalQuery> physical = Status::Internal("not planned");
+  Result<PatternListing> probe_listing_or = Status::Internal("not listed");
+  std::map<std::string, PatternListing> build_listings;  // By pattern.
+  if (!has_join) {
+    // Single-table path: plan, then list (the original sequence).
+    physical = PlanQuery(query, options.tuning);
+    if (!physical.ok()) co_return physical.status();
+    probe_listing_or = co_await ListPattern(&client, physical->pattern);
+    if (!probe_listing_or.ok()) co_return probe_listing_or.status();
+  } else {
+    // Join path: expand every relation's glob up front — the listings
+    // feed the optimizer's catalog and later drive build-file
+    // distribution.
+    probe_listing_or = co_await ListPattern(&client, query.pattern());
+    if (!probe_listing_or.ok()) co_return probe_listing_or.status();
+    for (const auto& op : query.ops()) {
+      if (op.kind != PlanOp::Kind::kJoin) continue;
+      const std::string& bp = op.join->build_pattern;
+      if (build_listings.count(bp) != 0) continue;
+      auto bl = co_await ListPattern(&client, bp);
+      if (!bl.ok()) co_return bl.status();
+      if (bl->files.empty()) {
+        co_return Status::NotFound("no build input files match " + bp);
+      }
+      build_listings.emplace(bp, *std::move(bl));
+    }
+
+    // Assemble the optimizer's catalog: sizes from the listings; row
+    // counts and column bounds from the stats index when enabled. Floated
+    // filter columns are probed against every relation — lookups of
+    // columns a relation does not have simply miss.
+    std::set<std::string> filter_cols;
+    std::set<std::string> probe_cols;
+    std::map<std::string, std::set<std::string>> build_cols;
+    for (const auto& op : query.ops()) {
+      if (op.kind == PlanOp::Kind::kFilter && op.expr != nullptr) {
+        op.expr->CollectColumns(&filter_cols);
+      } else if (op.kind == PlanOp::Kind::kJoin) {
+        auto& bc = build_cols[op.join->build_pattern];
+        for (const auto& k : op.join->probe_keys) probe_cols.insert(k);
+        for (const auto& k : op.join->build_keys) bc.insert(k);
+        for (const auto& bop : op.join->build_ops) {
+          CollectOpColumns(bop, &bc);
+        }
+      }
+    }
+
+    Catalog catalog;
+    StatsIndex stats(&cloud_->ddb());
+    auto add_relation = [&](const std::string& pattern,
+                            const PatternListing& l,
+                            std::set<std::string> cols)
+        -> sim::Async<Status> {
+      RelationStats rs;
+      rs.bytes = static_cast<double>(l.total_bytes);
+      rs.files = static_cast<int64_t>(l.files.size());
+      if (options.use_stats_index) {
+        cols.insert(filter_cols.begin(), filter_cols.end());
+        std::set<std::string> listed;
+        for (const auto& f : l.files) listed.insert(f.key);
+        for (const auto& c : cols) {
+          auto lookup =
+              co_await stats.Lookup(cloud_->driver_net(), l.dataset, c);
+          if (!lookup.ok()) {
+            if (lookup.status().IsNotFound()) continue;  // Not indexed.
+            co_return lookup.status();
+          }
+          engine::Interval iv;
+          double rows = 0;
+          bool any = false;
+          for (const auto& fb : *lookup) {
+            if (listed.find(fb.file_key) == listed.end()) continue;
+            if (!any) {
+              iv.lo = fb.min;
+              iv.hi = fb.max;
+            } else {
+              iv.lo = std::min(iv.lo, fb.min);
+              iv.hi = std::max(iv.hi, fb.max);
+            }
+            rows += static_cast<double>(fb.rows);
+            any = true;
+          }
+          if (!any) continue;
+          rs.columns[c] = iv;
+          // Virtual scaling applies to rows like it does to bytes.
+          rs.rows = std::max(rs.rows, rows * options.data_scale);
+        }
+      }
+      catalog.relations[pattern] = std::move(rs);
+      co_return Status::OK();
+    };
+    CO_RETURN_NOT_OK(co_await add_relation(query.pattern(),
+                                           *probe_listing_or, probe_cols));
+    for (const auto& [bp, bl] : build_listings) {
+      CO_RETURN_NOT_OK(co_await add_relation(bp, bl, build_cols[bp]));
+    }
+
+    // Fleet-size estimate for the broadcast alternative's cost; the final
+    // count is settled below, after pruning.
+    int est_workers =
+        options.num_workers > 0
+            ? options.num_workers
+            : static_cast<int>(
+                  (probe_listing_or->files.size() +
+                   static_cast<size_t>(options.files_per_worker) - 1) /
+                  static_cast<size_t>(options.files_per_worker));
+    est_workers = std::max(
+        1, std::min<int>(est_workers,
+                         static_cast<int>(probe_listing_or->files.size())));
+
+    OptimizerOptions opt;
+    opt.tuning = options.tuning;
+    opt.workers = est_workers;
+    opt.strategy = options.join_strategy;
+    physical = OptimizeQuery(query, catalog, opt);
+    if (!physical.ok()) co_return physical.status();
+  }
+  PatternListing& probe_listing = *probe_listing_or;
+  std::vector<engine::FileRef>& files = probe_listing.files;
+  std::map<std::string, int64_t>& file_sizes = probe_listing.sizes;
+  if (files.empty()) {
+    co_return Status::NotFound("no input files match " + physical->pattern);
+  }
+
   std::string query_id = "q" + std::to_string(next_query_id_++);
   // Stamp exchange instances with a unique id and ensure their buckets. A
-  // join fragment carries two: the probe-side kExchange op and the build
-  // side's exchange inside the JoinSpec.
+  // partitioned join carries two: the probe-side kExchange op and the
+  // build side's exchange inside the JoinSpec. A broadcast join carries
+  // none.
   for (size_t i = 0; i < physical->fragment.ops.size(); ++i) {
     auto& op = physical->fragment.ops[i];
     if (op.kind == PlanOp::Kind::kExchange) {
@@ -133,40 +298,22 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     } else if (op.kind == PlanOp::Kind::kJoin) {
       op.join->build_exchange.exchange_id =
           query_id + "-xb" + std::to_string(i);
-      CO_RETURN_NOT_OK(
-          CreateExchangeBuckets(&cloud_->s3(), op.join->build_exchange));
+      if (op.join->strategy == JoinStrategy::kPartitioned) {
+        CO_RETURN_NOT_OK(
+            CreateExchangeBuckets(&cloud_->s3(), op.join->build_exchange));
+      }
     }
   }
 
-  // ---- Expand the input glob. ----
-  std::string bucket, key_pattern;
-  if (!ParseS3Uri(physical->pattern, &bucket, &key_pattern)) {
-    co_return Status::Invalid("bad input pattern: " + physical->pattern);
-  }
-  cloud::S3Client client(&cloud_->s3(), cloud_->driver_net());
-  auto listing =
-      co_await client.List(bucket, GlobLiteralPrefix(key_pattern));
-  if (!listing.ok()) co_return listing.status();
-  std::vector<engine::FileRef> files;
-  std::map<std::string, int64_t> file_sizes;  // Virtual (scaled) bytes.
-  for (const auto& obj : *listing) {
-    if (GlobMatch(key_pattern, obj.key)) {
-      files.push_back(engine::FileRef{bucket, obj.key});
-      file_sizes[obj.key] = obj.size;
-    }
-  }
-  if (files.empty()) {
-    co_return Status::NotFound("no input files match " + physical->pattern);
-  }
   if (options.use_stats_index && physical->fragment.scan_filter != nullptr) {
     // Section 5.3 extension: central min/max index lets the driver skip
     // files before any worker is started.
     StatsIndex stats(&cloud_->ddb());
-    std::string dataset = bucket + "/" + GlobLiteralPrefix(key_pattern);
     std::vector<std::string> keys;
     keys.reserve(files.size());
     for (const auto& f : files) keys.push_back(f.key);
-    auto kept = co_await stats.PruneFiles(cloud_->driver_net(), dataset,
+    auto kept = co_await stats.PruneFiles(cloud_->driver_net(),
+                                          probe_listing.dataset,
                                           std::move(keys),
                                           physical->fragment.scan_filter);
     if (kept.ok()) {
@@ -176,29 +323,6 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
         if (keep_set.count(f.key)) kept_files.push_back(std::move(f));
       }
       if (!kept_files.empty()) files = std::move(kept_files);
-    }
-  }
-
-  // ---- Expand the build-relation glob of a join query. ----
-  std::vector<engine::FileRef> build_files;
-  if (!physical->build_pattern.empty()) {
-    std::string build_bucket, build_key_pattern;
-    if (!ParseS3Uri(physical->build_pattern, &build_bucket,
-                    &build_key_pattern)) {
-      co_return Status::Invalid("bad build input pattern: " +
-                                physical->build_pattern);
-    }
-    auto build_listing = co_await client.List(
-        build_bucket, GlobLiteralPrefix(build_key_pattern));
-    if (!build_listing.ok()) co_return build_listing.status();
-    for (const auto& obj : *build_listing) {
-      if (GlobMatch(build_key_pattern, obj.key)) {
-        build_files.push_back(engine::FileRef{build_bucket, obj.key});
-      }
-    }
-    if (build_files.empty()) {
-      co_return Status::NotFound("no build input files match " +
-                                 physical->build_pattern);
     }
   }
 
@@ -213,11 +337,15 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   }
   workers = std::max(1, std::min<int>(workers, static_cast<int>(files.size())));
   // Exchanges need a factorizable worker grid; round down if necessary.
-  // Both exchanges of a join run over the same grid, so both constrain it.
+  // Both exchanges of a partitioned join run over the same grid, so both
+  // constrain it; a broadcast join has no exchange and constrains nothing.
   for (const auto& op : physical->fragment.ops) {
     const ExchangeSpec* specs[2] = {
         op.kind == PlanOp::Kind::kExchange ? &*op.exchange : nullptr,
-        op.kind == PlanOp::Kind::kJoin ? &op.join->build_exchange : nullptr};
+        op.kind == PlanOp::Kind::kJoin &&
+                op.join->strategy == JoinStrategy::kPartitioned
+            ? &op.join->build_exchange
+            : nullptr};
     for (const ExchangeSpec* spec : specs) {
       if (spec == nullptr) continue;
       int adjusted = LargestFactorizableWorkerCount(workers, spec->levels);
@@ -266,16 +394,30 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     size_t end = files.size() * (static_cast<size_t>(w) + 1) /
                  static_cast<size_t>(workers);
     p.self.files.assign(files.begin() + begin, files.begin() + end);
-    if (!build_files.empty()) {
-      // Contiguous build-file ranges; workers beyond the build file count
-      // get none (the exchange redistributes, so local coverage does not
-      // matter for correctness).
-      size_t bbegin = build_files.size() * static_cast<size_t>(w) /
+    for (size_t j = 0; j < physical->build_inputs.size(); ++j) {
+      const auto& bi = physical->build_inputs[j];
+      const auto& bfiles = build_listings.at(bi.pattern).files;
+      size_t before = p.self.build_files.size();
+      if (bi.broadcast) {
+        // Broadcast join: every worker reads the whole build relation.
+        p.self.build_files.insert(p.self.build_files.end(), bfiles.begin(),
+                                  bfiles.end());
+      } else {
+        // Partitioned join: contiguous build-file ranges; workers beyond
+        // the build file count get none (the exchange redistributes, so
+        // local coverage does not matter for correctness).
+        size_t bbegin = bfiles.size() * static_cast<size_t>(w) /
+                        static_cast<size_t>(workers);
+        size_t bend = bfiles.size() * (static_cast<size_t>(w) + 1) /
                       static_cast<size_t>(workers);
-      size_t bend = build_files.size() * (static_cast<size_t>(w) + 1) /
-                    static_cast<size_t>(workers);
-      p.self.build_files.assign(build_files.begin() + bbegin,
-                                build_files.begin() + bend);
+        p.self.build_files.insert(p.self.build_files.end(),
+                                  bfiles.begin() + bbegin,
+                                  bfiles.begin() + bend);
+      }
+      if (physical->build_inputs.size() > 1) {
+        p.self.build_counts.push_back(
+            static_cast<uint32_t>(p.self.build_files.size() - before));
+      }
     }
     payloads.push_back(std::move(p));
   }
@@ -350,12 +492,26 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     report.result = *std::move(merged);
   }
 
+  // Driver-scope HAVING filters run against the finalized result.
+  for (const auto& op : physical->driver_ops) {
+    if (report.result.num_columns() == 0) break;
+    auto mask = op.expr->Evaluate(report.result);
+    if (!mask.ok()) co_return mask.status();
+    std::vector<bool> keep(report.result.num_rows());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      keep[i] = mask->ValueAsInt64(i) != 0;
+    }
+    report.result = report.result.Filter(keep);
+  }
+
   report.latency_s = sim->Now() - t_start;
   report.invocation_issue_s = t_invoked - t_start;
   report.workers = workers;
   report.files = static_cast<int>(files.size());
   report.cost = cloud_->ledger().Snapshot() - cost_before;
   report.worker_results = std::move(results);
+  report.join_choices = physical->join_choices;
+  report.explain_text = physical->explain_text;
   const auto& all_metrics = cloud_->faas().completed_metrics();
   report.worker_metrics.assign(all_metrics.begin() + metrics_before,
                                all_metrics.end());

@@ -8,6 +8,7 @@
 #include "core/dataflow.h"
 #include "exec/exec_context.h"
 #include "core/messages.h"
+#include "core/optimizer.h"
 #include "core/planner.h"
 #include "engine/table.h"
 #include "sim/async.h"
@@ -54,8 +55,12 @@ struct RunOptions {
   double data_scale = 1.0;
   /// Consult the central min/max statistics index (core/stats_index.h)
   /// before fan-out, skipping files no worker needs to visit — the
-  /// Section 5.3 extension.
+  /// Section 5.3 extension. Join queries additionally feed the index's
+  /// row counts and bounds to the cost-based optimizer as its catalog.
   bool use_stats_index = false;
+  /// Per-join exchange strategy: kAuto lets the optimizer's cost model
+  /// decide; the force settings exist for ablation benches.
+  JoinStrategyOverride join_strategy = JoinStrategyOverride::kAuto;
 };
 
 /// Everything the driver knows after a query: the result, end-to-end
@@ -71,6 +76,10 @@ struct QueryReport {
   std::vector<ResultMessage> worker_results;
   /// Container-level timing (invocation, cold starts) per worker.
   std::vector<cloud::WorkerMetrics> worker_metrics;
+  /// The optimizer's per-join strategy decisions (empty for single-table
+  /// queries) and the deterministic plan rendering.
+  std::vector<JoinChoice> join_choices;
+  std::string explain_text;
 
   /// Total USD for this query at the deployment's prices.
   double CostUsd(const cloud::Pricing& pricing) const {

@@ -32,6 +32,15 @@ void WorkerInput::Serialize(BinaryWriter* w) const {
   w->PutU32(worker_id);
   PutFileRefs(w, files);
   PutFileRefs(w, build_files);
+  // Appended field (per the contract note above). Presence is conditioned
+  // on build_files being non-empty — deterministic on both sides — so
+  // single-table payloads stay bit-identical to the original layout. A
+  // multi-join worker whose slices are ALL empty loses its all-zero
+  // counts here; the worker reads missing ordinals as empty lists.
+  if (!build_files.empty()) {
+    w->PutVarint(build_counts.size());
+    for (uint32_t n : build_counts) w->PutU32(n);
+  }
 }
 
 Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
@@ -39,6 +48,15 @@ Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
   ASSIGN_OR_RETURN(in.worker_id, r->GetU32());
   ASSIGN_OR_RETURN(in.files, GetFileRefs(r));
   ASSIGN_OR_RETURN(in.build_files, GetFileRefs(r));
+  if (!in.build_files.empty()) {
+    ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+    if (n > 10000) return Status::IOError("implausible build_counts");
+    in.build_counts.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSIGN_OR_RETURN(uint32_t c, r->GetU32());
+      in.build_counts.push_back(c);
+    }
+  }
   return in;
 }
 

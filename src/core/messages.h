@@ -27,8 +27,14 @@ struct WorkerInput {
   uint32_t worker_id = 0;
   std::vector<engine::FileRef> files;
   /// Build-relation files of a join fragment (often empty: the build
-  /// relation usually has fewer files than workers).
+  /// relation usually has fewer files than workers). With multiple joins
+  /// this is the concatenation of every join's list, in build-ordinal
+  /// order.
   std::vector<engine::FileRef> build_files;
+  /// Slice lengths of `build_files` per join ordinal (multi-join
+  /// fragments). Empty = every build file belongs to ordinal 0, the
+  /// single-join layout.
+  std::vector<uint32_t> build_counts;
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerInput> Deserialize(BinaryReader* r);

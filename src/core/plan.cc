@@ -107,7 +107,7 @@ Result<JoinSpec> JoinSpec::Deserialize(BinaryReader* r, int depth) {
   if (n > 10000) return Status::IOError("implausible build op count");
   for (uint64_t i = 0; i < n; ++i) {
     ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
-    if (kind > static_cast<uint8_t>(PlanOp::Kind::kJoin)) {
+    if (kind > static_cast<uint8_t>(PlanOp::Kind::kJoinV2)) {
       return Status::IOError("bad plan op kind");
     }
     // A nested kJoin recurses one level deeper; JoinSpec::Deserialize
@@ -123,7 +123,16 @@ Result<JoinSpec> JoinSpec::Deserialize(BinaryReader* r, int depth) {
 }
 
 void PlanOp::Serialize(BinaryWriter* w) const {
-  w->PutU8(static_cast<uint8_t>(kind));
+  // A join with non-default strategy/ordinal needs the extended tag: the
+  // v1 kJoin layout is frozen (see the serialization contract), so the
+  // extra fields ride under kJoinV2 instead of trailing the old form.
+  Kind tag = kind;
+  if (kind == Kind::kJoin &&
+      (join->strategy != JoinStrategy::kPartitioned ||
+       join->build_ordinal != 0)) {
+    tag = Kind::kJoinV2;
+  }
+  w->PutU8(static_cast<uint8_t>(tag));
   switch (kind) {
     case Kind::kFilter:
       expr->Serialize(w);
@@ -148,6 +157,11 @@ void PlanOp::Serialize(BinaryWriter* w) const {
       for (const auto& a : aggs) a.Serialize(w);
       break;
     case Kind::kJoin:
+    case Kind::kJoinV2:  // In-memory kind is always kJoin.
+      if (tag == Kind::kJoinV2) {
+        w->PutU8(static_cast<uint8_t>(join->strategy));
+        w->PutVarint(static_cast<uint64_t>(join->build_ordinal));
+      }
       join->Serialize(w);
       break;
   }
@@ -155,7 +169,7 @@ void PlanOp::Serialize(BinaryWriter* w) const {
 
 Result<PlanOp> PlanOp::Deserialize(BinaryReader* r) {
   ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
-  if (kind > static_cast<uint8_t>(Kind::kJoin)) {
+  if (kind > static_cast<uint8_t>(Kind::kJoinV2)) {
     return Status::IOError("bad plan op kind");
   }
   return DeserializePlanOpBody(static_cast<Kind>(kind), r, 0);
@@ -207,6 +221,22 @@ Result<PlanOp> DeserializePlanOpBody(PlanOp::Kind kind, BinaryReader* r,
     }
     case Kind::kJoin: {
       ASSIGN_OR_RETURN(JoinSpec spec, JoinSpec::Deserialize(r, depth));
+      op.join = std::move(spec);
+      break;
+    }
+    case Kind::kJoinV2: {
+      ASSIGN_OR_RETURN(uint8_t strategy, r->GetU8());
+      if (strategy > static_cast<uint8_t>(JoinStrategy::kBroadcast)) {
+        return Status::IOError("bad join strategy");
+      }
+      ASSIGN_OR_RETURN(uint64_t ordinal, r->GetVarint());
+      if (ordinal > 10000) {
+        return Status::IOError("implausible join ordinal");
+      }
+      ASSIGN_OR_RETURN(JoinSpec spec, JoinSpec::Deserialize(r, depth));
+      spec.strategy = static_cast<JoinStrategy>(strategy);
+      spec.build_ordinal = static_cast<int>(ordinal);
+      op.kind = PlanOp::Kind::kJoin;  // Normalize the wire-only tag.
       op.join = std::move(spec);
       break;
     }

@@ -100,18 +100,39 @@ struct ScanTuning {
 
 struct PlanOp;
 
+/// How a join's build relation reaches the workers. The optimizer picks
+/// per join from modeled exchange traffic (see core/optimizer.h).
+enum class JoinStrategy : uint8_t {
+  /// Two-sided partitioned exchange: both inputs hash-partition on their
+  /// join keys over the same worker grid (the probe side through the
+  /// kExchange op preceding the kJoin, the build side through
+  /// `build_exchange`), so co-partitioned pairs meet on one worker.
+  kPartitioned = 0,
+  /// Broadcast: the driver ships the FULL build file list to every
+  /// worker; each worker scans the whole build relation locally, so
+  /// neither side runs an exchange round for this join.
+  kBroadcast = 1,
+};
+
 /// Everything a kJoin operator carries: the join itself (type and key
 /// pairs) plus the build side's complete scan pipeline. A join fragment is
-/// therefore self-contained — one fragment, two scans. The planner routes
-/// both sides through hash exchanges on their respective keys so that
-/// co-partitioned (probe, build) pairs land on the same worker: the probe
-/// exchange is the regular kExchange op preceding the kJoin, the build
-/// side's lives here as `build_exchange`.
+/// therefore self-contained — one fragment, two scans. With the
+/// kPartitioned strategy both sides go through hash exchanges on their
+/// respective keys so that co-partitioned (probe, build) pairs land on the
+/// same worker: the probe exchange is the regular kExchange op preceding
+/// the kJoin, the build side's lives here as `build_exchange`. With
+/// kBroadcast every worker scans the whole build relation and no exchange
+/// runs for this join.
 struct JoinSpec {
   engine::JoinType type = engine::JoinType::kInner;
   /// Equi-join key pairs: probe_keys[i] joins build_keys[i].
   std::vector<std::string> probe_keys;
   std::vector<std::string> build_keys;
+  /// Build distribution strategy chosen by the optimizer.
+  JoinStrategy strategy = JoinStrategy::kPartitioned;
+  /// Ordinal of this join among the fragment's kJoin ops: selects which
+  /// per-join build file list of the invocation payload feeds this join.
+  int build_ordinal = 0;
 
   // -- Build-side input pipeline (the second scan of the fragment) --------
   /// Input file glob of the build relation. Logical-plan information: the
@@ -147,6 +168,11 @@ struct PlanOp {
                      ///< partial state).
     kJoin = 5,       ///< Hash join against a second scan pipeline
                      ///< (pipeline breaker; see JoinSpec).
+    kJoinV2 = 6,     ///< Wire-only tag: kJoin plus an explicit strategy
+                     ///< byte and build ordinal (the v1 tag's layout is
+                     ///< frozen, so the extended form claimed the next
+                     ///< tag). Normalized to kJoin on read; never the
+                     ///< in-memory kind.
   };
 
   Kind kind = Kind::kFilter;
@@ -186,12 +212,22 @@ struct PlanFragment {
     return !ops.empty() && ops.back().kind == PlanOp::Kind::kAggregate;
   }
 
-  /// Index of the kJoin op, or -1 if this is a single-table fragment.
+  /// Index of the first kJoin op, or -1 if this is a single-table
+  /// fragment.
   int JoinIndex() const {
     for (size_t i = 0; i < ops.size(); ++i) {
       if (ops[i].kind == PlanOp::Kind::kJoin) return static_cast<int>(i);
     }
     return -1;
+  }
+
+  /// Indices of every kJoin op, in pipeline order (their build_ordinals).
+  std::vector<size_t> JoinIndices() const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == PlanOp::Kind::kJoin) out.push_back(i);
+    }
+    return out;
   }
 
   std::vector<uint8_t> Serialize() const;

@@ -1,177 +1,12 @@
 #include "core/planner.h"
 
 #include <algorithm>
-#include <optional>
-#include <set>
+#include <vector>
+
+#include "core/logical_plan.h"
+#include "core/optimizer.h"
 
 namespace lambada::core {
-
-namespace {
-
-using engine::BinaryOp;
-using engine::Expr;
-using engine::ExprPtr;
-
-/// Columns required by one op (its own expressions + pass-through needs
-/// are handled conservatively by unioning everything referenced anywhere).
-void CollectOpColumns(const PlanOp& op, std::set<std::string>* cols) {
-  switch (op.kind) {
-    case PlanOp::Kind::kFilter:
-    case PlanOp::Kind::kMap:
-      op.expr->CollectColumns(cols);
-      break;
-    case PlanOp::Kind::kSelect:
-      for (const auto& e : op.exprs) e->CollectColumns(cols);
-      break;
-    case PlanOp::Kind::kExchange:
-      for (const auto& k : op.exchange->keys) cols->insert(k);
-      break;
-    case PlanOp::Kind::kAggregate:
-      for (const auto& g : op.group_by) cols->insert(g);
-      for (const auto& a : op.aggs) {
-        if (a.input != nullptr) a.input->CollectColumns(cols);
-      }
-      break;
-    case PlanOp::Kind::kJoin:
-      // Probe-side needs only: the build side has its own pipeline and is
-      // planned separately.
-      for (const auto& k : op.join->probe_keys) cols->insert(k);
-      break;
-  }
-}
-
-/// Names of columns *introduced* by an op (Map/Select outputs): these must
-/// not be pushed into the scan projection.
-void CollectOpOutputs(const PlanOp& op, std::set<std::string>* produced) {
-  switch (op.kind) {
-    case PlanOp::Kind::kMap:
-      produced->insert(op.name);
-      break;
-    case PlanOp::Kind::kSelect:
-      for (const auto& n : op.names) produced->insert(n);
-      break;
-    case PlanOp::Kind::kAggregate:
-      for (const auto& a : op.aggs) produced->insert(a.output_name);
-      break;
-    default:
-      break;
-  }
-}
-
-/// Folds the leading kFilter run of ops[*first_kept..] into one pushed-down
-/// scan predicate and advances *first_kept past it.
-ExprPtr FoldLeadingFilters(const std::vector<PlanOp>& ops,
-                           size_t* first_kept) {
-  ExprPtr folded;
-  while (*first_kept < ops.size() &&
-         ops[*first_kept].kind == PlanOp::Kind::kFilter) {
-    folded = folded == nullptr
-                 ? ops[*first_kept].expr
-                 : Expr::Binary(BinaryOp::kAnd, folded,
-                                ops[*first_kept].expr);
-    ++*first_kept;
-  }
-  return folded;
-}
-
-/// Projection push-down over a linear op run: base columns referenced by
-/// the pushed filter, the op run, and `extra_columns`, excluding derived
-/// columns.
-std::vector<std::string> PushdownProjection(
-    const ExprPtr& scan_filter, const std::vector<PlanOp>& ops,
-    const std::vector<std::string>& extra_columns) {
-  std::set<std::string> referenced;
-  if (scan_filter != nullptr) scan_filter->CollectColumns(&referenced);
-  std::set<std::string> produced;
-  for (const auto& op : ops) {
-    std::set<std::string> cols;
-    CollectOpColumns(op, &cols);
-    for (const auto& c : cols) {
-      if (produced.find(c) == produced.end()) referenced.insert(c);
-    }
-    CollectOpOutputs(op, &produced);
-  }
-  for (const auto& c : extra_columns) {
-    if (produced.find(c) == produced.end()) referenced.insert(c);
-  }
-  return {referenced.begin(), referenced.end()};
-}
-
-bool IsRowOp(const PlanOp& op) {
-  return op.kind == PlanOp::Kind::kFilter || op.kind == PlanOp::Kind::kMap ||
-         op.kind == PlanOp::Kind::kSelect;
-}
-
-/// The closed output-column set of a row-op run, if any: a Select closes
-/// the set to its names, later Maps extend it; without a Select the set
-/// stays open (nullopt — the scan's columns flow through).
-std::optional<std::set<std::string>> ClosedOutputSet(
-    const std::vector<PlanOp>& ops) {
-  std::optional<std::set<std::string>> closed;
-  for (const auto& op : ops) {
-    if (op.kind == PlanOp::Kind::kSelect) {
-      closed.emplace(op.names.begin(), op.names.end());
-    } else if (op.kind == PlanOp::Kind::kMap && closed.has_value()) {
-      closed->insert(op.name);
-    }
-  }
-  return closed;
-}
-
-/// Join keys must survive their side's pipeline: catching a key dropped
-/// by a Select at plan time saves launching a fleet that can only fail in
-/// the exchange.
-Status ValidateKeysSurvive(
-    const std::optional<std::set<std::string>>& closed,
-    const std::vector<std::string>& keys, const char* side) {
-  if (!closed.has_value()) return Status::OK();
-  for (const auto& k : keys) {
-    if (closed->find(k) == closed->end()) {
-      return Status::Invalid(std::string("join ") + side + " key " + k +
-                             " is dropped by a " + side + "-side Select");
-    }
-  }
-  return Status::OK();
-}
-
-/// Plans the build side of a join: filter/projection push-down into the
-/// build scan, and the build exchange keyed on build_keys. Returns the set
-/// of columns the build side is known to emit, or nullopt when that set is
-/// open (no terminal Select) — the caller then cannot attribute post-join
-/// column references to a side and must scan conservatively.
-Result<std::optional<std::set<std::string>>> PlanBuildSide(JoinSpec* join) {
-  size_t first_kept = 0;
-  join->build_scan_filter = FoldLeadingFilters(join->build_ops, &first_kept);
-  std::vector<PlanOp> kept(join->build_ops.begin() +
-                               static_cast<std::ptrdiff_t>(first_kept),
-                           join->build_ops.end());
-  for (const auto& op : kept) {
-    if (!IsRowOp(op)) {
-      return Status::Invalid(
-          "join build side supports only Filter/Map/Select operators");
-    }
-  }
-
-  std::optional<std::set<std::string>> build_out = ClosedOutputSet(kept);
-  RETURN_NOT_OK(ValidateKeysSurvive(build_out, join->build_keys, "build"));
-  // With a closed output set the referenced columns are exactly what the
-  // build scan must read; an open set still pushes the local references
-  // (the build pipeline output *is* the scanned columns plus Map adds,
-  // so nothing downstream can need an unscanned column... except when the
-  // pipeline is empty and the join forwards every stored column). Scan
-  // everything in the open case to stay correct.
-  if (build_out.has_value()) {
-    join->build_scan_projection = PushdownProjection(
-        join->build_scan_filter, kept, join->build_keys);
-  } else {
-    join->build_scan_projection.clear();  // Read all columns.
-  }
-  join->build_ops = std::move(kept);
-  join->build_exchange.keys = join->build_keys;
-  return build_out;
-}
-
-}  // namespace
 
 int64_t AdaptiveChunkBytes(int64_t scan_bytes_per_worker, int connections) {
   constexpr int64_t kMiB = 1024 * 1024;
@@ -186,130 +21,56 @@ int64_t AdaptiveChunkBytes(int64_t scan_bytes_per_worker, int connections) {
 
 Result<PhysicalQuery> PlanQuery(const Query& query,
                                 const ScanTuning& tuning) {
+  const auto& ops = query.ops();
+  for (const auto& op : ops) {
+    if (op.kind == PlanOp::Kind::kJoin) {
+      // Join queries go through the cost-based optimizer. With no catalog
+      // it has nothing to cost, so it preserves the query's join order and
+      // partitioned strategy — the historical plan shape.
+      OptimizerOptions opt;
+      opt.tuning = tuning;
+      return OptimizeQuery(query, Catalog{}, opt);
+    }
+  }
+
+  // ---- Single-table query (the original plan shape). ----
   PhysicalQuery out;
   out.pattern = query.pattern();
   out.fragment.tuning = tuning;
 
-  const auto& ops = query.ops();
-  // An aggregate, if present, must be terminal; at most one join.
-  int join_at = -1;
+  // An aggregate must be terminal, up to trailing HAVING filters, which
+  // run in the driver scope against the finalized result.
+  int agg_at = -1;
   for (size_t i = 0; i < ops.size(); ++i) {
-    if (ops[i].kind == PlanOp::Kind::kAggregate && i + 1 != ops.size()) {
-      return Status::Invalid("Aggregate must be the final operator");
-    }
-    if (ops[i].kind == PlanOp::Kind::kJoin) {
-      if (join_at >= 0) {
-        return Status::NotImplemented("at most one join per query");
-      }
-      join_at = static_cast<int>(i);
+    if (ops[i].kind == PlanOp::Kind::kAggregate) {
+      agg_at = static_cast<int>(i);
+      break;
     }
   }
-
-  // Selection push-down: fold leading filters (before any op that changes
-  // the row set semantics) into the scan predicate.
-  size_t first_kept = 0;
-  out.fragment.scan_filter = FoldLeadingFilters(ops, &first_kept);
-
-  if (join_at < 0) {
-    // ---- Single-table query (the original plan shape). ----
-    std::vector<PlanOp> kept(ops.begin() +
-                                 static_cast<std::ptrdiff_t>(first_kept),
-                             ops.end());
-    out.fragment.scan_projection =
-        PushdownProjection(out.fragment.scan_filter, kept, {});
-    out.fragment.ops = std::move(kept);
+  std::vector<PlanOp> main_ops;
+  if (agg_at >= 0) {
+    for (size_t i = static_cast<size_t>(agg_at) + 1; i < ops.size(); ++i) {
+      if (ops[i].kind != PlanOp::Kind::kFilter) {
+        return Status::Invalid("Aggregate must be the final operator");
+      }
+      out.driver_ops.push_back(ops[i]);
+    }
+    main_ops.assign(ops.begin(),
+                    ops.begin() + static_cast<std::ptrdiff_t>(agg_at) + 1);
   } else {
-    // ---- Join query: two scan pipelines meeting in one fragment. ----
-    // Probe ops split around the join; explicit exchanges are reserved for
-    // the planner here (it inserts the two-sided join exchange itself).
-    std::vector<PlanOp> pre(ops.begin() +
-                                static_cast<std::ptrdiff_t>(first_kept),
-                            ops.begin() + join_at);
-    std::vector<PlanOp> post(ops.begin() + join_at + 1, ops.end());
-    for (const auto& op : pre) {
-      if (!IsRowOp(op)) {
-        return Status::NotImplemented(
-            "only row-wise operators may precede a join");
-      }
-    }
-    for (const auto& op : post) {
-      if (op.kind == PlanOp::Kind::kExchange ||
-          op.kind == PlanOp::Kind::kJoin) {
-        return Status::NotImplemented(
-            "explicit exchanges after a join are not supported");
-      }
-    }
-
-    JoinSpec join = *ops[static_cast<size_t>(join_at)].join;
-    ASSIGN_OR_RETURN(std::optional<std::set<std::string>> build_out,
-                     PlanBuildSide(&join));
-    RETURN_NOT_OK(
-        ValidateKeysSurvive(ClosedOutputSet(pre), join.probe_keys, "probe"));
-
-    // Probe projection: probe-side references plus whatever post-join ops
-    // read that the join does not provide from the build side. What the
-    // join provides depends on its type: an inner join contributes the
-    // build output minus the dropped build keys; a left-semi join
-    // contributes nothing (probe columns only). Columns the build side
-    // shadows are NOT provided before the join, so pre-join references
-    // always read from the probe scan. An open build output set means
-    // post-join references cannot be attributed — scan everything.
-    if (build_out.has_value()) {
-      std::set<std::string> referenced, produced;
-      if (out.fragment.scan_filter != nullptr) {
-        out.fragment.scan_filter->CollectColumns(&referenced);
-      }
-      auto consume = [&](const std::vector<PlanOp>& run) {
-        for (const auto& op : run) {
-          std::set<std::string> cols;
-          CollectOpColumns(op, &cols);
-          for (const auto& c : cols) {
-            if (produced.find(c) == produced.end()) referenced.insert(c);
-          }
-          CollectOpOutputs(op, &produced);
-        }
-      };
-      consume(pre);
-      for (const auto& k : join.probe_keys) {
-        if (produced.find(k) == produced.end()) referenced.insert(k);
-      }
-      if (join.type == engine::JoinType::kInner) {
-        std::set<std::string> dropped_keys(join.build_keys.begin(),
-                                           join.build_keys.end());
-        for (const auto& c : *build_out) {
-          if (dropped_keys.find(c) == dropped_keys.end()) {
-            produced.insert(c);
-          }
-        }
-      }
-      consume(post);
-      out.fragment.scan_projection.assign(referenced.begin(),
-                                          referenced.end());
-    } else {
-      out.fragment.scan_projection.clear();  // Read all columns.
-    }
-
-    // Assemble: pre ops, probe exchange, join, post ops. Both exchanges
-    // share the user-supplied template (levels, buckets, combining) so the
-    // two sides traverse the same grid; the driver stamps distinct ids.
-    ExchangeSpec probe_exchange = join.build_exchange;
-    probe_exchange.keys = join.probe_keys;
-    out.fragment.ops = std::move(pre);
-    PlanOp ex;
-    ex.kind = PlanOp::Kind::kExchange;
-    ex.exchange = std::move(probe_exchange);
-    out.fragment.ops.push_back(std::move(ex));
-    PlanOp jop;
-    jop.kind = PlanOp::Kind::kJoin;
-    jop.join = std::move(join);
-    out.fragment.ops.push_back(std::move(jop));
-    out.fragment.ops.insert(out.fragment.ops.end(),
-                            std::make_move_iterator(post.begin()),
-                            std::make_move_iterator(post.end()));
-    out.build_pattern =
-        out.fragment.ops[static_cast<size_t>(out.fragment.JoinIndex())]
-            .join->build_pattern;
+    main_ops = ops;
   }
+
+  // Selection push-down: fold leading filters into the scan predicate;
+  // projection push-down: read only columns referenced downstream.
+  size_t first_kept = 0;
+  out.fragment.scan_filter = FoldLeadingFilters(main_ops, &first_kept);
+  std::vector<PlanOp> kept(main_ops.begin() +
+                               static_cast<std::ptrdiff_t>(first_kept),
+                           main_ops.end());
+  out.fragment.scan_projection =
+      PushdownProjection(out.fragment.scan_filter, kept, {});
+  out.fragment.ops = std::move(kept);
 
   if (out.fragment.EndsInAggregate()) {
     out.has_final_aggregate = true;

@@ -10,14 +10,41 @@
 
 namespace lambada::core {
 
+/// One build relation a join query reads, in fragment join order (index ==
+/// the join's build_ordinal). The driver expands the pattern and ships
+/// per-worker build file lists: a contiguous split for a partitioned join,
+/// the full list to every worker for a broadcast join.
+struct BuildInput {
+  std::string pattern;
+  bool broadcast = false;
+};
+
+/// The optimizer's record of one join-strategy decision, surfaced for
+/// reports, benches, and EXPLAIN. Costs are the modeled exchange-traffic
+/// dollars of each alternative (0 when no stats were available and the
+/// decision fell back to partitioned).
+struct JoinChoice {
+  std::string build_pattern;
+  bool broadcast = false;
+  /// Estimated inputs/output of this join (rows; 0 = unknown).
+  double est_probe_rows = 0;
+  double est_build_rows = 0;
+  double est_output_rows = 0;
+  /// Modeled traffic of the two alternatives.
+  double partitioned_bytes = 0;
+  double partitioned_usd = 0;
+  double broadcast_bytes = 0;
+  double broadcast_usd = 0;
+};
+
 /// The physical query produced by the planner: a serverless-scope fragment
 /// (executed by every worker over its file subset) plus the driver-scope
 /// finalization (Section 3.2).
 struct PhysicalQuery {
   std::string pattern;          ///< Input file glob (probe side of a join).
-  /// Build-relation glob of a join query; empty for single-table queries.
-  /// The driver expands it and ships per-worker build file lists.
-  std::string build_pattern;
+  /// Build relations of a join query, one per kJoin op in fragment order;
+  /// empty for single-table queries.
+  std::vector<BuildInput> build_inputs;
   PlanFragment fragment;        ///< Worker-side plan.
   /// If the fragment ends in an aggregate, the driver merges partial
   /// states with these specs and finalizes; otherwise it concatenates the
@@ -25,6 +52,13 @@ struct PhysicalQuery {
   bool has_final_aggregate = false;
   std::vector<std::string> final_group_by;
   std::vector<engine::AggSpec> final_aggs;
+  /// Driver-scope row ops applied to the finalized result (HAVING filters
+  /// trailing the aggregate).
+  std::vector<PlanOp> driver_ops;
+  /// One entry per kJoin op (same order as build_inputs).
+  std::vector<JoinChoice> join_choices;
+  /// Deterministic plan rendering (see Query::Explain / SQL EXPLAIN).
+  std::string explain_text;
 };
 
 /// Compiles a logical query into a physical one, applying the classic
@@ -36,12 +70,14 @@ struct PhysicalQuery {
 ///  * projection push-down: only columns referenced anywhere downstream
 ///    are read from storage;
 ///  * data-parallel transformation: a terminal aggregate becomes
-///    worker-side partial aggregation plus driver-side merge;
-///  * join distribution: a JoinWith becomes a two-sided partitioned
-///    exchange — both inputs hash-partition on their join keys over the
-///    same worker grid, so co-partitioned (probe, build) pairs meet on
-///    one worker and the join runs locally there. Push-downs apply to
-///    each side's scan independently.
+///    worker-side partial aggregation plus driver-side merge (trailing
+///    filters after the aggregate run in the driver scope — HAVING);
+///  * join distribution: queries with one or more JoinWith ops are
+///    handed to the cost-based optimizer (core/optimizer.h), which
+///    orders the joins and picks a partitioned or broadcast exchange per
+///    join. Called without a catalog (as here), it preserves the query's
+///    join order and the partitioned strategy. Push-downs apply to each
+///    side's scan independently.
 Result<PhysicalQuery> PlanQuery(const Query& query,
                                 const ScanTuning& tuning = ScanTuning());
 

@@ -157,7 +157,12 @@ class Parser {
     }
     std::string pattern = Next().text;
 
-    ASSIGN_OR_RETURN(JoinClause join, ParseJoinClause());
+    std::vector<JoinClause> joins;
+    while (true) {
+      ASSIGN_OR_RETURN(JoinClause join, ParseJoinClause());
+      if (!join.present) break;
+      joins.push_back(std::move(join));
+    }
 
     ExprPtr where;
     if (AcceptKeyword("WHERE")) {
@@ -174,11 +179,15 @@ class Parser {
         if (!AcceptSymbol(",")) break;
       }
     }
+    ExprPtr having;
+    if (AcceptKeyword("HAVING")) {
+      ASSIGN_OR_RETURN(having, ParseExpr());
+    }
     if (Peek().kind != TokenKind::kEnd) {
       return Status::Invalid("unexpected trailing tokens after query");
     }
-    return Assemble(std::move(pattern), std::move(join), std::move(items),
-                    where, std::move(group_by));
+    return Assemble(std::move(pattern), std::move(joins), std::move(items),
+                    where, std::move(group_by), having);
   }
 
  private:
@@ -486,29 +495,38 @@ class Parser {
     }
   }
 
-  Result<Query> Assemble(std::string pattern, JoinClause join,
+  Result<Query> Assemble(std::string pattern, std::vector<JoinClause> joins,
                          std::vector<SelectItem> items, ExprPtr where,
-                         std::vector<std::string> group_by) {
+                         std::vector<std::string> group_by, ExprPtr having) {
     Query q = Query::FromParquet(std::move(pattern));
-    if (join.present) {
-      // The join output carries the probe keys but drops the build keys
-      // (their values are equal). Let WHERE / SELECT / GROUP BY reference
-      // either name by rewriting build keys to their probe partner.
-      std::map<std::string, std::string> renames;
+    // Each join's output carries the probe keys but drops the build keys
+    // (their values are equal). Let later ON clauses, WHERE, SELECT,
+    // GROUP BY, and HAVING reference either name by rewriting build keys
+    // to their probe partner, accumulated across the join chain.
+    std::map<std::string, std::string> renames;
+    for (auto& join : joins) {
+      for (auto& pk : join.probe_keys) {
+        auto it = renames.find(pk);
+        if (it != renames.end()) pk = it->second;
+      }
       for (size_t i = 0; i < join.build_keys.size(); ++i) {
         renames[join.build_keys[i]] = join.probe_keys[i];
-      }
-      where = RenameColumns(where, renames);
-      for (auto& item : items) item.expr = RenameColumns(item.expr, renames);
-      for (auto& g : group_by) {
-        auto it = renames.find(g);
-        if (it != renames.end()) g = it->second;
       }
       q = q.JoinWith(Query::FromParquet(std::move(join.pattern)),
                      std::move(join.probe_keys),
                      std::move(join.build_keys), join.type);
     }
-    // WHERE runs after the join (it may reference both sides); for
+    if (!renames.empty()) {
+      where = RenameColumns(where, renames);
+      having = RenameColumns(having, renames);
+      for (auto& item : items) item.expr = RenameColumns(item.expr, renames);
+      for (auto& g : group_by) {
+        auto it = renames.find(g);
+        if (it != renames.end()) g = it->second;
+      }
+    }
+    // WHERE runs after the joins (it may reference any side; the
+    // optimizer pushes what it can into the individual scans); for
     // single-table queries this is the position it always had.
     if (where != nullptr) q = q.Filter(where);
 
@@ -516,6 +534,9 @@ class Parser {
     for (const auto& item : items) any_agg |= item.is_aggregate;
 
     if (!any_agg && group_by.empty()) {
+      if (having != nullptr) {
+        return Status::Invalid("HAVING requires aggregation");
+      }
       // Pure projection.
       std::vector<ExprPtr> exprs;
       std::vector<std::string> names;
@@ -544,7 +565,11 @@ class Parser {
                                " is neither aggregated nor in GROUP BY");
       }
     }
-    return q.Aggregate(std::move(group_by), std::move(aggs));
+    q = q.Aggregate(std::move(group_by), std::move(aggs));
+    // HAVING references the aggregate's output columns; the planner turns
+    // this trailing filter into a driver-scope op.
+    if (having != nullptr) q = q.Filter(having);
+    return q;
   }
 
   std::vector<Token> tokens_;
@@ -559,6 +584,25 @@ Result<Query> ParseSql(const std::string& sql) {
   ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.Parse();
+}
+
+Result<std::string> ExplainSql(const std::string& sql) {
+  // Strip the leading EXPLAIN keyword, then compile and render.
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t start = i;
+  while (i < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  if (Upper(sql.substr(start, i - start)) != "EXPLAIN") {
+    return Status::Invalid("EXPLAIN expects a leading EXPLAIN keyword");
+  }
+  ASSIGN_OR_RETURN(Query query, ParseSql(sql.substr(i)));
+  return query.Explain();
 }
 
 }  // namespace lambada::core

@@ -16,10 +16,11 @@ namespace lambada::core {
 ///
 ///   SELECT select_item [, select_item]*
 ///   FROM 's3://bucket/pattern'
-///   [[LEFT] SEMI] JOIN 's3://bucket/pattern'
-///     ON probe_col = build_col [AND probe_col = build_col]*
+///   [[[LEFT] SEMI] JOIN 's3://bucket/pattern'
+///     ON probe_col = build_col [AND probe_col = build_col]*]*
 ///   [WHERE predicate]
 ///   [GROUP BY column [, column]*]
+///   [HAVING predicate]
 ///
 ///   select_item := expr [AS name]
 ///                | SUM(expr) | MIN(expr) | MAX(expr) | AVG(expr)
@@ -28,16 +29,20 @@ namespace lambada::core {
 ///                  + - * /, comparisons = != <> < <= > >=, AND, OR,
 ///                  BETWEEN a AND b, and parentheses
 ///
-/// JOIN compiles to the distributed hash join: both inputs repartition
-/// through the serverless exchange on their keys. The ON clause takes
-/// equality conjunctions only, with the FROM relation's column on the
-/// left of each `=` and the joined relation's on the right (column names
-/// are disjoint across our numeric TPC-H relations, so there is no
-/// table-qualification syntax); residual predicates belong in WHERE,
-/// which is evaluated after the join and may reference both sides. The
-/// join output drops the build-side key columns (their values equal the
-/// probe keys); references to them in WHERE / SELECT / GROUP BY are
-/// rewritten to the probe-key name, so both spellings work.
+/// Each JOIN compiles to the distributed hash join; a chain of JOIN
+/// clauses becomes a multi-join pipeline that the cost-based optimizer
+/// (core/optimizer.h) orders and assigns partitioned or broadcast
+/// exchanges per join. The ON clause takes equality conjunctions only,
+/// with the pipeline-so-far's column on the left of each `=` and the
+/// joined relation's on the right (column names are disjoint across our
+/// numeric TPC-H relations, so there is no table-qualification syntax);
+/// residual predicates belong in WHERE, which is evaluated after the
+/// joins and may reference any side. Each join's output drops the
+/// build-side key columns (their values equal the probe keys);
+/// references to them in later ON clauses / WHERE / SELECT / GROUP BY /
+/// HAVING are rewritten to the probe-key name, so both spellings work.
+/// HAVING filters the aggregated result; it runs in the driver scope and
+/// references the SELECT list's output names.
 ///
 /// Planning caveat: without relation schemas the SQL layer cannot tell
 /// which WHERE conjuncts belong to which side, so in a join query the
@@ -51,6 +56,12 @@ namespace lambada::core {
 /// expressions are GROUP BY keys. DATE 'YYYY-MM-DD' literals are turned
 /// into day numbers compatible with the TPC-H date columns.
 Result<Query> ParseSql(const std::string& sql);
+
+/// Compiles `sql` (which must start with the EXPLAIN keyword, followed by
+/// a query in the grammar above) and renders the physical plan it would
+/// run as deterministic text — Query::Explain() for SQL. No data is read
+/// and nothing executes.
+Result<std::string> ExplainSql(const std::string& sql);
 
 }  // namespace lambada::core
 

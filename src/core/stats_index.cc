@@ -53,6 +53,7 @@ Status StatsIndex::RegisterFileDirect(const std::string& dataset,
     w.PutString(file_key);
     w.PutF64(mn);
     w.PutF64(mx);
+    w.PutI64(static_cast<int64_t>(metadata.num_rows));
     auto bytes = w.Take();
     RETURN_NOT_OK(ddb_->PutDirect(
         table_, key, std::string(bytes.begin(), bytes.end())));
@@ -78,6 +79,9 @@ sim::Async<Result<std::vector<StatsIndex::FileBounds>>> StatsIndex::Lookup(
     auto mx = r.GetF64();
     if (!mx.ok()) co_return mx.status();
     fb.max = *mx;
+    auto rows = r.GetI64();
+    if (!rows.ok()) co_return rows.status();
+    fb.rows = *rows;
     out.push_back(std::move(fb));
   }
   co_return out;

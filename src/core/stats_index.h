@@ -21,9 +21,13 @@ namespace lambada::core {
 /// bounds cannot satisfy the query predicate, saving their invocations,
 /// cold starts, metadata round trips, and billed time entirely.
 ///
+/// The same bounds double as the cost-based optimizer's statistics
+/// (core/optimizer.h): row counts give join cardinalities, [min, max]
+/// widths give predicate selectivities.
+///
 /// Layout: one DynamoDB item per (dataset, column):
 ///   key   = "{dataset}#{column}"
-///   value = [n] x { file_key, min f64, max f64 }   (binary-encoded)
+///   value = [n] x { file_key, min f64, max f64, rows i64 }  (binary)
 /// A 320-file dataset fits comfortably within DynamoDB's 400 KB item
 /// limit; larger datasets would shard the item by file-range.
 class StatsIndex {
@@ -42,11 +46,13 @@ class StatsIndex {
                             const std::string& file_key,
                             const format::FileMetadata& metadata);
 
-  /// Per-file [min, max] of `column` within `dataset`. One DynamoDB read.
+  /// Per-file [min, max] and row count of `column` within `dataset`. One
+  /// DynamoDB read.
   struct FileBounds {
     std::string file_key;
     double min = 0;
     double max = 0;
+    int64_t rows = 0;
   };
   sim::Async<Result<std::vector<FileBounds>>> Lookup(cloud::NetContext ctx,
                                                      std::string dataset,

@@ -183,23 +183,42 @@ sim::Async<Result<TableChunk>> RunPostOps(cloud::WorkerEnv& env,
   co_return current;
 }
 
-/// Executes a two-table join fragment (Section 4.4 put to work): build
-/// pipeline (scan -> row ops -> exchange on build keys), probe pipeline
-/// (scan -> row ops -> exchange on probe keys), the local hash join over
-/// the co-partitioned pair, then the post-join ops. Every worker runs the
-/// build side first, so the two exchange rounds never interleave across
-/// the fleet.
+/// Executes a join fragment (Section 4.4 put to work, generalized to a
+/// chain of joins). The probe pipeline scans once; then, per kJoin op in
+/// fragment order: build pipeline (scan -> row ops), the join's exchanges
+/// for a partitioned join (build side first, then the probe side's
+/// pending kExchange — every worker uses this order, so the rounds line
+/// up across the fleet), or no exchange at all for a broadcast join
+/// (every worker holds the whole build relation), then the local hash
+/// join. Row ops between joins run on the current pipeline; a terminal
+/// aggregate produces the partial state.
 sim::Async<Result<TableChunk>> ExecuteJoinFragment(
-    cloud::WorkerEnv& env, const PlanFragment& fragment, size_t join_at,
+    cloud::WorkerEnv& env, const PlanFragment& fragment,
     const InvocationPayload& payload, WorkerResultMetrics* metrics) {
-  const JoinSpec& join = *fragment.ops[join_at].join;
   const int p = static_cast<int>(payload.self.worker_id);
   const int P = static_cast<int>(payload.total_workers);
-  // The planner always feeds the join from a probe-side exchange; anything
-  // else is a hand-built fragment we refuse to guess about.
-  if (join_at == 0 ||
-      fragment.ops[join_at - 1].kind != PlanOp::Kind::kExchange) {
-    co_return Status::Invalid("join must be fed by a probe-side exchange");
+
+  // Slice the payload's build files into per-join lists. An empty
+  // build_counts is the single-join layout: everything belongs to the
+  // first join.
+  std::vector<std::vector<engine::FileRef>> build_files;
+  if (payload.self.build_counts.empty()) {
+    build_files.push_back(payload.self.build_files);
+  } else {
+    size_t offset = 0;
+    for (uint32_t n : payload.self.build_counts) {
+      if (offset + n > payload.self.build_files.size()) {
+        co_return Status::Invalid("build_counts exceed the build file list");
+      }
+      build_files.emplace_back(
+          payload.self.build_files.begin() + static_cast<std::ptrdiff_t>(offset),
+          payload.self.build_files.begin() +
+              static_cast<std::ptrdiff_t>(offset + n));
+      offset += n;
+    }
+    if (offset != payload.self.build_files.size()) {
+      co_return Status::Invalid("build_counts do not cover the file list");
+    }
   }
 
   auto run_exchange = [&](const ExchangeSpec& spec, TableChunk in)
@@ -210,80 +229,171 @@ sim::Async<Result<TableChunk>> ExecuteJoinFragment(
     co_return out;
   };
 
-  // ---- Build side. ----
-  auto build_local = co_await RunScanPipeline(
-      env, payload.self.build_files,
-      MakeScanOptions(fragment.tuning, join.build_scan_projection,
-                      join.build_scan_filter),
-      join.build_ops, 0, join.build_ops.size(), "scan-build", metrics);
-  if (!build_local.ok()) co_return build_local.status();
-  double t0 = env.sim()->Now();
-  auto build_side =
-      co_await run_exchange(join.build_exchange, *std::move(build_local));
-  if (!build_side.ok()) co_return build_side.status();
-  env.RecordPhase("exchange-build", t0);
-
-  // ---- Probe side. ----
+  // ---- Probe pipeline: scan through the leading row ops. ----
+  size_t first_break = fragment.ops.size();
+  for (size_t i = 0; i < fragment.ops.size(); ++i) {
+    const PlanOp::Kind k = fragment.ops[i].kind;
+    if (k != PlanOp::Kind::kFilter && k != PlanOp::Kind::kMap &&
+        k != PlanOp::Kind::kSelect) {
+      first_break = i;
+      break;
+    }
+  }
   auto probe_local = co_await RunScanPipeline(
       env, payload.self.files,
       MakeScanOptions(fragment.tuning, fragment.scan_projection,
                       fragment.scan_filter),
-      fragment.ops, 0, join_at - 1, "scan", metrics);
+      fragment.ops, 0, first_break, "scan", metrics);
   if (!probe_local.ok()) co_return probe_local.status();
-  t0 = env.sim()->Now();
-  auto probe_side = co_await run_exchange(
-      *fragment.ops[join_at - 1].exchange, *std::move(probe_local));
-  if (!probe_side.ok()) co_return probe_side.status();
-  env.RecordPhase("exchange-probe", t0);
+  TableChunk current = *std::move(probe_local);
 
-  // ---- Join the co-partitioned pair. ----
-  t0 = env.sim()->Now();
-  TableChunk build_chunk = *std::move(build_side);
-  TableChunk probe_chunk = *std::move(probe_side);
-  TableChunk current;
-  if (probe_chunk.num_columns() == 0) {
-    // No probe rows reached this worker from anywhere: schema unknown,
-    // output empty either way.
-    current = TableChunk();
-  } else if (build_chunk.num_columns() == 0) {
-    // No build rows reached this worker, so no probe row here can match
-    // (equal keys hash to the same worker). A semi join keeps the probe
-    // schema; an inner join's output schema is unknowable without the
-    // build columns.
-    current = join.type == engine::JoinType::kLeftSemi
-                  ? TableChunk::Empty(probe_chunk.schema())
-                  : TableChunk();
-  } else {
-    std::vector<int> probe_cols, build_cols;
-    for (size_t k = 0; k < join.probe_keys.size(); ++k) {
-      int pc = probe_chunk.schema()->FieldIndex(join.probe_keys[k]);
-      int bc = build_chunk.schema()->FieldIndex(join.build_keys[k]);
-      if (pc < 0 || bc < 0) {
-        co_return Status::Invalid("join key column not found: " +
-                                  (pc < 0 ? join.probe_keys[k]
-                                          : join.build_keys[k]));
+  size_t next_build = 0;               // Next join's build-file ordinal.
+  const PlanOp* pending_exchange = nullptr;
+  for (size_t i = first_break; i < fragment.ops.size(); ++i) {
+    const PlanOp& op = fragment.ops[i];
+    switch (op.kind) {
+      case PlanOp::Kind::kExchange: {
+        if (i + 1 < fragment.ops.size() &&
+            fragment.ops[i + 1].kind == PlanOp::Kind::kJoin) {
+          // The probe-side exchange of the next partitioned join. It runs
+          // after that join's build side (see the function comment).
+          pending_exchange = &op;
+          break;
+        }
+        double t0 = env.sim()->Now();
+        auto exchanged = co_await run_exchange(*op.exchange,
+                                               std::move(current));
+        if (!exchanged.ok()) co_return exchanged.status();
+        current = *std::move(exchanged);
+        env.RecordPhase("exchange", t0);
+        break;
       }
-      probe_cols.push_back(pc);
-      build_cols.push_back(bc);
-    }
-    co_await env.Compute(static_cast<double>(build_chunk.num_rows() +
-                                             probe_chunk.num_rows()) *
-                         kJoinCpuPerRow * env.data_scale);
-    auto joined = engine::HashJoin(probe_chunk, probe_cols, build_chunk,
-                                   build_cols, join.type, env.exec);
-    if (!joined.ok()) co_return joined.status();
-    co_await env.Compute(static_cast<double>(joined->num_rows()) *
-                         kJoinCpuPerRow * env.data_scale);
-    current = *std::move(joined);
-  }
-  metrics->rows_joined += static_cast<int64_t>(current.num_rows());
-  env.RecordPhase("join", t0);
-  build_chunk = TableChunk();
-  probe_chunk = TableChunk();
+      case PlanOp::Kind::kJoin: {
+        const JoinSpec& join = *op.join;
+        const bool partitioned =
+            join.strategy == JoinStrategy::kPartitioned;
+        if (partitioned && pending_exchange == nullptr) {
+          co_return Status::Invalid(
+              "join must be fed by a probe-side exchange");
+        }
+        if (!partitioned && pending_exchange != nullptr) {
+          co_return Status::Invalid(
+              "broadcast join cannot follow a probe-side exchange");
+        }
+        size_t ordinal = static_cast<size_t>(join.build_ordinal);
+        if (ordinal != next_build) {
+          co_return Status::Invalid("join build ordinal has no file list");
+        }
+        // Ordinals past the sliced lists are legal only when this worker
+        // got no build files at all: the all-zero counts are elided from
+        // the wire (messages.cc), so every join's slice is empty.
+        static const std::vector<engine::FileRef> kNoFiles;
+        const std::vector<engine::FileRef>* ordinal_files = &kNoFiles;
+        if (ordinal < build_files.size()) {
+          ordinal_files = &build_files[ordinal];
+        } else if (!payload.self.build_files.empty()) {
+          co_return Status::Invalid("join build ordinal has no file list");
+        }
+        ++next_build;
 
-  // ---- Post-join ops. ----
-  co_return co_await RunPostOps(env, fragment, join_at + 1,
-                                std::move(current));
+        // ---- Build side. ----
+        auto build_local = co_await RunScanPipeline(
+            env, *ordinal_files,
+            MakeScanOptions(fragment.tuning, join.build_scan_projection,
+                            join.build_scan_filter),
+            join.build_ops, 0, join.build_ops.size(), "scan-build",
+            metrics);
+        if (!build_local.ok()) co_return build_local.status();
+        TableChunk build_chunk = *std::move(build_local);
+        if (partitioned) {
+          double t0 = env.sim()->Now();
+          auto build_side = co_await run_exchange(join.build_exchange,
+                                                  std::move(build_chunk));
+          if (!build_side.ok()) co_return build_side.status();
+          build_chunk = *std::move(build_side);
+          env.RecordPhase("exchange-build", t0);
+
+          double t1 = env.sim()->Now();
+          auto probe_side = co_await run_exchange(
+              *pending_exchange->exchange, std::move(current));
+          if (!probe_side.ok()) co_return probe_side.status();
+          current = *std::move(probe_side);
+          env.RecordPhase("exchange-probe", t1);
+        }
+        pending_exchange = nullptr;
+
+        // ---- Join the pair. ----
+        double t0 = env.sim()->Now();
+        if (current.num_columns() == 0) {
+          // No probe rows reached this worker from anywhere: schema
+          // unknown, output empty either way.
+          current = TableChunk();
+        } else if (build_chunk.num_columns() == 0) {
+          // No build rows here, so no probe row can match (partitioned:
+          // equal keys hash to the same worker; broadcast: this worker
+          // holds the whole — empty — build relation). A semi join keeps
+          // the probe schema; an inner join's output schema is unknowable
+          // without the build columns.
+          current = join.type == engine::JoinType::kLeftSemi
+                        ? TableChunk::Empty(current.schema())
+                        : TableChunk();
+        } else {
+          std::vector<int> probe_cols, build_cols;
+          for (size_t k = 0; k < join.probe_keys.size(); ++k) {
+            int pc = current.schema()->FieldIndex(join.probe_keys[k]);
+            int bc = build_chunk.schema()->FieldIndex(join.build_keys[k]);
+            if (pc < 0 || bc < 0) {
+              co_return Status::Invalid("join key column not found: " +
+                                        (pc < 0 ? join.probe_keys[k]
+                                                : join.build_keys[k]));
+            }
+            probe_cols.push_back(pc);
+            build_cols.push_back(bc);
+          }
+          co_await env.Compute(static_cast<double>(build_chunk.num_rows() +
+                                                   current.num_rows()) *
+                               kJoinCpuPerRow * env.data_scale);
+          auto joined = engine::HashJoin(current, probe_cols, build_chunk,
+                                         build_cols, join.type, env.exec);
+          if (!joined.ok()) co_return joined.status();
+          co_await env.Compute(static_cast<double>(joined->num_rows()) *
+                               kJoinCpuPerRow * env.data_scale);
+          current = *std::move(joined);
+        }
+        metrics->rows_joined += static_cast<int64_t>(current.num_rows());
+        env.RecordPhase("join", t0);
+        build_chunk = TableChunk();
+        break;
+      }
+      case PlanOp::Kind::kFilter:
+      case PlanOp::Kind::kMap:
+      case PlanOp::Kind::kSelect: {
+        // A schema-less empty pipeline cannot resolve columns; row ops on
+        // it are no-ops.
+        if (current.num_columns() == 0) break;
+        co_await env.Compute(static_cast<double>(current.num_rows()) *
+                             kRowOpCpuPerRow * env.data_scale);
+        auto next = ApplyRowOp(op, std::move(current));
+        if (!next.ok()) co_return next.status();
+        current = *std::move(next);
+        break;
+      }
+      case PlanOp::Kind::kAggregate: {
+        engine::HashAggregator agg(op.group_by, op.aggs);
+        if (current.num_columns() != 0) {
+          co_await env.Compute(static_cast<double>(current.num_rows()) *
+                               kAggCpuPerRow * env.data_scale);
+          if (current.num_rows() > 0) {
+            CO_RETURN_NOT_OK(agg.ConsumeInput(current));
+          }
+        }
+        co_return agg.PartialState();
+      }
+      default:
+        co_return Status::Invalid("unexpected op in a join fragment");
+    }
+  }
+  co_return current;
 }
 
 /// Executes the plan fragment over the worker's files; returns the
@@ -291,12 +401,10 @@ sim::Async<Result<TableChunk>> ExecuteJoinFragment(
 sim::Async<Result<TableChunk>> ExecuteFragment(
     cloud::WorkerEnv& env, const PlanFragment& fragment,
     const InvocationPayload& payload, WorkerResultMetrics* metrics) {
-  // Two-table fragments take the join path; the single-table pipeline
-  // below is untouched.
-  int join_at = fragment.JoinIndex();
-  if (join_at >= 0) {
-    co_return co_await ExecuteJoinFragment(
-        env, fragment, static_cast<size_t>(join_at), payload, metrics);
+  // Join fragments take the join path; the single-table pipeline below is
+  // untouched.
+  if (fragment.JoinIndex() >= 0) {
+    co_return co_await ExecuteJoinFragment(env, fragment, payload, metrics);
   }
   // Split the pipeline at the exchange (a pipeline breaker).
   int exchange_at = -1;

@@ -1,6 +1,7 @@
 #ifndef LAMBADA_MODELS_COSTMODEL_H_
 #define LAMBADA_MODELS_COSTMODEL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,47 @@ struct AlwaysOnParams {
 
 /// All five series of Figure 1b.
 std::vector<AlwaysOnSeries> AlwaysOnComparison(const AlwaysOnParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Exchange-traffic model (optimizer join costing)
+// ---------------------------------------------------------------------------
+// What the optimizer compares when it picks a join's exchange strategy:
+// the S3 bytes and requests each alternative moves, priced with the
+// request tariffs plus the worker-seconds spent pushing those bytes at
+// the per-worker S3 bandwidth. All quantities are fleet totals.
+
+struct ExchangeTrafficParams {
+  double s3_put_usd = 5.0e-6;  ///< $5 per 1M PUT/LIST requests.
+  double s3_get_usd = 4.0e-7;  ///< $0.4 per 1M GET requests.
+  /// Per-worker S3 bandwidth; matches JobScopedParams::faas_scan_bytes_per_s.
+  double worker_bytes_per_s = 89e6;
+  /// $/worker-second: faas_gib * faas_price_per_gib_s of JobScopedParams.
+  double worker_usd_per_s = 2.0 * 1.65e-5;
+};
+
+/// Modeled traffic of one strategy alternative.
+struct TrafficEstimate {
+  double bytes = 0;         ///< Bytes written + read through S3.
+  double put_requests = 0;  ///< PUTs issued by all workers.
+  double get_requests = 0;  ///< GETs issued by all workers.
+  double usd = 0;           ///< Requests plus worker time on `bytes`.
+};
+
+/// A partitioned join's traffic: both sides traverse a `levels`-round
+/// hash exchange over `workers` — every input byte is written and read
+/// once per round, and the request counts follow Table 2 of the paper
+/// (write-combined: levels*P PUTs and <= levels*P*ceil(P^(1/levels))
+/// GETs per side; without combining the PUTs fan out like the GETs).
+TrafficEstimate PartitionedExchangeTraffic(
+    double probe_bytes, double build_bytes, int workers, int levels,
+    bool write_combining, const ExchangeTrafficParams& p = {});
+
+/// A broadcast join's traffic: every worker reads the whole build
+/// relation (build_bytes * workers GETs-side bytes, ~2 requests per file
+/// per worker for footer + data), and neither side runs an exchange.
+TrafficEstimate BroadcastTraffic(double build_bytes, int64_t build_files,
+                                 int workers,
+                                 const ExchangeTrafficParams& p = {});
 
 }  // namespace lambada::models
 

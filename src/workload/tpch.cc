@@ -247,6 +247,42 @@ TableChunk GeneratePart(int64_t num_parts, uint64_t seed) {
        Column::Int64(std::move(comment))});
 }
 
+SchemaPtr CustomerSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(
+      std::vector<Field>{{"c_custkey", DataType::kInt64},
+                         {"c_name", DataType::kInt64},
+                         {"c_nationkey", DataType::kInt64},
+                         {"c_mktsegment", DataType::kInt64},
+                         {"c_acctbal", DataType::kFloat64},
+                         {"c_comment", DataType::kInt64}});
+  return kSchema;
+}
+
+TableChunk GenerateCustomer(int64_t num_customers, uint64_t seed) {
+  Rng rng(seed);
+  size_t n = static_cast<size_t>(num_customers);
+  std::vector<int64_t> custkey(n), name(n), nationkey(n), mktsegment(n),
+      comment(n);
+  std::vector<double> acctbal(n);
+  for (size_t i = 0; i < n; ++i) {
+    custkey[i] = static_cast<int64_t>(i) + 1;
+    name[i] = static_cast<int64_t>(rng.Next() >> 32);
+    nationkey[i] = rng.UniformInt(0, 24);
+    mktsegment[i] = rng.UniformInt(0, 4);
+    // TPC-H: -999.99 .. 9999.99.
+    acctbal[i] =
+        static_cast<double>(rng.UniformInt(-99999, 999999)) / 100.0;
+    comment[i] = static_cast<int64_t>(rng.Next() >> 16);
+  }
+  return TableChunk(
+      CustomerSchema(),
+      {Column::Int64(std::move(custkey)), Column::Int64(std::move(name)),
+       Column::Int64(std::move(nationkey)),
+       Column::Int64(std::move(mktsegment)),
+       Column::Float64(std::move(acctbal)),
+       Column::Int64(std::move(comment))});
+}
+
 int64_t MaxOrderKey(const TableChunk& lineitem) {
   int idx = lineitem.schema()->FieldIndex("l_orderkey");
   LAMBADA_CHECK(idx >= 0);
@@ -352,6 +388,15 @@ Result<DatasetInfo> LoadPart(cloud::ObjectStore* s3,
                         options);
 }
 
+Result<DatasetInfo> LoadCustomer(cloud::ObjectStore* s3,
+                                 const std::string& bucket,
+                                 const std::string& prefix,
+                                 const LoadOptions& options) {
+  return LoadTableChunk(s3, bucket, prefix,
+                        GenerateCustomer(options.num_rows, options.seed),
+                        options);
+}
+
 int64_t Q1CutoffDate() { return TpchDate(1998, 12, 1) - 90; }
 
 core::Query TpchQ1(const std::string& pattern) {
@@ -430,6 +475,97 @@ core::Query TpchQ14(const std::string& lineitem_pattern,
       .JoinWith(part, {"l_partkey"}, {"p_partkey"})
       .Aggregate({}, {Sum(promo * disc_price, "promo_revenue"),
                       Sum(disc_price, "total_revenue")});
+}
+
+namespace {
+// Q19's string predicates as numeric stand-ins. p_brand draws 0..24 and
+// l_shipmode 0..6; "DELIVER IN PERSON" is l_shipinstruct == 0 and
+// "AIR / AIR REG" is l_shipmode <= 1. Each clause pairs a brand with a
+// size range and a quantity band, like the original's three disjuncts.
+constexpr int64_t kQ19Brand1 = 3, kQ19Brand2 = 12, kQ19Brand3 = 21;
+constexpr int64_t kQ19Size1 = 5, kQ19Size2 = 10, kQ19Size3 = 15;
+constexpr double kQ19Qty1 = 1.0, kQ19Qty2 = 10.0, kQ19Qty3 = 20.0;
+constexpr double kQ19QtySpan = 10.0;
+constexpr int64_t kQ19ShipinstructInPerson = 0;
+constexpr int64_t kQ19ShipmodeAirMax = 1;
+}  // namespace
+
+core::Query TpchQ3(const std::string& lineitem_pattern,
+                   const std::string& orders_pattern,
+                   const std::string& customer_pattern) {
+  using engine::Col;
+  using engine::Lit;
+  using engine::Sum;
+  const int64_t cutoff = TpchDate(1995, 3, 15);
+  auto orders = core::Query::FromParquet(orders_pattern)
+                    .Filter(Col("o_orderdate") < Lit(cutoff))
+                    .Select({Col("o_orderkey"), Col("o_custkey"),
+                             Col("o_orderdate"), Col("o_shippriority")},
+                            {"o_orderkey", "o_custkey", "o_orderdate",
+                             "o_shippriority"});
+  auto customer =
+      core::Query::FromParquet(customer_pattern)
+          .Filter(Col("c_mktsegment") == Lit(kMktSegmentBuilding))
+          .Select({Col("c_custkey")}, {"c_custkey"});
+  return core::Query::FromParquet(lineitem_pattern)
+      .Filter(Col("l_shipdate") > Lit(cutoff))
+      .JoinWith(orders, {"l_orderkey"}, {"o_orderkey"})
+      .JoinWith(customer, {"o_custkey"}, {"c_custkey"},
+                engine::JoinType::kLeftSemi)
+      .Map(Col("l_extendedprice") * (Lit(1.0) - Col("l_discount")),
+           "revenue_item")
+      .Aggregate({"l_orderkey", "o_orderdate", "o_shippriority"},
+                 {Sum(Col("revenue_item"), "revenue")});
+}
+
+core::Query TpchQ18(const std::string& lineitem_pattern,
+                    const std::string& orders_pattern,
+                    const std::string& customer_pattern,
+                    double min_quantity) {
+  using engine::Col;
+  using engine::Lit;
+  using engine::Max;
+  using engine::Sum;
+  auto orders = core::Query::FromParquet(orders_pattern)
+                    .Select({Col("o_orderkey"), Col("o_custkey"),
+                             Col("o_orderdate"), Col("o_totalprice")},
+                            {"o_orderkey", "o_custkey", "o_orderdate",
+                             "o_totalprice"});
+  auto customer = core::Query::FromParquet(customer_pattern)
+                      .Select({Col("c_custkey")}, {"c_custkey"});
+  return core::Query::FromParquet(lineitem_pattern)
+      .JoinWith(orders, {"l_orderkey"}, {"o_orderkey"})
+      .JoinWith(customer, {"o_custkey"}, {"c_custkey"},
+                engine::JoinType::kLeftSemi)
+      .Aggregate({"o_custkey", "l_orderkey", "o_orderdate"},
+                 {Sum(Col("l_quantity"), "sum_qty"),
+                  Max(Col("o_totalprice"), "o_totalprice")})
+      .Filter(Col("sum_qty") > Lit(min_quantity));  // HAVING.
+}
+
+core::Query TpchQ19(const std::string& lineitem_pattern,
+                    const std::string& part_pattern) {
+  using engine::Col;
+  using engine::Lit;
+  auto part = core::Query::FromParquet(part_pattern)
+                  .Select({Col("p_partkey"), Col("p_brand"), Col("p_size")},
+                          {"p_partkey", "p_brand", "p_size"});
+  auto clause = [](int64_t brand, int64_t max_size, double min_qty) {
+    return Col("p_brand") == Lit(brand) && Col("p_size") >= Lit(int64_t{1}) &&
+           Col("p_size") <= Lit(max_size) && Col("l_quantity") >= Lit(min_qty) &&
+           Col("l_quantity") <= Lit(min_qty + kQ19QtySpan);
+  };
+  return core::Query::FromParquet(lineitem_pattern)
+      .Filter(Col("l_shipinstruct") == Lit(kQ19ShipinstructInPerson))
+      .Filter(Col("l_shipmode") <= Lit(kQ19ShipmodeAirMax))
+      .JoinWith(part, {"l_partkey"}, {"p_partkey"})
+      // The disjunction references both sides, so it must follow the join.
+      .Filter(clause(kQ19Brand1, kQ19Size1, kQ19Qty1) ||
+              clause(kQ19Brand2, kQ19Size2, kQ19Qty2) ||
+              clause(kQ19Brand3, kQ19Size3, kQ19Qty3))
+      .Map(Col("l_extendedprice") * (Lit(1.0) - Col("l_discount")),
+           "revenue_item")
+      .ReduceSum("revenue_item");
 }
 
 engine::TableChunk ReferenceQ1(const TableChunk& li) {
@@ -557,6 +693,185 @@ Q14Result ReferenceQ14(const TableChunk& li, const TableChunk& part) {
     out.total_revenue += revenue;
   }
   return out;
+}
+
+namespace {
+
+size_t ColIdx(const TableChunk& t, const char* name) {
+  int idx = t.schema()->FieldIndex(name);
+  LAMBADA_CHECK(idx >= 0);
+  return static_cast<size_t>(idx);
+}
+
+}  // namespace
+
+TableChunk ReferenceQ3(const TableChunk& li, const TableChunk& orders,
+                       const TableChunk& customer) {
+  const int64_t cutoff = TpchDate(1995, 3, 15);
+  std::unordered_map<int64_t, bool> building;
+  {
+    size_t ck = ColIdx(customer, "c_custkey");
+    size_t seg = ColIdx(customer, "c_mktsegment");
+    building.reserve(customer.num_rows() * 2);
+    for (size_t i = 0; i < customer.num_rows(); ++i) {
+      if (customer.column(seg).i64()[i] == kMktSegmentBuilding) {
+        building[customer.column(ck).i64()[i]] = true;
+      }
+    }
+  }
+  struct OrderInfo {
+    int64_t orderdate;
+    int64_t shippriority;
+  };
+  std::unordered_map<int64_t, OrderInfo> order_of;
+  {
+    size_t ok = ColIdx(orders, "o_orderkey");
+    size_t ck = ColIdx(orders, "o_custkey");
+    size_t od = ColIdx(orders, "o_orderdate");
+    size_t sp = ColIdx(orders, "o_shippriority");
+    order_of.reserve(orders.num_rows());
+    for (size_t i = 0; i < orders.num_rows(); ++i) {
+      if (orders.column(od).i64()[i] >= cutoff) continue;
+      if (building.find(orders.column(ck).i64()[i]) == building.end()) {
+        continue;  // Semi join drops it.
+      }
+      order_of[orders.column(ok).i64()[i]] = {
+          orders.column(od).i64()[i], orders.column(sp).i64()[i]};
+    }
+  }
+  size_t okey = ColIdx(li, "l_orderkey");
+  size_t ship = ColIdx(li, "l_shipdate");
+  size_t price = ColIdx(li, "l_extendedprice");
+  size_t disc = ColIdx(li, "l_discount");
+  std::map<int64_t, double> revenue;  // Ordered: ascending order key.
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    if (li.column(ship).i64()[i] <= cutoff) continue;
+    auto it = order_of.find(li.column(okey).i64()[i]);
+    if (it == order_of.end()) continue;
+    revenue[it->first] +=
+        li.column(price).f64()[i] * (1.0 - li.column(disc).f64()[i]);
+  }
+  std::vector<int64_t> keys, dates, prios;
+  std::vector<double> revs;
+  for (const auto& [k, r] : revenue) {
+    const OrderInfo& o = order_of[k];
+    keys.push_back(k);
+    dates.push_back(o.orderdate);
+    prios.push_back(o.shippriority);
+    revs.push_back(r);
+  }
+  return TableChunk(
+      std::make_shared<Schema>(
+          std::vector<Field>{{"l_orderkey", DataType::kInt64},
+                             {"o_orderdate", DataType::kInt64},
+                             {"o_shippriority", DataType::kInt64},
+                             {"revenue", DataType::kFloat64}}),
+      {Column::Int64(std::move(keys)), Column::Int64(std::move(dates)),
+       Column::Int64(std::move(prios)), Column::Float64(std::move(revs))});
+}
+
+TableChunk ReferenceQ18(const TableChunk& li, const TableChunk& orders,
+                        const TableChunk& customer, double min_quantity) {
+  std::unordered_map<int64_t, bool> has_customer;
+  {
+    size_t ck = ColIdx(customer, "c_custkey");
+    has_customer.reserve(customer.num_rows() * 2);
+    for (size_t i = 0; i < customer.num_rows(); ++i) {
+      has_customer[customer.column(ck).i64()[i]] = true;
+    }
+  }
+  struct OrderInfo {
+    int64_t custkey;
+    int64_t orderdate;
+    double totalprice;
+  };
+  std::unordered_map<int64_t, OrderInfo> order_of;
+  {
+    size_t ok = ColIdx(orders, "o_orderkey");
+    size_t ck = ColIdx(orders, "o_custkey");
+    size_t od = ColIdx(orders, "o_orderdate");
+    size_t tp = ColIdx(orders, "o_totalprice");
+    order_of.reserve(orders.num_rows());
+    for (size_t i = 0; i < orders.num_rows(); ++i) {
+      int64_t custkey = orders.column(ck).i64()[i];
+      if (has_customer.find(custkey) == has_customer.end()) continue;
+      order_of[orders.column(ok).i64()[i]] = {
+          custkey, orders.column(od).i64()[i], orders.column(tp).f64()[i]};
+    }
+  }
+  size_t okey = ColIdx(li, "l_orderkey");
+  size_t qty = ColIdx(li, "l_quantity");
+  std::map<int64_t, double> sum_qty;  // Ordered: ascending order key.
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    auto it = order_of.find(li.column(okey).i64()[i]);
+    if (it == order_of.end()) continue;
+    sum_qty[it->first] += li.column(qty).f64()[i];
+  }
+  std::vector<int64_t> custs, keys, dates;
+  std::vector<double> qtys, prices;
+  for (const auto& [k, q] : sum_qty) {
+    if (!(q > min_quantity)) continue;  // HAVING.
+    const OrderInfo& o = order_of[k];
+    custs.push_back(o.custkey);
+    keys.push_back(k);
+    dates.push_back(o.orderdate);
+    qtys.push_back(q);
+    prices.push_back(o.totalprice);
+  }
+  return TableChunk(
+      std::make_shared<Schema>(
+          std::vector<Field>{{"o_custkey", DataType::kInt64},
+                             {"l_orderkey", DataType::kInt64},
+                             {"o_orderdate", DataType::kInt64},
+                             {"sum_qty", DataType::kFloat64},
+                             {"o_totalprice", DataType::kFloat64}}),
+      {Column::Int64(std::move(custs)), Column::Int64(std::move(keys)),
+       Column::Int64(std::move(dates)), Column::Float64(std::move(qtys)),
+       Column::Float64(std::move(prices))});
+}
+
+double ReferenceQ19(const TableChunk& li, const TableChunk& part) {
+  struct PartInfo {
+    int64_t brand;
+    int64_t size;
+  };
+  std::unordered_map<int64_t, PartInfo> part_of;
+  {
+    size_t pk = ColIdx(part, "p_partkey");
+    size_t pb = ColIdx(part, "p_brand");
+    size_t ps = ColIdx(part, "p_size");
+    part_of.reserve(part.num_rows());
+    for (size_t i = 0; i < part.num_rows(); ++i) {
+      part_of[part.column(pk).i64()[i]] = {part.column(pb).i64()[i],
+                                           part.column(ps).i64()[i]};
+    }
+  }
+  size_t pkey = ColIdx(li, "l_partkey");
+  size_t qty = ColIdx(li, "l_quantity");
+  size_t price = ColIdx(li, "l_extendedprice");
+  size_t disc = ColIdx(li, "l_discount");
+  size_t instr = ColIdx(li, "l_shipinstruct");
+  size_t mode = ColIdx(li, "l_shipmode");
+  auto clause = [](const PartInfo& p, double q, int64_t brand,
+                   int64_t max_size, double min_qty) {
+    return p.brand == brand && p.size >= 1 && p.size <= max_size &&
+           q >= min_qty && q <= min_qty + kQ19QtySpan;
+  };
+  double revenue = 0;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    if (li.column(instr).i64()[i] != kQ19ShipinstructInPerson) continue;
+    if (li.column(mode).i64()[i] > kQ19ShipmodeAirMax) continue;
+    auto it = part_of.find(li.column(pkey).i64()[i]);
+    if (it == part_of.end()) continue;
+    double q = li.column(qty).f64()[i];
+    if (clause(it->second, q, kQ19Brand1, kQ19Size1, kQ19Qty1) ||
+        clause(it->second, q, kQ19Brand2, kQ19Size2, kQ19Qty2) ||
+        clause(it->second, q, kQ19Brand3, kQ19Size3, kQ19Qty3)) {
+      revenue += li.column(price).f64()[i] *
+                 (1.0 - li.column(disc).f64()[i]);
+    }
+  }
+  return revenue;
 }
 
 }  // namespace lambada::workload

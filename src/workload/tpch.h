@@ -41,6 +41,13 @@ inline constexpr int64_t kPartCount = 200000;
 /// SHIP are these two values.
 inline constexpr int64_t kShipmodeMail = 2;
 inline constexpr int64_t kShipmodeShip = 4;
+/// The o_custkey / c_custkey domain of the generator (1..kCustomerCount):
+/// a GenerateCustomer(kCustomerCount, ...) relation covers every
+/// o_custkey (TPC-H: 150k customers at SF 1).
+inline constexpr int64_t kCustomerCount = 150000;
+/// c_mktsegment draws uniformly from 0..4 (5 TPC-H segments); Q3's
+/// BUILDING is this value.
+inline constexpr int64_t kMktSegmentBuilding = 0;
 /// o_orderpriority draws uniformly from 0..4 (0='1-URGENT', 1='2-HIGH',
 /// ...); Q12 counts priorities <= this value as "high".
 inline constexpr int64_t kHighPriorityMax = 1;
@@ -75,6 +82,17 @@ engine::SchemaPtr PartSchema();
 
 /// Generates PART rows with p_partkey 1..num_parts, sorted by key.
 engine::TableChunk GeneratePart(int64_t num_parts, uint64_t seed);
+
+/// CUSTOMER, numbers-only (6 columns):
+///   c_custkey, c_name, c_nationkey (0..24),
+///   c_mktsegment (0..4), c_comment                             int64
+///   c_acctbal                                                  float64
+engine::SchemaPtr CustomerSchema();
+
+/// Generates CUSTOMER rows with c_custkey 1..num_customers, sorted by
+/// key. GenerateCustomer(kCustomerCount, ...) covers every o_custkey of
+/// a GenerateOrders relation.
+engine::TableChunk GenerateCustomer(int64_t num_customers, uint64_t seed);
 
 /// Largest l_orderkey in a generated LINEITEM chunk — the ORDERS row
 /// count that covers it.
@@ -142,6 +160,12 @@ Result<DatasetInfo> LoadPart(cloud::ObjectStore* s3,
                              const std::string& prefix,
                              const LoadOptions& options);
 
+/// LoadTableChunk of GenerateCustomer(options.num_rows, options.seed).
+Result<DatasetInfo> LoadCustomer(cloud::ObjectStore* s3,
+                                 const std::string& bucket,
+                                 const std::string& prefix,
+                                 const LoadOptions& options);
+
 // -- Queries -----------------------------------------------------------------
 
 /// TPC-H Q1 (pricing summary report): selects ~98 % of LINEITEM on
@@ -166,6 +190,36 @@ core::Query TpchQ12(const std::string& lineitem_pattern,
 core::Query TpchQ14(const std::string& lineitem_pattern,
                     const std::string& part_pattern);
 
+/// TPC-H Q3 (shipping priority): the first three-relation query. LINEITEM
+/// (shipped after 1995-03-15) joins ORDERS (placed before that date),
+/// then semi-joins CUSTOMER restricted to the BUILDING market segment;
+/// revenue per (l_orderkey, o_orderdate, o_shippriority) group. The
+/// cost-based optimizer orders the two joins and picks partitioned or
+/// broadcast exchanges per join from the relation statistics.
+core::Query TpchQ3(const std::string& lineitem_pattern,
+                   const std::string& orders_pattern,
+                   const std::string& customer_pattern);
+
+/// TPC-H Q18 (large volume customer): LINEITEM joins ORDERS, semi-joins
+/// CUSTOMER, then groups per order and keeps groups with
+/// SUM(l_quantity) > min_quantity — the HAVING clause, which the planner
+/// runs in the driver after the distributed aggregate. The original's
+/// o_totalprice group key is float64, so it rides along as
+/// MAX(o_totalprice) (constant within an order, max = the value).
+/// TPC-H specifies 300; the generator's 1..7 lines per order make that
+/// nearly empty at test scale, so it is a parameter.
+core::Query TpchQ18(const std::string& lineitem_pattern,
+                    const std::string& orders_pattern,
+                    const std::string& customer_pattern,
+                    double min_quantity = 300.0);
+
+/// TPC-H Q19 (discounted revenue): LINEITEM joins PART with a disjunction
+/// of three brand/size/quantity clauses that references both sides, so it
+/// can only run after the join; returns SUM(revenue). The string
+/// predicates become numeric stand-ins (see the constants in tpch.cc).
+core::Query TpchQ19(const std::string& lineitem_pattern,
+                    const std::string& part_pattern);
+
 /// The Q1 ship-date cutoff (1998-12-01 minus 90 days).
 int64_t Q1CutoffDate();
 
@@ -188,6 +242,24 @@ struct Q14Result {
 };
 Q14Result ReferenceQ14(const engine::TableChunk& lineitem,
                        const engine::TableChunk& part);
+
+/// Q3 reference: rows (l_orderkey, o_orderdate, o_shippriority, revenue)
+/// ascending by order key — the engine's group layout, sorted.
+engine::TableChunk ReferenceQ3(const engine::TableChunk& lineitem,
+                               const engine::TableChunk& orders,
+                               const engine::TableChunk& customer);
+
+/// Q18 reference: rows (o_custkey, l_orderkey, o_orderdate, sum_qty,
+/// o_totalprice) ascending by order key, only groups with
+/// sum_qty > min_quantity.
+engine::TableChunk ReferenceQ18(const engine::TableChunk& lineitem,
+                                const engine::TableChunk& orders,
+                                const engine::TableChunk& customer,
+                                double min_quantity);
+
+/// Q19 reference: the revenue sum.
+double ReferenceQ19(const engine::TableChunk& lineitem,
+                    const engine::TableChunk& part);
 
 }  // namespace lambada::workload
 

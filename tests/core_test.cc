@@ -11,6 +11,7 @@
 #include "core/driver.h"
 #include "core/exchange.h"
 #include "core/messages.h"
+#include "core/optimizer.h"
 #include "core/plan.h"
 #include "core/planner.h"
 #include "core/worker.h"
@@ -213,7 +214,8 @@ TEST(MessagesTest, PayloadRoundTrip) {
   p.data_scale = 12.5;
   p.self.worker_id = 3;
   p.self.files = {{"data", "part-0.lpq"}, {"data", "part-1.lpq"}};
-  p.self.build_files = {{"data", "orders-0.lpq"}};
+  p.self.build_files = {{"data", "orders-0.lpq"}, {"data", "cust-0.lpq"}};
+  p.self.build_counts = {1, 1};  // Two joins' build slices.
   WorkerInput child;
   child.worker_id = 4;
   child.files = {{"data", "part-2.lpq"}};
@@ -225,8 +227,11 @@ TEST(MessagesTest, PayloadRoundTrip) {
   EXPECT_EQ(back->query_id, "q7");
   EXPECT_EQ(back->total_workers, 64u);
   EXPECT_EQ(back->self.files[1].key, "part-1.lpq");
-  ASSERT_EQ(back->self.build_files.size(), 1u);
+  ASSERT_EQ(back->self.build_files.size(), 2u);
   EXPECT_EQ(back->self.build_files[0].key, "orders-0.lpq");
+  EXPECT_EQ(back->self.build_counts, (std::vector<uint32_t>{1, 1}));
+  // A single-join child payload leaves build_counts empty.
+  EXPECT_TRUE(back->to_invoke[0].build_counts.empty());
   ASSERT_EQ(back->to_invoke.size(), 1u);
   EXPECT_EQ(back->to_invoke[0].worker_id, 4u);
   // Build files are part of the per-worker WorkerInput, so the invocation
@@ -295,10 +300,20 @@ TEST(PlannerTest, ProjectionPushdownCollectsReferencedColumns) {
 }
 
 TEST(PlannerTest, AggregateMustBeLast) {
+  // Non-filter ops after the aggregate are rejected...
   auto q = Query::FromParquet("s3://d/*.lpq")
                .Aggregate({}, {engine::Count("n")})
-               .Filter(Col("n") > Lit(0));
+               .Map(Col("n") * Lit(2), "n2");
   EXPECT_FALSE(PlanQuery(q).ok());
+  // ...but trailing filters become driver-scope HAVING ops.
+  auto having = PlanQuery(Query::FromParquet("s3://d/*.lpq")
+                              .Aggregate({}, {engine::Count("n")})
+                              .Filter(Col("n") > Lit(0)));
+  ASSERT_TRUE(having.ok()) << having.status().ToString();
+  ASSERT_EQ(having->driver_ops.size(), 1u);
+  EXPECT_EQ(having->driver_ops[0].kind, PlanOp::Kind::kFilter);
+  EXPECT_TRUE(having->has_final_aggregate);
+  EXPECT_EQ(having->fragment.ops.back().kind, PlanOp::Kind::kAggregate);
 }
 
 TEST(PlannerTest, FilterAfterMapStaysInPipeline) {
@@ -325,7 +340,9 @@ TEST(PlannerTest, JoinInsertsTwoSidedExchange) {
                           {engine::Sum(Col("o_orderpriority"), "s")});
   auto phys = PlanQuery(q);
   ASSERT_TRUE(phys.ok()) << phys.status().ToString();
-  EXPECT_EQ(phys->build_pattern, "s3://d/orders/*.lpq");
+  ASSERT_EQ(phys->build_inputs.size(), 1u);
+  EXPECT_EQ(phys->build_inputs[0].pattern, "s3://d/orders/*.lpq");
+  EXPECT_FALSE(phys->build_inputs[0].broadcast);
   // Probe pipeline: filter pushed into the scan, then exchange -> join ->
   // aggregate.
   ASSERT_NE(phys->fragment.scan_filter, nullptr);
@@ -398,11 +415,14 @@ TEST(PlannerTest, JoinProvidedColumnsRespectJoinType) {
 
 TEST(PlannerTest, JoinRejections) {
   auto build = Query::FromParquet("s3://d/b/*.lpq");
-  // Two joins.
-  EXPECT_FALSE(PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
-                             .JoinWith(build, {"k"}, {"k2"})
-                             .JoinWith(build, {"k"}, {"k2"}))
-                   .ok());
+  // Two joins now plan as a chained fragment (the cost-based optimizer's
+  // multi-join path).
+  auto two = PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
+                           .JoinWith(build, {"k"}, {"k2"})
+                           .JoinWith(build, {"k"}, {"k2"}));
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  EXPECT_EQ(two->fragment.JoinIndices().size(), 2u);
+  ASSERT_EQ(two->build_inputs.size(), 2u);
   // Explicit repartition before the join.
   EXPECT_FALSE(PlanQuery(Query::FromParquet("s3://d/a/*.lpq")
                              .Repartition({"k"})
@@ -428,6 +448,87 @@ TEST(PlannerTest, JoinRejections) {
                     .JoinWith(build.Select({Col("k2")}, {"k2"}), {"k"},
                               {"k2"}))
           .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based optimizer
+// ---------------------------------------------------------------------------
+
+TEST(OptimizerTest, NoInformationKeepsSyntaxOrderDeterministically) {
+  auto b1 = Query::FromParquet("s3://d/b1/*.lpq")
+                .Select({Col("k2"), Col("v")}, {"k2", "v"});
+  auto b2 = Query::FromParquet("s3://d/b2/*.lpq")
+                .Select({Col("j2"), Col("w")}, {"j2", "w"});
+  auto q = Query::FromParquet("s3://d/a/*.lpq")
+               .JoinWith(b1, {"k"}, {"k2"})
+               .JoinWith(b2, {"j"}, {"j2"})
+               .ReduceCount();
+  auto a = OptimizeQuery(q, Catalog{}, OptimizerOptions{});
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_EQ(a->build_inputs.size(), 2u);
+  // Without statistics every alternative costs the same; ties preserve
+  // the query's syntax order and fall back to partitioned exchanges.
+  EXPECT_EQ(a->build_inputs[0].pattern, "s3://d/b1/*.lpq");
+  EXPECT_EQ(a->build_inputs[1].pattern, "s3://d/b2/*.lpq");
+  for (const auto& c : a->join_choices) EXPECT_FALSE(c.broadcast);
+  // The whole decision chain is deterministic: a second run renders the
+  // byte-identical plan.
+  auto b = OptimizeQuery(q, Catalog{}, OptimizerOptions{});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->explain_text, b->explain_text);
+  EXPECT_FALSE(a->explain_text.empty());
+}
+
+TEST(OptimizerTest, KeyProvenanceConstrainsJoinOrder) {
+  // The second join's probe key (ck) is emitted by the FIRST join's build
+  // side, so no ordering may schedule it first — even though its build
+  // relation is far smaller and the DP would otherwise prefer it.
+  auto orders = Query::FromParquet("s3://d/orders/*.lpq")
+                    .Select({Col("ok"), Col("ck")}, {"ok", "ck"});
+  auto customer = Query::FromParquet("s3://d/customer/*.lpq")
+                      .Select({Col("ck2")}, {"ck2"});
+  auto q = Query::FromParquet("s3://d/li/*.lpq")
+               .JoinWith(orders, {"k"}, {"ok"})
+               .JoinWith(customer, {"ck"}, {"ck2"}, engine::JoinType::kLeftSemi)
+               .ReduceCount();
+  Catalog catalog;
+  catalog.relations["s3://d/li/*.lpq"] = {1e7, 1e9, 16, {}};
+  catalog.relations["s3://d/orders/*.lpq"] = {1e6, 1e8, 8, {}};
+  catalog.relations["s3://d/customer/*.lpq"] = {100, 1e3, 1, {}};
+  OptimizerOptions oo;
+  oo.workers = 8;
+  auto a = OptimizeQuery(q, catalog, oo);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_EQ(a->build_inputs.size(), 2u);
+  EXPECT_EQ(a->build_inputs[0].pattern, "s3://d/orders/*.lpq");
+  EXPECT_EQ(a->build_inputs[1].pattern, "s3://d/customer/*.lpq");
+  // The tiny customer relation broadcasts; its estimates made it into the
+  // decision record.
+  ASSERT_EQ(a->join_choices.size(), 2u);
+  EXPECT_TRUE(a->join_choices[1].broadcast);
+  EXPECT_GT(a->join_choices[1].broadcast_usd, 0.0);
+  EXPECT_GT(a->join_choices[1].partitioned_usd,
+            a->join_choices[1].broadcast_usd);
+}
+
+TEST(OptimizerTest, SelectivityEstimates) {
+  std::map<std::string, engine::Interval> cols;
+  cols["x"] = {0.0, 100.0};
+  // Range predicate interpolates into the bounds: x < 25 on [0,100] ~ 1/4.
+  double quarter =
+      EstimateSelectivity(Col("x") < engine::Lit(25.0), cols, 1000);
+  EXPECT_NEAR(quarter, 0.25, 0.05);
+  // Conjunction multiplies, so it can only shrink.
+  double both = EstimateSelectivity(
+      Col("x") < engine::Lit(25.0) && Col("x") >= engine::Lit(0.0), cols,
+      1000);
+  EXPECT_LE(both, quarter + 1e-9);
+  // Disjunction grows but stays a probability.
+  double either = EstimateSelectivity(
+      Col("x") < engine::Lit(25.0) || Col("x") > engine::Lit(90.0), cols,
+      1000);
+  EXPECT_GE(either, quarter - 1e-9);
+  EXPECT_LE(either, 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -897,7 +998,12 @@ TEST_F(DriverFixture, InnerJoinThroughTwoSidedExchange) {
                .JoinWith(DimQuery(), {"g"}, {"dg"})
                .Aggregate({"g"}, {engine::Sum(Col("x"), "sx"),
                                   engine::Sum(Col("w"), "sw")});
-  auto report = driver_->RunToCompletion(q, RunOptions{});
+  // This test exercises the partitioned path; left to its own devices the
+  // cost model would broadcast the tiny dimension table (see
+  // BroadcastJoinMatchesPartitioned).
+  RunOptions opts;
+  opts.join_strategy = JoinStrategyOverride::kForcePartitioned;
+  auto report = driver_->RunToCompletion(q, opts);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->workers, 4);
   const TableChunk& r = report->result;
@@ -917,6 +1023,39 @@ TEST_F(DriverFixture, InnerJoinThroughTwoSidedExchange) {
   }
   EXPECT_EQ(rounds, 4 * 2 * 2);  // 4 workers x 2 exchanges x 2 levels.
   EXPECT_EQ(joined, 4000);
+}
+
+TEST_F(DriverFixture, BroadcastJoinMatchesPartitioned) {
+  auto q = Query::FromParquet("s3://data/t/*.lpq")
+               .JoinWith(DimQuery(), {"g"}, {"dg"})
+               .Aggregate({"g"}, {engine::Sum(Col("x"), "sx"),
+                                  engine::Sum(Col("w"), "sw")});
+  // Left to the cost model, the single tiny dimension file broadcasts:
+  // shipping it once to each of 4 workers is far cheaper than pushing
+  // both relations through a two-sided hash exchange.
+  auto report = driver_->RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->join_choices.size(), 1u);
+  EXPECT_TRUE(report->join_choices[0].broadcast);
+  EXPECT_LT(report->join_choices[0].broadcast_usd,
+            report->join_choices[0].partitioned_usd);
+  EXPECT_GT(report->join_choices[0].partitioned_usd, 0.0);
+  int64_t rounds = 0, joined = 0;
+  for (const auto& wr : report->worker_results) {
+    rounds += wr.metrics.exchange_rounds;
+    joined += wr.metrics.rows_joined;
+  }
+  EXPECT_EQ(rounds, 0);  // The broadcast path runs no exchange at all.
+  EXPECT_EQ(joined, 4000);
+  // Same answer as the partitioned plan of InnerJoinThroughTwoSidedExchange.
+  const TableChunk& r = report->result;
+  ASSERT_EQ(r.num_rows(), 4u);
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    int64_t g = r.column(0).i64()[i];
+    EXPECT_NEAR(r.column(1).f64()[i], expected_sum_[g], 1e-6);
+    EXPECT_NEAR(r.column(2).f64()[i],
+                static_cast<double>(expected_count_[g] * g) * 10.0, 1e-6);
+  }
 }
 
 TEST_F(DriverFixture, LeftSemiJoinFiltersProbeRows) {

@@ -151,7 +151,8 @@ TEST(SqlJoinTest, InnerJoinParsesToJoinOp) {
   // And the whole thing plans as a two-sided exchange fragment.
   auto phys = PlanQuery(*q);
   ASSERT_TRUE(phys.ok()) << phys.status().ToString();
-  EXPECT_EQ(phys->build_pattern, "s3://tpch/orders/*.lpq");
+  ASSERT_EQ(phys->build_inputs.size(), 1u);
+  EXPECT_EQ(phys->build_inputs[0].pattern, "s3://tpch/orders/*.lpq");
   EXPECT_GE(phys->fragment.JoinIndex(), 1);
 }
 
@@ -221,11 +222,87 @@ TEST(SqlJoinTest, MalformedJoinRejected) {
       ParseSql("SELECT a FROM 's3://d/a/*' LEFT JOIN 's3://d/b/*' "
                "ON k = k2")
           .ok());
-  // A second JOIN clause is trailing junk.
+  // A second JOIN clause chains (multi-join pipeline).
+  auto two = ParseSql(
+      "SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k = k2 "
+      "JOIN 's3://d/c/*' ON j = j2");
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  ASSERT_EQ(two->ops().size(), 3u);  // join, join, select.
+  EXPECT_EQ(two->ops()[0].kind, PlanOp::Kind::kJoin);
+  EXPECT_EQ(two->ops()[1].kind, PlanOp::Kind::kJoin);
+  EXPECT_EQ(two->ops()[1].join->build_pattern, "s3://d/c/*");
+}
+
+TEST(SqlJoinTest, RenamesChainAcrossJoins) {
+  // The first join drops build key `k2` in favour of probe key `k`; the
+  // second ON clause may still say `k2` and must be rewritten to `k`.
+  auto q = ParseSql(
+      "SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k = k2 "
+      "JOIN 's3://d/c/*' ON k2 = k3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ops().size(), 3u);
+  ASSERT_EQ(q->ops()[1].join->probe_keys.size(), 1u);
+  EXPECT_EQ(q->ops()[1].join->probe_keys[0], "k");
+  EXPECT_EQ(q->ops()[1].join->build_keys[0], "k3");
+}
+
+TEST(SqlHavingTest, HavingBecomesTrailingFilter) {
+  auto q = ParseSql(
+      "SELECT g, SUM(x) AS s FROM 's3://d/t/*' GROUP BY g HAVING s > 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ops().size(), 2u);
+  EXPECT_EQ(q->ops()[0].kind, PlanOp::Kind::kAggregate);
+  EXPECT_EQ(q->ops()[1].kind, PlanOp::Kind::kFilter);
+
+  // The planner hoists the post-aggregate filter into the driver scope.
+  auto phys = PlanQuery(*q);
+  ASSERT_TRUE(phys.ok()) << phys.status().ToString();
+  EXPECT_TRUE(phys->has_final_aggregate);
+  ASSERT_EQ(phys->driver_ops.size(), 1u);
+  EXPECT_EQ(phys->driver_ops[0].kind, PlanOp::Kind::kFilter);
+}
+
+TEST(SqlHavingTest, HavingWithoutGroupByRejected) {
   EXPECT_FALSE(
-      ParseSql("SELECT a FROM 's3://d/a/*' JOIN 's3://d/b/*' ON k = k2 "
-               "JOIN 's3://d/c/*' ON j = j2")
-          .ok());
+      ParseSql("SELECT a FROM 's3://d/t/*' HAVING a > 5").ok());
+}
+
+TEST(SqlExplainTest, GoldenJoinPlan) {
+  // Golden text for a catalog-less join plan: the optimizer keeps the
+  // syntactic order, picks partitioned exchanges, and renders unknown
+  // cardinalities as "?". Any change here is a deliberate format change.
+  auto text = ExplainSql(
+      "EXPLAIN SELECT l_shipmode, COUNT(*) AS n "
+      "FROM 's3://tpch/li/*.lpq' "
+      "JOIN 's3://tpch/orders/*.lpq' ON l_orderkey = o_orderkey "
+      "GROUP BY l_shipmode");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "plan for s3://tpch/li/*.lpq\n"
+            "  scan probe=s3://tpch/li/*.lpq projection=[*]\n"
+            "  exchange keys=[l_orderkey] levels=2\n"
+            "  join[0] inner build=s3://tpch/orders/*.lpq"
+            " on l_orderkey=o_orderkey strategy=partitioned\n"
+            "    est rows: probe=? build=? out=?\n"
+            "    cost: partitioned=$0.000022 broadcast=n/a\n"
+            "  aggregate group=[l_shipmode] aggs=[count as n]\n");
+}
+
+TEST(SqlExplainTest, GoldenSingleTablePlan) {
+  auto text = ExplainSql(
+      "EXPLAIN SELECT g, SUM(x) AS s FROM 's3://d/t/*' "
+      "WHERE x > 3 GROUP BY g HAVING s > 5");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "plan for s3://d/t/*\n"
+            "  scan s3://d/t/* filter=(x > 3) projection=[g, x]\n"
+            "  aggregate group=[g] aggs=[sum as s]\n"
+            "  having (s > 5)\n");
+}
+
+TEST(SqlExplainTest, ExplainRequiresKeyword) {
+  auto r = ExplainSql("SELECT a FROM 's3://d/t/*'");
+  EXPECT_FALSE(r.ok());
 }
 
 }  // namespace

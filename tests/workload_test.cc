@@ -232,10 +232,30 @@ TEST(TpchGenJoinTest, OrdersAndPartCoverTheLineitemKeys) {
   EXPECT_LT(frac, 0.21);
 }
 
-/// Runs Q12 or Q14 through the simulated fleet with the given worker-local
-/// kernel thread count. A fresh cloud per run keeps the virtual-time
-/// schedule identical across thread counts — the runtime must not leak
-/// into results, so the reports must be byte-identical.
+TEST(TpchGenJoinTest, CustomerCoversTheOrderCustkeys) {
+  TableChunk customer = GenerateCustomer(kCustomerCount, 5);
+  EXPECT_EQ(customer.num_rows(), static_cast<size_t>(kCustomerCount));
+  EXPECT_EQ(customer.num_columns(), 6u);
+  EXPECT_EQ(customer.column(0).i64().front(), 1);
+  EXPECT_EQ(customer.column(0).i64().back(), kCustomerCount);
+  const auto& seg = customer.column(3).i64();
+  int64_t building = 0;
+  for (int64_t s : seg) {
+    ASSERT_GE(s, 0);
+    ASSERT_LE(s, 4);
+    if (s == kMktSegmentBuilding) ++building;
+  }
+  // Five segments, uniform: Q3 keeps ~1/5 of customers.
+  double frac =
+      static_cast<double>(building) / static_cast<double>(kCustomerCount);
+  EXPECT_GT(frac, 0.17);
+  EXPECT_LT(frac, 0.23);
+}
+
+/// Runs a join query through the simulated fleet with the given
+/// worker-local kernel thread count. A fresh cloud per run keeps the
+/// virtual-time schedule identical across thread counts — the runtime
+/// must not leak into results, so the reports must be byte-identical.
 class TpchJoinFixture : public ::testing::Test {
  protected:
   static constexpr int64_t kRows = 24000;
@@ -246,9 +266,13 @@ class TpchJoinFixture : public ::testing::Test {
     orders_rows_ = MaxOrderKey(reference_lineitem_);
     reference_orders_ = GenerateOrders(orders_rows_, 123);
     reference_part_ = GeneratePart(kPartCount, 321);
+    reference_customer_ = GenerateCustomer(kCustomerCount, 555);
   }
 
-  TableChunk RunFleet(int query, int threads) {
+  core::QueryReport RunFleetReport(
+      int query, int threads,
+      core::JoinStrategyOverride strategy =
+          core::JoinStrategyOverride::kAuto) {
     cloud::Cloud cloud;
     core::DriverOptions dopts;
     if (threads > 1) {
@@ -262,31 +286,74 @@ class TpchJoinFixture : public ::testing::Test {
     li.row_groups_per_file = 4;
     li.seed = kSeed;
     LAMBADA_CHECK_OK(LoadLineitem(&cloud.s3(), "tpch", "li/", li));
-    std::optional<core::Query> q;
-    if (query == 12) {
+    auto load_orders = [&] {
       LoadOptions oo;
       oo.num_rows = orders_rows_;
       oo.num_files = 4;
       oo.seed = 123;
       LAMBADA_CHECK_OK(LoadOrders(&cloud.s3(), "tpch", "orders/", oo));
-      q = TpchQ12("s3://tpch/li/*.lpq", "s3://tpch/orders/*.lpq");
-    } else {
+    };
+    auto load_part = [&] {
       LoadOptions po;
       po.num_rows = kPartCount;
       po.num_files = 4;
       po.seed = 321;
       LAMBADA_CHECK_OK(LoadPart(&cloud.s3(), "tpch", "part/", po));
-      q = TpchQ14("s3://tpch/li/*.lpq", "s3://tpch/part/*.lpq");
+    };
+    auto load_customer = [&] {
+      LoadOptions co;
+      co.num_rows = kCustomerCount;
+      co.num_files = 2;
+      co.seed = 555;
+      LAMBADA_CHECK_OK(LoadCustomer(&cloud.s3(), "tpch", "customer/", co));
+    };
+    std::optional<core::Query> q;
+    switch (query) {
+      case 3:
+        load_orders();
+        load_customer();
+        q = TpchQ3("s3://tpch/li/*.lpq", "s3://tpch/orders/*.lpq",
+                   "s3://tpch/customer/*.lpq");
+        break;
+      case 12:
+        load_orders();
+        q = TpchQ12("s3://tpch/li/*.lpq", "s3://tpch/orders/*.lpq");
+        break;
+      case 14:
+        load_part();
+        q = TpchQ14("s3://tpch/li/*.lpq", "s3://tpch/part/*.lpq");
+        break;
+      case 18:
+        load_orders();
+        load_customer();
+        q = TpchQ18("s3://tpch/li/*.lpq", "s3://tpch/orders/*.lpq",
+                    "s3://tpch/customer/*.lpq", kQ18MinQuantity);
+        break;
+      default:
+        load_part();
+        q = TpchQ19("s3://tpch/li/*.lpq", "s3://tpch/part/*.lpq");
+        break;
     }
-    auto report = driver.RunToCompletion(*q, core::RunOptions{});
+    core::RunOptions ropts;
+    ropts.join_strategy = strategy;
+    auto report = driver.RunToCompletion(*q, ropts);
     LAMBADA_CHECK(report.ok()) << report.status().ToString();
     LAMBADA_CHECK_EQ(report->workers, 8);
-    return std::move(report->result);
+    return std::move(*report);
   }
+
+  TableChunk RunFleet(int query, int threads) {
+    return RunFleetReport(query, threads).result;
+  }
+
+  /// TPC-H says 300, but the generator's 1..7 lines of 1..50 units make
+  /// that nearly empty at 24k rows; 250 keeps a few dozen groups.
+  static constexpr double kQ18MinQuantity = 250.0;
 
   TableChunk reference_lineitem_;
   TableChunk reference_orders_;
   TableChunk reference_part_;
+  TableChunk reference_customer_;
   int64_t orders_rows_ = 0;
 };
 
@@ -340,6 +407,112 @@ TEST_F(TpchJoinFixture, Q14MatchesReferenceAtEveryThreadCount) {
   auto base_bytes = engine::SerializeChunk(base);
   for (int threads : {2, 8}) {
     EXPECT_EQ(engine::SerializeChunk(RunFleet(14, threads)), base_bytes)
+        << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-join queries through the cost-based optimizer: Q3, Q18, Q19
+// ---------------------------------------------------------------------------
+
+/// Compares a fleet result against a reference chunk keyed by the int64
+/// column `key_col` (unique per row). Int64 columns must match exactly,
+/// float64 within a relative tolerance (the fleet's partial aggregates
+/// add in a different order than the reference's single loop).
+void ExpectMatchesByKey(const TableChunk& got, const TableChunk& expected,
+                        size_t key_col) {
+  ASSERT_EQ(got.num_rows(), expected.num_rows());
+  ASSERT_EQ(got.num_columns(), expected.num_columns());
+  for (size_t e = 0; e < expected.num_rows(); ++e) {
+    int64_t key = expected.column(key_col).i64()[e];
+    bool found = false;
+    for (size_t r = 0; r < got.num_rows(); ++r) {
+      if (got.column(key_col).i64()[r] != key) continue;
+      found = true;
+      for (size_t c = 0; c < got.num_columns(); ++c) {
+        if (got.column(c).type() == engine::DataType::kInt64) {
+          EXPECT_EQ(got.column(c).i64()[r], expected.column(c).i64()[e])
+              << "col " << c << " key " << key;
+        } else {
+          double want = expected.column(c).f64()[e];
+          EXPECT_NEAR(got.column(c).f64()[r], want,
+                      std::abs(want) * 1e-9 + 1e-9)
+              << "col " << c << " key " << key;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "key " << key << " missing";
+  }
+}
+
+TEST_F(TpchJoinFixture, Q3MatchesReferenceAtEveryThreadCount) {
+  TableChunk expected = ReferenceQ3(reference_lineitem_, reference_orders_,
+                                    reference_customer_);
+  ASSERT_GT(expected.num_rows(), 100u);
+  auto base = RunFleetReport(3, 1);
+  ASSERT_EQ(base.result.num_columns(), 4u);
+  // Both joins went through the optimizer and carry a costed decision.
+  ASSERT_EQ(base.join_choices.size(), 2u);
+  for (const auto& c : base.join_choices) {
+    EXPECT_GT(c.partitioned_usd, 0.0);
+  }
+  EXPECT_FALSE(base.explain_text.empty());
+  ExpectMatchesByKey(base.result, expected, 0);
+  auto base_bytes = engine::SerializeChunk(base.result);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(engine::SerializeChunk(RunFleet(3, threads)), base_bytes)
+        << threads << " threads";
+  }
+}
+
+TEST_F(TpchJoinFixture, Q3BothStrategiesMatchTheReference) {
+  TableChunk expected = ReferenceQ3(reference_lineitem_, reference_orders_,
+                                    reference_customer_);
+  auto part = RunFleetReport(3, 1, core::JoinStrategyOverride::kForcePartitioned);
+  auto bcast = RunFleetReport(3, 1, core::JoinStrategyOverride::kForceBroadcast);
+  // Partitioned runs two-sided exchanges; broadcast runs none.
+  auto rounds = [](const core::QueryReport& r) {
+    int64_t n = 0;
+    for (const auto& wr : r.worker_results) n += wr.metrics.exchange_rounds;
+    return n;
+  };
+  EXPECT_GT(rounds(part), 0);
+  EXPECT_EQ(rounds(bcast), 0);
+  for (const auto& c : part.join_choices) EXPECT_FALSE(c.broadcast);
+  for (const auto& c : bcast.join_choices) EXPECT_TRUE(c.broadcast);
+  // Same rows either way (aggregation order differs, so values are NEAR).
+  ExpectMatchesByKey(part.result, expected, 0);
+  ExpectMatchesByKey(bcast.result, expected, 0);
+}
+
+TEST_F(TpchJoinFixture, Q18MatchesReferenceAtEveryThreadCount) {
+  TableChunk expected =
+      ReferenceQ18(reference_lineitem_, reference_orders_,
+                   reference_customer_, kQ18MinQuantity);
+  // The HAVING threshold keeps a small, non-empty set of big orders.
+  ASSERT_GT(expected.num_rows(), 0u);
+  ASSERT_LT(expected.num_rows(), 500u);
+  auto base = RunFleetReport(18, 1);
+  ASSERT_EQ(base.result.num_columns(), 5u);
+  ExpectMatchesByKey(base.result, expected, 1);  // Key col: l_orderkey.
+  auto base_bytes = engine::SerializeChunk(base.result);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(engine::SerializeChunk(RunFleet(18, threads)), base_bytes)
+        << threads << " threads";
+  }
+}
+
+TEST_F(TpchJoinFixture, Q19MatchesReferenceAtEveryThreadCount) {
+  double expected = ReferenceQ19(reference_lineitem_, reference_part_);
+  ASSERT_GT(expected, 0.0);
+  auto base = RunFleetReport(19, 1);
+  ASSERT_EQ(base.result.num_rows(), 1u);
+  ASSERT_EQ(base.result.num_columns(), 1u);
+  EXPECT_NEAR(base.result.column(0).f64()[0], expected,
+              std::abs(expected) * 1e-9 + 1e-9);
+  auto base_bytes = engine::SerializeChunk(base.result);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(engine::SerializeChunk(RunFleet(19, threads)), base_bytes)
         << threads << " threads";
   }
 }
