@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Keeps the docs from rotting. Four checks, run in CI:
+"""Keeps the docs from rotting. Five checks, run in CI:
 
 1. Every bench binary (bench/bench_*.cc) must appear in the README's
-   figure tables, so new figures cannot land undocumented.
+   figure tables, and every committed BENCH_*.json trajectory file must
+   be named there too, so new figures cannot land undocumented.
 2. Every intra-repo markdown link ([text](path), non-http, non-anchor)
    in the repo's markdown files must resolve to an existing file or
    directory.
@@ -61,6 +62,14 @@ def check_bench_rows(root, errors):
             errors.append(
                 f"README.md: bench binary {name} has no figure-table row "
                 f"(add `| ... | `{name}` | BENCH_*.json |`)")
+    # The committed trajectory files are the repo's perf record; each one
+    # must be documented alongside the binary that produces it.
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        if f"`{name}`" not in readme:
+            errors.append(
+                f"README.md: trajectory file {name} is committed but never "
+                f"mentioned (add it to the figure table)")
 
 
 def check_links(root, errors):
@@ -180,8 +189,8 @@ def main(argv):
         print(f"check_docs: {e}", file=sys.stderr)
     if errors:
         return 1
-    print("check_docs: README bench rows, markdown links, encoding tags, "
-          "and the TPC-H matrix are clean")
+    print("check_docs: README bench rows, trajectory files, markdown links, "
+          "encoding tags, and the TPC-H matrix are clean")
     return 0
 
 

@@ -6,6 +6,7 @@
 
 #include "cloud/cost_ledger.h"
 #include "cloud/faas.h"
+#include "cloud/fault.h"
 #include "cloud/kv_store.h"
 #include "cloud/object_store.h"
 #include "cloud/pricing.h"
@@ -25,6 +26,9 @@ struct CloudConfig {
   KeyValueStoreConfig ddb;
   FaasConfig faas;
   Pricing pricing;
+  /// Chaos schedule for this region; disabled by default (and a disabled
+  /// plan draws no randomness, leaving fault-free runs bit-identical).
+  FaultPlan fault;
 };
 
 /// One simulated AWS region with all serverless services wired together,
@@ -42,7 +46,11 @@ class Cloud {
         driver_nic_(&sim_, DriverNicConfig()),
         driver_invoke_bucket_(region_.remote_client_rate_per_s,
                               region_.remote_client_rate_per_s / 4),
-        driver_rng_(config.seed) {}
+        driver_rng_(config.seed),
+        fault_(&sim_, config.fault) {
+    s3_.set_fault_injector(&fault_);
+    faas_.set_fault_injector(&fault_);
+  }
 
   sim::Simulator& sim() { return sim_; }
   CostLedger& ledger() { return ledger_; }
@@ -74,6 +82,9 @@ class Cloud {
 
   Rng& driver_rng() { return driver_rng_; }
 
+  /// The region's fault injector (executes config().fault).
+  FaultInjector& fault() { return fault_; }
+
  private:
   Services MakeServices() {
     Services s;
@@ -103,6 +114,7 @@ class Cloud {
   sim::SharedLink driver_nic_;
   sim::TokenBucket driver_invoke_bucket_;
   Rng driver_rng_;
+  FaultInjector fault_;
 };
 
 }  // namespace lambada::cloud

@@ -8,19 +8,38 @@
 
 namespace lambada::cloud {
 
+namespace {
+
+/// Degrades a NIC profile by the straggler factor of a worker's fate.
+sim::SharedLink::Config ScaleNic(sim::SharedLink::Config c, double factor) {
+  c.sustained_bps *= factor;
+  c.peak_bps *= factor;
+  c.per_conn_bps *= factor;
+  return c;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // WorkerEnv
 // ---------------------------------------------------------------------------
 
 WorkerEnv::WorkerEnv(Services services, std::string function_name,
-                     int memory_mib, uint64_t seed, bool cold)
+                     int memory_mib, uint64_t seed, bool cold,
+                     WorkerFate fate)
     : services_(services),
       function_name_(std::move(function_name)),
       memory_mib_(memory_mib),
       cold_(cold),
       rng_(seed),
-      cpu_(services.sim, memory_mib / 1792.0, /*per_job_cap=*/1.0),
-      nic_(services.sim, WorkerNicConfig(memory_mib)) {}
+      fate_(fate),
+      // A straggler fate shrinks the *actual* CPU share and NIC of this
+      // host; cpu_share() keeps reporting the nominal value (the worker
+      // does not know it landed on a degraded host).
+      cpu_(services.sim, memory_mib / 1792.0 * fate.cpu_factor,
+           /*per_job_cap=*/1.0),
+      nic_(services.sim,
+           ScaleNic(WorkerNicConfig(memory_mib), fate.net_factor)) {}
 
 InvokerProfile WorkerEnv::invoker_profile() {
   // Workers invoke within their own region; no client-side cap is needed
@@ -119,6 +138,12 @@ sim::Async<Status> FaasService::Invoke(InvokerProfile profile,
   if (payload.size() > config_.max_payload_bytes) {
     co_return Status::Invalid("invocation payload exceeds 256 KB");
   }
+  if (fault_ != nullptr) {
+    // Injected control-plane failure; retriable, like a real 500 from
+    // the Invoke API.
+    Status injected = fault_->InjectRequestFault(FaultOp::kInvoke);
+    if (!injected.ok()) co_return injected;
+  }
   // Account-wide invocation-rate limit.
   if (api_rate_.CurrentDelay(sim_->Now()) > 0.5) {
     co_return Status::ResourceExhausted("Rate exceeded (invocation rate)");
@@ -161,8 +186,10 @@ sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
                             config_.warm_start_sigma);
   co_await sim::Sleep(sim_, start_latency);
 
+  WorkerFate fate;
+  if (fault_ != nullptr) fate = fault_->DrawWorkerFate();
   auto env = std::make_unique<WorkerEnv>(services_, cfg.name, cfg.memory_mib,
-                                         next_worker_seed_++, cold);
+                                         next_worker_seed_++, cold, fate);
   env->metrics().invoke_initiated = invoke_initiated;
   env->metrics().invoke_accepted = accepted_at;
   env->metrics().handler_start = sim_->Now();
@@ -187,6 +214,13 @@ sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
   double billed = std::ceil(duration / kLambdaBillingQuantumSeconds) *
                   kLambdaBillingQuantumSeconds;
   ledger_->AddLambda(billed * cfg.memory_mib / 1024.0);
+
+  // Hedge losers may still be in flight against this environment's NIC
+  // and RNG (detached request coroutines); let them drain before the
+  // environment dies. Billing was measured above, at handler end.
+  while (env->request_stats().inflight_requests > 0) {
+    co_await sim::Sleep(sim_, 0.001);
+  }
 
   completed_metrics_.push_back(env->metrics());
   --active_;

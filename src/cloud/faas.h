@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cloud/cost_ledger.h"
+#include "cloud/fault.h"
 #include "cloud/kv_store.h"
 #include "cloud/net.h"
 #include "cloud/object_store.h"
@@ -55,6 +56,10 @@ struct WorkerMetrics {
   double handler_start = 0;      ///< Container ready, handler running.
   double handler_end = 0;
   bool cold_start = false;
+  /// Driver attempt id this invocation ran as (0 = first); stamped by the
+  /// handler from its payload so per-worker attempt timelines can be
+  /// reconstructed from completed_metrics().
+  int64_t attempt = 0;
   /// Named sub-phases recorded by the handler, as (label, start, end).
   struct Phase {
     std::string label;
@@ -70,7 +75,7 @@ struct WorkerMetrics {
 class WorkerEnv {
  public:
   WorkerEnv(Services services, std::string function_name, int memory_mib,
-            uint64_t seed, bool cold);
+            uint64_t seed, bool cold, WorkerFate fate = {});
 
   Services& services() { return services_; }
   /// Name of the function this invocation runs as (cf. the
@@ -96,7 +101,29 @@ class WorkerEnv {
 
   /// Network context for service calls made by this worker. `data_scale`
   /// multiplies modeled byte counts (see DESIGN.md virtual scaling).
-  NetContext net() { return NetContext{&nic_, &rng_, data_scale}; }
+  NetContext net() {
+    return NetContext{&nic_, &rng_, data_scale, &request_stats_, &hedge_};
+  }
+
+  // -- Fault plan ------------------------------------------------------------
+
+  /// The fate this invocation drew from the region's FaultInjector.
+  const WorkerFate& fate() const { return fate_; }
+  /// Consumes the armed crash at `site`: returns true exactly once, when
+  /// this invocation was fated to die at that point in its lifetime. The
+  /// handler must then abandon its work without reporting a result.
+  bool MaybeCrash(CrashSite site) {
+    if (crashed_ || fate_.crash_site != site) return false;
+    crashed_ = true;
+    return true;
+  }
+  bool crashed() const { return crashed_; }
+
+  /// Request telemetry accumulated by this worker's service clients.
+  RequestStats& request_stats() { return request_stats_; }
+  /// Hedging policy handed to service clients via net(); the handler
+  /// enables it from the invocation payload.
+  HedgeConfig& hedge_config() { return hedge_; }
 
   /// Profile for invoking further workers from inside the region
   /// (Section 4.2 two-level invocation).
@@ -134,10 +161,14 @@ class WorkerEnv {
   int memory_mib_;
   bool cold_;
   Rng rng_;
+  WorkerFate fate_;
+  bool crashed_ = false;
   sim::ProcessorSharing cpu_;
   sim::SharedLink nic_;
   int64_t memory_used_ = 0;
   WorkerMetrics metrics_;
+  RequestStats request_stats_;
+  HedgeConfig hedge_;
 };
 
 /// The handler run by each invocation: the query-engine entry point.
@@ -211,6 +242,11 @@ class FaasService {
   const FaasConfig& config() const { return config_; }
   void set_concurrency_limit(int limit) { config_.concurrency_limit = limit; }
 
+  /// Installs the region's fault injector (null = no injection): Invoke
+  /// draws per-request failures, and each started handler draws a
+  /// WorkerFate (crash site, straggler slowdown).
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   struct Function {
     FunctionConfig config;
@@ -232,6 +268,7 @@ class FaasService {
   int64_t failed_handlers_ = 0;
   uint64_t next_worker_seed_ = 0x1a3bada0;
   std::vector<WorkerMetrics> completed_metrics_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace lambada::cloud

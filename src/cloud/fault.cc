@@ -1,0 +1,89 @@
+#include "cloud/fault.h"
+
+#include <string>
+
+namespace lambada::cloud {
+
+void FaultInjector::Notify(FaultEvent::Kind kind, CrashSite site) {
+  FaultEvent e;
+  e.kind = kind;
+  e.time = sim_->Now();
+  e.crash_site = site;
+  for (const auto& obs : observers_) obs(e);
+}
+
+Status FaultInjector::InjectRequestFault(FaultOp op) {
+  if (!plan_.enabled) return Status::OK();
+  // One draw per request, segmented: [0, slowdown) -> SlowDown,
+  // [slowdown, slowdown + error) -> 500, rest -> OK. Invokes have no
+  // SlowDown segment.
+  const double u = rng_.NextDouble();
+  switch (op) {
+    case FaultOp::kS3Get:
+    case FaultOp::kS3Put: {
+      const double error_rate = op == FaultOp::kS3Get
+                                    ? plan_.s3_get_error_rate
+                                    : plan_.s3_put_error_rate;
+      if (u < plan_.s3_slowdown_rate) {
+        ++injected_request_faults_;
+        Notify(FaultEvent::Kind::kS3SlowDown);
+        return Status::ResourceExhausted(
+            "SlowDown: injected throttle (fault plan)");
+      }
+      if (u < plan_.s3_slowdown_rate + error_rate) {
+        ++injected_request_faults_;
+        const bool get = op == FaultOp::kS3Get;
+        Notify(get ? FaultEvent::Kind::kS3GetError
+                   : FaultEvent::Kind::kS3PutError);
+        return Status::Unavailable(
+            std::string("InternalError: injected S3 ") +
+            (get ? "GET" : "PUT") + " failure (fault plan)");
+      }
+      return Status::OK();
+    }
+    case FaultOp::kInvoke:
+      if (u < plan_.invoke_error_rate) {
+        ++injected_request_faults_;
+        Notify(FaultEvent::Kind::kInvokeError);
+        return Status::Unavailable(
+            "ServiceException: injected invoke failure (fault plan)");
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+WorkerFate FaultInjector::DrawWorkerFate() {
+  WorkerFate fate;
+  if (!plan_.enabled) return fate;
+  // Exactly two draws per invocation. The crash draw doubles as the site
+  // selector: u1/crash_rate is uniform in [0,1) given a crash, so no extra
+  // draw is needed and the stream stays rate-independent.
+  const double u1 = rng_.NextDouble();
+  const double u2 = rng_.NextDouble();
+  if (plan_.worker_crash_rate > 0 && u1 < plan_.worker_crash_rate) {
+    const double w_before = plan_.crash_before_weight;
+    const double w_during = plan_.crash_during_weight;
+    const double w_after = plan_.crash_after_weight;
+    const double total = w_before + w_during + w_after;
+    const double v = total > 0 ? (u1 / plan_.worker_crash_rate) * total : 0;
+    if (total <= 0 || v < w_before) {
+      fate.crash_site = CrashSite::kBeforeExchangeWrites;
+    } else if (v < w_before + w_during) {
+      fate.crash_site = CrashSite::kDuringExchangeWrites;
+    } else {
+      fate.crash_site = CrashSite::kAfterExchangeWrites;
+    }
+    ++crashes_armed_;
+    Notify(FaultEvent::Kind::kWorkerCrashArmed, fate.crash_site);
+  }
+  if (plan_.straggler_rate > 0 && u2 < plan_.straggler_rate) {
+    fate.cpu_factor = plan_.straggler_cpu_factor;
+    fate.net_factor = plan_.straggler_net_factor;
+    ++stragglers_armed_;
+    Notify(FaultEvent::Kind::kStragglerArmed);
+  }
+  return fate;
+}
+
+}  // namespace lambada::cloud

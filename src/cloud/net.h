@@ -8,6 +8,29 @@
 
 namespace lambada::cloud {
 
+/// Per-caller request telemetry, accumulated by S3Client and friends and
+/// shipped home in WorkerResultMetrics. Also tracks the detached request
+/// coroutines a hedged GET can leave in flight, so a worker environment is
+/// only torn down once they have drained.
+struct RequestStats {
+  int64_t s3_retries = 0;        ///< Backoff retries across all S3 calls.
+  int64_t hedged_requests = 0;   ///< Duplicate GETs issued by hedging.
+  int64_t hedge_wins = 0;        ///< Hedged GETs whose duplicate won.
+  int inflight_requests = 0;     ///< Detached request coroutines still live.
+};
+
+/// Policy for hedged object-store GETs: after the caller-observed latency
+/// quantile elapses without a response, issue a duplicate request and take
+/// whichever answer lands first (the tail-tolerance trick of Dean &
+/// Barroso's "The Tail at Scale"). Disabled by default; the driver enables
+/// it per query via RunOptions.
+struct HedgeConfig {
+  bool enabled = false;
+  double quantile = 0.9;     ///< Latency quantile that arms the duplicate.
+  int min_samples = 8;       ///< Observations required before hedging.
+  double min_delay_s = 0.02; ///< Floor on the hedge delay.
+};
+
 /// Network-side identity of a caller (a worker or the driver): its NIC and
 /// its private randomness stream for latency sampling. Every service call
 /// takes a NetContext so that transfer time is charged against the right
@@ -18,6 +41,10 @@ struct NetContext {
   /// Multiplier applied to transferred byte counts to model datasets larger
   /// than the real bytes held in memory (see DESIGN.md "virtual scaling").
   double data_scale = 1.0;
+  /// Optional request telemetry sink (owned by the caller's environment).
+  RequestStats* stats = nullptr;
+  /// Optional hedging policy; null or disabled means plain requests.
+  const HedgeConfig* hedge = nullptr;
 };
 
 /// The paper-measured NIC profile of a serverless worker (Figure 6):

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
+#include "cloud/fault.h"
 #include "common/logging.h"
 #include "exec/request_batcher.h"
 
@@ -56,6 +58,16 @@ sim::Async<Result<BufferPtr>> ObjectStore::Get(NetContext ctx,
     co_await sim::Sleep(sim_, config_.get_latency_median_s);
     co_return admitted.status();
   }
+  if (fault_ != nullptr) {
+    // Injected server-side failure: the request was admitted, burned a
+    // round trip, and is billed like any failed request.
+    Status injected = fault_->InjectRequestFault(FaultOp::kS3Get);
+    if (!injected.ok()) {
+      co_await sim::Sleep(sim_, *admitted + config_.get_latency_median_s);
+      ledger_->AddS3Get(0);
+      co_return injected;
+    }
+  }
   double latency = ctx.rng->Lognormal(config_.get_latency_median_s,
                                       config_.get_latency_sigma);
   co_await sim::Sleep(sim_, *admitted + latency);
@@ -95,6 +107,14 @@ sim::Async<Result<ObjectStore::TailResult>> ObjectStore::GetTail(
     co_await sim::Sleep(sim_, config_.get_latency_median_s);
     co_return admitted.status();
   }
+  if (fault_ != nullptr) {
+    Status injected = fault_->InjectRequestFault(FaultOp::kS3Get);
+    if (!injected.ok()) {
+      co_await sim::Sleep(sim_, *admitted + config_.get_latency_median_s);
+      ledger_->AddS3Get(0);
+      co_return injected;
+    }
+  }
   double latency = ctx.rng->Lognormal(config_.get_latency_median_s,
                                       config_.get_latency_sigma);
   co_await sim::Sleep(sim_, *admitted + latency);
@@ -129,6 +149,16 @@ sim::Async<Status> ObjectStore::Put(NetContext ctx, std::string bucket,
   if (!admitted.ok()) {
     co_await sim::Sleep(sim_, config_.put_latency_median_s);
     co_return admitted.status();
+  }
+  if (fault_ != nullptr) {
+    // An injected PUT failure leaves the object untouched: either the old
+    // version stays visible or the key stays absent, never a torn write.
+    Status injected = fault_->InjectRequestFault(FaultOp::kS3Put);
+    if (!injected.ok()) {
+      co_await sim::Sleep(sim_, *admitted + config_.put_latency_median_s);
+      ledger_->AddS3Put(0);
+      co_return injected;
+    }
   }
   int64_t virtual_bytes = static_cast<int64_t>(
       static_cast<double>(data->size()) * scale * ctx.data_scale);
@@ -250,17 +280,135 @@ void ObjectStore::ClearBucket(const std::string& bucket) {
 // S3Client
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Ceiling on the exponential backoff between retries. Never reached at
+/// the default budget (6 retries top out at 1.6 s), so default schedules
+/// are unchanged; it matters when callers raise max_retries under chaos.
+constexpr double kMaxBackoffS = 5.0;
+
+/// Annotates a gave-up retriable status with its retry count.
+Status AfterRetries(const Status& s, int retries) {
+  if (retries == 0) return s;
+  return Status(s.code(), s.message() + " (gave up after " +
+                              std::to_string(retries) + " retries)");
+}
+
+/// Shared state of one hedged-GET race, held by shared_ptr so the losing
+/// request coroutine can outlive the caller's frame.
+struct HedgeRace {
+  explicit HedgeRace(sim::Simulator* sim) : first_done(sim) {}
+  sim::Event first_done;
+  Result<BufferPtr> result = Status::Internal("hedge race pending");
+  bool settled = false;
+  bool hedge_won = false;
+};
+
+/// One racer of a hedged GET. Deliberately touches only the store (which
+/// outlives the simulation) and the copied NetContext, whose pointers
+/// live on the caller's environment — the environment drains
+/// `stats->inflight_requests` to zero before dying, so a loser finishing
+/// late never dangles. It must NOT touch the S3Client, which may already
+/// be destroyed when the loser completes.
+sim::Async<void> HedgeAttempt(ObjectStore* store, NetContext ctx,
+                              std::shared_ptr<HedgeRace> race,
+                              std::string bucket, std::string key,
+                              int64_t offset, int64_t length,
+                              bool is_hedge) {
+  if (ctx.stats != nullptr) ++ctx.stats->inflight_requests;
+  auto r = co_await store->Get(ctx, bucket, key, offset, length);
+  if (ctx.stats != nullptr) --ctx.stats->inflight_requests;
+  if (!race->settled) {
+    race->settled = true;
+    race->hedge_won = is_hedge;
+    race->result = std::move(r);
+    race->first_done.Set();
+  }
+}
+
+/// Arms the duplicate: sleeps the hedge delay, then issues the second
+/// request unless the primary already settled the race.
+sim::Async<void> HedgeArm(ObjectStore* store, NetContext ctx,
+                          std::shared_ptr<HedgeRace> race, double delay,
+                          std::string bucket, std::string key,
+                          int64_t offset, int64_t length) {
+  co_await sim::Sleep(store->simulator(), delay);
+  if (race->settled) co_return;
+  if (ctx.stats != nullptr) ++ctx.stats->hedged_requests;
+  co_await HedgeAttempt(store, ctx, std::move(race), std::move(bucket),
+                        std::move(key), offset, length, /*is_hedge=*/true);
+}
+
+}  // namespace
+
+double S3Client::HedgeDelay() const {
+  std::vector<double> s(get_samples_);
+  size_t idx = static_cast<size_t>(ctx_.hedge->quantile *
+                                   static_cast<double>(s.size() - 1));
+  std::nth_element(s.begin(), s.begin() + static_cast<ptrdiff_t>(idx),
+                   s.end());
+  return std::max(ctx_.hedge->min_delay_s, s[idx]);
+}
+
+sim::Async<Result<BufferPtr>> S3Client::HedgedGet(std::string bucket,
+                                                  std::string key,
+                                                  int64_t offset,
+                                                  int64_t length) {
+  auto race = std::make_shared<HedgeRace>(store_->simulator());
+  sim::Spawn(HedgeAttempt(store_, ctx_, race, bucket, key, offset, length,
+                          /*is_hedge=*/false));
+  if (!race->settled) {
+    sim::Spawn(HedgeArm(store_, ctx_, race, HedgeDelay(), std::move(bucket),
+                        std::move(key), offset, length));
+    co_await race->first_done.Wait();
+  }
+  if (race->hedge_won && ctx_.stats != nullptr) ++ctx_.stats->hedge_wins;
+  co_return std::move(race->result);
+}
+
+sim::Async<Result<BufferPtr>> S3Client::DoGet(std::string bucket,
+                                              std::string key,
+                                              int64_t offset,
+                                              int64_t length) {
+  const bool hedging = ctx_.hedge != nullptr && ctx_.hedge->enabled;
+  if (!hedging) {
+    co_return co_await store_->Get(ctx_, std::move(bucket), std::move(key),
+                                   offset, length);
+  }
+  const double t0 = store_->simulator()->Now();
+  Result<BufferPtr> r = Status::Internal("unreached");
+  if (static_cast<int>(get_samples_.size()) < ctx_.hedge->min_samples) {
+    r = co_await store_->Get(ctx_, std::move(bucket), std::move(key),
+                             offset, length);
+  } else {
+    r = co_await HedgedGet(std::move(bucket), std::move(key), offset,
+                           length);
+  }
+  if (r.ok()) {
+    // Observed (possibly hedged) completion latency feeds the quantile;
+    // bound the window so the policy tracks current conditions.
+    if (get_samples_.size() >= 256) {
+      get_samples_.erase(get_samples_.begin());
+    }
+    get_samples_.push_back(store_->simulator()->Now() - t0);
+  }
+  co_return r;
+}
+
 sim::Async<Result<BufferPtr>> S3Client::Get(std::string bucket,
                                             std::string key, int64_t offset,
                                             int64_t length) {
   double backoff = initial_backoff_s_;
   for (int attempt = 0;; ++attempt) {
-    auto r = co_await store_->Get(ctx_, bucket, key, offset, length);
-    if (r.ok() || !r.status().IsRetriable() || attempt >= max_retries_) {
-      co_return r;
+    auto r = co_await DoGet(bucket, key, offset, length);
+    if (r.ok() || !r.status().IsRetriable()) co_return r;
+    if (attempt >= max_retries_) {
+      co_return AfterRetries(r.status(), attempt);
     }
+    if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
     co_await sim::Sleep(store_->simulator(),
-                        backoff * (0.5 + ctx_.rng->NextDouble()));
+                        std::min(backoff, kMaxBackoffS) *
+                            (0.5 + ctx_.rng->NextDouble()));
     backoff *= 2;
   }
 }
@@ -270,11 +418,15 @@ sim::Async<Result<ObjectStore::TailResult>> S3Client::GetTail(
   double backoff = initial_backoff_s_;
   for (int attempt = 0;; ++attempt) {
     auto r = co_await store_->GetTail(ctx_, bucket, key, suffix_length);
-    if (r.ok() || !r.status().IsRetriable() || attempt >= max_retries_) {
-      co_return r;
+    if (r.ok() || !r.status().IsRetriable()) co_return r;
+    if (attempt >= max_retries_) {
+      co_return Result<ObjectStore::TailResult>(
+          AfterRetries(r.status(), attempt));
     }
+    if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
     co_await sim::Sleep(store_->simulator(),
-                        backoff * (0.5 + ctx_.rng->NextDouble()));
+                        std::min(backoff, kMaxBackoffS) *
+                            (0.5 + ctx_.rng->NextDouble()));
     backoff *= 2;
   }
 }
@@ -284,11 +436,14 @@ sim::Async<Status> S3Client::Put(std::string bucket, std::string key,
   double backoff = initial_backoff_s_;
   for (int attempt = 0;; ++attempt) {
     Status s = co_await store_->Put(ctx_, bucket, key, data, scale);
-    if (s.ok() || !s.IsRetriable() || attempt >= max_retries_) {
-      co_return s;
+    if (s.ok() || !s.IsRetriable()) co_return s;
+    if (attempt >= max_retries_) {
+      co_return AfterRetries(s, attempt);
     }
+    if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
     co_await sim::Sleep(store_->simulator(),
-                        backoff * (0.5 + ctx_.rng->NextDouble()));
+                        std::min(backoff, kMaxBackoffS) *
+                            (0.5 + ctx_.rng->NextDouble()));
     backoff *= 2;
   }
 }
@@ -298,11 +453,15 @@ sim::Async<Result<std::vector<ObjectInfo>>> S3Client::List(
   double backoff = initial_backoff_s_;
   for (int attempt = 0;; ++attempt) {
     auto r = co_await store_->List(ctx_, bucket, prefix);
-    if (r.ok() || !r.status().IsRetriable() || attempt >= max_retries_) {
-      co_return r;
+    if (r.ok() || !r.status().IsRetriable()) co_return r;
+    if (attempt >= max_retries_) {
+      co_return Result<std::vector<ObjectInfo>>(
+          AfterRetries(r.status(), attempt));
     }
+    if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
     co_await sim::Sleep(store_->simulator(),
-                        backoff * (0.5 + ctx_.rng->NextDouble()));
+                        std::min(backoff, kMaxBackoffS) *
+                            (0.5 + ctx_.rng->NextDouble()));
     backoff *= 2;
   }
 }

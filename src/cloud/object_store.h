@@ -17,6 +17,8 @@
 
 namespace lambada::cloud {
 
+class FaultInjector;
+
 /// Behavioural knobs of the simulated S3, with defaults matching the
 /// paper's measurements and the service limits it cites (Section 4.4.1).
 struct ObjectStoreConfig {
@@ -122,6 +124,11 @@ class ObjectStore {
   const ObjectStoreConfig& config() const { return config_; }
   sim::Simulator* simulator() const { return sim_; }
 
+  /// Installs the region's fault injector (null = no injection). Request
+  /// hooks consult it after rate-limit admission, so injected errors are
+  /// indistinguishable from organic ones to every caller.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   struct Object {
     BufferPtr data;
@@ -152,6 +159,7 @@ class ObjectStore {
   ObjectStoreConfig config_;
   std::map<std::string, std::unique_ptr<Bucket>> buckets_;
   Rng latency_rng_;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// Retrying wrapper implementing the "aggressive timeouts and retries"
@@ -225,10 +233,23 @@ class S3Client {
   ObjectStore* store() { return store_; }
 
  private:
+  /// One GET through the hedging policy: plain request until enough
+  /// latency samples exist, then a duplicate is armed at the observed
+  /// latency quantile and the first response wins.
+  sim::Async<Result<BufferPtr>> DoGet(std::string bucket, std::string key,
+                                      int64_t offset, int64_t length);
+  sim::Async<Result<BufferPtr>> HedgedGet(std::string bucket,
+                                          std::string key, int64_t offset,
+                                          int64_t length);
+  double HedgeDelay() const;
+
   ObjectStore* store_;
   NetContext ctx_;
   int max_retries_;
   double initial_backoff_s_;
+  /// Latencies of completed GETs, kept only while hedging is enabled;
+  /// feeds the hedge-delay quantile.
+  std::vector<double> get_samples_;
 };
 
 }  // namespace lambada::cloud

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Timeout";
     case StatusCode::kOutOfMemory:
       return "OutOfMemory";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -25,6 +25,10 @@ enum class StatusCode {
   kCancelled,
   kTimeout,
   kOutOfMemory,  ///< Worker exceeded its memory budget.
+  /// A caller-imposed deadline expired (e.g., the driver's query timeout).
+  /// Unlike kTimeout this is terminal: the operation was abandoned, not
+  /// merely slow, so IsRetriable() is false.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g., "NotFound").
@@ -82,6 +86,9 @@ class Status {
   }
   static Status OutOfMemory(std::string msg) {
     return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

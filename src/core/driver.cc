@@ -388,6 +388,7 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     p.plan_key = plan_key;
     p.result_queue = options_.result_queue;
     p.data_scale = options.data_scale;
+    p.hedge_gets = options.hedge_gets;
     p.self.worker_id = static_cast<uint32_t>(w);
     size_t begin = files.size() * static_cast<size_t>(w) /
                    static_cast<size_t>(workers);
@@ -423,29 +424,119 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   }
 
   // ---- Invoke. ----
-  CO_RETURN_NOT_OK(co_await InvokeWorkers(std::move(payloads), function));
+  // `payloads` is passed by copy: the originals stay behind as the
+  // re-invocation templates of the mitigation loop below.
+  CO_RETURN_NOT_OK(co_await InvokeWorkers(payloads, function));
   const double t_invoked = sim->Now();
 
   // ---- Collect results from the queue (Section 3.3). ----
+  // SQS delivery is at-least-once and the mitigation path can race
+  // several attempts of one worker, so collection is first-result-wins
+  // per worker id: later deliveries (redeliveries or superseded
+  // attempts) are counted and dropped, never merged twice. Workers are
+  // idempotent — any attempt's partial is byte-identical — so "first"
+  // needs no attempt arbitration.
+  const MitigationOptions& mit = options.mitigation;
   std::vector<ResultMessage> results;
   results.reserve(static_cast<size_t>(workers));
+  std::vector<char> seen(static_cast<size_t>(workers), 0);
+  std::vector<int> attempts(static_cast<size_t>(workers), 1);
+  std::vector<double> invoked_at(static_cast<size_t>(workers), t_invoked);
+  int64_t duplicate_results = 0;
+  int reinvoked_workers = 0;
+  // Progress-deadline state: armed once `quantile` of the fleet reported.
+  const size_t quantile_need = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(mit.quantile * static_cast<double>(workers))));
+  double straggler_budget_s = -1.0;  // < 0: not armed yet.
+  double last_progress = t_invoked;
   const double deadline = t_start + options_.query_timeout_s;
   while (results.size() < static_cast<size_t>(workers)) {
     if (sim->Now() > deadline) {
-      co_return Status::Timeout("query timed out waiting for workers (" +
-                                std::to_string(results.size()) + "/" +
-                                std::to_string(workers) + ")");
+      std::string missing;
+      int listed = 0;
+      for (int w = 0; w < workers; ++w) {
+        if (seen[static_cast<size_t>(w)]) continue;
+        if (listed == 16) {
+          missing += ", ...";
+          break;
+        }
+        if (listed++ > 0) missing += ", ";
+        missing += std::to_string(w);
+      }
+      co_return Status::DeadlineExceeded(
+          "query deadline of " + std::to_string(options_.query_timeout_s) +
+          "s exceeded with " + std::to_string(results.size()) + "/" +
+          std::to_string(workers) + " results; missing workers: [" +
+          missing + "]");
     }
     auto batch = co_await cloud_->sqs().Receive(
         cloud_->driver_net(), options_.result_queue, 10,
         options_.result_poll_wait_s);
     if (!batch.ok()) co_return batch.status();
-    for (const auto& raw : *batch) {
+    for (auto& raw : *batch) {
       auto msg = ResultMessage::Parse(raw);
       if (!msg.ok()) co_return msg.status();
       if (msg->query_id != query_id) continue;  // Stale message.
+      if (msg->worker_id >= static_cast<uint32_t>(workers)) continue;
+      const size_t w = msg->worker_id;
+      if (seen[w]) {
+        ++duplicate_results;
+        continue;
+      }
+      if (mit.enabled && msg->status_code != StatusCode::kOk &&
+          Status(msg->status_code, "").IsRetriable() &&
+          attempts[w] < mit.max_attempts) {
+        // Transient worker failure with attempts left: re-invoke instead
+        // of recording the failure.
+        InvocationPayload retry = payloads[w];
+        retry.self.attempt = static_cast<uint32_t>(attempts[w]++);
+        retry.to_invoke.clear();
+        invoked_at[w] = sim->Now();
+        Status s = co_await InvokeOne(function, retry.Serialize());
+        if (!s.ok()) {
+          LAMBADA_LOG(Warning)
+              << "re-invocation of worker " << w << " failed: "
+              << s.ToString();
+        }
+        continue;
+      }
+      seen[w] = 1;
+      last_progress = sim->Now();
       results.push_back(*std::move(msg));
     }
+    if (!mit.enabled || results.size() >= static_cast<size_t>(workers)) {
+      continue;
+    }
+    // Arm the straggler deadline at the quantile crossing: the budget is
+    // the fleet's own pace times a slack multiplier.
+    if (straggler_budget_s < 0 && results.size() >= quantile_need) {
+      straggler_budget_s = std::max(
+          mit.min_deadline_s,
+          mit.straggler_multiplier * (sim->Now() - t_invoked));
+    }
+    // Speculative re-invocation: stragglers past their deadline, or the
+    // whole missing set after a progress stall.
+    const bool stalled =
+        sim->Now() - last_progress > mit.stall_timeout_s;
+    for (int w = 0; w < workers; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      if (seen[wi] || attempts[wi] >= mit.max_attempts) continue;
+      const bool past_deadline =
+          straggler_budget_s >= 0 &&
+          sim->Now() >= invoked_at[wi] + straggler_budget_s;
+      if (!past_deadline && !stalled) continue;
+      InvocationPayload retry = payloads[wi];
+      retry.self.attempt = static_cast<uint32_t>(attempts[wi]++);
+      retry.to_invoke.clear();
+      invoked_at[wi] = sim->Now();
+      Status s = co_await InvokeOne(function, retry.Serialize());
+      if (!s.ok()) {
+        LAMBADA_LOG(Warning) << "re-invocation of worker " << w
+                             << " failed: " << s.ToString();
+      }
+    }
+    if (stalled) last_progress = sim->Now();  // One sweep per stall.
   }
 
   // ---- Merge partial results (driver scope). ----
@@ -455,6 +546,16 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
                        "worker " + std::to_string(r.worker_id) +
                            " failed: " + r.status_message);
     }
+  }
+  if (mit.enabled) {
+    // Retry schedules perturb arrival order; merge in worker order so
+    // float accumulation (and thus result bytes) is schedule-invariant.
+    // Without mitigation the historical arrival-order merge is kept,
+    // preserving committed benchmark bytes.
+    std::sort(results.begin(), results.end(),
+              [](const ResultMessage& a, const ResultMessage& b) {
+                return a.worker_id < b.worker_id;
+              });
   }
   std::vector<engine::TableChunk> partials;
   partials.reserve(results.size());
@@ -509,6 +610,17 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   report.workers = workers;
   report.files = static_cast<int>(files.size());
   report.cost = cloud_->ledger().Snapshot() - cost_before;
+  for (int w = 0; w < workers; ++w) {
+    report.total_attempts += attempts[static_cast<size_t>(w)];
+    if (attempts[static_cast<size_t>(w)] > 1) ++reinvoked_workers;
+  }
+  report.reinvoked_workers = reinvoked_workers;
+  report.duplicate_results = duplicate_results;
+  for (const auto& r : results) {
+    report.worker_s3_retries += r.metrics.s3_retries;
+    report.hedged_gets += r.metrics.hedged_requests;
+    report.hedge_wins += r.metrics.hedge_wins;
+  }
   report.worker_results = std::move(results);
   report.join_choices = physical->join_choices;
   report.explain_text = physical->explain_text;

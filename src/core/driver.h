@@ -43,6 +43,26 @@ struct DriverOptions {
   exec::ExecContext worker_exec;
 };
 
+/// Straggler and crash mitigation policy of the driver's result-wait
+/// loop. Disabled by default: the fault-free fast path then takes the
+/// exact pre-mitigation schedule (arrival-order merge, no extra draws).
+struct MitigationOptions {
+  bool enabled = false;
+  /// Fleet completion quantile that arms the per-worker progress
+  /// deadline: once `quantile` of the fleet has reported, the stragglers
+  /// get a budget derived from the fleet's own pace.
+  double quantile = 0.5;
+  /// Budget = max(min_deadline_s, multiplier * elapsed-at-crossing).
+  double straggler_multiplier = 3.0;
+  double min_deadline_s = 5.0;
+  /// Maximum invocation attempts per worker, including the first.
+  int max_attempts = 3;
+  /// With no new result for this long, every missing worker is re-invoked
+  /// regardless of the quantile state (covers crashes before the quantile
+  /// arms, e.g. a dead first-generation invoker).
+  double stall_timeout_s = 30.0;
+};
+
 /// Per-query execution knobs (the M and F of Section 5.2).
 struct RunOptions {
   int memory_mib = 1792;
@@ -61,6 +81,12 @@ struct RunOptions {
   /// Per-join exchange strategy: kAuto lets the optimizer's cost model
   /// decide; the force settings exist for ablation benches.
   JoinStrategyOverride join_strategy = JoinStrategyOverride::kAuto;
+  /// Straggler/crash mitigation (speculative re-invocation, progress
+  /// deadlines, first-result-wins dedup).
+  MitigationOptions mitigation;
+  /// Workers hedge slow object-store GETs (duplicate request after the
+  /// observed latency quantile, first response wins).
+  bool hedge_gets = false;
 };
 
 /// Everything the driver knows after a query: the result, end-to-end
@@ -80,6 +106,18 @@ struct QueryReport {
   /// queries) and the deterministic plan rendering.
   std::vector<JoinChoice> join_choices;
   std::string explain_text;
+  /// Fault-tolerance telemetry for imperfect runs. `total_attempts` counts
+  /// invocation attempts across the fleet (== workers on a clean run);
+  /// duplicates are at-least-once redeliveries (or superseded attempts)
+  /// the dedup dropped; the s3/hedge counters are summed from the
+  /// reporting attempt of each worker. Per-worker attempt timelines are
+  /// in `worker_metrics` (WorkerMetrics::attempt).
+  int64_t total_attempts = 0;
+  int reinvoked_workers = 0;
+  int64_t duplicate_results = 0;
+  int64_t worker_s3_retries = 0;
+  int64_t hedged_gets = 0;
+  int64_t hedge_wins = 0;
 
   /// Total USD for this query at the deployment's prices.
   double CostUsd(const cloud::Pricing& pricing) const {

@@ -241,6 +241,15 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
   // earlier slot fails, like the old sequential loop — and since the
   // FIFO gate starts slots in order, sentinel slots can only follow the
   // failing slot, so the first failure is still the one reported.
+  // Per-slot bounded retry: transient statuses (503 SlowDown, injected
+  // 500s) back off and re-fetch instead of failing the whole exchange.
+  // Jitter draws happen only on failure, so fault-free schedules consume
+  // no extra randomness. Re-fetching is safe at any point: exchange keys
+  // are attempt-stable and PUTs are atomic last-writer-wins, so a retried
+  // GET sees either the same bytes or nothing yet (and polls again).
+  constexpr int kSliceAttempts = 4;
+  constexpr double kSliceBackoffS = 0.2;
+  constexpr double kSliceBackoffCapS = 2.0;
   auto read_slices = [&](size_t n, auto fetch)
       -> sim::Async<Result<std::vector<TableChunk>>> {
     bool failed = false;
@@ -250,9 +259,22 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       reads.push_back([&, i]() -> sim::Async<Result<TableChunk>> {
         if (failed) co_return TableChunk();  // Unattempted slot.
         auto part = co_await fetch(i);
+        int slice_retries = 0;
+        double backoff = kSliceBackoffS;
+        while (!part.ok() && part.status().IsRetriable() &&
+               slice_retries + 1 < kSliceAttempts) {
+          ++slice_retries;
+          co_await sim::Sleep(sim, std::min(backoff, kSliceBackoffCapS) *
+                                       (0.5 + env.rng().NextDouble()));
+          backoff *= 2;
+          part = co_await fetch(i);
+        }
         if (!part.ok()) {
           failed = true;
-          co_return part.status();
+          co_return Status(part.status().code(),
+                           part.status().message() +
+                               " (exchange slice gave up after " +
+                               std::to_string(slice_retries) + " retries)");
         }
         if (*part == nullptr) co_return TableChunk();  // Empty slice.
         auto chunk =
@@ -301,6 +323,14 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
   ExchangeMetrics local;
   ExchangeMetrics& m = metrics != nullptr ? *metrics : local;
 
+  // Crash site 1: the fate-armed handler dies before any slice lands. No
+  // result message is sent; recovery is entirely the driver's speculative
+  // re-invocation, and the retry starts from a clean (empty) key range.
+  if (env.MaybeCrash(cloud::CrashSite::kBeforeExchangeWrites)) {
+    co_return Status::Cancelled(
+        "injected worker crash before exchange writes (fault plan)");
+  }
+
   for (size_t phase = 0; phase < grid.sides.size(); ++phase) {
     ExchangeMetrics::Round round;
     const int side = grid.sides[phase];
@@ -341,6 +371,14 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
 
     // ---- Write ----
     t0 = sim->Now();
+    // Crash site 2 (armed here, fires mid-write below): some attempt-stable
+    // slices land, then the handler dies without a result message. The
+    // re-invoked attempt rewrites every slice with identical bytes
+    // (deterministic serialization + atomic last-writer-wins PUT), so a
+    // reader that already consumed a first-attempt slice saw exactly the
+    // bytes the retry writes — torn state is unobservable.
+    const bool crash_mid_writes =
+        env.MaybeCrash(cloud::CrashSite::kDuringExchangeWrites);
     std::vector<uint64_t> my_offsets;
     if (spec.write_combining) {
       auto combined = engine::SerializeChunksCombined(parts, xc);
@@ -366,6 +404,13 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       if (!put.ok()) co_return put;
       ++m.put_requests;
       m.bytes_written += combined_bytes;
+      if (crash_mid_writes) {
+        // Dies between the data PUT and the idx PUT (or, with offsets in
+        // the name, right after the single PUT): readers keep polling for
+        // the missing idx until the retry attempt supplies it.
+        co_return Status::Cancelled(
+            "injected worker crash during exchange writes (fault plan)");
+      }
       if (!spec.offsets_in_name) {
         BinaryWriter w;
         for (uint64_t off : combined.offsets) w.PutU64(off);
@@ -385,11 +430,13 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       // immediately (zero virtual time), and only started requests — at
       // most `depth` — still run out.
       bool put_failed = false;
+      bool crashed_mid = false;
       std::vector<std::function<sim::Async<Status>()>> puts;
       puts.reserve(static_cast<size_t>(side));
       for (int j = 0; j < side; ++j) {
         puts.push_back([&, j]() -> sim::Async<Status> {
-          if (put_failed) co_return Status::OK();  // Unattempted slot.
+          // Unattempted slot (earlier failure or mid-write crash).
+          if (put_failed || crashed_mid) co_return Status::OK();
           auto blob =
               engine::SerializeChunk(parts[static_cast<size_t>(j)], xc);
           co_await env.Compute(static_cast<double>(blob.size()) *
@@ -402,6 +449,9 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
           if (put.ok()) {
             ++m.put_requests;
             m.bytes_written += blob_bytes;
+            // Die halfway through the receiver slots: slots already in
+            // flight still land, later ones never start.
+            if (crash_mid_writes && j == side / 2) crashed_mid = true;
           } else {
             put_failed = true;
           }
@@ -412,9 +462,21 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       for (const Status& put : statuses) {
         if (!put.ok()) co_return put;
       }
+      if (crashed_mid) {
+        co_return Status::Cancelled(
+            "injected worker crash during exchange writes (fault plan)");
+      }
     }
     parts.clear();
     round.write_s = sim->Now() - t0;
+
+    // Crash site 3: every slice of this phase is visible, but the handler
+    // dies before reading (or, for the last phase, before reporting). The
+    // retry overwrites each slice byte-identically and carries on.
+    if (env.MaybeCrash(cloud::CrashSite::kAfterExchangeWrites)) {
+      co_return Status::Cancelled(
+          "injected worker crash after exchange writes (fault plan)");
+    }
 
     // ---- Wait + read ----
     t0 = sim->Now();

@@ -41,6 +41,8 @@ void WorkerInput::Serialize(BinaryWriter* w) const {
     w->PutVarint(build_counts.size());
     for (uint32_t n : build_counts) w->PutU32(n);
   }
+  // Appended field: the driver's invocation attempt for this worker.
+  w->PutU32(attempt);
 }
 
 Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
@@ -57,6 +59,7 @@ Result<WorkerInput> WorkerInput::Deserialize(BinaryReader* r) {
       in.build_counts.push_back(c);
     }
   }
+  ASSIGN_OR_RETURN(in.attempt, r->GetU32());
   return in;
 }
 
@@ -71,6 +74,7 @@ std::string InvocationPayload::Serialize() const {
   w.PutVarint(to_invoke.size());
   for (const auto& t : to_invoke) t.Serialize(&w);
   w.PutF64(data_scale);
+  w.PutU8(hedge_gets ? 1 : 0);
   auto bytes = w.Take();
   return std::string(bytes.begin(), bytes.end());
 }
@@ -93,6 +97,8 @@ Result<InvocationPayload> InvocationPayload::Parse(const std::string& bytes) {
     p.to_invoke.push_back(std::move(in));
   }
   ASSIGN_OR_RETURN(p.data_scale, r.GetF64());
+  ASSIGN_OR_RETURN(uint8_t hedge, r.GetU8());
+  p.hedge_gets = hedge != 0;
   if (r.remaining() != 0) return Status::IOError("payload trailing bytes");
   return p;
 }
@@ -112,6 +118,9 @@ void WorkerResultMetrics::Serialize(BinaryWriter* w) const {
   w->PutI64(rows_dict_filtered);
   w->PutI64(exchange_bytes_written);
   w->PutI64(exchange_bytes_read);
+  w->PutI64(s3_retries);
+  w->PutI64(hedged_requests);
+  w->PutI64(hedge_wins);
 }
 
 Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
@@ -131,6 +140,9 @@ Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
   ASSIGN_OR_RETURN(m.rows_dict_filtered, r->GetI64());
   ASSIGN_OR_RETURN(m.exchange_bytes_written, r->GetI64());
   ASSIGN_OR_RETURN(m.exchange_bytes_read, r->GetI64());
+  ASSIGN_OR_RETURN(m.s3_retries, r->GetI64());
+  ASSIGN_OR_RETURN(m.hedged_requests, r->GetI64());
+  ASSIGN_OR_RETURN(m.hedge_wins, r->GetI64());
   return m;
 }
 
@@ -144,6 +156,7 @@ std::string ResultMessage::Serialize() const {
   w.PutBytes(inline_result);
   w.PutString(spill_bucket);
   w.PutString(spill_key);
+  w.PutU32(attempt);
   auto bytes = w.Take();
   return std::string(bytes.begin(), bytes.end());
 }
@@ -155,7 +168,7 @@ Result<ResultMessage> ResultMessage::Parse(const std::string& bytes) {
   ASSIGN_OR_RETURN(m.query_id, r.GetString());
   ASSIGN_OR_RETURN(m.worker_id, r.GetU32());
   ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
-  if (code > static_cast<uint8_t>(StatusCode::kOutOfMemory)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::IOError("bad status code in result");
   }
   m.status_code = static_cast<StatusCode>(code);
@@ -164,6 +177,7 @@ Result<ResultMessage> ResultMessage::Parse(const std::string& bytes) {
   ASSIGN_OR_RETURN(m.inline_result, r.GetBytes());
   ASSIGN_OR_RETURN(m.spill_bucket, r.GetString());
   ASSIGN_OR_RETURN(m.spill_key, r.GetString());
+  ASSIGN_OR_RETURN(m.attempt, r.GetU32());
   if (r.remaining() != 0) return Status::IOError("result trailing bytes");
   return m;
 }

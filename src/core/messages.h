@@ -35,6 +35,11 @@ struct WorkerInput {
   /// fragments). Empty = every build file belongs to ordinal 0, the
   /// single-join layout.
   std::vector<uint32_t> build_counts;
+  /// Which invocation attempt this is for `worker_id` (0 = first). The
+  /// driver bumps it when it speculatively re-invokes a straggler or
+  /// re-invokes a crashed worker; the worker echoes it in ResultMessage so
+  /// the driver can dedup at-least-once deliveries by (worker_id, attempt).
+  uint32_t attempt = 0;
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerInput> Deserialize(BinaryReader* r);
@@ -56,6 +61,9 @@ struct InvocationPayload {
   /// Virtual-scaling factor applied to modeled data sizes and CPU work
   /// (see DESIGN.md); 1.0 outside scaled experiments.
   double data_scale = 1.0;
+  /// Whether workers should hedge slow object-store GETs (RunOptions
+  /// knob, threaded through the payload so the whole fleet agrees).
+  bool hedge_gets = false;
 
   std::string Serialize() const;
   static Result<InvocationPayload> Parse(const std::string& bytes);
@@ -86,6 +94,11 @@ struct WorkerResultMetrics {
   int64_t rows_dict_filtered = 0;  ///< Rows dropped on dictionary codes.
   int64_t exchange_bytes_written = 0;
   int64_t exchange_bytes_read = 0;
+  /// Fault-tolerance telemetry (mirrors cloud::RequestStats), so the
+  /// straggler bench can attribute mitigation wins per attempt.
+  int64_t s3_retries = 0;
+  int64_t hedged_requests = 0;
+  int64_t hedge_wins = 0;
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerResultMetrics> Deserialize(BinaryReader* r);
@@ -106,6 +119,9 @@ struct ResultMessage {
   /// Set if the result was spilled to S3.
   std::string spill_bucket;
   std::string spill_key;
+  /// Echo of WorkerInput::attempt; the driver keys its first-result-wins
+  /// dedup on (worker_id, attempt).
+  uint32_t attempt = 0;
 
   std::string Serialize() const;
   static Result<ResultMessage> Parse(const std::string& bytes);

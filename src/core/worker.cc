@@ -507,9 +507,16 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
 sim::Async<Status> SendResult(cloud::WorkerEnv& env,
                               const InvocationPayload& payload,
                               ResultMessage message) {
+  // Request telemetry accumulated by this attempt's service clients.
+  message.metrics.s3_retries = env.request_stats().s3_retries;
+  message.metrics.hedged_requests = env.request_stats().hedged_requests;
+  message.metrics.hedge_wins = env.request_stats().hedge_wins;
   if (message.inline_result.size() > kInlineResultLimit) {
     cloud::S3Client client(env.services().s3, env.net());
     message.spill_bucket = payload.plan_bucket;
+    // Attempt-stable key: a re-run attempt overwrites with byte-identical
+    // content (last-writer-wins PUT), so whichever result message the
+    // driver takes first points at valid bytes.
     message.spill_key = "results/" + payload.query_id + "/" +
                         std::to_string(message.worker_id);
     Status put = co_await client.Put(
@@ -536,6 +543,8 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   InvocationPayload payload = *std::move(payload_or);
   env.data_scale = payload.data_scale;
   env.metrics().worker_id = payload.self.worker_id;
+  env.metrics().attempt = payload.self.attempt;
+  env.hedge_config().enabled = payload.hedge_gets;
 
   // ---- Invocation tree: start the second generation first (§4.2). ----
   if (!payload.to_invoke.empty()) {
@@ -567,6 +576,7 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   ResultMessage result;
   result.query_id = payload.query_id;
   result.worker_id = payload.self.worker_id;
+  result.attempt = payload.self.attempt;
 
   // ---- Fetch the plan fragment from shared storage. ----
   cloud::S3Client client(env.services().s3, env.net());
@@ -590,6 +600,17 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   auto out =
       co_await ExecuteFragment(env, *fragment, payload, &result.metrics);
   result.metrics.processing_time_s = env.sim()->Now() - exec_start;
+  // ---- Fault plan: an invocation fated to crash dies silently. ----
+  // A crash consumed mid-exchange surfaces as env.crashed(); fragments
+  // with no exchange (nothing consumed the armed site) die here instead,
+  // just before reporting. Either way no result message is sent — the
+  // driver only learns of the loss through its progress deadlines.
+  if (env.crashed() ||
+      env.MaybeCrash(cloud::CrashSite::kBeforeExchangeWrites) ||
+      env.MaybeCrash(cloud::CrashSite::kDuringExchangeWrites) ||
+      env.MaybeCrash(cloud::CrashSite::kAfterExchangeWrites)) {
+    co_return Status::Cancelled("injected worker crash (fault plan)");
+  }
   if (!out.ok()) {
     result.status_code = out.status().code();
     result.status_message = out.status().message();

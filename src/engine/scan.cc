@@ -1,6 +1,7 @@
 #include "engine/scan.h"
 
 #include <memory>
+#include <optional>
 
 namespace lambada::engine {
 
@@ -187,16 +188,27 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     // downstream pipeline.
     sim::Semaphore gate(sim, std::max(1, options.row_group_parallelism));
     Status sink_status = Status::OK();
+    // Completed chunks park here until every lower-indexed row group has
+    // been emitted: the sink runs synchronously (zero virtual time), so
+    // flushing in row-group index order makes the downstream accumulation
+    // order independent of download completion order — worker partials stay
+    // byte-identical under straggler/fault timing perturbations — without
+    // changing the simulated schedule.
+    std::vector<std::optional<TableChunk>> pending(surviving.size());
+    size_t next_emit = 0;
     std::vector<sim::Async<void>> tasks;
     tasks.reserve(surviving.size());
-    for (int rg : surviving) {
+    for (size_t slot = 0; slot < surviving.size(); ++slot) {
+      int rg = surviving[slot];
       tasks.push_back([](cloud::WorkerEnv* e, const ScanOptions* opts,
                          std::shared_ptr<FileReader> rdr, double scale,
                          int rg_idx, std::vector<int> proj_cols,
                          const std::map<int, format::ColumnBound>* bnds,
                          sim::Semaphore* g, ScanStats* out,
                          const std::function<Status(const TableChunk&)>* snk,
-                         Status* sink_st) -> sim::Async<void> {
+                         Status* sink_st,
+                         std::vector<std::optional<TableChunk>>* pend,
+                         size_t* next_out, size_t my_slot) -> sim::Async<void> {
         co_await g->Acquire();
         // Level (2): column chunks of this group fetched concurrently
         // (coalesced into extents), with dict-code predicate push-down.
@@ -235,15 +247,29 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
           result = result.Filter(keep);
           e->ReleaseMemory(before - result.memory_bytes());
         }
-        out->rows_emitted += static_cast<int64_t>(result.num_rows());
-        Status s = (*snk)(result);
-        if (!s.ok() && sink_st->ok()) *sink_st = s;
-        e->ReleaseMemory(result.memory_bytes());
+        (*pend)[my_slot] = std::move(result);
+        while (*next_out < pend->size() && (*pend)[*next_out].has_value()) {
+          TableChunk ready = *std::move((*pend)[*next_out]);
+          (*pend)[*next_out].reset();
+          ++*next_out;
+          out->rows_emitted += static_cast<int64_t>(ready.num_rows());
+          Status s = (*snk)(ready);
+          if (!s.ok() && sink_st->ok()) *sink_st = s;
+          e->ReleaseMemory(ready.memory_bytes());
+        }
         g->Release();
       }(&env, &options, reader, st.scale, rg, proj, &dict_bounds, &gate,
-        &stats, &sink, &sink_status));
+        &stats, &sink, &sink_status, &pending, &next_emit, slot));
     }
     co_await sim::WhenAllVoid(sim, std::move(tasks));
+    // A failed row group leaves a hole that blocks the in-order flush;
+    // release whatever stayed parked behind it.
+    for (auto& leftover : pending) {
+      if (leftover.has_value()) {
+        env.ReleaseMemory(leftover->memory_bytes());
+        leftover.reset();
+      }
+    }
     // Report MODELED bytes: a virtually-scaled object moves scale x more
     // bytes through the simulated network than its real backing store.
     stats.bytes_moved += static_cast<int64_t>(

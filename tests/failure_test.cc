@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "cloud/cloud.h"
 #include "core/driver.h"
 #include "core/exchange.h"
+#include "core/messages.h"
+#include "engine/chunk_serde.h"
 #include "engine/expr.h"
 #include "format/writer.h"
+#include "workload/tpch.h"
 
 namespace lambada::core {
 namespace {
@@ -179,6 +184,332 @@ TEST(FailureTest, ExchangeSurvivesRateLimitThrottling) {
   cloud.sim().Run();
   EXPECT_EQ(failures, 0);
   EXPECT_EQ(received, P * 200);
+}
+
+TEST(FailureTest, QueryDeadlineNamesMissingWorkers) {
+  // Every worker is fated to crash silently (no result message). Without
+  // mitigation the driver waits until its deadline and must fail with a
+  // clean DeadlineExceeded naming the workers it never heard from.
+  cloud::CloudConfig cfg;
+  cfg.fault.enabled = true;
+  cfg.fault.worker_crash_rate = 1.0;
+  cloud::Cloud cloud(cfg);
+  DriverOptions dopts;
+  dopts.query_timeout_s = 60.0;
+  Driver driver(&cloud, dopts);
+  ASSERT_TRUE(driver.Install().ok());
+  UploadTable(cloud, "dead/", 4, 1000);
+  auto q = Query::FromParquet("s3://data/dead/*.lpq").ReduceCount();
+  auto report = driver.RunToCompletion(q, RunOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(report.status().message().find("missing workers"),
+            std::string::npos)
+      << report.status().ToString();
+  EXPECT_NE(report.status().message().find("0/4"), std::string::npos)
+      << report.status().ToString();
+  EXPECT_GE(cloud.fault().crashes_armed(), 4);
+}
+
+TEST(FailureTest, DuplicateResultDeliveryIsDedupedNotDoubleMerged) {
+  // SQS is at-least-once: the same ResultMessage (same worker, same
+  // attempt) can arrive twice. Collection is first-result-wins per worker
+  // id, so the duplicate must be counted and dropped, never merged twice.
+  cloud::Cloud cloud;
+  Driver driver(&cloud);
+  ASSERT_TRUE(driver.Install().ok());
+  UploadTable(cloud, "dup/", 2, 500);
+
+  // Forge worker 0's partial for the driver's first query ("q0") and send
+  // it twice before the fleet starts: both copies beat the real workers to
+  // the queue, so the first is taken and the second is a pure duplicate.
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+  TableChunk forged(schema, {Column::Int64({1, 2, 3}),
+                             Column::Float64({0.5, 0.25, 0.125})});
+  ResultMessage msg;
+  msg.query_id = "q0";
+  msg.worker_id = 0;
+  msg.attempt = 0;
+  msg.inline_result = engine::SerializeChunk(forged);
+  std::string body = msg.Serialize();
+  for (int copy = 0; copy < 2; ++copy) {
+    sim::Spawn([](cloud::Cloud* c, std::string b) -> sim::Async<void> {
+      co_await c->sqs().Send(c->driver_net(), "lambada-results",
+                             std::move(b));
+    }(&cloud, body));
+  }
+
+  auto q = Query::FromParquet("s3://data/dup/*.lpq");
+  auto report = driver.RunToCompletion(q, RunOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Worker 0's slot was satisfied by the first forged copy; the second
+  // copy and the real worker-0 message are both dropped as duplicates.
+  EXPECT_EQ(report->duplicate_results, 2);
+  EXPECT_EQ(report->result.num_rows(), 3u + 500u);
+  EXPECT_EQ(report->total_attempts, 2);
+}
+
+TEST(FailureTest, InjectedS3ErrorsAreRetriedAndCounted) {
+  // A tenth of S3 GETs fail with injected 500s/SlowDowns: the shared
+  // client retry (bounded exponential backoff + seeded jitter) must absorb
+  // them all, and the attempts must surface in the report telemetry.
+  auto count_with = [](const cloud::FaultPlan& fault,
+                       int64_t* retries) -> int64_t {
+    cloud::CloudConfig cfg;
+    cfg.fault = fault;
+    cloud::Cloud cloud(cfg);
+    Driver driver(&cloud);
+    LAMBADA_CHECK_OK(driver.Install());
+    UploadTable(cloud, "retry/", 8, 2000);
+    auto q = Query::FromParquet("s3://data/retry/*.lpq").ReduceCount();
+    auto report = driver.RunToCompletion(q, RunOptions{});
+    LAMBADA_CHECK(report.ok()) << report.status().ToString();
+    *retries = report->worker_s3_retries;
+    return report->result.column(0).i64()[0];
+  };
+  int64_t clean_retries = 0;
+  int64_t clean = count_with(cloud::FaultPlan{}, &clean_retries);
+  EXPECT_EQ(clean, 8 * 2000);
+  EXPECT_EQ(clean_retries, 0);
+
+  cloud::FaultPlan flaky;
+  flaky.enabled = true;
+  flaky.s3_get_error_rate = 0.05;
+  flaky.s3_slowdown_rate = 0.05;
+  int64_t faulted_retries = 0;
+  int64_t faulted = count_with(flaky, &faulted_retries);
+  EXPECT_EQ(faulted, clean);
+  EXPECT_GT(faulted_retries, 0);
+}
+
+TEST(FailureTest, HedgedGetsDuplicateSlowRequests) {
+  // With hedging on, a GET that outlives the observed latency quantile is
+  // duplicated and the first response wins. Over many requests some draws
+  // land in the tail, so hedges must fire; every GET still succeeds.
+  cloud::Cloud cloud;
+  LAMBADA_CHECK_OK(cloud.s3().CreateBucket("h"));
+  LAMBADA_CHECK_OK(cloud.s3().PutDirect(
+      "h", "obj", Buffer::FromVector(std::vector<uint8_t>(64 * 1024, 7))));
+  cloud::RequestStats observed;
+  int failures = 0;
+  cloud::FunctionConfig fn;
+  fn.name = "hedger";
+  fn.memory_mib = 1792;
+  fn.handler = [&](cloud::WorkerEnv& env,
+                   std::string) -> sim::Async<Status> {
+    env.hedge_config().enabled = true;
+    cloud::S3Client client(env.services().s3, env.net());
+    for (int i = 0; i < 200; ++i) {
+      auto got = co_await client.Get("h", "obj");
+      if (!got.ok() || (*got)->size() != 64 * 1024) ++failures;
+    }
+    observed = env.request_stats();
+    co_return Status::OK();
+  };
+  ASSERT_TRUE(cloud.faas().CreateFunction(fn).ok());
+  sim::Spawn([](cloud::Cloud* c) -> sim::Async<void> {
+    co_await c->faas().Invoke(c->driver_invoker_profile(), &c->driver_rng(),
+                              "hedger", "");
+  }(&cloud));
+  cloud.sim().Run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_GT(observed.hedged_requests, 0);
+  EXPECT_LE(observed.hedge_wins, observed.hedged_requests);
+  EXPECT_EQ(observed.inflight_requests, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos sweep: crash/straggler/error grids over real query fleets
+// ---------------------------------------------------------------------------
+
+/// One chaos run distilled: the merged result bytes plus the recovery
+/// telemetry the sweep asserts on.
+struct ChaosRun {
+  std::vector<uint8_t> bytes;
+  int64_t total_attempts = 0;
+  int reinvoked_workers = 0;
+  int64_t crashes_armed = 0;
+  int64_t stragglers_armed = 0;
+};
+
+/// Runs Q1/Q6/Q12/Q14/Q3 fleets under injected fault schedules. The
+/// mitigation stack (progress deadlines, speculative re-invocation,
+/// first-result-wins dedup, idempotent exchange recovery) must deliver a
+/// result byte-identical to the fault-free reference — at every worker
+/// thread count and under every crash/retry schedule.
+class ChaosSweepTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 8000;
+  static constexpr uint64_t kSeed = 77;
+
+  static cloud::FaultPlan Crashes(double rate, uint64_t seed = 1) {
+    cloud::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = seed;
+    plan.worker_crash_rate = rate;
+    return plan;
+  }
+
+  static cloud::FaultPlan Stragglers(double rate, uint64_t seed = 2) {
+    cloud::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = seed;
+    plan.straggler_rate = rate;
+    plan.straggler_cpu_factor = 0.25;
+    plan.straggler_net_factor = 0.25;
+    return plan;
+  }
+
+  /// Everything at once: crashes, stragglers, flaky S3, flaky Invoke.
+  static cloud::FaultPlan Mixed(uint64_t seed) {
+    cloud::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = seed;
+    plan.worker_crash_rate = 0.05;
+    plan.straggler_rate = 0.2;
+    plan.s3_get_error_rate = 0.01;
+    plan.s3_put_error_rate = 0.01;
+    plan.s3_slowdown_rate = 0.01;
+    plan.invoke_error_rate = 0.02;
+    return plan;
+  }
+
+  void SetUp() override {
+    orders_rows_ =
+        workload::MaxOrderKey(workload::GenerateLineitem(kRows, kSeed));
+  }
+
+  ChaosRun RunFleet(int query, int threads, const cloud::FaultPlan& fault,
+                    JoinStrategyOverride strategy =
+                        JoinStrategyOverride::kAuto) {
+    cloud::CloudConfig cfg;
+    cfg.fault = fault;
+    cloud::Cloud cloud(cfg);
+    DriverOptions dopts;
+    if (threads > 1) {
+      dopts.worker_exec = exec::ExecContext::Parallel(threads, 4096);
+    }
+    Driver driver(&cloud, dopts);
+    LAMBADA_CHECK_OK(driver.Install());
+    workload::LoadOptions li;
+    li.num_rows = kRows;
+    li.num_files = 8;
+    li.row_groups_per_file = 4;
+    li.seed = kSeed;
+    LAMBADA_CHECK_OK(workload::LoadLineitem(&cloud.s3(), "tpch", "li/", li));
+    auto load_orders = [&] {
+      workload::LoadOptions oo;
+      oo.num_rows = orders_rows_;
+      oo.num_files = 4;
+      oo.seed = 123;
+      LAMBADA_CHECK_OK(workload::LoadOrders(&cloud.s3(), "tpch", "ord/", oo));
+    };
+    std::optional<Query> q;
+    switch (query) {
+      case 1:
+        q = workload::TpchQ1("s3://tpch/li/*.lpq");
+        break;
+      case 6:
+        q = workload::TpchQ6("s3://tpch/li/*.lpq");
+        break;
+      case 12:
+        load_orders();
+        q = workload::TpchQ12("s3://tpch/li/*.lpq", "s3://tpch/ord/*.lpq");
+        break;
+      case 14: {
+        workload::LoadOptions po;
+        po.num_rows = 20000;  // Sparse part table; identity needs no coverage.
+        po.num_files = 2;
+        po.seed = 321;
+        LAMBADA_CHECK_OK(workload::LoadPart(&cloud.s3(), "tpch", "part/", po));
+        q = workload::TpchQ14("s3://tpch/li/*.lpq", "s3://tpch/part/*.lpq");
+        break;
+      }
+      default: {
+        load_orders();
+        workload::LoadOptions co;
+        co.num_rows = 30000;  // Sparse customer table, same reasoning.
+        co.num_files = 2;
+        co.seed = 555;
+        LAMBADA_CHECK_OK(
+            workload::LoadCustomer(&cloud.s3(), "tpch", "cust/", co));
+        q = workload::TpchQ3("s3://tpch/li/*.lpq", "s3://tpch/ord/*.lpq",
+                             "s3://tpch/cust/*.lpq");
+        break;
+      }
+    }
+    RunOptions ropts;
+    ropts.join_strategy = strategy;
+    ropts.mitigation.enabled = true;
+    ropts.mitigation.max_attempts = 6;
+    ropts.mitigation.stall_timeout_s = 10.0;
+    auto report = driver.RunToCompletion(*q, ropts);
+    LAMBADA_CHECK(report.ok()) << report.status().ToString();
+    ChaosRun run;
+    run.bytes = engine::SerializeChunk(report->result);
+    run.total_attempts = report->total_attempts;
+    run.reinvoked_workers = report->reinvoked_workers;
+    run.crashes_armed = cloud.fault().crashes_armed();
+    run.stragglers_armed = cloud.fault().stragglers_armed();
+    return run;
+  }
+
+  /// Fault grid shared by all sweeps: crash rates up to the acceptance 5%
+  /// plus a heavy-crash point that guarantees recovery is exercised, a
+  /// straggler-only schedule, and two all-at-once schedules whose seeds
+  /// give two different retry orders.
+  void Sweep(int query, const std::vector<int>& thread_counts,
+             JoinStrategyOverride strategy = JoinStrategyOverride::kAuto) {
+    int64_t crashes_seen = 0;
+    int64_t stragglers_seen = 0;
+    int64_t reinvocations = 0;
+    for (int threads : thread_counts) {
+      ChaosRun ref = RunFleet(query, threads, cloud::FaultPlan{}, strategy);
+      ASSERT_FALSE(ref.bytes.empty());
+      EXPECT_EQ(ref.crashes_armed, 0);
+      const std::vector<cloud::FaultPlan> plans = {
+          Crashes(0.02, 11), Crashes(0.05, 12), Crashes(0.05, 13),
+          Crashes(0.35, 14), Stragglers(0.3),   Mixed(21),
+          Mixed(22),
+      };
+      for (size_t i = 0; i < plans.size(); ++i) {
+        ChaosRun run = RunFleet(query, threads, plans[i], strategy);
+        EXPECT_EQ(run.bytes, ref.bytes)
+            << "query " << query << ", " << threads << " threads, plan "
+            << i;
+        crashes_seen += run.crashes_armed;
+        stragglers_seen += run.stragglers_armed;
+        reinvocations += run.reinvoked_workers;
+      }
+    }
+    // The grid must actually have exercised the fault paths.
+    EXPECT_GT(crashes_seen, 0);
+    EXPECT_GT(stragglers_seen, 0);
+    EXPECT_GT(reinvocations, 0);
+  }
+
+  int64_t orders_rows_ = 0;
+};
+
+TEST_F(ChaosSweepTest, Q1SingleTableByteIdenticalUnderFaults) {
+  Sweep(1, {1, 2, 8});
+}
+
+TEST_F(ChaosSweepTest, Q6SingleTableByteIdenticalUnderFaults) {
+  Sweep(6, {1, 2, 8});
+}
+
+TEST_F(ChaosSweepTest, Q12PartitionedJoinByteIdenticalUnderFaults) {
+  Sweep(12, {1, 2, 8}, JoinStrategyOverride::kForcePartitioned);
+}
+
+TEST_F(ChaosSweepTest, Q14BroadcastJoinByteIdenticalUnderFaults) {
+  Sweep(14, {1, 8}, JoinStrategyOverride::kForceBroadcast);
+}
+
+TEST_F(ChaosSweepTest, Q3MultiJoinByteIdenticalUnderFaults) {
+  Sweep(3, {1, 2, 8});
 }
 
 TEST(FailureTest, MalformedPayloadCountsAsHandlerFailure) {
