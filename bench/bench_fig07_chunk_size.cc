@@ -124,10 +124,10 @@ LpqScanResult ScanLineitem(cloud::Cloud& cloud, const std::string& prefix,
         });
     LAMBADA_CHECK(stats.ok()) << stats.status().ToString();
     result->seconds = env.sim()->Now() - t0;
-    result->gets = stats->get_requests;
-    result->bytes_moved = stats->bytes_moved;
-    result->rows_emitted = stats->rows_emitted;
-    result->rows_dict_filtered = stats->rows_dict_filtered;
+    result->gets = stats->get_requests();
+    result->bytes_moved = stats->bytes_moved();
+    result->rows_emitted = stats->rows_emitted();
+    result->rows_dict_filtered = stats->rows_dict_filtered();
     co_return Status::OK();
   };
   LAMBADA_CHECK_OK(cloud.faas().CreateFunction(fn));

@@ -29,11 +29,11 @@ Distribution RunQuery(core::Driver& driver, const core::Query& q) {
   LAMBADA_CHECK(report.ok()) << report.status().ToString();
   Distribution d;
   for (const auto& wr : report->worker_results) {
-    d.processing_s.push_back(wr.metrics.processing_time_s);
-    d.pruned += wr.metrics.row_groups_pruned;
-    d.total += wr.metrics.row_groups_total;
-    d.bytes_moved += wr.metrics.scan_bytes_moved;
-    d.rows_dict_filtered += wr.metrics.rows_dict_filtered;
+    d.processing_s.push_back(wr.metrics.processing_time_s());
+    d.pruned += wr.metrics.row_groups_pruned();
+    d.total += wr.metrics.row_groups_total();
+    d.bytes_moved += wr.metrics.scan_bytes_moved();
+    d.rows_dict_filtered += wr.metrics.rows_dict_filtered();
   }
   std::sort(d.processing_s.begin(), d.processing_s.end());
   return d;

@@ -80,9 +80,9 @@ JoinRun RunQuery(int query, int workers, int64_t orders_rows) {
   out.time_s = report->latency_s;
   out.cost_usd = report->CostUsd(cloud.pricing());
   for (const auto& wr : report->worker_results) {
-    out.exchange_puts += wr.metrics.exchange_put_requests;
-    out.exchange_gets += wr.metrics.exchange_get_requests;
-    out.rows_joined += wr.metrics.rows_joined;
+    out.exchange_puts += wr.metrics.exchange_put_requests();
+    out.exchange_gets += wr.metrics.exchange_get_requests();
+    out.rows_joined += wr.metrics.rows_joined();
   }
   return out;
 }
@@ -135,7 +135,7 @@ AblationRun RunQ3(core::JoinStrategyOverride strategy, int workers,
   out.cost_usd = report->CostUsd(cloud.pricing());
   out.result_rows = report->result.num_rows();
   for (const auto& wr : report->worker_results) {
-    out.exchange_puts += wr.metrics.exchange_put_requests;
+    out.exchange_puts += wr.metrics.exchange_put_requests();
   }
   for (const auto& c : report->join_choices) {
     out.modeled_usd += c.broadcast ? c.broadcast_usd : c.partitioned_usd;

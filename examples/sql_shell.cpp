@@ -1,8 +1,12 @@
 // A batch SQL shell over Lambada: loads the TPC-H LINEITEM dataset and
 // executes SQL statements (from argv, or a built-in demo script) through
 // the serverless engine, printing results, latency, and cost per query.
+// Statements starting with EXPLAIN ANALYZE run traced and print the
+// annotated plan (docs/OBSERVABILITY.md) instead of rows.
 
+#include <cctype>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +39,37 @@ void PrintResult(const engine::TableChunk& r) {
   if (r.num_rows() > 20) {
     std::printf("... (%zu rows total)\n", r.num_rows());
   }
+}
+
+bool StartsWithExplain(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string word;
+  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i++])));
+  }
+  return word == "EXPLAIN";
+}
+
+/// Synchronous wrapper around core::ExplainAnalyzeSql, mirroring
+/// Driver::RunToCompletion: spawn, drive the simulator dry, return.
+Result<std::string> ExplainAnalyzeToCompletion(cloud::Cloud* cloud,
+                                               core::Driver* driver,
+                                               const std::string& sql) {
+  core::RunOptions ropts;
+  auto out = std::make_shared<Result<std::string>>(
+      Status::Internal("query did not finish"));
+  sim::Spawn([](core::Driver* d, const std::string* s,
+                const core::RunOptions* opts,
+                std::shared_ptr<Result<std::string>> res)
+                 -> sim::Async<void> {
+    *res = co_await core::ExplainAnalyzeSql(d, *s, *opts);
+  }(driver, &sql, &ropts, out));
+  cloud->sim().Run();
+  return std::move(*out);
 }
 
 }  // namespace
@@ -76,6 +111,15 @@ int main(int argc, char** argv) {
 
   for (const auto& sql : statements) {
     std::printf("sql> %s\n", sql.c_str());
+    if (StartsWithExplain(sql)) {
+      auto text = ExplainAnalyzeToCompletion(&cloud, &driver, sql);
+      if (text.ok()) {
+        std::printf("%s\n", text->c_str());
+      } else {
+        std::printf("explain error: %s\n\n", text.status().ToString().c_str());
+      }
+      continue;
+    }
     auto query = core::ParseSql(sql);
     if (!query.ok()) {
       std::printf("parse error: %s\n\n", query.status().ToString().c_str());

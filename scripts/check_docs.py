@@ -14,6 +14,10 @@
    src/workload/tpch.h) must have a row in the README's TPC-H coverage
    matrix, and every matrix row must name a declared query, so the
    matrix can neither lag behind nor overstate the implementation.
+5. docs/OBSERVABILITY.md's metric-name registry table must match the
+   declaration table in src/obs/metrics.cc exactly (same names, same
+   types, both directions), so the documented observability surface
+   cannot drift from the code.
 
 Exit code: 0 when clean, 1 with one line per violation otherwise.
 
@@ -177,6 +181,53 @@ def check_tpch_matrix(root, errors):
             f"src/workload/tpch.h declares no TpchQ{q}")
 
 
+# metrics.cc declaration-table entries keep id, name, and type on one line:
+# `{Metric::kRowsScanned, "scan.rows_scanned", MetricType::kCounter,`.
+METRIC_DECL_RE = re.compile(
+    r"\{Metric::k\w+,\s*\"([\w.]+)\",\s*MetricType::k(\w+),")
+# OBSERVABILITY.md registry rows: `| `scan.rows_scanned` | counter | ... |`.
+METRIC_DOC_ROW_RE = re.compile(
+    r"^\|\s*`([\w.]+)`\s*\|\s*(counter|gauge|histogram)\s*\|", re.MULTILINE)
+
+
+def check_metric_registry(root, errors):
+    src_path = os.path.join(root, "src", "obs", "metrics.cc")
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    try:
+        with open(src_path, encoding="utf-8") as f:
+            src = f.read()
+        with open(doc_path, encoding="utf-8") as f:
+            doc = f.read()
+    except OSError as e:
+        errors.append(f"metric registry check: unreadable input ({e})")
+        return
+    declared = {name: mtype.lower()
+                for name, mtype in METRIC_DECL_RE.findall(src)}
+    if not declared:
+        errors.append("src/obs/metrics.cc: no metric declarations found")
+        return
+    section = doc.split("## Metric name registry", 1)
+    body = section[1].split("\n## ", 1)[0] if len(section) == 2 else ""
+    documented = dict(METRIC_DOC_ROW_RE.findall(body))
+    if not documented:
+        errors.append(
+            "docs/OBSERVABILITY.md: '## Metric name registry' table not found")
+        return
+    for name in sorted(set(declared) - set(documented)):
+        errors.append(
+            f"docs/OBSERVABILITY.md: metric {name} is declared "
+            f"(src/obs/metrics.cc) but missing from the registry table")
+    for name in sorted(set(documented) - set(declared)):
+        errors.append(
+            f"docs/OBSERVABILITY.md: metric {name} is documented but "
+            f"src/obs/metrics.cc declares no such metric")
+    for name in sorted(set(declared) & set(documented)):
+        if declared[name] != documented[name]:
+            errors.append(
+                f"docs/OBSERVABILITY.md: metric {name} documented as "
+                f"{documented[name]} but declared as {declared[name]}")
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.abspath(
         os.path.join(os.path.dirname(__file__), os.pardir))
@@ -185,12 +236,14 @@ def main(argv):
     check_links(root, errors)
     check_encoding_tags(root, errors)
     check_tpch_matrix(root, errors)
+    check_metric_registry(root, errors)
     for e in errors:
         print(f"check_docs: {e}", file=sys.stderr)
     if errors:
         return 1
     print("check_docs: README bench rows, trajectory files, markdown links, "
-          "encoding tags, and the TPC-H matrix are clean")
+          "encoding tags, the TPC-H matrix, and the metric registry are "
+          "clean")
     return 0
 
 

@@ -65,9 +65,13 @@ class Cloud {
   /// Services bundle as seen from inside the region.
   Services services() { return MakeServices(); }
 
-  /// Network context of the driver machine.
+  /// Network context of the driver machine. Driver-side request events
+  /// annotate the trace's root span.
   NetContext driver_net() {
-    return NetContext{&driver_nic_, &driver_rng_, 1.0};
+    NetContext ctx{&driver_nic_, &driver_rng_, 1.0};
+    ctx.tracer = tracer_;
+    ctx.span = tracer_ != nullptr ? tracer_->root() : 0;
+    return ctx;
   }
 
   /// Invoker profile of the driver: WAN latency to the region plus the
@@ -84,6 +88,15 @@ class Cloud {
 
   /// The region's fault injector (executes config().fault).
   FaultInjector& fault() { return fault_; }
+
+  /// Installs (or clears, with null) the query-scoped tracer. Wired like
+  /// the fault injector: host-side, reaching workers through FaasService,
+  /// so enabling tracing never changes payload bytes or request schedules.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    faas_.set_tracer(tracer);
+  }
+  obs::Tracer* tracer() const { return tracer_; }
 
  private:
   Services MakeServices() {
@@ -115,6 +128,7 @@ class Cloud {
   sim::TokenBucket driver_invoke_bucket_;
   Rng driver_rng_;
   FaultInjector fault_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lambada::cloud

@@ -142,7 +142,12 @@ sim::Async<Status> FaasService::Invoke(InvokerProfile profile,
     // Injected control-plane failure; retriable, like a real 500 from
     // the Invoke API.
     Status injected = fault_->InjectRequestFault(FaultOp::kInvoke);
-    if (!injected.ok()) co_return injected;
+    if (!injected.ok()) {
+      if (tracer_ != nullptr) {
+        tracer_->Instant(tracer_->root(), "fault.invoke_error");
+      }
+      co_return injected;
+    }
   }
   // Account-wide invocation-rate limit.
   if (api_rate_.CurrentDelay(sim_->Now()) > 0.5) {
@@ -190,6 +195,7 @@ sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
   if (fault_ != nullptr) fate = fault_->DrawWorkerFate();
   auto env = std::make_unique<WorkerEnv>(services_, cfg.name, cfg.memory_mib,
                                          next_worker_seed_++, cold, fate);
+  env->set_tracer(tracer_);
   env->metrics().invoke_initiated = invoke_initiated;
   env->metrics().invoke_accepted = accepted_at;
   env->metrics().handler_start = sim_->Now();

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "obs/trace.h"
 #include "sim/async.h"
 #include "sim/resources.h"
 #include "sim/simulator.h"
@@ -102,8 +103,21 @@ class WorkerEnv {
   /// Network context for service calls made by this worker. `data_scale`
   /// multiplies modeled byte counts (see DESIGN.md virtual scaling).
   NetContext net() {
-    return NetContext{&nic_, &rng_, data_scale, &request_stats_, &hedge_};
+    return NetContext{&nic_,   &rng_,   data_scale, &request_stats_,
+                      &hedge_, tracer_, trace_span_};
   }
+
+  // -- Tracing ---------------------------------------------------------------
+
+  /// Query-scoped tracer, or null when tracing is off. Handed to each
+  /// environment by FaasService at invocation start.
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// The span enclosing whatever this worker is currently doing (the
+  /// worker-attempt span, or a scan/exchange child). Service clients
+  /// minted via net() attach request-level annotations to it.
+  uint64_t trace_span() const { return trace_span_; }
+  void set_trace_span(uint64_t span) { trace_span_ = span; }
 
   // -- Fault plan ------------------------------------------------------------
 
@@ -115,6 +129,7 @@ class WorkerEnv {
   bool MaybeCrash(CrashSite site) {
     if (crashed_ || fate_.crash_site != site) return false;
     crashed_ = true;
+    if (tracer_ != nullptr) tracer_->Instant(trace_span_, "fault.crash");
     return true;
   }
   bool crashed() const { return crashed_; }
@@ -169,6 +184,36 @@ class WorkerEnv {
   WorkerMetrics metrics_;
   RequestStats request_stats_;
   HedgeConfig hedge_;
+  obs::Tracer* tracer_ = nullptr;
+  uint64_t trace_span_ = 0;
+};
+
+/// RAII child span scoped to a worker operation: opens a child of the
+/// environment's current span, makes it current, and on destruction closes
+/// it and restores the previous one. A no-op when tracing is off. Safe in
+/// coroutines — the destructor runs when the frame unwinds, so an early
+/// co_return (a crashed worker) still closes the span at crash time.
+class EnvSpan {
+ public:
+  EnvSpan(WorkerEnv* env, std::string cat, std::string name) : env_(env) {
+    prev_ = env->trace_span();
+    id_ = obs::Begin(env->tracer(), prev_, std::move(cat), std::move(name));
+    if (id_ != 0) env->set_trace_span(id_);
+  }
+  EnvSpan(const EnvSpan&) = delete;
+  EnvSpan& operator=(const EnvSpan&) = delete;
+  ~EnvSpan() {
+    if (id_ != 0) {
+      env_->tracer()->EndSpan(id_);
+      env_->set_trace_span(prev_);
+    }
+  }
+  uint64_t id() const { return id_; }
+
+ private:
+  WorkerEnv* env_;
+  uint64_t prev_ = 0;
+  uint64_t id_ = 0;
 };
 
 /// The handler run by each invocation: the query-engine entry point.
@@ -247,6 +292,11 @@ class FaasService {
   /// WorkerFate (crash site, straggler slowdown).
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
+  /// Installs the query-scoped tracer (null = tracing off). Every worker
+  /// environment started while it is set gets a handle; host-side like
+  /// the fault injector, so payload bytes never change.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Function {
     FunctionConfig config;
@@ -269,6 +319,7 @@ class FaasService {
   uint64_t next_worker_seed_ = 0x1a3bada0;
   std::vector<WorkerMetrics> completed_metrics_;
   FaultInjector* fault_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lambada::cloud

@@ -6,6 +6,10 @@
 #include "common/rng.h"
 #include "sim/resources.h"
 
+namespace lambada::obs {
+class Tracer;
+}
+
 namespace lambada::cloud {
 
 /// Per-caller request telemetry, accumulated by S3Client and friends and
@@ -45,6 +49,12 @@ struct NetContext {
   RequestStats* stats = nullptr;
   /// Optional hedging policy; null or disabled means plain requests.
   const HedgeConfig* hedge = nullptr;
+  /// Optional tracing sink: request-level events (injected faults, backoff
+  /// retries, hedges) become instant annotations on `span`, which is the
+  /// operation span current when this context was minted (scan, exchange,
+  /// or the worker/driver root).
+  obs::Tracer* tracer = nullptr;
+  uint64_t span = 0;
 };
 
 /// The paper-measured NIC profile of a serverless worker (Figure 6):

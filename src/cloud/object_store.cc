@@ -7,8 +7,25 @@
 #include "cloud/fault.h"
 #include "common/logging.h"
 #include "exec/request_batcher.h"
+#include "obs/trace.h"
 
 namespace lambada::cloud {
+
+namespace {
+
+/// Stamps an injected request fault onto the caller's current span.
+void AnnotateInjectedFault(const NetContext& ctx, const Status& injected,
+                           const char* op) {
+  if (ctx.tracer == nullptr) return;
+  // InjectRequestFault reports throttles as ResourceExhausted ("SlowDown")
+  // and server errors as Unavailable.
+  ctx.tracer->Instant(ctx.span,
+                      injected.code() == StatusCode::kResourceExhausted
+                          ? std::string("fault.s3_slowdown")
+                          : std::string("fault.s3_") + op + "_error");
+}
+
+}  // namespace
 
 ObjectStore::ObjectStore(sim::Simulator* sim, CostLedger* ledger,
                          const ObjectStoreConfig& config)
@@ -63,6 +80,7 @@ sim::Async<Result<BufferPtr>> ObjectStore::Get(NetContext ctx,
     // round trip, and is billed like any failed request.
     Status injected = fault_->InjectRequestFault(FaultOp::kS3Get);
     if (!injected.ok()) {
+      AnnotateInjectedFault(ctx, injected, "get");
       co_await sim::Sleep(sim_, *admitted + config_.get_latency_median_s);
       ledger_->AddS3Get(0);
       co_return injected;
@@ -110,6 +128,7 @@ sim::Async<Result<ObjectStore::TailResult>> ObjectStore::GetTail(
   if (fault_ != nullptr) {
     Status injected = fault_->InjectRequestFault(FaultOp::kS3Get);
     if (!injected.ok()) {
+      AnnotateInjectedFault(ctx, injected, "get");
       co_await sim::Sleep(sim_, *admitted + config_.get_latency_median_s);
       ledger_->AddS3Get(0);
       co_return injected;
@@ -155,6 +174,7 @@ sim::Async<Status> ObjectStore::Put(NetContext ctx, std::string bucket,
     // version stays visible or the key stays absent, never a torn write.
     Status injected = fault_->InjectRequestFault(FaultOp::kS3Put);
     if (!injected.ok()) {
+      AnnotateInjectedFault(ctx, injected, "put");
       co_await sim::Sleep(sim_, *admitted + config_.put_latency_median_s);
       ledger_->AddS3Put(0);
       co_return injected;
@@ -335,6 +355,7 @@ sim::Async<void> HedgeArm(ObjectStore* store, NetContext ctx,
   co_await sim::Sleep(store->simulator(), delay);
   if (race->settled) co_return;
   if (ctx.stats != nullptr) ++ctx.stats->hedged_requests;
+  if (ctx.tracer != nullptr) ctx.tracer->Instant(ctx.span, "s3.hedge_armed");
   co_await HedgeAttempt(store, ctx, std::move(race), std::move(bucket),
                         std::move(key), offset, length, /*is_hedge=*/true);
 }
@@ -362,7 +383,12 @@ sim::Async<Result<BufferPtr>> S3Client::HedgedGet(std::string bucket,
                         std::move(key), offset, length));
     co_await race->first_done.Wait();
   }
-  if (race->hedge_won && ctx_.stats != nullptr) ++ctx_.stats->hedge_wins;
+  if (race->hedge_won) {
+    if (ctx_.stats != nullptr) ++ctx_.stats->hedge_wins;
+    if (ctx_.tracer != nullptr) {
+      ctx_.tracer->Instant(ctx_.span, "s3.hedge_win");
+    }
+  }
   co_return std::move(race->result);
 }
 
@@ -406,6 +432,7 @@ sim::Async<Result<BufferPtr>> S3Client::Get(std::string bucket,
       co_return AfterRetries(r.status(), attempt);
     }
     if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
+    if (ctx_.tracer != nullptr) ctx_.tracer->Instant(ctx_.span, "s3.retry");
     co_await sim::Sleep(store_->simulator(),
                         std::min(backoff, kMaxBackoffS) *
                             (0.5 + ctx_.rng->NextDouble()));
@@ -424,6 +451,7 @@ sim::Async<Result<ObjectStore::TailResult>> S3Client::GetTail(
           AfterRetries(r.status(), attempt));
     }
     if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
+    if (ctx_.tracer != nullptr) ctx_.tracer->Instant(ctx_.span, "s3.retry");
     co_await sim::Sleep(store_->simulator(),
                         std::min(backoff, kMaxBackoffS) *
                             (0.5 + ctx_.rng->NextDouble()));
@@ -441,6 +469,7 @@ sim::Async<Status> S3Client::Put(std::string bucket, std::string key,
       co_return AfterRetries(s, attempt);
     }
     if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
+    if (ctx_.tracer != nullptr) ctx_.tracer->Instant(ctx_.span, "s3.retry");
     co_await sim::Sleep(store_->simulator(),
                         std::min(backoff, kMaxBackoffS) *
                             (0.5 + ctx_.rng->NextDouble()));
@@ -459,6 +488,7 @@ sim::Async<Result<std::vector<ObjectInfo>>> S3Client::List(
           AfterRetries(r.status(), attempt));
     }
     if (ctx_.stats != nullptr) ++ctx_.stats->s3_retries;
+    if (ctx_.tracer != nullptr) ctx_.tracer->Instant(ctx_.span, "s3.retry");
     co_await sim::Sleep(store_->simulator(),
                         std::min(backoff, kMaxBackoffS) *
                             (0.5 + ctx_.rng->NextDouble()));

@@ -1,0 +1,229 @@
+#include "core/analyze.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lambada::core {
+
+namespace {
+
+std::string F6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// Aggregate of every worker-side span instance of one exchange id.
+struct ExchangeActuals {
+  int spans = 0;
+  double time_s = 0;
+  int64_t bytes_written = 0;
+  int64_t bytes_read = 0;
+  int64_t puts = 0;
+  int64_t gets = 0;
+};
+
+/// Aggregate of every join span of one build ordinal.
+struct JoinActuals {
+  int spans = 0;
+  double time_s = 0;
+  int64_t rows = 0;
+};
+
+/// Everything the annotator mines out of the trace (empty when the run
+/// was not traced — annotations then omit virtual-time fields).
+struct TraceActuals {
+  bool present = false;
+  double scan_time_s = 0;  ///< "scan" + "scan-build" spans, all workers.
+  std::map<std::string, ExchangeActuals> exchanges;  ///< By exchange_id.
+  std::map<int64_t, JoinActuals> joins;              ///< By ordinal.
+  /// Driver phase durations by span name (plan, upload-plan, invoke,
+  /// collect, merge), in first-seen order.
+  std::vector<std::pair<std::string, double>> driver_phases;
+};
+
+int64_t ArgInt(const obs::Tracer::Span& s, const std::string& key) {
+  for (const auto& [k, v] : s.args) {
+    if (k == key) return std::strtoll(v.c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+const std::string* ArgStr(const obs::Tracer::Span& s,
+                          const std::string& key) {
+  for (const auto& [k, v] : s.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Duration(const obs::Tracer::Span& s) {
+  return s.end < 0 ? 0.0 : s.end - s.start;
+}
+
+TraceActuals MineTrace(const QueryReport& report) {
+  TraceActuals out;
+  if (report.trace == nullptr) return out;
+  out.present = true;
+  for (const auto& s : report.trace->spans()) {
+    if (s.cat == "scan" && (s.name == "scan" || s.name == "scan-build")) {
+      out.scan_time_s += Duration(s);
+    } else if (s.cat == "exchange" && s.name == "exchange") {
+      const std::string* id = ArgStr(s, "exchange_id");
+      if (id == nullptr) continue;
+      ExchangeActuals& x = out.exchanges[*id];
+      ++x.spans;
+      x.time_s += Duration(s);
+      x.bytes_written += ArgInt(s, "bytes_written");
+      x.bytes_read += ArgInt(s, "bytes_read");
+      x.puts += ArgInt(s, "puts");
+      x.gets += ArgInt(s, "gets");
+    } else if (s.cat == "join" && s.name == "join") {
+      JoinActuals& j = out.joins[ArgInt(s, "ordinal")];
+      ++j.spans;
+      j.time_s += Duration(s);
+      j.rows += ArgInt(s, "rows");
+    } else if (s.cat == "driver" && s.parent == report.trace->root()) {
+      out.driver_phases.emplace_back(s.name, Duration(s));
+    }
+  }
+  return out;
+}
+
+std::string Indent(const std::string& line) {
+  size_t n = 0;
+  while (n < line.size() && line[n] == ' ') ++n;
+  return std::string(n + 2, ' ');
+}
+
+std::string RenderExchangeActuals(const TraceActuals& t,
+                                  const std::string& exchange_id) {
+  auto it = t.exchanges.find(exchange_id);
+  if (it == t.exchanges.end()) return "";
+  const ExchangeActuals& x = it->second;
+  std::ostringstream o;
+  o << "bytes_written=" << x.bytes_written << " bytes_read=" << x.bytes_read
+    << " puts=" << x.puts << " gets=" << x.gets
+    << " time_s=" << F6(x.time_s);
+  return o.str();
+}
+
+}  // namespace
+
+std::string RenderExplainAnalyze(const PhysicalQuery& physical,
+                                 const QueryReport& report) {
+  const TraceActuals traced = MineTrace(report);
+  const obs::MetricsRegistry& fleet = report.fleet_metrics;
+
+  // Fragment-order lists of the exchange instances, matched positionally
+  // to the explain text's operator lines below: the nth "exchange" line is
+  // the nth kExchange op; the join[N] line is the kJoin op of ordinal N
+  // (== its order of appearance).
+  std::vector<const ExchangeSpec*> exchange_ops;
+  std::vector<const JoinSpec*> join_ops;
+  for (const auto& op : physical.fragment.ops) {
+    if (op.kind == PlanOp::Kind::kExchange) {
+      exchange_ops.push_back(&*op.exchange);
+    } else if (op.kind == PlanOp::Kind::kJoin) {
+      join_ops.push_back(&*op.join);
+    }
+  }
+
+  std::ostringstream out;
+  std::istringstream in(physical.explain_text);
+  size_t next_exchange = 0;
+  size_t next_join = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    out << line << "\n";
+    size_t first = line.find_first_not_of(' ');
+    if (first == std::string::npos) continue;
+    const std::string body = line.substr(first);
+    const std::string pad = Indent(line);
+    if (body.rfind("scan", 0) == 0) {
+      // One annotation covers every scan of the fragment (a join fragment
+      // runs the build-side scans too; the registry sums both sides).
+      out << pad << "actual: rows_scanned="
+          << fleet.counter(obs::Metric::kRowsScanned)
+          << " rows_emitted=" << fleet.counter(obs::Metric::kRowsEmitted)
+          << " row_groups=" << fleet.counter(obs::Metric::kRowGroupsTotal)
+          << " pruned=" << fleet.counter(obs::Metric::kRowGroupsPruned)
+          << " bytes_moved=" << fleet.counter(obs::Metric::kScanBytesMoved)
+          << " gets=" << fleet.counter(obs::Metric::kScanGetRequests);
+      if (traced.present) out << " time_s=" << F6(traced.scan_time_s);
+      out << "\n";
+    } else if (body.rfind("join[", 0) == 0) {
+      const size_t j = next_join++;
+      out << pad << "actual:";
+      if (traced.present) {
+        auto it = traced.joins.find(static_cast<int64_t>(j));
+        if (it != traced.joins.end()) {
+          out << " rows=" << it->second.rows
+              << " time_s=" << F6(it->second.time_s);
+        } else {
+          out << " rows=0";
+        }
+      } else if (join_ops.size() == 1) {
+        out << " rows=" << fleet.counter(obs::Metric::kRowsJoined);
+      } else {
+        out << " rows_all_joins=" << fleet.counter(obs::Metric::kRowsJoined);
+      }
+      if (traced.present && j < join_ops.size() &&
+          join_ops[j]->strategy == JoinStrategy::kPartitioned) {
+        std::string x = RenderExchangeActuals(
+            traced, join_ops[j]->build_exchange.exchange_id);
+        if (!x.empty()) out << "\n" << pad << "build exchange: " << x;
+      }
+      out << "\n";
+    } else if (body.rfind("exchange", 0) == 0) {
+      const size_t x = next_exchange++;
+      if (traced.present && x < exchange_ops.size()) {
+        std::string a =
+            RenderExchangeActuals(traced, exchange_ops[x]->exchange_id);
+        if (!a.empty()) out << pad << "actual: " << a << "\n";
+      } else if (!traced.present && next_exchange == 1) {
+        // Untraced runs cannot split traffic per exchange instance; report
+        // the fleet totals once, on the first exchange line.
+        out << pad << "actual (all exchanges): bytes_written="
+            << fleet.counter(obs::Metric::kExchangeBytesWritten)
+            << " bytes_read="
+            << fleet.counter(obs::Metric::kExchangeBytesRead)
+            << " puts=" << fleet.counter(obs::Metric::kExchangePutRequests)
+            << " gets=" << fleet.counter(obs::Metric::kExchangeGetRequests)
+            << " rounds=" << fleet.counter(obs::Metric::kExchangeRounds)
+            << "\n";
+      }
+    }
+  }
+
+  out << "actual totals:\n"
+      << "  workers=" << report.workers << " files=" << report.files
+      << " attempts=" << report.total_attempts
+      << " reinvoked=" << report.reinvoked_workers
+      << " duplicates=" << report.duplicate_results
+      << " result_rows=" << report.result.num_rows()
+      << " latency_s=" << F6(report.latency_s) << "\n";
+  if (traced.present && !traced.driver_phases.empty()) {
+    out << "  driver:";
+    for (const auto& [name, dur] : traced.driver_phases) {
+      out << " " << name << "=" << F6(dur) << "s";
+    }
+    out << "\n";
+  }
+  std::string registry_text = fleet.ToText();
+  if (!registry_text.empty()) {
+    out << "fleet metrics:\n";
+    std::istringstream rt(registry_text);
+    while (std::getline(rt, line)) out << "  " << line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lambada::core

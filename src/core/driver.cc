@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
 
 #include "common/glob.h"
+#include "core/analyze.h"
 #include "core/exchange.h"
 #include "core/logical_plan.h"
 #include "core/stats_index.h"
@@ -154,7 +156,28 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   const cloud::CostSnapshot cost_before = cloud_->ledger().Snapshot();
   const size_t metrics_before = cloud_->faas().completed_metrics().size();
 
+  // ---- Tracing (docs/OBSERVABILITY.md). The tracer installs on the
+  // deployment BEFORE the driver's S3 client is created, so every
+  // NetContext minted for this query carries it; a RAII guard uninstalls
+  // it on every exit path (including error co_returns). Error paths leave
+  // the open spans unclosed on purpose — the trace then shows exactly
+  // where the query died.
+  std::shared_ptr<obs::Tracer> tracer;
+  struct TracerGuard {
+    cloud::Cloud* cloud = nullptr;
+    ~TracerGuard() {
+      if (cloud != nullptr) cloud->set_tracer(nullptr);
+    }
+  } tracer_guard;
+  if (options.trace.enabled) {
+    tracer = std::make_shared<obs::Tracer>(sim);
+    cloud_->set_tracer(tracer.get());
+    tracer_guard.cloud = cloud_;
+  }
+  obs::Tracer* tr = tracer.get();
+
   // ---- Compile (joins list their relations first, to build a catalog).
+  const uint64_t plan_span = obs::Begin(tr, 0, "driver", "plan");
   cloud::S3Client client(&cloud_->s3(), cloud_->driver_net());
   bool has_join = false;
   for (const auto& op : query.ops()) {
@@ -168,6 +191,13 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     // Single-table path: plan, then list (the original sequence).
     physical = PlanQuery(query, options.tuning);
     if (!physical.ok()) co_return physical.status();
+    // PlanQuery leaves explain_text empty; regenerate the single-table
+    // rendering so QueryReport::explain_text (and EXPLAIN ANALYZE) work
+    // uniformly. Pure host-side recomputation: no requests, no RNG.
+    OptimizerOptions explain_opt;
+    explain_opt.tuning = options.tuning;
+    auto explained = ExplainQuery(query, {}, explain_opt);
+    if (explained.ok()) physical->explain_text = *std::move(explained);
     probe_listing_or = co_await ListPattern(&client, physical->pattern);
     if (!probe_listing_or.ok()) co_return probe_listing_or.status();
   } else {
@@ -371,11 +401,20 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
         physical->fragment.tuning.connections_per_read);
   }
 
+  if (tr != nullptr) {
+    tr->AddArg(plan_span, "query_id", query_id);
+    tr->AddArg(plan_span, "workers", static_cast<int64_t>(workers));
+    tr->AddArg(plan_span, "files", static_cast<int64_t>(files.size()));
+    tr->EndSpan(plan_span);
+  }
+
   // ---- Upload the plan once; payloads carry the pointer. ----
+  const uint64_t upload_span = obs::Begin(tr, 0, "driver", "upload-plan");
   std::string plan_key = "plans/" + query_id;
   CO_RETURN_NOT_OK(co_await client.Put(
       options_.system_bucket, plan_key,
       Buffer::FromVector(physical->fragment.Serialize())));
+  obs::End(tr, upload_span);
 
   // ---- Build per-worker payloads (contiguous file ranges). ----
   std::vector<InvocationPayload> payloads;
@@ -426,8 +465,10 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   // ---- Invoke. ----
   // `payloads` is passed by copy: the originals stay behind as the
   // re-invocation templates of the mitigation loop below.
+  const uint64_t invoke_span = obs::Begin(tr, 0, "driver", "invoke");
   CO_RETURN_NOT_OK(co_await InvokeWorkers(payloads, function));
   const double t_invoked = sim->Now();
+  obs::End(tr, invoke_span);
 
   // ---- Collect results from the queue (Section 3.3). ----
   // SQS delivery is at-least-once and the mitigation path can race
@@ -451,6 +492,7 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   double straggler_budget_s = -1.0;  // < 0: not armed yet.
   double last_progress = t_invoked;
   const double deadline = t_start + options_.query_timeout_s;
+  const uint64_t collect_span = obs::Begin(tr, 0, "driver", "collect");
   while (results.size() < static_cast<size_t>(workers)) {
     if (sim->Now() > deadline) {
       std::string missing;
@@ -493,6 +535,9 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
         retry.self.attempt = static_cast<uint32_t>(attempts[w]++);
         retry.to_invoke.clear();
         invoked_at[w] = sim->Now();
+        if (tr != nullptr) {
+          tr->Instant(collect_span, "reinvoke w" + std::to_string(w));
+        }
         Status s = co_await InvokeOne(function, retry.Serialize());
         if (!s.ok()) {
           LAMBADA_LOG(Warning)
@@ -530,6 +575,9 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
       retry.self.attempt = static_cast<uint32_t>(attempts[wi]++);
       retry.to_invoke.clear();
       invoked_at[wi] = sim->Now();
+      if (tr != nullptr) {
+        tr->Instant(collect_span, "reinvoke w" + std::to_string(w));
+      }
       Status s = co_await InvokeOne(function, retry.Serialize());
       if (!s.ok()) {
         LAMBADA_LOG(Warning) << "re-invocation of worker " << w
@@ -538,8 +586,10 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     }
     if (stalled) last_progress = sim->Now();  // One sweep per stall.
   }
+  obs::End(tr, collect_span);
 
   // ---- Merge partial results (driver scope). ----
+  const uint64_t merge_span = obs::Begin(tr, 0, "driver", "merge");
   for (const auto& r : results) {
     if (r.status_code != StatusCode::kOk) {
       co_return Status(r.status_code,
@@ -604,6 +654,11 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     }
     report.result = report.result.Filter(keep);
   }
+  if (tr != nullptr) {
+    tr->AddArg(merge_span, "rows",
+               static_cast<int64_t>(report.result.num_rows()));
+    tr->EndSpan(merge_span);
+  }
 
   report.latency_s = sim->Now() - t_start;
   report.invocation_issue_s = t_invoked - t_start;
@@ -617,9 +672,11 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   report.reinvoked_workers = reinvoked_workers;
   report.duplicate_results = duplicate_results;
   for (const auto& r : results) {
-    report.worker_s3_retries += r.metrics.s3_retries;
-    report.hedged_gets += r.metrics.hedged_requests;
-    report.hedge_wins += r.metrics.hedge_wins;
+    report.worker_s3_retries += r.metrics.s3_retries();
+    report.hedged_gets += r.metrics.hedged_requests();
+    report.hedge_wins += r.metrics.hedge_wins();
+    // Fleet-wide registry: the winning attempt of every worker.
+    report.fleet_metrics.Merge(r.metrics.registry);
   }
   report.worker_results = std::move(results);
   report.join_choices = physical->join_choices;
@@ -627,6 +684,27 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   const auto& all_metrics = cloud_->faas().completed_metrics();
   report.worker_metrics.assign(all_metrics.begin() + metrics_before,
                                all_metrics.end());
+
+  if (tr != nullptr) {
+    tr->AddArg(tr->root(), "query_id", query_id);
+    tr->AddArg(tr->root(), "workers", static_cast<int64_t>(workers));
+    tr->AddArg(tr->root(), "attempts", report.total_attempts);
+    tr->AddArgF(tr->root(), "latency_s", report.latency_s);
+    tr->EndSpan(tr->root());
+    report.trace = tracer;
+    if (!options.trace.chrome_json_path.empty()) {
+      std::ofstream out(options.trace.chrome_json_path,
+                        std::ios::binary | std::ios::trunc);
+      if (out) {
+        out << tr->ChromeTraceJson();
+        report.trace_path = options.trace.chrome_json_path;
+      } else {
+        LAMBADA_LOG(Warning) << "cannot write trace to "
+                             << options.trace.chrome_json_path;
+      }
+    }
+  }
+  report.explain_analyze_text = RenderExplainAnalyze(*physical, report);
   co_return report;
 }
 

@@ -1,6 +1,7 @@
 #ifndef LAMBADA_CORE_DRIVER_H_
 #define LAMBADA_CORE_DRIVER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "core/optimizer.h"
 #include "core/planner.h"
 #include "engine/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/async.h"
 
 namespace lambada::core {
@@ -63,6 +66,18 @@ struct MitigationOptions {
   double stall_timeout_s = 30.0;
 };
 
+/// Distributed-tracing knobs (docs/OBSERVABILITY.md). Tracing draws no
+/// randomness, sleeps no virtual time, and creates spans only from the
+/// simulation thread, so enabling it changes neither results nor modeled
+/// latency/cost, and the rendered trace is byte-identical across worker
+/// thread counts and across identical (workload, seed) runs.
+struct TraceOptions {
+  bool enabled = false;
+  /// If non-empty, the driver writes the Chrome trace_event JSON here
+  /// after the query completes (open in chrome://tracing or Perfetto).
+  std::string chrome_json_path;
+};
+
 /// Per-query execution knobs (the M and F of Section 5.2).
 struct RunOptions {
   int memory_mib = 1792;
@@ -87,6 +102,9 @@ struct RunOptions {
   /// Workers hedge slow object-store GETs (duplicate request after the
   /// observed latency quantile, first response wins).
   bool hedge_gets = false;
+  /// Query-scoped distributed tracing (off by default: zero overhead and
+  /// bit-identical benches).
+  TraceOptions trace;
 };
 
 /// Everything the driver knows after a query: the result, end-to-end
@@ -118,6 +136,18 @@ struct QueryReport {
   int64_t worker_s3_retries = 0;
   int64_t hedged_gets = 0;
   int64_t hedge_wins = 0;
+  /// Fleet-wide metrics: the merge of every reporting worker's registry
+  /// (the winning attempt of each worker under mitigation). Always
+  /// populated, tracing or not.
+  obs::MetricsRegistry fleet_metrics;
+  /// The query's trace when RunOptions::trace.enabled; null otherwise.
+  /// trace_path is where the Chrome JSON was written (empty if not asked).
+  std::shared_ptr<obs::Tracer> trace;
+  std::string trace_path;
+  /// EXPLAIN ANALYZE rendering: the optimizer's plan annotated with what
+  /// actually happened (rows, modeled bytes, exchange traffic, attempts,
+  /// virtual time per operator). See core/analyze.h.
+  std::string explain_analyze_text;
 
   /// Total USD for this query at the deployment's prices.
   double CostUsd(const cloud::Pricing& pricing) const {

@@ -231,6 +231,11 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
   // timing, never output bytes (deterministic merge order below).
   const exec::ExecContext& xc = env.exec;
   exec::RequestBatcher batcher(sim, xc.io_depth);
+  // Round spans parent under the exchange span current at entry; slice
+  // retries annotate the active round's "get" span.
+  obs::Tracer* tracer = env.tracer();
+  const uint64_t ex_span = env.trace_span();
+  uint64_t get_span = 0;
 
   // Shared wait+read machinery for all three exchange layouts: fetch(i)
   // returns sender i's raw slice bytes (a null buffer means "nothing for
@@ -264,6 +269,9 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         while (!part.ok() && part.status().IsRetriable() &&
                slice_retries + 1 < kSliceAttempts) {
           ++slice_retries;
+          if (tracer != nullptr) {
+            tracer->Instant(get_span, "exchange.slice_retry");
+          }
           co_await sim::Sleep(sim, std::min(backoff, kSliceBackoffCapS) *
                                        (0.5 + env.rng().NextDouble()));
           backoff *= 2;
@@ -339,9 +347,18 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     const std::string bucket = BucketFor(spec, base, static_cast<int>(phase));
     const std::string prefix = GroupPrefix(spec, static_cast<int>(phase),
                                            base);
+    // Early returns (crashes, request failures) leave the open spans
+    // unclosed on purpose: the trace then shows exactly where the worker
+    // died ("(unclosed)" in the text rendering, zero-width in Chrome).
+    uint64_t round_span = obs::Begin(tracer, ex_span, "exchange", "round");
+    if (round_span != 0) {
+      tracer->AddArg(round_span, "round", static_cast<int64_t>(phase));
+    }
 
     // ---- Partition (DramPartitioning of Algorithm 1, projected onto this
     // phase's coordinate, per Algorithm 2). ----
+    uint64_t part_span = obs::Begin(tracer, round_span, "exchange",
+                                    "partition");
     double t0 = sim->Now();
     std::vector<TableChunk> parts;
     if (current.num_columns() == 0) {
@@ -368,8 +385,10 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
                          kPartitionCpuPerRow * scale);
     current = TableChunk();  // Free the input.
     round.partition_s = sim->Now() - t0;
+    obs::End(tracer, part_span);
 
     // ---- Write ----
+    uint64_t put_span = obs::Begin(tracer, round_span, "exchange", "put");
     t0 = sim->Now();
     // Crash site 2 (armed here, fires mid-write below): some attempt-stable
     // slices land, then the handler dies without a result message. The
@@ -402,8 +421,8 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       Status put = co_await client.Put(
           bucket, key, Buffer::FromVector(std::move(combined.bytes)));
       if (!put.ok()) co_return put;
-      ++m.put_requests;
-      m.bytes_written += combined_bytes;
+      m.registry.Add(obs::Metric::kExchangePutRequests, 1);
+      m.registry.Add(obs::Metric::kExchangeBytesWritten, combined_bytes);
       if (crash_mid_writes) {
         // Dies between the data PUT and the idx PUT (or, with offsets in
         // the name, right after the single PUT): readers keep polling for
@@ -415,12 +434,13 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         BinaryWriter w;
         for (uint64_t off : combined.offsets) w.PutU64(off);
         auto idx_bytes = w.Take();
-        m.bytes_written += static_cast<int64_t>(idx_bytes.size());
+        m.registry.Add(obs::Metric::kExchangeBytesWritten,
+                       static_cast<int64_t>(idx_bytes.size()));
         Status idx = co_await client.Put(
             bucket, prefix + "s" + std::to_string(my_j) + "-idx",
             Buffer::FromVector(std::move(idx_bytes)));
         if (!idx.ok()) co_return idx;
-        ++m.put_requests;
+        m.registry.Add(obs::Metric::kExchangePutRequests, 1);
       }
     } else {
       // One file per receiver: serialize + charge + PUT per slot, fanned
@@ -447,8 +467,8 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
               prefix + "s" + std::to_string(my_j) + "r" + std::to_string(j),
               Buffer::FromVector(std::move(blob)));
           if (put.ok()) {
-            ++m.put_requests;
-            m.bytes_written += blob_bytes;
+            m.registry.Add(obs::Metric::kExchangePutRequests, 1);
+            m.registry.Add(obs::Metric::kExchangeBytesWritten, blob_bytes);
             // Die halfway through the receiver slots: slots already in
             // flight still land, later ones never start.
             if (crash_mid_writes && j == side / 2) crashed_mid = true;
@@ -469,6 +489,7 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     }
     parts.clear();
     round.write_s = sim->Now() - t0;
+    obs::End(tracer, put_span);
 
     // Crash site 3: every slice of this phase is visible, but the handler
     // dies before reading (or, for the last phase, before reporting). The
@@ -479,18 +500,21 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
     }
 
     // ---- Wait + read ----
+    get_span = obs::Begin(tracer, round_span, "exchange", "get");
     t0 = sim->Now();
     std::vector<TableChunk> received;
     if (spec.write_combining && spec.offsets_in_name) {
       // Discover sender files via LIST until all group members appear
       // ("they may need to repeat a few times until they see the files
       // produced by all senders").
+      uint64_t barrier_span = obs::Begin(tracer, get_span, "exchange",
+                                         "barrier");
       std::vector<std::pair<int, std::vector<uint64_t>>> senders;
       std::vector<std::string> keys_found;
       double deadline = sim->Now() + spec.timeout_s;
       while (true) {
         auto listing = co_await client.List(bucket, prefix);
-        ++m.list_requests;
+        m.registry.Add(obs::Metric::kExchangeListRequests, 1);
         if (!listing.ok()) co_return listing.status();
         senders.clear();
         keys_found.clear();
@@ -513,6 +537,7 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
         co_await sim::Sleep(sim, spec.poll_interval_s);
       }
       round.wait_s = sim->Now() - t0;
+      obs::End(tracer, barrier_span);
       t0 = sim->Now();
       // Ranged GET per sender; offsets came with the LISTed names.
       auto fetch = [&](size_t i) -> sim::Async<Result<BufferPtr>> {
@@ -524,8 +549,9 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
                                         static_cast<int64_t>(begin),
                                         static_cast<int64_t>(end - begin));
         if (part.ok()) {
-          ++m.get_requests;
-          m.bytes_read += static_cast<int64_t>(end - begin);
+          m.registry.Add(obs::Metric::kExchangeGetRequests, 1);
+          m.registry.Add(obs::Metric::kExchangeBytesRead,
+                         static_cast<int64_t>(end - begin));
         }
         co_return part;
       };
@@ -541,8 +567,9 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
             bucket, prefix + "s" + std::to_string(j) + "-idx",
             spec.poll_interval_s, spec.timeout_s);
         if (!idx.ok()) co_return idx.status();
-        ++m.get_requests;
-        m.bytes_read += static_cast<int64_t>((*idx)->size());
+        m.registry.Add(obs::Metric::kExchangeGetRequests, 1);
+        m.registry.Add(obs::Metric::kExchangeBytesRead,
+                       static_cast<int64_t>((*idx)->size()));
         BinaryReader r((*idx)->data(), (*idx)->size());
         std::vector<uint64_t> offsets;
         for (int k = 0; k <= side; ++k) {
@@ -557,8 +584,9 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
             bucket, prefix + "s" + std::to_string(j) + "-data",
             static_cast<int64_t>(begin), static_cast<int64_t>(end - begin));
         if (part.ok()) {
-          ++m.get_requests;
-          m.bytes_read += static_cast<int64_t>(end - begin);
+          m.registry.Add(obs::Metric::kExchangeGetRequests, 1);
+          m.registry.Add(obs::Metric::kExchangeBytesRead,
+                         static_cast<int64_t>(end - begin));
         }
         co_return part;
       };
@@ -574,9 +602,10 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
             prefix + "s" + std::to_string(i) + "r" + std::to_string(my_j),
             spec.poll_interval_s, spec.timeout_s);
         if (part.ok()) {
-          ++m.get_requests;
+          m.registry.Add(obs::Metric::kExchangeGetRequests, 1);
           if (*part != nullptr) {
-            m.bytes_read += static_cast<int64_t>((*part)->size());
+            m.registry.Add(obs::Metric::kExchangeBytesRead,
+                           static_cast<int64_t>((*part)->size()));
           }
         }
         co_return part;
@@ -596,6 +625,19 @@ sim::Async<Result<TableChunk>> RunExchange(cloud::WorkerEnv& env,
       schema = current.schema();
     }
     round.read_s = sim->Now() - t0;
+    obs::End(tracer, get_span);
+    get_span = 0;
+    if (round_span != 0) {
+      tracer->AddArgF(round_span, "partition_s", round.partition_s);
+      tracer->AddArgF(round_span, "write_s", round.write_s);
+      tracer->AddArgF(round_span, "wait_s", round.wait_s);
+      tracer->AddArgF(round_span, "read_s", round.read_s);
+    }
+    obs::End(tracer, round_span);
+    m.registry.Add(obs::Metric::kExchangeRounds, 1);
+    m.registry.Observe(obs::Metric::kExchangeRoundTime,
+                       round.partition_s + round.write_s + round.wait_s +
+                           round.read_s);
     m.rounds.push_back(round);
     env.RecordPhase("exchange-round" + std::to_string(phase),
                     sim->Now() - round.partition_s - round.write_s -

@@ -8,12 +8,16 @@
 #include "common/status.h"
 #include "core/plan.h"
 #include "engine/table.h"
+#include "obs/metrics.h"
 #include "sim/async.h"
 
 namespace lambada::core {
 
 /// Timing breakdown of one exchange execution on one worker, mirroring the
-/// phases of Figure 13 (per round: write, wait, read).
+/// phases of Figure 13 (per round: write, wait, read). Request and byte
+/// counters live in the shared registry under the exchange.* names; bytes
+/// here are REAL serialized bytes — the worker scales them by data_scale
+/// when folding into its result metrics.
 struct ExchangeMetrics {
   struct Round {
     double partition_s = 0;
@@ -22,13 +26,25 @@ struct ExchangeMetrics {
     double read_s = 0;
   };
   std::vector<Round> rounds;
-  int64_t put_requests = 0;
-  int64_t get_requests = 0;
-  int64_t list_requests = 0;
+  obs::MetricsRegistry registry;
+
+  int64_t put_requests() const {
+    return registry.counter(obs::Metric::kExchangePutRequests);
+  }
+  int64_t get_requests() const {
+    return registry.counter(obs::Metric::kExchangeGetRequests);
+  }
+  int64_t list_requests() const {
+    return registry.counter(obs::Metric::kExchangeListRequests);
+  }
   /// Serialized partition bytes this worker uploaded / downloaded across
   /// all rounds — the exchange's share of the query's bytes moved.
-  int64_t bytes_written = 0;
-  int64_t bytes_read = 0;
+  int64_t bytes_written() const {
+    return registry.counter(obs::Metric::kExchangeBytesWritten);
+  }
+  int64_t bytes_read() const {
+    return registry.counter(obs::Metric::kExchangeBytesRead);
+  }
 };
 
 /// Decomposes P into `levels` near-equal factors whose product is exactly

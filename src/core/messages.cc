@@ -104,45 +104,16 @@ Result<InvocationPayload> InvocationPayload::Parse(const std::string& bytes) {
 }
 
 void WorkerResultMetrics::Serialize(BinaryWriter* w) const {
-  w->PutF64(processing_time_s);
-  w->PutI64(rows_scanned);
-  w->PutI64(rows_emitted);
-  w->PutI64(row_groups_total);
-  w->PutI64(row_groups_pruned);
-  w->PutI64(rows_joined);
-  w->PutI64(exchange_rounds);
-  w->PutI64(exchange_put_requests);
-  w->PutI64(exchange_get_requests);
-  w->PutI64(exchange_list_requests);
-  w->PutI64(scan_bytes_moved);
-  w->PutI64(rows_dict_filtered);
-  w->PutI64(exchange_bytes_written);
-  w->PutI64(exchange_bytes_read);
-  w->PutI64(s3_retries);
-  w->PutI64(hedged_requests);
-  w->PutI64(hedge_wins);
+  // The registry's own wire format (sparse sections of (metric id, value)
+  // entries) replaces the original fixed 17-field layout — a breaking
+  // rewrite, legal because driver and workers always run the same build.
+  registry.Serialize(w);
 }
 
 Result<WorkerResultMetrics> WorkerResultMetrics::Deserialize(
     BinaryReader* r) {
   WorkerResultMetrics m;
-  ASSIGN_OR_RETURN(m.processing_time_s, r->GetF64());
-  ASSIGN_OR_RETURN(m.rows_scanned, r->GetI64());
-  ASSIGN_OR_RETURN(m.rows_emitted, r->GetI64());
-  ASSIGN_OR_RETURN(m.row_groups_total, r->GetI64());
-  ASSIGN_OR_RETURN(m.row_groups_pruned, r->GetI64());
-  ASSIGN_OR_RETURN(m.rows_joined, r->GetI64());
-  ASSIGN_OR_RETURN(m.exchange_rounds, r->GetI64());
-  ASSIGN_OR_RETURN(m.exchange_put_requests, r->GetI64());
-  ASSIGN_OR_RETURN(m.exchange_get_requests, r->GetI64());
-  ASSIGN_OR_RETURN(m.exchange_list_requests, r->GetI64());
-  ASSIGN_OR_RETURN(m.scan_bytes_moved, r->GetI64());
-  ASSIGN_OR_RETURN(m.rows_dict_filtered, r->GetI64());
-  ASSIGN_OR_RETURN(m.exchange_bytes_written, r->GetI64());
-  ASSIGN_OR_RETURN(m.exchange_bytes_read, r->GetI64());
-  ASSIGN_OR_RETURN(m.s3_retries, r->GetI64());
-  ASSIGN_OR_RETURN(m.hedged_requests, r->GetI64());
-  ASSIGN_OR_RETURN(m.hedge_wins, r->GetI64());
+  ASSIGN_OR_RETURN(m.registry, obs::MetricsRegistry::Deserialize(r));
   return m;
 }
 

@@ -8,6 +8,7 @@
 #include "common/binio.h"
 #include "common/status.h"
 #include "engine/scan.h"
+#include "obs/metrics.h"
 
 namespace lambada::core {
 
@@ -69,36 +70,77 @@ struct InvocationPayload {
   static Result<InvocationPayload> Parse(const std::string& bytes);
 };
 
-/// Per-worker execution metrics shipped back in the result message.
+/// Per-worker execution metrics shipped back in the result message: a
+/// metrics registry keyed by the stable ids of src/obs/metrics.h (the id IS
+/// the wire tag — append-only, never renumbered — so the registry's
+/// sparse (id, value) encoding honors the contract above). The accessors
+/// cover what the driver and benches read; byte counters hold MODELED
+/// bytes (virtual scaling applied), the units of the latencies and costs
+/// beside them.
 struct WorkerResultMetrics {
-  double processing_time_s = 0;  ///< Executing the plan fragment.
-  int64_t rows_scanned = 0;      ///< Both scans of a join fragment.
-  int64_t rows_emitted = 0;
-  int64_t row_groups_total = 0;
-  int64_t row_groups_pruned = 0;
+  obs::MetricsRegistry registry;
+
+  /// Virtual seconds executing the plan fragment.
+  double processing_time_s() const {
+    return registry.gauge(obs::Metric::kProcessingTime);
+  }
+  /// Rows decoded by every scan of the fragment (both scans of a join).
+  int64_t rows_scanned() const {
+    return registry.counter(obs::Metric::kRowsScanned);
+  }
+  int64_t rows_emitted() const {
+    return registry.counter(obs::Metric::kRowsEmitted);
+  }
+  int64_t row_groups_total() const {
+    return registry.counter(obs::Metric::kRowGroupsTotal);
+  }
+  int64_t row_groups_pruned() const {
+    return registry.counter(obs::Metric::kRowGroupsPruned);
+  }
   /// Join output rows (0 for single-table fragments).
-  int64_t rows_joined = 0;
+  int64_t rows_joined() const {
+    return registry.counter(obs::Metric::kRowsJoined);
+  }
   /// Exchange traffic across every exchange this worker ran (a join
   /// fragment runs two); mirrors core::ExchangeMetrics.
-  int64_t exchange_rounds = 0;
-  int64_t exchange_put_requests = 0;
-  int64_t exchange_get_requests = 0;
-  int64_t exchange_list_requests = 0;
-  /// Modeled bytes this worker moved (virtual scaling applied, so the
-  /// numbers are in the same units as the latencies and costs beside
-  /// them): post-encoding bytes fetched by its scans (footers + coalesced
-  /// column-chunk extents) and serialized partition bytes through its
-  /// exchanges. These are the quantities the encoding/chunk-size work
-  /// optimizes, reported so BENCH figures can show them directly.
-  int64_t scan_bytes_moved = 0;
-  int64_t rows_dict_filtered = 0;  ///< Rows dropped on dictionary codes.
-  int64_t exchange_bytes_written = 0;
-  int64_t exchange_bytes_read = 0;
+  int64_t exchange_rounds() const {
+    return registry.counter(obs::Metric::kExchangeRounds);
+  }
+  int64_t exchange_put_requests() const {
+    return registry.counter(obs::Metric::kExchangePutRequests);
+  }
+  int64_t exchange_get_requests() const {
+    return registry.counter(obs::Metric::kExchangeGetRequests);
+  }
+  int64_t exchange_list_requests() const {
+    return registry.counter(obs::Metric::kExchangeListRequests);
+  }
+  /// Post-encoding bytes fetched by the scans (footers + coalesced
+  /// column-chunk extents) — the quantity the encoding/chunk-size work
+  /// optimizes, reported so BENCH figures can show it directly.
+  int64_t scan_bytes_moved() const {
+    return registry.counter(obs::Metric::kScanBytesMoved);
+  }
+  int64_t rows_dict_filtered() const {
+    return registry.counter(obs::Metric::kRowsDictFiltered);
+  }
+  int64_t exchange_bytes_written() const {
+    return registry.counter(obs::Metric::kExchangeBytesWritten);
+  }
+  int64_t exchange_bytes_read() const {
+    return registry.counter(obs::Metric::kExchangeBytesRead);
+  }
   /// Fault-tolerance telemetry (mirrors cloud::RequestStats), so the
   /// straggler bench can attribute mitigation wins per attempt.
-  int64_t s3_retries = 0;
-  int64_t hedged_requests = 0;
-  int64_t hedge_wins = 0;
+  int64_t s3_retries() const {
+    return registry.counter(obs::Metric::kS3Retries);
+  }
+  int64_t hedged_requests() const {
+    return registry.counter(obs::Metric::kHedgedRequests);
+  }
+  int64_t hedge_wins() const {
+    return registry.counter(obs::Metric::kHedgeWins);
+  }
 
   void Serialize(BinaryWriter* w) const;
   static Result<WorkerResultMetrics> Deserialize(BinaryReader* r);

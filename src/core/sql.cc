@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/driver.h"
 #include "engine/aggregate.h"
 #include "engine/expr.h"
 
@@ -603,6 +604,37 @@ Result<std::string> ExplainSql(const std::string& sql) {
   }
   ASSIGN_OR_RETURN(Query query, ParseSql(sql.substr(i)));
   return query.Explain();
+}
+
+sim::Async<Result<std::string>> ExplainAnalyzeSql(Driver* driver,
+                                                  const std::string& sql,
+                                                  const RunOptions& options) {
+  // Strip the leading EXPLAIN ANALYZE keywords, then compile, run with
+  // tracing on, and render the annotated plan (core/analyze.h).
+  size_t i = 0;
+  auto take_keyword = [&sql, &i]() {
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < sql.size() &&
+           std::isalpha(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    return Upper(sql.substr(start, i - start));
+  };
+  if (take_keyword() != "EXPLAIN" || take_keyword() != "ANALYZE") {
+    co_return Status::Invalid(
+        "EXPLAIN ANALYZE expects leading EXPLAIN ANALYZE keywords");
+  }
+  auto query = ParseSql(sql.substr(i));
+  if (!query.ok()) co_return query.status();
+  RunOptions traced = options;
+  traced.trace.enabled = true;
+  auto report = co_await driver->Run(*query, traced);
+  if (!report.ok()) co_return report.status();
+  co_return report->explain_analyze_text;
 }
 
 }  // namespace lambada::core

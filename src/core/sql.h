@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/dataflow.h"
+#include "sim/async.h"
 
 namespace lambada::core {
 
@@ -62,6 +63,22 @@ Result<Query> ParseSql(const std::string& sql);
 /// run as deterministic text — Query::Explain() for SQL. No data is read
 /// and nothing executes.
 Result<std::string> ExplainSql(const std::string& sql);
+
+class Driver;      // core/driver.h
+struct RunOptions;
+
+/// Compiles `sql` (which must start with EXPLAIN ANALYZE, followed by a
+/// query in the grammar above), RUNS it through `driver` with tracing
+/// enabled, and renders the plan annotated with the actuals — rows,
+/// modeled bytes, per-exchange traffic, attempts, per-operator virtual
+/// time (core/analyze.h). Must be called from a simulation coroutine;
+/// drive the simulator to completion around it like any Driver::Run.
+/// `sql` and `options` must outlive the await (same contract as Run);
+/// pass named lvalues, not call-site temporaries — GCC 12 double-destroys
+/// full-expression temporaries held across a co_await suspension.
+sim::Async<Result<std::string>> ExplainAnalyzeSql(Driver* driver,
+                                                  const std::string& sql,
+                                                  const RunOptions& options);
 
 }  // namespace lambada::core
 

@@ -93,6 +93,9 @@ sim::Async<Result<TableChunk>> RunScanPipeline(
     engine::ScanOptions scan_options, const std::vector<PlanOp>& ops,
     size_t ops_begin, size_t ops_end, const char* phase_label,
     WorkerResultMetrics* metrics) {
+  // Scope a scan span over the whole pipeline; the per-row-group child
+  // spans created inside S3ParquetScan parent under it.
+  cloud::EnvSpan span(&env, "scan", phase_label);
   std::vector<TableChunk> collected;
   int64_t collected_bytes = 0;
   auto sink = [&](const TableChunk& chunk) -> Status {
@@ -112,13 +115,12 @@ sim::Async<Result<TableChunk>> RunScanPipeline(
       co_await engine::S3ParquetScan(env, files, scan_options, sink);
   if (!scan_stats.ok()) co_return scan_stats.status();
   env.RecordPhase(phase_label, scan_start);
-  metrics->rows_scanned += scan_stats->rows_scanned;
-  metrics->rows_emitted += scan_stats->rows_emitted;
-  metrics->row_groups_total += scan_stats->row_groups_total;
-  metrics->row_groups_pruned += scan_stats->row_groups_pruned;
-  metrics->scan_bytes_moved += scan_stats->bytes_moved;
-  metrics->rows_dict_filtered += scan_stats->rows_dict_filtered;
-  co_await env.Compute(static_cast<double>(scan_stats->rows_emitted) *
+  metrics->registry.Merge(scan_stats->registry);
+  if (span.id() != 0) {
+    env.tracer()->AddArg(span.id(), "rows", scan_stats->rows_emitted());
+    env.tracer()->AddArg(span.id(), "bytes", scan_stats->bytes_moved());
+  }
+  co_await env.Compute(static_cast<double>(scan_stats->rows_emitted()) *
                        kRowOpCpuPerRow *
                        static_cast<double>(ops_end - ops_begin) *
                        env.data_scale);
@@ -133,14 +135,19 @@ sim::Async<Result<TableChunk>> RunScanPipeline(
 /// bytes (virtually-scaled experiments shuffle scale x the real rows).
 void AddExchangeMetrics(WorkerResultMetrics* metrics,
                         const ExchangeMetrics& xm, double data_scale) {
-  metrics->exchange_rounds += static_cast<int64_t>(xm.rounds.size());
-  metrics->exchange_put_requests += xm.put_requests;
-  metrics->exchange_get_requests += xm.get_requests;
-  metrics->exchange_list_requests += xm.list_requests;
-  metrics->exchange_bytes_written += static_cast<int64_t>(
-      static_cast<double>(xm.bytes_written) * data_scale);
-  metrics->exchange_bytes_read += static_cast<int64_t>(
-      static_cast<double>(xm.bytes_read) * data_scale);
+  const int64_t real_written = xm.bytes_written();
+  const int64_t real_read = xm.bytes_read();
+  metrics->registry.Merge(xm.registry);
+  // The merge added the exchange's REAL serialized bytes; shift the two
+  // byte counters so the totals are modeled bytes like everything else.
+  metrics->registry.Add(
+      obs::Metric::kExchangeBytesWritten,
+      static_cast<int64_t>(static_cast<double>(real_written) * data_scale) -
+          real_written);
+  metrics->registry.Add(
+      obs::Metric::kExchangeBytesRead,
+      static_cast<int64_t>(static_cast<double>(real_read) * data_scale) -
+          real_read);
 }
 
 /// Runs the tail of a fragment after its last pipeline breaker (exchange
@@ -223,9 +230,25 @@ sim::Async<Result<TableChunk>> ExecuteJoinFragment(
 
   auto run_exchange = [&](const ExchangeSpec& spec, TableChunk in)
       -> sim::Async<Result<TableChunk>> {
+    cloud::EnvSpan span(&env, "exchange", "exchange");
+    if (span.id() != 0) {
+      env.tracer()->AddArg(span.id(), "exchange_id", spec.exchange_id);
+    }
     ExchangeMetrics xm;
     auto out = co_await RunExchange(env, spec, p, P, std::move(in), &xm);
     AddExchangeMetrics(metrics, xm, env.data_scale);
+    if (span.id() != 0) {
+      env.tracer()->AddArg(
+          span.id(), "bytes_written",
+          static_cast<int64_t>(static_cast<double>(xm.bytes_written()) *
+                               env.data_scale));
+      env.tracer()->AddArg(
+          span.id(), "bytes_read",
+          static_cast<int64_t>(static_cast<double>(xm.bytes_read()) *
+                               env.data_scale));
+      env.tracer()->AddArg(span.id(), "puts", xm.put_requests());
+      env.tracer()->AddArg(span.id(), "gets", xm.get_requests());
+    }
     co_return out;
   };
 
@@ -324,6 +347,12 @@ sim::Async<Result<TableChunk>> ExecuteJoinFragment(
 
         // ---- Join the pair. ----
         double t0 = env.sim()->Now();
+        uint64_t join_span = obs::Begin(env.tracer(), env.trace_span(),
+                                        "join", "join");
+        if (join_span != 0) {
+          env.tracer()->AddArg(join_span, "ordinal",
+                               static_cast<int64_t>(ordinal));
+        }
         if (current.num_columns() == 0) {
           // No probe rows reached this worker from anywhere: schema
           // unknown, output empty either way.
@@ -360,7 +389,13 @@ sim::Async<Result<TableChunk>> ExecuteJoinFragment(
                                kJoinCpuPerRow * env.data_scale);
           current = *std::move(joined);
         }
-        metrics->rows_joined += static_cast<int64_t>(current.num_rows());
+        metrics->registry.Add(obs::Metric::kRowsJoined,
+                              static_cast<int64_t>(current.num_rows()));
+        if (join_span != 0) {
+          env.tracer()->AddArg(join_span, "rows",
+                               static_cast<int64_t>(current.num_rows()));
+          env.tracer()->EndSpan(join_span);
+        }
         env.RecordPhase("join", t0);
         build_chunk = TableChunk();
         break;
@@ -456,18 +491,23 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
   };
 
   double scan_start = env.sim()->Now();
-  auto scan_stats = co_await engine::S3ParquetScan(
-      env, payload.self.files, scan_options, sink);
-  if (!scan_stats.ok()) co_return scan_stats.status();
+  Result<engine::ScanStats> scan_stats = Status::Internal("scan not run");
+  {
+    cloud::EnvSpan scan_span(&env, "scan", "scan");
+    scan_stats = co_await engine::S3ParquetScan(
+        env, payload.self.files, scan_options, sink);
+    if (!scan_stats.ok()) co_return scan_stats.status();
+    if (scan_span.id() != 0) {
+      env.tracer()->AddArg(scan_span.id(), "rows",
+                           scan_stats->rows_emitted());
+      env.tracer()->AddArg(scan_span.id(), "bytes",
+                           scan_stats->bytes_moved());
+    }
+  }
   env.RecordPhase("scan", scan_start);
-  metrics->rows_scanned = scan_stats->rows_scanned;
-  metrics->rows_emitted = scan_stats->rows_emitted;
-  metrics->row_groups_total = scan_stats->row_groups_total;
-  metrics->row_groups_pruned = scan_stats->row_groups_pruned;
-  metrics->scan_bytes_moved = scan_stats->bytes_moved;
-  metrics->rows_dict_filtered = scan_stats->rows_dict_filtered;
+  metrics->registry.Merge(scan_stats->registry);
   // Post-scan pipeline CPU (row ops + aggregation).
-  double pipeline_rows = static_cast<double>(scan_stats->rows_emitted);
+  double pipeline_rows = static_cast<double>(scan_stats->rows_emitted());
   double pipeline_cpu =
       pipeline_rows * kRowOpCpuPerRow * static_cast<double>(stage1_end);
   if (agg != nullptr) pipeline_cpu += pipeline_rows * kAggCpuPerRow;
@@ -489,12 +529,32 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
   // ---- Exchange + stage 2 ----
   const PlanOp& ex_op = fragment.ops[static_cast<size_t>(exchange_at)];
   double ex_start = env.sim()->Now();
-  ExchangeMetrics xm;
-  auto exchanged = co_await RunExchange(
-      env, *ex_op.exchange, static_cast<int>(payload.self.worker_id),
-      static_cast<int>(payload.total_workers), *std::move(stage1_out), &xm);
-  if (!exchanged.ok()) co_return exchanged.status();
-  AddExchangeMetrics(metrics, xm, env.data_scale);
+  Result<TableChunk> exchanged = Status::Internal("exchange not run");
+  {
+    cloud::EnvSpan ex_span(&env, "exchange", "exchange");
+    if (ex_span.id() != 0) {
+      env.tracer()->AddArg(ex_span.id(), "exchange_id",
+                           ex_op.exchange->exchange_id);
+    }
+    ExchangeMetrics xm;
+    exchanged = co_await RunExchange(
+        env, *ex_op.exchange, static_cast<int>(payload.self.worker_id),
+        static_cast<int>(payload.total_workers), *std::move(stage1_out), &xm);
+    if (!exchanged.ok()) co_return exchanged.status();
+    AddExchangeMetrics(metrics, xm, env.data_scale);
+    if (ex_span.id() != 0) {
+      env.tracer()->AddArg(
+          ex_span.id(), "bytes_written",
+          static_cast<int64_t>(static_cast<double>(xm.bytes_written()) *
+                               env.data_scale));
+      env.tracer()->AddArg(
+          ex_span.id(), "bytes_read",
+          static_cast<int64_t>(static_cast<double>(xm.bytes_read()) *
+                               env.data_scale));
+      env.tracer()->AddArg(ex_span.id(), "puts", xm.put_requests());
+      env.tracer()->AddArg(ex_span.id(), "gets", xm.get_requests());
+    }
+  }
   env.RecordPhase("exchange", ex_start);
 
   co_return co_await RunPostOps(env, fragment,
@@ -507,10 +567,14 @@ sim::Async<Result<TableChunk>> ExecuteFragment(
 sim::Async<Status> SendResult(cloud::WorkerEnv& env,
                               const InvocationPayload& payload,
                               ResultMessage message) {
+  cloud::EnvSpan span(&env, "worker", "send-result");
   // Request telemetry accumulated by this attempt's service clients.
-  message.metrics.s3_retries = env.request_stats().s3_retries;
-  message.metrics.hedged_requests = env.request_stats().hedged_requests;
-  message.metrics.hedge_wins = env.request_stats().hedge_wins;
+  message.metrics.registry.Add(obs::Metric::kS3Retries,
+                               env.request_stats().s3_retries);
+  message.metrics.registry.Add(obs::Metric::kHedgedRequests,
+                               env.request_stats().hedged_requests);
+  message.metrics.registry.Add(obs::Metric::kHedgeWins,
+                               env.request_stats().hedge_wins);
   if (message.inline_result.size() > kInlineResultLimit) {
     cloud::S3Client client(env.services().s3, env.net());
     message.spill_bucket = payload.plan_bucket;
@@ -546,8 +610,32 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   env.metrics().attempt = payload.self.attempt;
   env.hedge_config().enabled = payload.hedge_gets;
 
+  // The attempt's root span: every operation span below parents under it,
+  // and it carries the worker's Chrome track plus its drawn fate.
+  cloud::EnvSpan worker_span(&env, "worker", "worker");
+  if (worker_span.id() != 0) {
+    obs::Tracer* t = env.tracer();
+    t->SetTrack(worker_span.id(),
+                static_cast<int>(payload.self.worker_id) + 1);
+    t->AddArg(worker_span.id(), "worker_id",
+              static_cast<int64_t>(payload.self.worker_id));
+    t->AddArg(worker_span.id(), "attempt",
+              static_cast<int64_t>(payload.self.attempt));
+    if (env.fate().crash_site != cloud::CrashSite::kNone) {
+      t->AddArg(worker_span.id(), "fault.crash_armed",
+                static_cast<int64_t>(env.fate().crash_site));
+    }
+    if (env.fate().cpu_factor < 1.0 || env.fate().net_factor < 1.0) {
+      t->AddArgF(worker_span.id(), "fault.straggler_cpu",
+                 env.fate().cpu_factor);
+      t->AddArgF(worker_span.id(), "fault.straggler_net",
+                 env.fate().net_factor);
+    }
+  }
+
   // ---- Invocation tree: start the second generation first (§4.2). ----
   if (!payload.to_invoke.empty()) {
+    cloud::EnvSpan invoke_span(&env, "worker", "invoke-children");
     double t0 = env.sim()->Now();
     for (const auto& child : payload.to_invoke) {
       InvocationPayload child_payload = payload;
@@ -579,15 +667,18 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   result.attempt = payload.self.attempt;
 
   // ---- Fetch the plan fragment from shared storage. ----
-  cloud::S3Client client(env.services().s3, env.net());
-  auto plan_bytes =
-      co_await client.Get(payload.plan_bucket, payload.plan_key);
   Result<PlanFragment> fragment = Status::Internal("plan not loaded");
-  if (plan_bytes.ok()) {
-    fragment = PlanFragment::Deserialize((*plan_bytes)->data(),
-                                         (*plan_bytes)->size());
-  } else {
-    fragment = plan_bytes.status();
+  {
+    cloud::EnvSpan fetch_span(&env, "worker", "fetch-plan");
+    cloud::S3Client client(env.services().s3, env.net());
+    auto plan_bytes =
+        co_await client.Get(payload.plan_bucket, payload.plan_key);
+    if (plan_bytes.ok()) {
+      fragment = PlanFragment::Deserialize((*plan_bytes)->data(),
+                                           (*plan_bytes)->size());
+    } else {
+      fragment = plan_bytes.status();
+    }
   }
   if (!fragment.ok()) {
     result.status_code = fragment.status().code();
@@ -599,7 +690,8 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   double exec_start = env.sim()->Now();
   auto out =
       co_await ExecuteFragment(env, *fragment, payload, &result.metrics);
-  result.metrics.processing_time_s = env.sim()->Now() - exec_start;
+  result.metrics.registry.Set(obs::Metric::kProcessingTime,
+                              env.sim()->Now() - exec_start);
   // ---- Fault plan: an invocation fated to crash dies silently. ----
   // A crash consumed mid-exchange surfaces as env.crashed(); fragments
   // with no exchange (nothing consumed the armed site) die here instead,

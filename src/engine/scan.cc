@@ -98,6 +98,7 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     ro.coalesce_gap_bytes = static_cast<int64_t>(
         static_cast<double>(options.coalesce_gap_bytes) /
         std::max(1.0, st.scale));
+    ro.tracer = env_ptr->tracer();
     return ro;
   };
 
@@ -122,9 +123,13 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
 
   auto bounds = ExtractColumnBounds(options.filter);
   Status scan_error = Status::OK();
+  // Row-group task spans parent here (the scan span current at entry), not
+  // at env.trace_span() task-run time: a concurrently running sibling could
+  // have swapped the env's current span by then.
+  const uint64_t scan_span = env.trace_span();
 
   for (auto& st : *states) {
-    ++stats.files;
+    stats.registry.Add(obs::Metric::kScanFiles, 1);
     if (options.prefetch_metadata) {
       co_await st.ready->Wait();
     } else {
@@ -174,12 +179,12 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     // files are fully pruned return after the metadata round trip.
     std::vector<int> surviving;
     for (int rg = 0; rg < reader->num_row_groups(); ++rg) {
-      ++stats.row_groups_total;
+      stats.registry.Add(obs::Metric::kRowGroupsTotal, 1);
       if (RowGroupSurvives(reader->metadata().row_groups[rg], file_schema,
                            bounds)) {
         surviving.push_back(rg);
       } else {
-        ++stats.row_groups_pruned;
+        stats.registry.Add(obs::Metric::kRowGroupsPruned, 1);
       }
     }
 
@@ -208,24 +213,41 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
                          const std::function<Status(const TableChunk&)>* snk,
                          Status* sink_st,
                          std::vector<std::optional<TableChunk>>* pend,
-                         size_t* next_out, size_t my_slot) -> sim::Async<void> {
+                         size_t* next_out, size_t my_slot,
+                         const std::string* file_key,
+                         uint64_t parent_span) -> sim::Async<void> {
         co_await g->Acquire();
+        obs::Tracer* tracer = e->tracer();
+        const double rg_start = e->sim()->Now();
+        uint64_t rg_span =
+            obs::Begin(tracer, parent_span, "scan", "rowgroup");
+        if (rg_span != 0) {
+          tracer->AddArg(rg_span, "key", *file_key);
+          tracer->AddArg(rg_span, "rg", static_cast<int64_t>(rg_idx));
+        }
         // Level (2): column chunks of this group fetched concurrently
         // (coalesced into extents), with dict-code predicate push-down.
         auto chunk = co_await rdr->ReadRowGroup(
-            rg_idx, proj_cols, opts->column_fetch_parallelism, bnds);
+            rg_idx, proj_cols, opts->column_fetch_parallelism, bnds, rg_span);
         if (!chunk.ok()) {
           if (sink_st->ok()) *sink_st = chunk.status();
+          obs::End(tracer, rg_span);
           g->Release();
           co_return;
         }
         Status mem = e->ReserveMemory(chunk->memory_bytes());
         if (!mem.ok()) {
           if (sink_st->ok()) *sink_st = mem;
+          obs::End(tracer, rg_span);
           g->Release();
           co_return;
         }
-        out->rows_scanned += static_cast<int64_t>(chunk->num_rows());
+        out->registry.Add(obs::Metric::kRowsScanned,
+                          static_cast<int64_t>(chunk->num_rows()));
+        if (rg_span != 0) {
+          tracer->AddArg(rg_span, "rows",
+                         static_cast<int64_t>(chunk->num_rows()));
+        }
         TableChunk result = *std::move(chunk);
         if (opts->filter != nullptr && opts->apply_residual_filter) {
           // Residual predicate on the decoded rows; charged as pipeline
@@ -236,6 +258,7 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
           if (!mask_col.ok()) {
             if (sink_st->ok()) *sink_st = mask_col.status();
             e->ReleaseMemory(result.memory_bytes());
+            obs::End(tracer, rg_span);
             g->Release();
             co_return;
           }
@@ -252,14 +275,19 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
           TableChunk ready = *std::move((*pend)[*next_out]);
           (*pend)[*next_out].reset();
           ++*next_out;
-          out->rows_emitted += static_cast<int64_t>(ready.num_rows());
+          out->registry.Add(obs::Metric::kRowsEmitted,
+                            static_cast<int64_t>(ready.num_rows()));
           Status s = (*snk)(ready);
           if (!s.ok() && sink_st->ok()) *sink_st = s;
           e->ReleaseMemory(ready.memory_bytes());
         }
+        out->registry.Observe(obs::Metric::kScanRowGroupTime,
+                              e->sim()->Now() - rg_start);
+        obs::End(tracer, rg_span);
         g->Release();
       }(&env, &options, reader, st.scale, rg, proj, &dict_bounds, &gate,
-        &stats, &sink, &sink_status, &pending, &next_emit, slot));
+        &stats, &sink, &sink_status, &pending, &next_emit, slot, &st.ref.key,
+        scan_span));
     }
     co_await sim::WhenAllVoid(sim, std::move(tasks));
     // A failed row group leaves a hole that blocks the in-order flush;
@@ -272,14 +300,18 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     }
     // Report MODELED bytes: a virtually-scaled object moves scale x more
     // bytes through the simulated network than its real backing store.
-    stats.bytes_moved += static_cast<int64_t>(
-        static_cast<double>(reader->bytes_fetched()) * st.scale);
-    stats.rows_dict_filtered += reader->rows_dict_filtered();
+    stats.registry.Add(obs::Metric::kScanBytesMoved,
+                       static_cast<int64_t>(
+                           static_cast<double>(reader->bytes_fetched()) *
+                           st.scale));
+    stats.registry.Add(obs::Metric::kRowsDictFiltered,
+                       reader->rows_dict_filtered());
     if (!sink_status.ok()) {
       scan_error = sink_status;
       break;
     }
-    stats.get_requests += st.source->request_count();
+    stats.registry.Add(obs::Metric::kScanGetRequests,
+                       st.source->request_count());
   }
   // Drain the prefetcher before returning so nothing outlives the worker.
   co_await prefetch_done->Wait();

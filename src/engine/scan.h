@@ -11,6 +11,7 @@
 #include "engine/table.h"
 #include "format/reader.h"
 #include "format/source.h"
+#include "obs/metrics.h"
 #include "sim/async.h"
 
 namespace lambada::engine {
@@ -47,22 +48,42 @@ struct ScanOptions {
   int64_t coalesce_gap_bytes = 1024 * 1024;
 };
 
-/// Counters reported by one scan execution.
+/// Metrics reported by one scan execution, kept in the shared registry
+/// under the scan.* names (see src/obs/metrics.h). The accessors cover the
+/// counters callers read.
 struct ScanStats {
-  int64_t files = 0;
-  int64_t row_groups_total = 0;
-  int64_t row_groups_pruned = 0;
-  int64_t rows_scanned = 0;    ///< Rows decoded (before residual filter).
-  int64_t rows_emitted = 0;    ///< Rows after the residual filter.
-  int64_t get_requests = 0;
+  obs::MetricsRegistry registry;
+
+  int64_t files() const { return registry.counter(obs::Metric::kScanFiles); }
+  int64_t row_groups_total() const {
+    return registry.counter(obs::Metric::kRowGroupsTotal);
+  }
+  int64_t row_groups_pruned() const {
+    return registry.counter(obs::Metric::kRowGroupsPruned);
+  }
+  /// Rows decoded (before residual filter).
+  int64_t rows_scanned() const {
+    return registry.counter(obs::Metric::kRowsScanned);
+  }
+  /// Rows after the residual filter.
+  int64_t rows_emitted() const {
+    return registry.counter(obs::Metric::kRowsEmitted);
+  }
+  int64_t get_requests() const {
+    return registry.counter(obs::Metric::kScanGetRequests);
+  }
   /// Modeled bytes fetched from storage (footers + column-chunk extents,
   /// including coalescing gaps, times each object's virtual scale): the
   /// post-encoding bytes moved, the number the paper's Figure 7/11
   /// tradeoffs are about. Equals real bytes on unscaled data.
-  int64_t bytes_moved = 0;
+  int64_t bytes_moved() const {
+    return registry.counter(obs::Metric::kScanBytesMoved);
+  }
   /// Rows dropped by dictionary-code predicate evaluation in the reader,
   /// before materialization and the residual filter.
-  int64_t rows_dict_filtered = 0;
+  int64_t rows_dict_filtered() const {
+    return registry.counter(obs::Metric::kRowsDictFiltered);
+  }
 };
 
 /// Per-row CPU cost of the residual filter + downstream chunk handoff in

@@ -94,10 +94,19 @@ sim::Async<void> FileReader::FetchExtent(
     const std::vector<int>& columns, const RowGroupMeta& rg_meta,
     const std::vector<uint8_t>& keep_bytes,
     std::vector<std::vector<uint8_t>>* chunk_data,
-    std::vector<std::optional<engine::Column>>* decoded, Status* error) {
+    std::vector<std::optional<engine::Column>>* decoded, Status* error,
+    uint64_t trace_span) {
+  obs::Tracer* tracer = options_.tracer;
+  uint64_t get_span = obs::Begin(tracer, trace_span, "scan", "get");
+  if (get_span != 0) {
+    tracer->AddArg(get_span, "offset", static_cast<int64_t>(extent->begin));
+    tracer->AddArg(get_span, "bytes",
+                   static_cast<int64_t>(extent->end - extent->begin));
+  }
   auto raw = co_await source_->ReadAt(
       static_cast<int64_t>(extent->begin),
       static_cast<int64_t>(extent->end - extent->begin));
+  obs::End(tracer, get_span);
   if (!raw.ok()) {
     if (error->ok()) *error = raw.status();
     co_return;
@@ -105,6 +114,7 @@ sim::Async<void> FileReader::FetchExtent(
   extent->data = *std::move(raw);
   bytes_fetched_ += static_cast<int64_t>(extent->end - extent->begin);
   const size_t num_rows = static_cast<size_t>(rg_meta.num_rows);
+  uint64_t decode_span = obs::Begin(tracer, trace_span, "scan", "decode");
   for (size_t k : chunk_positions) {
     const auto& cc = rg_meta.columns[static_cast<size_t>(columns[k])];
     auto bytes = co_await DecompressChunk(
@@ -112,6 +122,7 @@ sim::Async<void> FileReader::FetchExtent(
         static_cast<size_t>(cc.compressed_size));
     if (!bytes.ok()) {
       if (error->ok()) *error = bytes.status();
+      obs::End(tracer, decode_span);
       co_return;
     }
     if (keep_bytes[k] != 0) {
@@ -124,6 +135,7 @@ sim::Async<void> FileReader::FetchExtent(
         cc.encoding, num_rows);
     if (!col.ok()) {
       if (error->ok()) *error = col.status();
+      obs::End(tracer, decode_span);
       co_return;
     }
     // Decoding (varint/delta/rle) cost, charged here so it overlaps the
@@ -131,12 +143,13 @@ sim::Async<void> FileReader::FetchExtent(
     co_await options_.cpu.Charge(static_cast<double>(num_rows) * 8.0 / 2e9);
     (*decoded)[k] = *std::move(col);
   }
+  obs::End(tracer, decode_span);
   extent->data = nullptr;  // Only the decoded chunks survive.
 }
 
 sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
     int rg, std::vector<int> columns, int fetch_parallelism,
-    const std::map<int, ColumnBound>* bounds) {
+    const std::map<int, ColumnBound>* bounds, uint64_t trace_span) {
   if (rg < 0 || rg >= num_row_groups()) {
     co_return Status::OutOfRange("row group index out of range");
   }
@@ -220,19 +233,20 @@ sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
                            const std::vector<uint8_t>* kb,
                            std::vector<std::vector<uint8_t>>* out,
                            std::vector<std::optional<Column>>* dec,
-                           Status* err) -> sim::Async<void> {
+                           Status* err, uint64_t span) -> sim::Async<void> {
         co_await g->Acquire();
         co_await self->FetchExtent(ext, *ks, *cols, *meta, *kb, out, dec,
-                                   err);
+                                   err, span);
         g->Release();
       }(this, &gate, &extents[e], &extent_chunks[e], &columns, &rg_meta,
-        &keep_bytes, &chunk_data, &decoded, &fetch_error));
+        &keep_bytes, &chunk_data, &decoded, &fetch_error, trace_span));
     }
     co_await sim::WhenAllVoid(sim, std::move(fetches));
   } else {
     for (size_t e = 0; e < extents.size(); ++e) {
       co_await FetchExtent(&extents[e], extent_chunks[e], columns, rg_meta,
-                           keep_bytes, &chunk_data, &decoded, &fetch_error);
+                           keep_bytes, &chunk_data, &decoded, &fetch_error,
+                           trace_span);
       if (!fetch_error.ok()) break;
     }
   }
@@ -247,12 +261,21 @@ sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
   // dictionaries map each pushed interval to a code range; rows are
   // tested on their codes, and an empty range proves the whole group
   // empty before any materialization.
+  uint64_t df_span = 0;
+  if (options_.tracer != nullptr &&
+      std::find(keep_bytes.begin(), keep_bytes.end(), 1) !=
+          keep_bytes.end()) {
+    df_span = obs::Begin(options_.tracer, trace_span, "scan", "dict-filter");
+  }
   for (size_t k = 0; k < columns.size(); ++k) {
     if (keep_bytes[k] == 0) continue;
     auto it = bounds->find(columns[k]);
     auto view =
         DecodeDictView(chunk_data[k].data(), chunk_data[k].size(), num_rows);
-    if (!view.ok()) co_return view.status();
+    if (!view.ok()) {
+      if (df_span != 0) options_.tracer->EndSpan(df_span);
+      co_return view.status();
+    }
     co_await options_.cpu.Charge(static_cast<double>(num_rows) * 8.0 / 2e9);
     int64_t lo_i, hi_i;
     uint32_t lo_code = 0, hi_code = 0;
@@ -267,6 +290,11 @@ sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
     if (lo_code >= hi_code) {
       // No dictionary value intersects the interval: the group is empty.
       rows_dict_filtered_ += static_cast<int64_t>(num_rows);
+      if (df_span != 0) {
+        options_.tracer->AddArg(df_span, "dropped",
+                                static_cast<int64_t>(num_rows));
+        options_.tracer->EndSpan(df_span);
+      }
       co_return TableChunk::Empty(proj_schema);
     }
     for (size_t row = 0; row < num_rows; ++row) {
@@ -277,6 +305,11 @@ sim::Async<Result<TableChunk>> FileReader::ReadRowGroup(
       }
     }
     decoded[k] = MaterializeDictView(*view);
+  }
+  if (df_span != 0) {
+    options_.tracer->AddArg(df_span, "dropped",
+                            static_cast<int64_t>(dropped));
+    options_.tracer->EndSpan(df_span);
   }
 
   std::vector<Column> cols;

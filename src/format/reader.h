@@ -11,6 +11,7 @@
 #include "engine/table.h"
 #include "format/metadata.h"
 #include "format/source.h"
+#include "obs/trace.h"
 #include "sim/async.h"
 
 namespace lambada::format {
@@ -51,6 +52,9 @@ struct ReaderOptions {
   /// fetches still overlap its transfer. 0 disables coalescing (one read
   /// per chunk). The scan scales this down for virtually-scaled objects.
   int64_t coalesce_gap_bytes = 1024 * 1024;
+  /// Optional tracing sink: ReadRowGroup emits per-extent "get"/"decode"
+  /// and "dict-filter" child spans under the span id the caller passes.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Closed value interval [lo, hi] a column's rows must intersect to
@@ -93,9 +97,14 @@ class FileReader {
   /// so pre-filtering here never changes query results; columns that are
   /// not dict-encoded ignore their bound. Dropped rows accumulate in
   /// rows_dict_filtered().
+  ///
+  /// `trace_span` (with ReaderOptions::tracer set) parents the read's
+  /// extent-GET/decode/dict-filter spans — typically the scan's per-row-
+  /// group span.
   sim::Async<Result<engine::TableChunk>> ReadRowGroup(
       int rg, std::vector<int> columns, int fetch_parallelism = 1,
-      const std::map<int, ColumnBound>* bounds = nullptr);
+      const std::map<int, ColumnBound>* bounds = nullptr,
+      uint64_t trace_span = 0);
 
   /// Bytes fetched from the source so far (footer probe + data extents,
   /// including coalescing gap bytes) — the file's real bytes moved.
@@ -137,7 +146,7 @@ class FileReader {
                                std::vector<std::vector<uint8_t>>* chunk_data,
                                std::vector<std::optional<engine::Column>>*
                                    decoded,
-                               Status* error);
+                               Status* error, uint64_t trace_span);
 
   std::shared_ptr<RandomAccessSource> source_;
   ReaderOptions options_;

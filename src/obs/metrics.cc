@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace lambada::obs {
+
+// The declaration table is the single source of truth for metric names and
+// types. docs/OBSERVABILITY.md carries the same table for humans, and
+// scripts/check_docs.py (check 5) greps the two against each other — keep
+// each entry's id, name, and type on one line so the check can parse them.
+const std::vector<MetricDef>& MetricTable() {
+  static const std::vector<MetricDef> kTable = {
+      {Metric::kProcessingTime, "worker.processing_time_s", MetricType::kGauge,
+       "s", "virtual time inside the worker handler"},
+      {Metric::kRowsScanned, "scan.rows_scanned", MetricType::kCounter,
+       "rows", "rows decoded from row groups (post dict-filter)"},
+      {Metric::kRowsEmitted, "scan.rows_emitted", MetricType::kCounter,
+       "rows", "rows surviving the scan's residual filter"},
+      {Metric::kRowGroupsTotal, "scan.row_groups_total", MetricType::kCounter,
+       "groups", "row groups in scanned files"},
+      {Metric::kRowGroupsPruned, "scan.row_groups_pruned", MetricType::kCounter,
+       "groups", "row groups skipped via min/max statistics"},
+      {Metric::kRowsDictFiltered, "scan.rows_dict_filtered", MetricType::kCounter,
+       "rows", "rows eliminated on dictionary codes before decode"},
+      {Metric::kScanFiles, "scan.files", MetricType::kCounter,
+       "files", "files opened by the scan"},
+      {Metric::kScanGetRequests, "scan.get_requests", MetricType::kCounter,
+       "requests", "object-store GETs issued by the scan"},
+      {Metric::kScanBytesMoved, "scan.bytes_moved", MetricType::kCounter,
+       "bytes", "modeled bytes fetched from the object store"},
+      {Metric::kRowsJoined, "join.rows", MetricType::kCounter,
+       "rows", "rows emitted by hash-join probes"},
+      {Metric::kExchangeRounds, "exchange.rounds", MetricType::kCounter,
+       "rounds", "exchange rounds executed"},
+      {Metric::kExchangePutRequests, "exchange.put_requests", MetricType::kCounter,
+       "requests", "partition PUTs issued by exchanges"},
+      {Metric::kExchangeGetRequests, "exchange.get_requests", MetricType::kCounter,
+       "requests", "partition GETs issued by exchanges"},
+      {Metric::kExchangeListRequests, "exchange.list_requests", MetricType::kCounter,
+       "requests", "LIST polls issued by exchanges"},
+      {Metric::kExchangeBytesWritten, "exchange.bytes_written", MetricType::kCounter,
+       "bytes", "modeled bytes written through exchanges"},
+      {Metric::kExchangeBytesRead, "exchange.bytes_read", MetricType::kCounter,
+       "bytes", "modeled bytes read through exchanges"},
+      {Metric::kS3Retries, "s3.retries", MetricType::kCounter,
+       "requests", "retried object-store requests (backoff loop)"},
+      {Metric::kHedgedRequests, "s3.hedged_requests", MetricType::kCounter,
+       "requests", "duplicate GETs armed by the hedging policy"},
+      {Metric::kHedgeWins, "s3.hedge_wins", MetricType::kCounter,
+       "requests", "hedged GETs where the duplicate finished first"},
+      {Metric::kExchangeRoundTime, "exchange.round_s", MetricType::kHistogram,
+       "s", "virtual time per exchange round"},
+      {Metric::kScanRowGroupTime, "scan.rowgroup_s", MetricType::kHistogram,
+       "s", "virtual time per scanned row group (fetch + decode)"},
+  };
+  return kTable;
+}
+
+const MetricDef& DefOf(Metric m) {
+  const auto& table = MetricTable();
+  auto idx = static_cast<size_t>(m);
+  LAMBADA_CHECK(idx < table.size()) << "undeclared metric id " << idx;
+  LAMBADA_DCHECK(table[idx].id == m);
+  return table[idx];
+}
+
+const std::vector<double>& VirtualTimeBucketEdges() {
+  static const std::vector<double> kEdges = {
+      0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0};
+  return kEdges;
+}
+
+void MetricsRegistry::Add(Metric m, int64_t delta) {
+  LAMBADA_DCHECK(DefOf(m).type == MetricType::kCounter);
+  if (delta == 0) return;
+  counters_[static_cast<uint16_t>(m)] += delta;
+}
+
+void MetricsRegistry::Set(Metric m, double value) {
+  LAMBADA_DCHECK(DefOf(m).type == MetricType::kGauge);
+  gauges_[static_cast<uint16_t>(m)] = value;
+}
+
+void MetricsRegistry::Observe(Metric m, double value) {
+  LAMBADA_DCHECK(DefOf(m).type == MetricType::kHistogram);
+  const auto& edges = VirtualTimeBucketEdges();
+  Histogram& h = hists_[static_cast<uint16_t>(m)];
+  if (h.buckets.empty()) h.buckets.assign(edges.size() + 1, 0);
+  size_t slot = 0;
+  while (slot < edges.size() && value > edges[slot]) ++slot;
+  ++h.buckets[slot];
+  h.sum += value;
+  ++h.count;
+}
+
+int64_t MetricsRegistry::counter(Metric m) const {
+  auto it = counters_.find(static_cast<uint16_t>(m));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(Metric m) const {
+  auto it = gauges_.find(static_cast<uint16_t>(m));
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(Metric m) const {
+  auto it = hists_.find(static_cast<uint16_t>(m));
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [id, v] : other.counters_) counters_[id] += v;
+  for (const auto& [id, v] : other.gauges_) gauges_[id] += v;
+  for (const auto& [id, h] : other.hists_) {
+    Histogram& mine = hists_[id];
+    if (mine.buckets.empty()) mine.buckets.assign(h.buckets.size(), 0);
+    for (size_t i = 0; i < h.buckets.size() && i < mine.buckets.size(); ++i) {
+      mine.buckets[i] += h.buckets[i];
+    }
+    mine.sum += h.sum;
+    mine.count += h.count;
+  }
+}
+
+void MetricsRegistry::Serialize(BinaryWriter* w) const {
+  w->PutVarint(counters_.size());
+  for (const auto& [id, v] : counters_) {
+    w->PutVarint(id);
+    w->PutI64(v);
+  }
+  w->PutVarint(gauges_.size());
+  for (const auto& [id, v] : gauges_) {
+    w->PutVarint(id);
+    w->PutF64(v);
+  }
+  w->PutVarint(hists_.size());
+  for (const auto& [id, h] : hists_) {
+    w->PutVarint(id);
+    w->PutVarint(h.buckets.size());
+    for (int64_t b : h.buckets) w->PutI64(b);
+    w->PutF64(h.sum);
+    w->PutI64(h.count);
+  }
+}
+
+namespace {
+
+/// A metric id from the wire must be declared with the expected type.
+Status CheckWireId(uint64_t id, MetricType want) {
+  if (id >= static_cast<uint64_t>(Metric::kCount)) {
+    return Status::IOError("unknown metric id " + std::to_string(id));
+  }
+  if (DefOf(static_cast<Metric>(id)).type != want) {
+    return Status::IOError("metric id " + std::to_string(id) +
+                           " has mismatched type on the wire");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MetricsRegistry> MetricsRegistry::Deserialize(BinaryReader* r) {
+  MetricsRegistry reg;
+  ASSIGN_OR_RETURN(uint64_t nc, r->GetVarint());
+  if (nc > static_cast<uint64_t>(Metric::kCount)) {
+    return Status::IOError("implausible metric count");
+  }
+  for (uint64_t i = 0; i < nc; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, r->GetVarint());
+    RETURN_NOT_OK(CheckWireId(id, MetricType::kCounter));
+    ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+    reg.counters_[static_cast<uint16_t>(id)] = v;
+  }
+  ASSIGN_OR_RETURN(uint64_t ng, r->GetVarint());
+  if (ng > static_cast<uint64_t>(Metric::kCount)) {
+    return Status::IOError("implausible metric count");
+  }
+  for (uint64_t i = 0; i < ng; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, r->GetVarint());
+    RETURN_NOT_OK(CheckWireId(id, MetricType::kGauge));
+    ASSIGN_OR_RETURN(double v, r->GetF64());
+    reg.gauges_[static_cast<uint16_t>(id)] = v;
+  }
+  ASSIGN_OR_RETURN(uint64_t nh, r->GetVarint());
+  if (nh > static_cast<uint64_t>(Metric::kCount)) {
+    return Status::IOError("implausible metric count");
+  }
+  for (uint64_t i = 0; i < nh; ++i) {
+    ASSIGN_OR_RETURN(uint64_t id, r->GetVarint());
+    RETURN_NOT_OK(CheckWireId(id, MetricType::kHistogram));
+    ASSIGN_OR_RETURN(uint64_t nb, r->GetVarint());
+    if (nb > 64) return Status::IOError("implausible bucket count");
+    Histogram h;
+    h.buckets.reserve(nb);
+    for (uint64_t b = 0; b < nb; ++b) {
+      ASSIGN_OR_RETURN(int64_t c, r->GetI64());
+      h.buckets.push_back(c);
+    }
+    ASSIGN_OR_RETURN(h.sum, r->GetF64());
+    ASSIGN_OR_RETURN(h.count, r->GetI64());
+    reg.hists_[static_cast<uint16_t>(id)] = std::move(h);
+  }
+  return reg;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  char buf[160];
+  for (const auto& def : MetricTable()) {
+    auto id = static_cast<uint16_t>(def.id);
+    switch (def.type) {
+      case MetricType::kCounter: {
+        auto it = counters_.find(id);
+        if (it == counters_.end()) continue;
+        std::snprintf(buf, sizeof(buf), "%s = %lld\n", def.name,
+                      static_cast<long long>(it->second));
+        break;
+      }
+      case MetricType::kGauge: {
+        auto it = gauges_.find(id);
+        if (it == gauges_.end()) continue;
+        std::snprintf(buf, sizeof(buf), "%s = %.6f\n", def.name, it->second);
+        break;
+      }
+      case MetricType::kHistogram: {
+        auto it = hists_.find(id);
+        if (it == hists_.end()) continue;
+        std::snprintf(buf, sizeof(buf), "%s: count=%lld sum=%.6f\n", def.name,
+                      static_cast<long long>(it->second.count),
+                      it->second.sum);
+        break;
+      }
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lambada::obs

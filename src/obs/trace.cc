@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.h"
+
+namespace lambada::obs {
+
+namespace {
+
+std::string FormatF(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// Minimal JSON string escaper (names and args are ASCII identifiers and
+/// key=value text; quotes/backslashes/control bytes are the only hazards).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(sim::Simulator* sim) : sim_(sim) {
+  root_ = BeginSpan(0, "driver", "query");
+}
+
+Tracer::Span* Tracer::Find(uint64_t id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+uint64_t Tracer::BeginSpan(uint64_t parent, std::string cat,
+                           std::string name) {
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = parent == 0 && !spans_.empty() ? root_ : parent;
+  s.cat = std::move(cat);
+  s.name = std::move(name);
+  s.start = sim_->Now();
+  if (Span* p = Find(s.parent)) s.track = p->track;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  Span* s = Find(id);
+  if (s != nullptr && s->end < 0) s->end = sim_->Now();
+}
+
+void Tracer::AddArg(uint64_t id, const std::string& key, std::string value) {
+  if (Span* s = Find(id)) s->args.emplace_back(key, std::move(value));
+}
+
+void Tracer::AddArg(uint64_t id, const std::string& key, int64_t value) {
+  AddArg(id, key, std::to_string(value));
+}
+
+void Tracer::AddArgF(uint64_t id, const std::string& key, double value) {
+  AddArg(id, key, FormatF(value));
+}
+
+void Tracer::Instant(uint64_t span, std::string text) {
+  if (Span* s = Find(span)) s->instants.emplace_back(sim_->Now(),
+                                                     std::move(text));
+}
+
+void Tracer::SetTrack(uint64_t id, int track) {
+  if (Span* s = Find(id)) s->track = track;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  // Open spans (a crashed worker's unreached EndSpan) render as zero-width.
+  auto end_of = [](const Span& s) { return s.end < 0 ? s.start : s.end; };
+
+  // Chrome nests "X" events on one (pid, tid) row only when their intervals
+  // nest; concurrent row-group tasks overlap instead. Greedy interval
+  // partitioning spreads overlapping siblings of one track across tids.
+  std::vector<size_t> order(spans_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return spans_[a].start < spans_[b].start;
+  });
+  std::vector<int> tid(spans_.size(), 0);
+  // lanes[track] = virtual end time per lane, grown on demand.
+  std::map<int, std::vector<double>> lanes;
+  for (size_t idx : order) {
+    const Span& s = spans_[idx];
+    std::vector<double>& track_lanes = lanes[s.track];
+    // A child may share its parent's lane only if the parent encloses it;
+    // that is exactly the "ends before my start" test failing, so the
+    // child takes the parent's lane when nested and a fresh/free lane
+    // otherwise. Chrome renders enclosure as nesting automatically.
+    size_t lane = 0;
+    if (const Span* p = s.parent > 0 ? &spans_[s.parent - 1] : nullptr;
+        p != nullptr && p->track == s.track && end_of(*p) >= end_of(s)) {
+      lane = static_cast<size_t>(tid[s.parent - 1]);
+      if (lane >= track_lanes.size()) track_lanes.resize(lane + 1, -1);
+    } else {
+      while (lane < track_lanes.size() && track_lanes[lane] > s.start) ++lane;
+      if (lane == track_lanes.size()) track_lanes.push_back(-1);
+    }
+    track_lanes[lane] = std::max(track_lanes[lane], end_of(s));
+    tid[idx] = static_cast<int>(lane);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f,",
+                  s.track, tid[i], s.start * 1e6,
+                  (end_of(s) - s.start) * 1e6);
+    out += buf;
+    out += "\"cat\":\"" + JsonEscape(s.cat) + "\",\"name\":\"" +
+           JsonEscape(s.name) + "\"";
+    if (!s.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < s.args.size(); ++a) {
+        if (a > 0) out += ",";
+        out += "\"" + JsonEscape(s.args[a].first) + "\":\"" +
+               JsonEscape(s.args[a].second) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+    for (const auto& [t, text] : s.instants) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                    "\"ts\":%.3f,",
+                    s.track, tid[i], t * 1e6);
+      out += buf;
+      out += "\"cat\":\"" + JsonEscape(s.cat) + "\",\"name\":\"" +
+             JsonEscape(text) + "\"}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::DeterministicText() const {
+  // Children in creation (id) order per parent.
+  std::vector<std::vector<uint64_t>> children(spans_.size() + 1);
+  for (const Span& s : spans_) {
+    if (s.id != root_) children[s.parent].push_back(s.id);
+  }
+  std::string out;
+  // Iterative DFS; (id, depth), pushed in reverse so ids pop ascending.
+  std::vector<std::pair<uint64_t, int>> stack = {{root_, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Span& s = spans_[id - 1];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += "[" + FormatF(s.start) + " .. " +
+           FormatF(s.end < 0 ? s.start : s.end) + "] " + s.name;
+    if (s.end < 0) out += " (unclosed)";
+    for (const auto& [k, v] : s.args) out += " " + k + "=" + v;
+    out += "\n";
+    for (const auto& [t, text] : s.instants) {
+      out.append(static_cast<size_t>(depth) * 2 + 2, ' ');
+      out += "@" + FormatF(t) + " " + text + "\n";
+    }
+    for (auto it = children[id].rbegin(); it != children[id].rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace lambada::obs

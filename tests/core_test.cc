@@ -246,22 +246,23 @@ TEST(MessagesTest, ResultRoundTripWithError) {
   m.worker_id = 9;
   m.status_code = StatusCode::kOutOfMemory;
   m.status_message = "boom";
-  m.metrics.processing_time_s = 2.5;
-  m.metrics.rows_scanned = 100;
-  m.metrics.scan_bytes_moved = 123456789;
-  m.metrics.rows_dict_filtered = 42;
-  m.metrics.exchange_bytes_written = 1000;
-  m.metrics.exchange_bytes_read = 2000;
+  m.metrics.registry.Set(obs::Metric::kProcessingTime, 2.5);
+  m.metrics.registry.Add(obs::Metric::kRowsScanned, 100);
+  m.metrics.registry.Add(obs::Metric::kScanBytesMoved, 123456789);
+  m.metrics.registry.Add(obs::Metric::kRowsDictFiltered, 42);
+  m.metrics.registry.Add(obs::Metric::kExchangeBytesWritten, 1000);
+  m.metrics.registry.Add(obs::Metric::kExchangeBytesRead, 2000);
   m.inline_result = {1, 2, 3};
   auto back = ResultMessage::Parse(m.Serialize());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->status_code, StatusCode::kOutOfMemory);
   EXPECT_EQ(back->inline_result, (std::vector<uint8_t>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(back->metrics.processing_time_s, 2.5);
-  EXPECT_EQ(back->metrics.scan_bytes_moved, 123456789);
-  EXPECT_EQ(back->metrics.rows_dict_filtered, 42);
-  EXPECT_EQ(back->metrics.exchange_bytes_written, 1000);
-  EXPECT_EQ(back->metrics.exchange_bytes_read, 2000);
+  EXPECT_DOUBLE_EQ(back->metrics.processing_time_s(), 2.5);
+  EXPECT_EQ(back->metrics.rows_scanned(), 100);
+  EXPECT_EQ(back->metrics.scan_bytes_moved(), 123456789);
+  EXPECT_EQ(back->metrics.rows_dict_filtered(), 42);
+  EXPECT_EQ(back->metrics.exchange_bytes_written(), 1000);
+  EXPECT_EQ(back->metrics.exchange_bytes_read(), 2000);
 }
 
 // ---------------------------------------------------------------------------
@@ -888,7 +889,7 @@ TEST_F(DriverFixture, GroupedAggregateAcrossWorkers) {
   EXPECT_EQ(report->cost.lambda_invocations, 4);
   // Every worker reports the real bytes its scan moved.
   for (const auto& wr : report->worker_results) {
-    EXPECT_GT(wr.metrics.scan_bytes_moved, 0);
+    EXPECT_GT(wr.metrics.scan_bytes_moved(), 0);
   }
 }
 
@@ -1018,8 +1019,8 @@ TEST_F(DriverFixture, InnerJoinThroughTwoSidedExchange) {
   // Both exchanges ran on every worker.
   int64_t rounds = 0, joined = 0;
   for (const auto& wr : report->worker_results) {
-    rounds += wr.metrics.exchange_rounds;
-    joined += wr.metrics.rows_joined;
+    rounds += wr.metrics.exchange_rounds();
+    joined += wr.metrics.rows_joined();
   }
   EXPECT_EQ(rounds, 4 * 2 * 2);  // 4 workers x 2 exchanges x 2 levels.
   EXPECT_EQ(joined, 4000);
@@ -1042,8 +1043,8 @@ TEST_F(DriverFixture, BroadcastJoinMatchesPartitioned) {
   EXPECT_GT(report->join_choices[0].partitioned_usd, 0.0);
   int64_t rounds = 0, joined = 0;
   for (const auto& wr : report->worker_results) {
-    rounds += wr.metrics.exchange_rounds;
-    joined += wr.metrics.rows_joined;
+    rounds += wr.metrics.exchange_rounds();
+    joined += wr.metrics.rows_joined();
   }
   EXPECT_EQ(rounds, 0);  // The broadcast path runs no exchange at all.
   EXPECT_EQ(joined, 4000);

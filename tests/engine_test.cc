@@ -556,9 +556,9 @@ class ScanFixture : public ::testing::Test {
 TEST_F(ScanFixture, FullScanSeesAllRows) {
   auto [stats, rows] = RunScan(ScanOptions{});
   EXPECT_EQ(rows, 9000);
-  EXPECT_EQ(stats.files, 3);
-  EXPECT_EQ(stats.row_groups_total, 9);
-  EXPECT_EQ(stats.row_groups_pruned, 0);
+  EXPECT_EQ(stats.files(), 3);
+  EXPECT_EQ(stats.row_groups_total(), 9);
+  EXPECT_EQ(stats.row_groups_pruned(), 0);
 }
 
 TEST_F(ScanFixture, PredicatePrunesRowGroups) {
@@ -570,15 +570,15 @@ TEST_F(ScanFixture, PredicatePrunesRowGroups) {
   opts.projection = {"id", "v"};
   auto [stats, rows] = RunScan(opts);
   EXPECT_EQ(rows, 1000);
-  EXPECT_EQ(stats.row_groups_pruned, 8);
-  EXPECT_EQ(stats.rows_scanned, 1000);
+  EXPECT_EQ(stats.row_groups_pruned(), 8);
+  EXPECT_EQ(stats.rows_scanned(), 1000);
 }
 
 TEST_F(ScanFixture, ResidualFilterAppliedWithinRowGroup) {
   ScanOptions opts;
   opts.filter = Col("v") < Lit(10.0);  // 10% of rows, no pruning possible.
   auto [stats, rows] = RunScan(opts);
-  EXPECT_EQ(stats.row_groups_pruned, 0);
+  EXPECT_EQ(stats.row_groups_pruned(), 0);
   EXPECT_EQ(rows, 900);
 }
 
@@ -658,7 +658,7 @@ TEST_F(ScanFixture, ScaledObjectsDescaleChunkAndCoalescingBudgets) {
   // The descaled chunk (4 KiB / 100 = ~41 B real) splits each row-group
   // extent (a few hundred real bytes — the codec crushes these columns)
   // into several GETs; the unscaled scan reads each extent whole.
-  EXPECT_GT(scaled_stats.get_requests, 2 * plain_stats.get_requests);
+  EXPECT_GT(scaled_stats.get_requests(), 2 * plain_stats.get_requests());
 }
 
 TEST_F(ScanFixture, MissingFileFailsHandler) {

@@ -165,8 +165,8 @@ TEST_F(TpchQueryFixture, Q1MatchesReference) {
   // Q1 prunes only the tail of the relation (ships after 1998-09-02).
   int64_t pruned = 0, total = 0;
   for (const auto& wr : report->worker_results) {
-    pruned += wr.metrics.row_groups_pruned;
-    total += wr.metrics.row_groups_total;
+    pruned += wr.metrics.row_groups_pruned();
+    total += wr.metrics.row_groups_total();
   }
   EXPECT_GT(total, 0);
   EXPECT_LT(static_cast<double>(pruned) / total, 0.15);
@@ -184,8 +184,8 @@ TEST_F(TpchQueryFixture, Q6MatchesReferenceAndPrunesMost) {
   // most row groups must be pruned via min/max statistics (Section 5.3).
   int64_t pruned = 0, total = 0;
   for (const auto& wr : report->worker_results) {
-    pruned += wr.metrics.row_groups_pruned;
-    total += wr.metrics.row_groups_total;
+    pruned += wr.metrics.row_groups_pruned();
+    total += wr.metrics.row_groups_total();
   }
   double frac = static_cast<double>(pruned) / total;
   EXPECT_GT(frac, 0.6);
@@ -473,7 +473,7 @@ TEST_F(TpchJoinFixture, Q3BothStrategiesMatchTheReference) {
   // Partitioned runs two-sided exchanges; broadcast runs none.
   auto rounds = [](const core::QueryReport& r) {
     int64_t n = 0;
-    for (const auto& wr : r.worker_results) n += wr.metrics.exchange_rounds;
+    for (const auto& wr : r.worker_results) n += wr.metrics.exchange_rounds();
     return n;
   };
   EXPECT_GT(rounds(part), 0);
