@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Keeps the docs from rotting. Five checks, run in CI:
+"""Keeps the docs from rotting. Six checks, run in CI:
 
 1. Every bench binary (bench/bench_*.cc) must appear in the README's
    figure tables, and every committed BENCH_*.json trajectory file must
@@ -18,6 +18,10 @@
    declaration table in src/obs/metrics.cc exactly (same names, same
    types, both directions), so the documented observability surface
    cannot drift from the code.
+6. docs/SERVING.md must name every serving-surface metric declared in
+   src/obs/metrics.cc (the meta_cache.*, shared_scan.*, and serving.*
+   families) in backticks, and every backticked name in those families
+   must be declared, so the serving doc cannot drift from the code.
 
 Exit code: 0 when clean, 1 with one line per violation otherwise.
 
@@ -228,6 +232,42 @@ def check_metric_registry(root, errors):
                 f"{documented[name]} but declared as {declared[name]}")
 
 
+# The serving-surface metric families SERVING.md must stay in sync with.
+SERVING_METRIC_PREFIXES = ("meta_cache.", "shared_scan.", "serving.")
+# Backticked dotted names in SERVING.md prose: `meta_cache.hits`.
+SERVING_DOC_NAME_RE = re.compile(r"`([a-z_]+\.[a-z_.]+)`")
+
+
+def check_serving_metrics(root, errors):
+    src_path = os.path.join(root, "src", "obs", "metrics.cc")
+    doc_path = os.path.join(root, "docs", "SERVING.md")
+    try:
+        with open(src_path, encoding="utf-8") as f:
+            src = f.read()
+        with open(doc_path, encoding="utf-8") as f:
+            doc = f.read()
+    except OSError as e:
+        errors.append(f"serving metric check: unreadable input ({e})")
+        return
+    declared = {name for name, _ in METRIC_DECL_RE.findall(src)
+                if name.startswith(SERVING_METRIC_PREFIXES)}
+    if not declared:
+        errors.append(
+            "src/obs/metrics.cc: no serving-surface metrics declared "
+            "(expected meta_cache.*/shared_scan.*/serving.* entries)")
+        return
+    documented = {name for name in SERVING_DOC_NAME_RE.findall(doc)
+                  if name.startswith(SERVING_METRIC_PREFIXES)}
+    for name in sorted(declared - documented):
+        errors.append(
+            f"docs/SERVING.md: metric {name} is declared "
+            f"(src/obs/metrics.cc) but never named in the serving doc")
+    for name in sorted(documented - declared):
+        errors.append(
+            f"docs/SERVING.md: metric {name} is named but "
+            f"src/obs/metrics.cc declares no such metric")
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.path.abspath(
         os.path.join(os.path.dirname(__file__), os.pardir))
@@ -237,13 +277,14 @@ def main(argv):
     check_encoding_tags(root, errors)
     check_tpch_matrix(root, errors)
     check_metric_registry(root, errors)
+    check_serving_metrics(root, errors)
     for e in errors:
         print(f"check_docs: {e}", file=sys.stderr)
     if errors:
         return 1
     print("check_docs: README bench rows, trajectory files, markdown links, "
-          "encoding tags, the TPC-H matrix, and the metric registry are "
-          "clean")
+          "encoding tags, the TPC-H matrix, the metric registry, and the "
+          "serving metric names are clean")
     return 0
 
 

@@ -15,6 +15,11 @@ std::string CostSnapshot::ToString(const Pricing& p) const {
      << FormatUsd(S3RequestUsd(p)) << "), read "
      << FormatBytes(s3_bytes_read) << ", wrote "
      << FormatBytes(s3_bytes_written) << "\n";
+  if (s3_shared_get_requests > 0) {
+    os << "        + " << s3_shared_get_requests
+       << " shared GET shares, read "
+       << FormatBytes(static_cast<int64_t>(s3_shared_bytes_read)) << "\n";
+  }
   os << "sqs:    " << sqs_requests << " requests ("
      << FormatUsd(SqsUsd(p)) << ")\n";
   os << "ddb:    " << ddb_reads << " reads / " << ddb_writes << " writes ("

@@ -22,6 +22,12 @@ struct CostSnapshot {
   int64_t sqs_requests = 0;
   int64_t ddb_reads = 0;
   int64_t ddb_writes = 0;
+  /// Fractional GET requests from shared scans: when N concurrent queries
+  /// attach to one in-flight ranged GET, each is billed 1/N of the request
+  /// (and its share of the bytes) so the fleet-wide sum still matches the
+  /// single physical request.
+  double s3_shared_get_requests = 0;
+  double s3_shared_bytes_read = 0;  ///< Virtual (modeled) bytes, fractional.
 
   CostSnapshot operator-(const CostSnapshot& base) const {
     CostSnapshot d = *this;
@@ -35,6 +41,8 @@ struct CostSnapshot {
     d.sqs_requests -= base.sqs_requests;
     d.ddb_reads -= base.ddb_reads;
     d.ddb_writes -= base.ddb_writes;
+    d.s3_shared_get_requests -= base.s3_shared_get_requests;
+    d.s3_shared_bytes_read -= base.s3_shared_bytes_read;
     return d;
   }
 
@@ -44,6 +52,7 @@ struct CostSnapshot {
   }
   double S3RequestUsd(const Pricing& p) const {
     return static_cast<double>(s3_get_requests) * p.s3_get +
+           s3_shared_get_requests * p.s3_get +
            static_cast<double>(s3_put_requests) * p.s3_put +
            static_cast<double>(s3_list_requests) * p.s3_list;
   }
@@ -73,6 +82,11 @@ class CostLedger {
   void AddS3Get(int64_t bytes) {
     ++totals_.s3_get_requests;
     totals_.s3_bytes_read += bytes;
+  }
+  /// A query's fractional share of one shared ranged GET.
+  void AddSharedS3Get(double bytes, double request_fraction) {
+    totals_.s3_shared_get_requests += request_fraction;
+    totals_.s3_shared_bytes_read += bytes;
   }
   void AddS3Put(int64_t bytes) {
     ++totals_.s3_put_requests;

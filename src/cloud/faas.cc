@@ -120,7 +120,8 @@ void FaasService::ResetWarmPool(const std::string& name) {
 
 sim::Async<Status> FaasService::Invoke(InvokerProfile profile,
                                        Rng* caller_rng, std::string function,
-                                       std::string payload) {
+                                       std::string payload,
+                                       CostLedger* attribution) {
   // Client-side throughput cap (WAN-bound drivers).
   double client_delay = 0.0;
   if (profile.client_bucket != nullptr) {
@@ -163,6 +164,7 @@ sim::Async<Status> FaasService::Invoke(InvokerProfile profile,
   ++active_;
   ++total_invocations_;
   ledger_->AddInvocation();
+  if (attribution != nullptr) attribution->AddInvocation();
   // Warm container available?
   bool cold = true;
   while (!fn->warm_pool.empty()) {
@@ -174,13 +176,15 @@ sim::Async<Status> FaasService::Invoke(InvokerProfile profile,
     }
   }
   double initiated = sim_->Now() - client_delay - latency;
-  sim::Spawn(RunWorker(fn, std::move(payload), cold, initiated, sim_->Now()));
+  sim::Spawn(RunWorker(fn, std::move(payload), cold, initiated, sim_->Now(),
+                       attribution));
   co_return Status::OK();
 }
 
 sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
                                         bool cold, double invoke_initiated,
-                                        double accepted_at) {
+                                        double accepted_at,
+                                        CostLedger* attribution) {
   const FunctionConfig& cfg = fn->config;
   double start_latency =
       cold ? Rng(next_worker_seed_++)
@@ -196,6 +200,9 @@ sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
   auto env = std::make_unique<WorkerEnv>(services_, cfg.name, cfg.memory_mib,
                                          next_worker_seed_++, cold, fate);
   env->set_tracer(tracer_);
+  env->attribution = attribution;
+  env->meta_cache = meta_cache_;
+  env->scan_broker = scan_broker_;
   env->metrics().invoke_initiated = invoke_initiated;
   env->metrics().invoke_accepted = accepted_at;
   env->metrics().handler_start = sim_->Now();
@@ -220,6 +227,9 @@ sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
   double billed = std::ceil(duration / kLambdaBillingQuantumSeconds) *
                   kLambdaBillingQuantumSeconds;
   ledger_->AddLambda(billed * cfg.memory_mib / 1024.0);
+  if (attribution != nullptr) {
+    attribution->AddLambda(billed * cfg.memory_mib / 1024.0);
+  }
 
   // Hedge losers may still be in flight against this environment's NIC
   // and RNG (detached request coroutines); let them drain before the

@@ -27,6 +27,8 @@
 namespace lambada::cloud {
 
 class FaasService;
+class MetadataCache;
+class SharedScanBroker;
 
 /// Handles to every serverless service a worker (or the driver) can reach.
 struct Services {
@@ -61,6 +63,10 @@ struct WorkerMetrics {
   /// handler from its payload so per-worker attempt timelines can be
   /// reconstructed from completed_metrics().
   int64_t attempt = 0;
+  /// Query this invocation worked for; stamped by the handler from its
+  /// payload so concurrent queries over one FaasService can slice
+  /// completed_metrics() without cross-talk.
+  std::string query_id;
   /// Named sub-phases recorded by the handler, as (label, start, end).
   struct Phase {
     std::string label;
@@ -104,7 +110,7 @@ class WorkerEnv {
   /// multiplies modeled byte counts (see DESIGN.md virtual scaling).
   NetContext net() {
     return NetContext{&nic_,   &rng_,   data_scale, &request_stats_,
-                      &hedge_, tracer_, trace_span_};
+                      &hedge_, tracer_, trace_span_, attribution};
   }
 
   // -- Tracing ---------------------------------------------------------------
@@ -169,6 +175,18 @@ class WorkerEnv {
   /// default is strictly serial, which keeps default virtual-time
   /// schedules identical to the pre-exec runtime.
   exec::ExecContext exec;
+
+  // -- Serving hooks ---------------------------------------------------------
+  // Host-side like data_scale/exec: set by FaasService from the invocation,
+  // never serialized. All default to null, so solo drivers are untouched.
+
+  /// Per-query cost ledger; mirrored into net() so every service call this
+  /// worker makes is attributed to its query.
+  CostLedger* attribution = nullptr;
+  /// Warm metadata cache consulted by scans for LISTs and footers.
+  MetadataCache* meta_cache = nullptr;
+  /// Shared-scan broker: concurrent queries over one extent share the GET.
+  SharedScanBroker* scan_broker = nullptr;
 
  private:
   Services services_;
@@ -269,8 +287,12 @@ class FaasService {
   /// Asynchronous invocation ("Event" type): returns once the API call has
   /// been accepted; the worker runs detached. Fails with ResourceExhausted
   /// when the concurrency or rate limit is hit (the caller may retry).
+  /// `attribution` (optional) is the per-query cost ledger: the invocation
+  /// and the worker's compute/requests are mirrored into it, and the worker
+  /// environment inherits it (plus the serving hooks installed below).
   sim::Async<Status> Invoke(InvokerProfile profile, Rng* caller_rng,
-                            std::string function, std::string payload);
+                            std::string function, std::string payload,
+                            CostLedger* attribution = nullptr);
 
   int active_executions() const { return active_; }
   int64_t total_invocations() const { return total_invocations_; }
@@ -297,6 +319,14 @@ class FaasService {
   /// the fault injector, so payload bytes never change.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Installs the serving layer's shared caches (null = off). Host-side
+  /// like the fault injector: every worker environment started while they
+  /// are set gets the handles, and payload bytes never change.
+  void set_serving(MetadataCache* meta_cache, SharedScanBroker* scan_broker) {
+    meta_cache_ = meta_cache;
+    scan_broker_ = scan_broker;
+  }
+
  private:
   struct Function {
     FunctionConfig config;
@@ -305,7 +335,8 @@ class FaasService {
   };
 
   sim::Async<void> RunWorker(Function* fn, std::string payload, bool cold,
-                             double invoke_initiated, double accepted_at);
+                             double invoke_initiated, double accepted_at,
+                             CostLedger* attribution);
 
   sim::Simulator* sim_;
   CostLedger* ledger_;
@@ -320,6 +351,8 @@ class FaasService {
   std::vector<WorkerMetrics> completed_metrics_;
   FaultInjector* fault_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  MetadataCache* meta_cache_ = nullptr;
+  SharedScanBroker* scan_broker_ = nullptr;
 };
 
 }  // namespace lambada::cloud

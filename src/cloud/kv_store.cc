@@ -36,6 +36,7 @@ sim::Async<Status> KeyValueStore::Put(NetContext ctx, std::string table,
   }
   co_await Latency(ctx);
   ledger_->AddDdbWrite();
+  if (ctx.attribution != nullptr) ctx.attribution->AddDdbWrite();
   it->second[key] = std::move(value);
   co_return Status::OK();
 }
@@ -49,6 +50,7 @@ sim::Async<Result<std::string>> KeyValueStore::Get(NetContext ctx,
   }
   co_await Latency(ctx);
   ledger_->AddDdbRead();
+  if (ctx.attribution != nullptr) ctx.attribution->AddDdbRead();
   auto kit = it->second.find(key);
   if (kit == it->second.end()) {
     co_return Status::NotFound("no such item: " + key);
@@ -64,6 +66,7 @@ sim::Async<Status> KeyValueStore::Delete(NetContext ctx, std::string table,
   }
   co_await Latency(ctx);
   ledger_->AddDdbWrite();
+  if (ctx.attribution != nullptr) ctx.attribution->AddDdbWrite();
   it->second.erase(key);
   co_return Status::OK();
 }
@@ -78,6 +81,7 @@ sim::Async<Result<int64_t>> KeyValueStore::Increment(NetContext ctx,
   }
   co_await Latency(ctx);
   ledger_->AddDdbWrite();
+  if (ctx.attribution != nullptr) ctx.attribution->AddDdbWrite();
   int64_t current = 0;
   auto kit = it->second.find(key);
   if (kit != it->second.end()) {

@@ -12,6 +12,8 @@ class Tracer;
 
 namespace lambada::cloud {
 
+class CostLedger;
+
 /// Per-caller request telemetry, accumulated by S3Client and friends and
 /// shipped home in WorkerResultMetrics. Also tracks the detached request
 /// coroutines a hedged GET can leave in flight, so a worker environment is
@@ -55,6 +57,10 @@ struct NetContext {
   /// or the worker/driver root).
   obs::Tracer* tracer = nullptr;
   uint64_t span = 0;
+  /// Optional per-query cost attribution ledger. Services charge the global
+  /// account ledger as always; when set, they mirror the same charge here so
+  /// concurrent queries over one CloudEnv each get an exact bill.
+  CostLedger* attribution = nullptr;
 };
 
 /// The paper-measured NIC profile of a serverless worker (Figure 6):

@@ -83,6 +83,7 @@ sim::Async<Result<BufferPtr>> ObjectStore::Get(NetContext ctx,
       AnnotateInjectedFault(ctx, injected, "get");
       co_await sim::Sleep(sim_, *admitted + config_.get_latency_median_s);
       ledger_->AddS3Get(0);
+      if (ctx.attribution != nullptr) ctx.attribution->AddS3Get(0);
       co_return injected;
     }
   }
@@ -93,12 +94,14 @@ sim::Async<Result<BufferPtr>> ObjectStore::Get(NetContext ctx,
   if (it == b->objects.end()) {
     // A failed lookup is still a billed request.
     ledger_->AddS3Get(0);
+    if (ctx.attribution != nullptr) ctx.attribution->AddS3Get(0);
     co_return Status::NotFound("no such key: s3://" + bucket + "/" + key);
   }
   const Object& obj = it->second;
   int64_t size = static_cast<int64_t>(obj.data->size());
   if (offset < 0 || offset > size) {
     ledger_->AddS3Get(0);
+    if (ctx.attribution != nullptr) ctx.attribution->AddS3Get(0);
     co_return Status::OutOfRange("range start beyond object size");
   }
   int64_t end = length < 0 ? size : std::min<int64_t>(size, offset + length);
@@ -109,6 +112,7 @@ sim::Async<Result<BufferPtr>> ObjectStore::Get(NetContext ctx,
   int64_t virtual_bytes = static_cast<int64_t>(
       static_cast<double>(slice->size()) * obj.scale);
   ledger_->AddS3Get(virtual_bytes);
+  if (ctx.attribution != nullptr) ctx.attribution->AddS3Get(virtual_bytes);
   if (ctx.nic != nullptr && virtual_bytes > 0) {
     co_await ctx.nic->Transfer(static_cast<double>(virtual_bytes));
   }
@@ -131,6 +135,7 @@ sim::Async<Result<ObjectStore::TailResult>> ObjectStore::GetTail(
       AnnotateInjectedFault(ctx, injected, "get");
       co_await sim::Sleep(sim_, *admitted + config_.get_latency_median_s);
       ledger_->AddS3Get(0);
+      if (ctx.attribution != nullptr) ctx.attribution->AddS3Get(0);
       co_return injected;
     }
   }
@@ -140,6 +145,7 @@ sim::Async<Result<ObjectStore::TailResult>> ObjectStore::GetTail(
   auto it = b->objects.find(key);
   if (it == b->objects.end()) {
     ledger_->AddS3Get(0);
+    if (ctx.attribution != nullptr) ctx.attribution->AddS3Get(0);
     co_return Status::NotFound("no such key: s3://" + bucket + "/" + key);
   }
   const Object& obj = it->second;
@@ -150,6 +156,9 @@ sim::Async<Result<ObjectStore::TailResult>> ObjectStore::GetTail(
   // Footer reads are small control traffic: the suffix bytes are real
   // bytes, not scaled (a bigger file does not have a bigger footer).
   ledger_->AddS3Get(static_cast<int64_t>(slice->size()));
+  if (ctx.attribution != nullptr) {
+    ctx.attribution->AddS3Get(static_cast<int64_t>(slice->size()));
+  }
   if (ctx.nic != nullptr && slice->size() > 0) {
     co_await ctx.nic->Transfer(static_cast<double>(slice->size()));
   }
@@ -177,6 +186,7 @@ sim::Async<Status> ObjectStore::Put(NetContext ctx, std::string bucket,
       AnnotateInjectedFault(ctx, injected, "put");
       co_await sim::Sleep(sim_, *admitted + config_.put_latency_median_s);
       ledger_->AddS3Put(0);
+      if (ctx.attribution != nullptr) ctx.attribution->AddS3Put(0);
       co_return injected;
     }
   }
@@ -200,8 +210,10 @@ sim::Async<Status> ObjectStore::Put(NetContext ctx, std::string bucket,
     co_await ctx.nic->Transfer(static_cast<double>(virtual_bytes));
   }
   ledger_->AddS3Put(virtual_bytes);
+  if (ctx.attribution != nullptr) ctx.attribution->AddS3Put(virtual_bytes);
   // Visible once the last byte arrived.
   b->objects[key] = Object{std::move(data), scale * ctx.data_scale};
+  NotifyWrite(bucket, key);
   co_return Status::OK();
 }
 
@@ -219,6 +231,7 @@ sim::Async<Result<std::vector<ObjectInfo>>> ObjectStore::List(
                                       config_.list_latency_sigma);
   co_await sim::Sleep(sim_, *admitted + latency);
   ledger_->AddS3List();
+  if (ctx.attribution != nullptr) ctx.attribution->AddS3List();
   std::vector<ObjectInfo> out;
   for (auto it = b->objects.lower_bound(prefix); it != b->objects.end();
        ++it) {
@@ -234,6 +247,7 @@ Status ObjectStore::PutDirect(const std::string& bucket,
   Bucket* b = FindBucket(bucket);
   if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
   b->objects[key] = Object{std::move(data), scale};
+  NotifyWrite(bucket, key);
   return Status::OK();
 }
 
@@ -288,12 +302,14 @@ Status ObjectStore::Delete(const std::string& bucket,
   Bucket* b = FindBucket(bucket);
   if (b == nullptr) return Status::NotFound("no such bucket: " + bucket);
   b->objects.erase(key);
+  NotifyWrite(bucket, key);
   return Status::OK();
 }
 
 void ObjectStore::ClearBucket(const std::string& bucket) {
   Bucket* b = FindBucket(bucket);
   if (b != nullptr) b->objects.clear();
+  NotifyWrite(bucket, "");
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 #define LAMBADA_CLOUD_OBJECT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -129,7 +130,21 @@ class ObjectStore {
   /// indistinguishable from organic ones to every caller.
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
+  /// Observer fired whenever a bucket's contents change: after a PUT becomes
+  /// visible, on Delete, on PutDirect, and on ClearBucket (with an empty
+  /// key). The metadata cache uses this to version-bump its entries so a
+  /// rewritten table can never be served from a stale cache line.
+  using WriteObserver =
+      std::function<void(const std::string& bucket, const std::string& key)>;
+  void set_write_observer(WriteObserver observer) {
+    write_observer_ = std::move(observer);
+  }
+
  private:
+  void NotifyWrite(const std::string& bucket, const std::string& key) {
+    if (write_observer_) write_observer_(bucket, key);
+  }
+
   struct Object {
     BufferPtr data;
     double scale = 1.0;
@@ -160,6 +175,7 @@ class ObjectStore {
   std::map<std::string, std::unique_ptr<Bucket>> buckets_;
   Rng latency_rng_;
   FaultInjector* fault_ = nullptr;
+  WriteObserver write_observer_;
 };
 
 /// Retrying wrapper implementing the "aggressive timeouts and retries"

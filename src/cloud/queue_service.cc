@@ -44,6 +44,7 @@ sim::Async<Status> QueueService::Send(NetContext ctx, std::string queue,
                                       config_.request_latency_sigma);
   co_await sim::Sleep(sim_, latency);
   ledger_->AddSqsRequest();
+  if (ctx.attribution != nullptr) ctx.attribution->AddSqsRequest();
   q->messages.push_back(std::move(body));
   // Wake all long-pollers; they re-check and re-arm.
   q->arrival->Set();
@@ -60,6 +61,7 @@ sim::Async<Result<std::vector<std::string>>> QueueService::Receive(
                                       config_.request_latency_sigma);
   co_await sim::Sleep(sim_, latency);
   ledger_->AddSqsRequest();
+  if (ctx.attribution != nullptr) ctx.attribution->AddSqsRequest();
   max_messages = std::min(max_messages, config_.max_receive_batch);
   double deadline = sim_->Now() + wait_time_s;
   while (q->messages.empty() && sim_->Now() < deadline) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <set>
 
+#include "cloud/meta_cache.h"
 #include "common/glob.h"
 #include "core/analyze.h"
 #include "core/exchange.h"
@@ -32,14 +33,26 @@ struct PatternListing {
 };
 
 sim::Async<Result<PatternListing>> ListPattern(cloud::S3Client* client,
-                                               const std::string& pattern) {
+                                               const std::string& pattern,
+                                               cloud::MetadataCache* meta) {
   PatternListing out;
   if (!ParseS3Uri(pattern, &out.bucket, &out.key_pattern)) {
     co_return Status::Invalid("bad input pattern: " + pattern);
   }
-  auto listing =
-      co_await client->List(out.bucket, GlobLiteralPrefix(out.key_pattern));
-  if (!listing.ok()) co_return listing.status();
+  const std::string prefix = GlobLiteralPrefix(out.key_pattern);
+  Result<std::vector<cloud::ObjectInfo>> listing =
+      Status::NotFound("not cached");
+  if (meta != nullptr) {
+    listing = co_await meta->GetListing(client->ctx(), out.bucket, prefix);
+  }
+  if (!listing.ok()) {
+    listing = co_await client->List(out.bucket, prefix);
+    if (!listing.ok()) co_return listing.status();
+    if (meta != nullptr) {
+      // Best-effort fill; a failed write just means the next query misses.
+      co_await meta->PutListing(client->ctx(), out.bucket, prefix, *listing);
+    }
+  }
   for (const auto& obj : *listing) {
     if (GlobMatch(out.key_pattern, obj.key)) {
       out.files.push_back(engine::FileRef{out.bucket, obj.key});
@@ -87,12 +100,13 @@ void Driver::ResetWarm(int memory_mib) {
 }
 
 sim::Async<Status> Driver::InvokeOne(const std::string& function,
-                                     std::string payload) {
+                                     std::string payload,
+                                     cloud::CostLedger* attribution) {
   double backoff = 0.05;
   for (int attempt = 0;; ++attempt) {
     Status s = co_await cloud_->faas().Invoke(
         cloud_->driver_invoker_profile(), &cloud_->driver_rng(), function,
-        payload);
+        payload, attribution);
     if (s.ok() || !s.IsRetriable() || attempt >= options_.invoke_retries) {
       co_return s;
     }
@@ -103,7 +117,8 @@ sim::Async<Status> Driver::InvokeOne(const std::string& function,
 }
 
 sim::Async<Status> Driver::InvokeWorkers(
-    std::vector<InvocationPayload> payloads, const std::string& function) {
+    std::vector<InvocationPayload> payloads, const std::string& function,
+    cloud::CostLedger* attribution) {
   // Two-level tree (Section 4.2): the driver invokes ~sqrt(P) first-
   // generation workers; each carries the inputs of its second generation.
   std::vector<InvocationPayload> first_gen;
@@ -132,12 +147,13 @@ sim::Async<Status> Driver::InvokeWorkers(
   for (auto& p : first_gen) {
     calls.push_back([](Driver* self, std::shared_ptr<sim::Semaphore> g,
                        std::shared_ptr<Status> err, std::string fn,
-                       std::string payload) -> sim::Async<void> {
+                       std::string payload,
+                       cloud::CostLedger* attr) -> sim::Async<void> {
       co_await g->Acquire();
-      Status s = co_await self->InvokeOne(fn, std::move(payload));
+      Status s = co_await self->InvokeOne(fn, std::move(payload), attr);
       if (!s.ok() && err->ok()) *err = s;
       g->Release();
-    }(this, gate, first_error, function, p.Serialize()));
+    }(this, gate, first_error, function, p.Serialize(), attribution));
   }
   co_await sim::WhenAllVoid(sim, std::move(calls));
   co_return *first_error;
@@ -154,7 +170,21 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   auto* sim = &cloud_->sim();
   const double t_start = sim->Now();
   const cloud::CostSnapshot cost_before = cloud_->ledger().Snapshot();
+  const cloud::CostSnapshot attribution_before =
+      options.attribution != nullptr ? options.attribution->Snapshot()
+                                     : cloud::CostSnapshot{};
   const size_t metrics_before = cloud_->faas().completed_metrics().size();
+
+  const std::string query_id = "q" + std::to_string(next_query_id_++);
+  // Concurrent queries over one deployment must not steal each other's
+  // result messages, so serving mode collects on a per-query queue
+  // (workers read the queue name from their payload either way).
+  const std::string result_queue =
+      options_.serving_mode ? options_.result_queue + "-" + query_id
+                            : options_.result_queue;
+  if (options_.serving_mode) {
+    CO_RETURN_NOT_OK(cloud_->sqs().CreateQueue(result_queue));
+  }
 
   // ---- Tracing (docs/OBSERVABILITY.md). The tracer installs on the
   // deployment BEFORE the driver's S3 client is created, so every
@@ -178,7 +208,9 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
 
   // ---- Compile (joins list their relations first, to build a catalog).
   const uint64_t plan_span = obs::Begin(tr, 0, "driver", "plan");
-  cloud::S3Client client(&cloud_->s3(), cloud_->driver_net());
+  cloud::NetContext dnet = cloud_->driver_net();
+  dnet.attribution = options.attribution;
+  cloud::S3Client client(&cloud_->s3(), dnet);
   bool has_join = false;
   for (const auto& op : query.ops()) {
     if (op.kind == PlanOp::Kind::kJoin) has_join = true;
@@ -198,19 +230,21 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     explain_opt.tuning = options.tuning;
     auto explained = ExplainQuery(query, {}, explain_opt);
     if (explained.ok()) physical->explain_text = *std::move(explained);
-    probe_listing_or = co_await ListPattern(&client, physical->pattern);
+    probe_listing_or =
+        co_await ListPattern(&client, physical->pattern, options_.meta_cache);
     if (!probe_listing_or.ok()) co_return probe_listing_or.status();
   } else {
     // Join path: expand every relation's glob up front — the listings
     // feed the optimizer's catalog and later drive build-file
     // distribution.
-    probe_listing_or = co_await ListPattern(&client, query.pattern());
+    probe_listing_or =
+        co_await ListPattern(&client, query.pattern(), options_.meta_cache);
     if (!probe_listing_or.ok()) co_return probe_listing_or.status();
     for (const auto& op : query.ops()) {
       if (op.kind != PlanOp::Kind::kJoin) continue;
       const std::string& bp = op.join->build_pattern;
       if (build_listings.count(bp) != 0) continue;
-      auto bl = co_await ListPattern(&client, bp);
+      auto bl = co_await ListPattern(&client, bp, options_.meta_cache);
       if (!bl.ok()) co_return bl.status();
       if (bl->files.empty()) {
         co_return Status::NotFound("no build input files match " + bp);
@@ -315,7 +349,6 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     co_return Status::NotFound("no input files match " + physical->pattern);
   }
 
-  std::string query_id = "q" + std::to_string(next_query_id_++);
   // Stamp exchange instances with a unique id and ensure their buckets. A
   // partitioned join carries two: the probe-side kExchange op and the
   // build side's exchange inside the JoinSpec. A broadcast join carries
@@ -342,7 +375,7 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     std::vector<std::string> keys;
     keys.reserve(files.size());
     for (const auto& f : files) keys.push_back(f.key);
-    auto kept = co_await stats.PruneFiles(cloud_->driver_net(),
+    auto kept = co_await stats.PruneFiles(dnet,
                                           probe_listing.dataset,
                                           std::move(keys),
                                           physical->fragment.scan_filter);
@@ -425,7 +458,7 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     p.total_workers = static_cast<uint32_t>(workers);
     p.plan_bucket = options_.system_bucket;
     p.plan_key = plan_key;
-    p.result_queue = options_.result_queue;
+    p.result_queue = result_queue;
     p.data_scale = options.data_scale;
     p.hedge_gets = options.hedge_gets;
     p.self.worker_id = static_cast<uint32_t>(w);
@@ -466,7 +499,8 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   // `payloads` is passed by copy: the originals stay behind as the
   // re-invocation templates of the mitigation loop below.
   const uint64_t invoke_span = obs::Begin(tr, 0, "driver", "invoke");
-  CO_RETURN_NOT_OK(co_await InvokeWorkers(payloads, function));
+  CO_RETURN_NOT_OK(
+      co_await InvokeWorkers(payloads, function, options.attribution));
   const double t_invoked = sim->Now();
   obs::End(tr, invoke_span);
 
@@ -513,8 +547,7 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
           missing + "]");
     }
     auto batch = co_await cloud_->sqs().Receive(
-        cloud_->driver_net(), options_.result_queue, 10,
-        options_.result_poll_wait_s);
+        dnet, result_queue, 10, options_.result_poll_wait_s);
     if (!batch.ok()) co_return batch.status();
     for (auto& raw : *batch) {
       auto msg = ResultMessage::Parse(raw);
@@ -538,7 +571,8 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
         if (tr != nullptr) {
           tr->Instant(collect_span, "reinvoke w" + std::to_string(w));
         }
-        Status s = co_await InvokeOne(function, retry.Serialize());
+        Status s = co_await InvokeOne(function, retry.Serialize(),
+                                      options.attribution);
         if (!s.ok()) {
           LAMBADA_LOG(Warning)
               << "re-invocation of worker " << w << " failed: "
@@ -578,7 +612,8 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
       if (tr != nullptr) {
         tr->Instant(collect_span, "reinvoke w" + std::to_string(w));
       }
-      Status s = co_await InvokeOne(function, retry.Serialize());
+      Status s = co_await InvokeOne(function, retry.Serialize(),
+                                    options.attribution);
       if (!s.ok()) {
         LAMBADA_LOG(Warning) << "re-invocation of worker " << w
                              << " failed: " << s.ToString();
@@ -597,11 +632,13 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
                            " failed: " + r.status_message);
     }
   }
-  if (mit.enabled) {
+  if (mit.enabled || options_.serving_mode) {
     // Retry schedules perturb arrival order; merge in worker order so
     // float accumulation (and thus result bytes) is schedule-invariant.
-    // Without mitigation the historical arrival-order merge is kept,
-    // preserving committed benchmark bytes.
+    // Serving mode sorts for the same reason: concurrent queries perturb
+    // each other's arrival order, and a worker-order merge makes the
+    // result byte-identical to a solo run. Without either, the historical
+    // arrival-order merge is kept, preserving committed benchmark bytes.
     std::sort(results.begin(), results.end(),
               [](const ResultMessage& a, const ResultMessage& b) {
                 return a.worker_id < b.worker_id;
@@ -664,7 +701,12 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   report.invocation_issue_s = t_invoked - t_start;
   report.workers = workers;
   report.files = static_cast<int>(files.size());
-  report.cost = cloud_->ledger().Snapshot() - cost_before;
+  // Under concurrency the global-ledger diff would absorb every other
+  // in-flight query, so serving queries bill from their own attribution
+  // ledger instead.
+  report.cost = options.attribution != nullptr
+                    ? options.attribution->Snapshot() - attribution_before
+                    : cloud_->ledger().Snapshot() - cost_before;
   for (int w = 0; w < workers; ++w) {
     report.total_attempts += attempts[static_cast<size_t>(w)];
     if (attempts[static_cast<size_t>(w)] > 1) ++reinvoked_workers;
@@ -682,8 +724,17 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   report.join_choices = physical->join_choices;
   report.explain_text = physical->explain_text;
   const auto& all_metrics = cloud_->faas().completed_metrics();
-  report.worker_metrics.assign(all_metrics.begin() + metrics_before,
-                               all_metrics.end());
+  if (options_.serving_mode) {
+    // Concurrent queries interleave in the completion log; keep ours.
+    for (auto it = all_metrics.begin() +
+                   static_cast<std::ptrdiff_t>(metrics_before);
+         it != all_metrics.end(); ++it) {
+      if (it->query_id == query_id) report.worker_metrics.push_back(*it);
+    }
+  } else {
+    report.worker_metrics.assign(all_metrics.begin() + metrics_before,
+                                 all_metrics.end());
+  }
 
   if (tr != nullptr) {
     tr->AddArg(tr->root(), "query_id", query_id);

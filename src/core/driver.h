@@ -16,6 +16,10 @@
 #include "obs/trace.h"
 #include "sim/async.h"
 
+namespace lambada::cloud {
+class MetadataCache;
+}  // namespace lambada::cloud
+
 namespace lambada::core {
 
 /// Driver-side configuration (Section 3.1: "the driver runs on the local
@@ -44,6 +48,15 @@ struct DriverOptions {
   /// reproduces the single-threaded virtual-time schedule exactly; other
   /// settings change timing only — results are byte-identical.
   exec::ExecContext worker_exec;
+  /// Serving mode (core/session_manager.h): each query collects results on
+  /// its own SQS queue (concurrent queries over one deployment would
+  /// otherwise steal each other's messages), worker metrics are sliced by
+  /// query id, and partials merge in worker order. Off by default — the
+  /// solo driver keeps its historical schedules byte-for-byte.
+  bool serving_mode = false;
+  /// Optional warm metadata cache consulted for driver-side LISTs
+  /// (serving mode; see docs/SERVING.md).
+  cloud::MetadataCache* meta_cache = nullptr;
 };
 
 /// Straggler and crash mitigation policy of the driver's result-wait
@@ -105,6 +118,11 @@ struct RunOptions {
   /// Query-scoped distributed tracing (off by default: zero overhead and
   /// bit-identical benches).
   TraceOptions trace;
+  /// Per-query cost attribution ledger (serving mode). When set, every
+  /// service request and worker-compute charge of this query is mirrored
+  /// into it, and QueryReport::cost is its exact delta — the global-ledger
+  /// snapshot diff is meaningless under concurrency.
+  cloud::CostLedger* attribution = nullptr;
 };
 
 /// Everything the driver knows after a query: the result, end-to-end
@@ -189,11 +207,13 @@ class Driver {
   /// Invokes all `payloads` (worker_id -> serialized payload), optionally
   /// through the two-level tree. Returns when every Invoke call was issued
   /// and accepted.
-  sim::Async<Status> InvokeWorkers(
-      std::vector<InvocationPayload> payloads, const std::string& function);
+  sim::Async<Status> InvokeWorkers(std::vector<InvocationPayload> payloads,
+                                   const std::string& function,
+                                   cloud::CostLedger* attribution);
 
   sim::Async<Status> InvokeOne(const std::string& function,
-                               std::string payload);
+                               std::string payload,
+                               cloud::CostLedger* attribution);
 
   cloud::Cloud* cloud_;
   DriverOptions options_;

@@ -608,6 +608,7 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   env.data_scale = payload.data_scale;
   env.metrics().worker_id = payload.self.worker_id;
   env.metrics().attempt = payload.self.attempt;
+  env.metrics().query_id = payload.query_id;
   env.hedge_config().enabled = payload.hedge_gets;
 
   // The attempt's root span: every operation span below parents under it,
@@ -645,7 +646,8 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
       double backoff = 0.05;
       for (int attempt = 0;; ++attempt) {
         Status s = co_await env.services().faas->Invoke(
-            env.invoker_profile(), &env.rng(), env.function_name(), serialized);
+            env.invoker_profile(), &env.rng(), env.function_name(), serialized,
+            env.attribution);
         if (s.ok() || !s.IsRetriable() || attempt >= 8) {
           if (!s.ok()) {
             LAMBADA_LOG(Warning)

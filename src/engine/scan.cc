@@ -73,6 +73,10 @@ sim::Async<Result<ScanStats>> S3ParquetScan(
     // then issues ~virtual_extent/chunk_bytes requests, the pattern the
     // Figure 7/8 tradeoffs are about, instead of one giant GET.
     format::S3Source::Options src = options.source;
+    // Serving hooks ride on the worker environment, not the plan: the
+    // shared-scan broker and metadata cache are host-side and default off.
+    src.share = env.scan_broker;
+    src.meta = env.meta_cache;
     if (src.chunk_bytes > 0 && (*states)[i].scale > 1.0) {
       src.chunk_bytes = std::max<int64_t>(
           1, static_cast<int64_t>(static_cast<double>(src.chunk_bytes) /

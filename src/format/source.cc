@@ -38,7 +38,15 @@ sim::Async<Result<BufferPtr>> S3Source::ReadAt(int64_t offset,
   if (length == 0) co_return Buffer::FromVector({});
   if (options_.chunk_bytes <= 0 || length <= options_.chunk_bytes) {
     ++request_count_;
-    auto r = co_await client_.Get(bucket_, key_, offset, length);
+    // Deliberate if/else rather than a conditional expression: co_await
+    // inside ?: destroys the awaited temporary before resumption on GCC.
+    Result<BufferPtr> r = Status::Internal("not fetched");
+    if (options_.share != nullptr) {
+      r = co_await options_.share->Get(&client_, bucket_, key_, offset,
+                                       length);
+    } else {
+      r = co_await client_.Get(bucket_, key_, offset, length);
+    }
     if (!r.ok()) co_return r.status();
     if (static_cast<int64_t>((*r)->size()) != length) {
       co_return Status::IOError("short read");
@@ -67,9 +75,15 @@ sim::Async<Result<BufferPtr>> S3Source::ReadAt(int64_t offset,
         [](S3Source* self, sim::Semaphore* g, Piece* p) -> sim::Async<void> {
           co_await g->Acquire();
           ++self->request_count_;
-          p->result =
-              co_await self->client_.Get(self->bucket_, self->key_,
-                                         p->offset, p->length);
+          if (self->options_.share != nullptr) {
+            p->result = co_await self->options_.share->Get(
+                &self->client_, self->bucket_, self->key_, p->offset,
+                p->length);
+          } else {
+            p->result =
+                co_await self->client_.Get(self->bucket_, self->key_,
+                                           p->offset, p->length);
+          }
           g->Release();
         }(this, &gate, &piece));
   }
@@ -89,9 +103,21 @@ sim::Async<Result<BufferPtr>> S3Source::ReadAt(int64_t offset,
 
 sim::Async<Result<RandomAccessSource::Tail>> S3Source::ReadTail(
     int64_t length) {
+  if (options_.meta != nullptr) {
+    auto cached = co_await options_.meta->GetFooter(client_.ctx(), bucket_,
+                                                    key_, length);
+    if (cached.ok()) {
+      co_return Tail{cached->data, cached->object_size};
+    }
+  }
   ++request_count_;
   auto r = co_await client_.GetTail(bucket_, key_, length);
   if (!r.ok()) co_return r.status();
+  if (options_.meta != nullptr) {
+    // Best-effort fill; a failed write just means the next query misses.
+    co_await options_.meta->PutFooter(client_.ctx(), bucket_, key_, length,
+                                      *r);
+  }
   co_return Tail{r->data, r->object_size};
 }
 

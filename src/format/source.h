@@ -4,7 +4,9 @@
 #include <memory>
 #include <string>
 
+#include "cloud/meta_cache.h"
 #include "cloud/object_store.h"
+#include "cloud/scan_share.h"
 #include "common/buffer.h"
 #include "common/status.h"
 #include "sim/async.h"
@@ -55,6 +57,12 @@ class S3Source final : public RandomAccessSource {
     int64_t chunk_bytes = 8 * 1024 * 1024;
     /// Concurrent in-flight range requests within one ReadAt.
     int connections = 1;
+    /// Optional shared-scan broker (serving mode): ranged GETs over the
+    /// same extent of the same object join one physical request.
+    cloud::SharedScanBroker* share = nullptr;
+    /// Optional metadata cache (serving mode): ReadTail consults it before
+    /// touching S3 and fills it on a miss.
+    cloud::MetadataCache* meta = nullptr;
   };
 
   S3Source(cloud::S3Client client, std::string bucket, std::string key,

@@ -54,6 +54,22 @@ const std::vector<MetricDef>& MetricTable() {
        "s", "virtual time per exchange round"},
       {Metric::kScanRowGroupTime, "scan.rowgroup_s", MetricType::kHistogram,
        "s", "virtual time per scanned row group (fetch + decode)"},
+      {Metric::kMetaCacheHits, "meta_cache.hits", MetricType::kCounter,
+       "lookups", "LIST/footer lookups served from the metadata cache"},
+      {Metric::kMetaCacheMisses, "meta_cache.misses", MetricType::kCounter,
+       "lookups", "metadata-cache lookups that fell through to S3"},
+      {Metric::kSharedScanFetches, "shared_scan.fetches", MetricType::kCounter,
+       "requests", "ranged GETs actually issued by the shared-scan broker"},
+      {Metric::kSharedScanAttaches, "shared_scan.attaches", MetricType::kCounter,
+       "requests", "scan reads that attached to an in-flight shared GET"},
+      {Metric::kSharedScanRearms, "shared_scan.rearms", MetricType::kCounter,
+       "requests", "shared GETs re-armed by a waiter after the fetcher failed"},
+      {Metric::kServedQueries, "serving.queries", MetricType::kCounter,
+       "queries", "queries admitted and run by the query service"},
+      {Metric::kQueuedQueries, "serving.queued", MetricType::kCounter,
+       "queries", "submissions that waited in the admission queue"},
+      {Metric::kRejectedQueries, "serving.rejected", MetricType::kCounter,
+       "queries", "submissions rejected (budget, queue depth, or deadline)"},
   };
   return kTable;
 }

@@ -36,6 +36,14 @@ enum class Metric : uint16_t {
   kHedgeWins = 18,
   kExchangeRoundTime = 19,
   kScanRowGroupTime = 20,
+  kMetaCacheHits = 21,
+  kMetaCacheMisses = 22,
+  kSharedScanFetches = 23,
+  kSharedScanAttaches = 24,
+  kSharedScanRearms = 25,
+  kServedQueries = 26,
+  kQueuedQueries = 27,
+  kRejectedQueries = 28,
   kCount,
 };
 
