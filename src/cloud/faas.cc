@@ -200,6 +200,7 @@ sim::Async<void> FaasService::RunWorker(Function* fn, std::string payload,
   auto env = std::make_unique<WorkerEnv>(services_, cfg.name, cfg.memory_mib,
                                          next_worker_seed_++, cold, fate);
   env->set_tracer(tracer_);
+  env->set_fault_injector(fault_);
   env->attribution = attribution;
   env->meta_cache = meta_cache_;
   env->scan_broker = scan_broker_;

@@ -138,7 +138,22 @@ class WorkerEnv {
     if (tracer_ != nullptr) tracer_->Instant(trace_span_, "fault.crash");
     return true;
   }
+  /// Kills this invocation at a site drawn outside its WorkerFate — the
+  /// invoker-loss fates of core/invocation_tree.h, drawn per invoker from
+  /// the fault plan's dedicated stream. The handler must then abandon its
+  /// work without reporting a result, exactly as after MaybeCrash.
+  void CrashNow() {
+    crashed_ = true;
+    if (tracer_ != nullptr) tracer_->Instant(trace_span_, "fault.crash");
+  }
   bool crashed() const { return crashed_; }
+
+  /// The region's fault injector, for fates that can only be drawn inside
+  /// the handler (invoker loss: whether a worker has children to invoke
+  /// is known only after its payload is parsed). Host-side like the
+  /// serving hooks — never serialized; null when injection is off.
+  FaultInjector* fault_injector() const { return fault_injector_; }
+  void set_fault_injector(FaultInjector* fault) { fault_injector_ = fault; }
 
   /// Request telemetry accumulated by this worker's service clients.
   RequestStats& request_stats() { return request_stats_; }
@@ -196,6 +211,7 @@ class WorkerEnv {
   Rng rng_;
   WorkerFate fate_;
   bool crashed_ = false;
+  FaultInjector* fault_injector_ = nullptr;
   sim::ProcessorSharing cpu_;
   sim::SharedLink nic_;
   int64_t memory_used_ = 0;

@@ -86,4 +86,28 @@ WorkerFate FaultInjector::DrawWorkerFate() {
   return fate;
 }
 
+CrashSite FaultInjector::DrawInvokerFate(int generation) {
+  if (!plan_.enabled) return CrashSite::kNone;
+  // Exactly two draws per invoker, from the dedicated invoker stream:
+  // the crash draw and the site draw. Generation gating applies after the
+  // draws so sweeping max_generation never shifts this stream either.
+  const double u1 = invoker_rng_.NextDouble();
+  const double u2 = invoker_rng_.NextDouble();
+  if (plan_.invoker_crash_rate <= 0 || u1 >= plan_.invoker_crash_rate) {
+    return CrashSite::kNone;
+  }
+  if (generation > plan_.invoker_crash_max_generation) {
+    return CrashSite::kNone;
+  }
+  const double w_before = plan_.invoker_crash_before_weight;
+  const double w_during = plan_.invoker_crash_during_weight;
+  const double total = w_before + w_during;
+  const CrashSite site = (total <= 0 || u2 * total < w_before)
+                             ? CrashSite::kBeforeInvokingChildren
+                             : CrashSite::kWhileInvokingChildren;
+  ++invoker_crashes_armed_;
+  Notify(FaultEvent::Kind::kInvokerCrashArmed, site);
+  return site;
+}
+
 }  // namespace lambada::cloud

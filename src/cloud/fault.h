@@ -21,6 +21,13 @@ enum class CrashSite {
   kBeforeExchangeWrites,
   kDuringExchangeWrites,
   kAfterExchangeWrites,
+  // Invoker-loss sites (drawn per invoker from the separate invoker
+  // stream, not the worker-fate stream): a worker responsible for a
+  // subtree dies before invoking any child, or after half its children
+  // went out — the silent-branch and partially-started-branch cases the
+  // driver's subtree recovery must detect.
+  kBeforeInvokingChildren,
+  kWhileInvokingChildren,
 };
 
 /// The fate drawn for one worker invocation: whether (and where) its
@@ -65,6 +72,18 @@ struct FaultPlan {
   double straggler_rate = 0.0;      ///< Worker lands on a degraded host.
   double straggler_cpu_factor = 0.3;
   double straggler_net_factor = 0.3;
+
+  // Per-invoker fates: a worker with a subtree to start dies before (or
+  // halfway through) invoking it. Drawn from an RNG stream derived from
+  // `seed` but separate from the request/fate stream above, so turning
+  // invoker chaos on never shifts the draws the other hooks consume —
+  // committed fault benchmarks stay bit-identical.
+  double invoker_crash_rate = 0.0;
+  double invoker_crash_before_weight = 1.0;  ///< Die before any child.
+  double invoker_crash_during_weight = 1.0;  ///< Die mid-branch.
+  /// Apply invoker crashes only to generations <= this (1 = gen-1 roots
+  /// only; 2 adds the gen-2 inner nodes of a three-level tree).
+  int invoker_crash_max_generation = 1;
 };
 
 /// One injected fault, reported to observers as it happens (virtual time).
@@ -76,6 +95,7 @@ struct FaultEvent {
     kInvokeError,
     kWorkerCrashArmed,
     kStragglerArmed,
+    kInvokerCrashArmed,
   };
   Kind kind;
   double time = 0;  ///< Virtual time of the draw.
@@ -108,6 +128,13 @@ class FaultInjector {
   /// when disabled.
   WorkerFate DrawWorkerFate();
 
+  /// Draws the fate of one invoker — a generation-`generation` worker
+  /// about to start its child subtrees. Exactly two draws from the
+  /// invoker stream regardless of rates (none when disabled), keeping the
+  /// request/fate stream untouched. Returns kNone, or one of the
+  /// kBeforeInvokingChildren / kWhileInvokingChildren sites.
+  CrashSite DrawInvokerFate(int generation);
+
   /// Registers a post-draw observer; called synchronously for every
   /// injected fault.
   void AddObserver(std::function<void(const FaultEvent&)> observer) {
@@ -118,6 +145,7 @@ class FaultInjector {
   int64_t injected_request_faults() const { return injected_request_faults_; }
   int64_t crashes_armed() const { return crashes_armed_; }
   int64_t stragglers_armed() const { return stragglers_armed_; }
+  int64_t invoker_crashes_armed() const { return invoker_crashes_armed_; }
 
  private:
   void Notify(FaultEvent::Kind kind, CrashSite site = CrashSite::kNone);
@@ -125,10 +153,13 @@ class FaultInjector {
   sim::Simulator* sim_;
   FaultPlan plan_;
   Rng rng_;
+  /// Separate stream for invoker fates (see FaultPlan::invoker_crash_rate).
+  Rng invoker_rng_{plan_.seed ^ 0x1e7ee5eedULL};
   std::vector<std::function<void(const FaultEvent&)>> observers_;
   int64_t injected_request_faults_ = 0;
   int64_t crashes_armed_ = 0;
   int64_t stragglers_armed_ = 0;
+  int64_t invoker_crashes_armed_ = 0;
 };
 
 }  // namespace lambada::cloud

@@ -117,24 +117,35 @@ sim::Async<Status> Driver::InvokeOne(const std::string& function,
 }
 
 sim::Async<Status> Driver::InvokeWorkers(
-    std::vector<InvocationPayload> payloads, const std::string& function,
+    const std::vector<InvocationPayload>& payloads, const TreePlan& tree,
+    bool batched, const std::string& inputs_key, const std::string& function,
     cloud::CostLedger* attribution) {
-  // Two-level tree (Section 4.2): the driver invokes ~sqrt(P) first-
-  // generation workers; each carries the inputs of its second generation.
+  // Invocation tree (Section 4.2, generalized): the driver invokes the
+  // generation-1 roots; each recursively starts its claimed ID range.
+  // Depth-2 roots reproduce the historical ~sqrt(P) grouping exactly.
   std::vector<InvocationPayload> first_gen;
-  if (options_.two_level_invocation && payloads.size() > 4) {
-    size_t group =
-        static_cast<size_t>(std::ceil(std::sqrt(payloads.size())));
-    for (size_t start = 0; start < payloads.size(); start += group) {
-      InvocationPayload leader = payloads[start];
-      for (size_t i = start + 1; i < std::min(start + group, payloads.size());
-           ++i) {
-        leader.to_invoke.push_back(payloads[i].self);
+  if (tree.depth() >= 2) {
+    for (const TreeNode& root : TreeRoots(tree)) {
+      InvocationPayload leader = payloads[root.begin];
+      if (batched) {
+        // The leader fetches its own inputs from the table like everyone
+        // else; its payload carries only the range and the table pointer.
+        leader.self.files.clear();
+        leader.self.build_files.clear();
+        leader.self.build_counts.clear();
+        leader.tree.subtree_end = root.end;
+        leader.tree.generation = root.generation;
+        leader.tree.fanout = tree.fanout;
+        leader.tree.inputs_key = inputs_key;
+      } else {
+        for (uint32_t id = root.begin + 1; id < root.end; ++id) {
+          leader.to_invoke.push_back(payloads[id].self);
+        }
       }
       first_gen.push_back(std::move(leader));
     }
   } else {
-    first_gen = std::move(payloads);
+    first_gen = payloads;
   }
 
   // Fan the Invoke calls over a bounded pool of invocation threads.
@@ -434,6 +445,31 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
         physical->fragment.tuning.connections_per_read);
   }
 
+  // ---- Plan the invocation tree (Section 4.2, generalized). ----
+  TreeOptions topt;
+  topt.depth = options_.invocation_tree_depth;
+  if (options_.invocation_batching < 0) {
+    // Unbatched payloads cannot carry a grandchild's inputs, so "never
+    // batch" clamps the tree to the explicit two-level layout.
+    topt.max_depth = 2;
+    if (topt.depth > 2) topt.depth = 2;
+  }
+  if (!options_.two_level_invocation) topt.depth = 1;
+  const cloud::RegionProfile& region = cloud_->region();
+  topt.cost.driver_invoke_latency_s = region.remote_invoke_latency_s;
+  topt.cost.driver_rate_per_s = region.remote_client_rate_per_s;
+  topt.cost.driver_threads = options_.invoke_threads;
+  topt.cost.worker_invoke_latency_s = region.intra_invoke_latency_s;
+  topt.cost.worker_start_s = cloud_->faas().config().cold_start_median_s +
+                             cloud_->faas().config().cold_init_cpu_s;
+  const TreePlan tree =
+      PlanInvocationTree(static_cast<uint32_t>(workers), topt);
+  const bool batched =
+      tree.depth() >= 2 &&
+      (options_.invocation_batching == 1 ||
+       (options_.invocation_batching == 0 && tree.depth() >= 3));
+  const std::string inputs_key = "plans/" + query_id + ".inputs";
+
   if (tr != nullptr) {
     tr->AddArg(plan_span, "query_id", query_id);
     tr->AddArg(plan_span, "workers", static_cast<int64_t>(workers));
@@ -495,12 +531,27 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     payloads.push_back(std::move(p));
   }
 
+  // ---- Batched invocation: one table object holds every worker's
+  // inputs; payloads then carry only their subtree ID range, so payload
+  // bytes (and the bytes any one worker fetches) stay O(1) in the fleet
+  // size.
+  if (batched) {
+    std::vector<WorkerInput> inputs;
+    inputs.reserve(payloads.size());
+    for (const auto& p : payloads) inputs.push_back(p.self);
+    const uint64_t inputs_span = obs::Begin(tr, 0, "driver", "upload-inputs");
+    CO_RETURN_NOT_OK(co_await client.Put(
+        options_.system_bucket, inputs_key,
+        Buffer::FromVector(EncodeWorkerInputTable(inputs))));
+    obs::End(tr, inputs_span);
+  }
+
   // ---- Invoke. ----
-  // `payloads` is passed by copy: the originals stay behind as the
-  // re-invocation templates of the mitigation loop below.
+  // The payloads stay behind as the re-invocation templates of the
+  // mitigation loop below.
   const uint64_t invoke_span = obs::Begin(tr, 0, "driver", "invoke");
-  CO_RETURN_NOT_OK(
-      co_await InvokeWorkers(payloads, function, options.attribution));
+  CO_RETURN_NOT_OK(co_await InvokeWorkers(payloads, tree, batched, inputs_key,
+                                          function, options.attribution));
   const double t_invoked = sim->Now();
   obs::End(tr, invoke_span);
 
@@ -511,7 +562,38 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
   // attempts) are counted and dropped, never merged twice. Workers are
   // idempotent — any attempt's partial is byte-identical — so "first"
   // needs no attempt arbitration.
-  const MitigationOptions& mit = options.mitigation;
+  MitigationOptions mit = options.mitigation;
+  if (mit.enabled && mit.fleet_aware) {
+    // Fleet-size-aware knobs: a 10k-worker tree takes longer to merely
+    // start than a small fleet takes to finish, so the fixed defaults
+    // either fire on healthy deep fleets or sleep through dead branches.
+    // Derive them from the modeled start skew of this exact tree.
+    const double skew = models::TreeStartSkew(
+        tree.fanout, static_cast<uint32_t>(workers), topt.cost);
+    mit.quantile = std::clamp(
+        1.0 - 64.0 / static_cast<double>(workers), 0.5, 0.95);
+    mit.stall_timeout_s = std::max(5.0, 3.0 * skew);
+    mit.min_deadline_s = std::max(2.0, 2.0 * skew);
+  }
+  // Subtree-recovery branch list: every gen-1 root subtree and, for
+  // deeper trees, the gen-2 subtrees within each root. Host-side state —
+  // the driver kept the TreePlan it invoked with, so a lost branch can be
+  // restarted without consulting any worker.
+  std::vector<TreeNode> branches;
+  if (mit.enabled && mit.subtree_recovery && tree.depth() >= 2) {
+    for (const TreeNode& root : TreeRoots(tree)) {
+      if (root.size() > 1) branches.push_back(root);
+      if (tree.depth() >= 3) {
+        auto kids = TreeChildren(tree, root);
+        if (kids.ok()) {
+          for (const TreeNode& k : *kids) {
+            if (k.size() > 1) branches.push_back(k);
+          }
+        }
+      }
+    }
+  }
+  int subtree_reinvocations = 0;
   std::vector<ResultMessage> results;
   results.reserve(static_cast<size_t>(workers));
   std::vector<char> seen(static_cast<size_t>(workers), 0);
@@ -598,9 +680,78 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     // whole missing set after a progress stall.
     const bool stalled =
         sim->Now() - last_progress > mit.stall_timeout_s;
+    // Subtree recovery first: a completely silent branch (no worker in
+    // its ID range ever reported — the signature of a lost invoker, not
+    // of stragglers) is restarted with ONE Invoke call through its
+    // gen-1/gen-2 invoker instead of branch-size individual calls. Every
+    // member shares the fresh attempt id, so first-result-wins dedup and
+    // attempt-stable exchange slice keys make the recovered branch
+    // byte-identical. Branches list gen-1 roots before their gen-2
+    // sub-branches, so the outermost silent subtree wins and the covered
+    // mask keeps inner branches and the individual sweep off its range.
+    std::vector<char> branch_covered(static_cast<size_t>(workers), 0);
+    for (const TreeNode& b : branches) {
+      bool silent = true;
+      bool all_due = true;
+      int branch_attempts = 0;
+      for (uint32_t id = b.begin; id < b.end; ++id) {
+        if (seen[id] || branch_covered[id]) {
+          silent = false;
+          break;
+        }
+        const bool due =
+            stalled || (straggler_budget_s >= 0 &&
+                        sim->Now() >= invoked_at[id] + straggler_budget_s);
+        if (!due) all_due = false;
+        branch_attempts = std::max(branch_attempts, attempts[id]);
+      }
+      if (!silent || !all_due) continue;
+      if (branch_attempts >= mit.max_attempts) continue;
+      const uint32_t attempt = static_cast<uint32_t>(branch_attempts);
+      InvocationPayload retry = payloads[b.begin];
+      retry.self.attempt = attempt;
+      retry.to_invoke.clear();
+      if (batched) {
+        retry.self.files.clear();
+        retry.self.build_files.clear();
+        retry.self.build_counts.clear();
+        retry.tree.subtree_end = b.end;
+        retry.tree.generation = b.generation;
+        retry.tree.fanout = tree.fanout;
+        retry.tree.inputs_key = inputs_key;
+      } else {
+        for (uint32_t id = b.begin + 1; id < b.end; ++id) {
+          WorkerInput child = payloads[id].self;
+          child.attempt = attempt;
+          retry.to_invoke.push_back(std::move(child));
+        }
+      }
+      for (uint32_t id = b.begin; id < b.end; ++id) {
+        branch_covered[id] = 1;
+        attempts[id] = branch_attempts + 1;
+        invoked_at[id] = sim->Now();
+      }
+      ++subtree_reinvocations;
+      if (tr != nullptr) {
+        tr->Instant(collect_span,
+                    "reinvoke-branch g" + std::to_string(b.generation) +
+                        " [" + std::to_string(b.begin) + "," +
+                        std::to_string(b.end) + ")");
+      }
+      Status s = co_await InvokeOne(function, retry.Serialize(),
+                                    options.attribution);
+      if (!s.ok()) {
+        LAMBADA_LOG(Warning)
+            << "branch re-invocation [" << b.begin << "," << b.end
+            << ") failed: " << s.ToString();
+      }
+    }
     for (int w = 0; w < workers; ++w) {
       const size_t wi = static_cast<size_t>(w);
-      if (seen[wi] || attempts[wi] >= mit.max_attempts) continue;
+      if (seen[wi] || branch_covered[wi] ||
+          attempts[wi] >= mit.max_attempts) {
+        continue;
+      }
       const bool past_deadline =
           straggler_budget_s >= 0 &&
           sim->Now() >= invoked_at[wi] + straggler_budget_s;
@@ -712,6 +863,9 @@ sim::Async<Result<QueryReport>> Driver::Run(const Query& query,
     if (attempts[static_cast<size_t>(w)] > 1) ++reinvoked_workers;
   }
   report.reinvoked_workers = reinvoked_workers;
+  report.subtree_reinvocations = subtree_reinvocations;
+  report.tree_depth = tree.depth();
+  report.batched_invocation = batched;
   report.duplicate_results = duplicate_results;
   for (const auto& r : results) {
     report.worker_s3_retries += r.metrics.s3_retries();

@@ -8,6 +8,7 @@
 #include "cloud/cloud.h"
 #include "core/dataflow.h"
 #include "exec/exec_context.h"
+#include "core/invocation_tree.h"
 #include "core/messages.h"
 #include "core/optimizer.h"
 #include "core/planner.h"
@@ -33,9 +34,23 @@ struct DriverOptions {
   std::string function_prefix = "lambada-w";
   /// Concurrent invocation threads (the paper uses 128, Section 4.2).
   int invoke_threads = 128;
-  /// Start workers through the two-level invocation tree (Section 4.2)
-  /// instead of invoking every worker from the driver.
+  /// Start workers through the invocation tree (Section 4.2) instead of
+  /// invoking every worker from the driver.
   bool two_level_invocation = true;
+  /// Invocation-tree depth: 0 picks the depth with the best modeled
+  /// all-running time from the fleet size and the invoker profile
+  /// (core/invocation_tree.h) — fleets of <= 4 workers stay driver-direct
+  /// and two-level plans reproduce the historical sqrt grouping
+  /// byte-for-byte; 1..3 force a depth. Ignored when two_level_invocation
+  /// is false (always depth 1).
+  int invocation_tree_depth = 0;
+  /// Invocation batching: payloads carry a contiguous subtree ID range
+  /// plus a pointer to the per-worker input table in S3 instead of every
+  /// child's explicit WorkerInput. 0 = auto (trees deeper than two levels
+  /// need it; two-level fleets keep their historical explicit payloads),
+  /// 1 = batch two-level fleets too, -1 = never (clamps the tree to two
+  /// levels).
+  int invocation_batching = 0;
   /// SQS long-poll wait per receive call.
   double result_poll_wait_s = 1.0;
   double query_timeout_s = 3600.0;
@@ -77,6 +92,19 @@ struct MitigationOptions {
   /// regardless of the quantile state (covers crashes before the quantile
   /// arms, e.g. a dead first-generation invoker).
   double stall_timeout_s = 30.0;
+  /// Derive quantile / min_deadline_s / stall_timeout_s from the fleet's
+  /// modeled start skew (models::TreeStartSkew) instead of the fixed
+  /// values above: big trees take longer to merely start, so fixed knobs
+  /// either fire on healthy deep fleets or sleep through dead branches.
+  /// Off by default — the fixed knobs then apply unchanged.
+  bool fleet_aware = false;
+  /// Re-invoke a silent tree branch (no results from any worker in its
+  /// claimed ID range) through its gen-1/gen-2 invoker with a fresh
+  /// attempt id, instead of re-invoking every member individually — a
+  /// lost branch costs one Invoke call and ~branch-size re-runs, never a
+  /// fleet restart. First-result-wins dedup and attempt-stable exchange
+  /// slice keys make the recovered branch byte-identical. Off by default.
+  bool subtree_recovery = false;
 };
 
 /// Distributed-tracing knobs (docs/OBSERVABILITY.md). Tracing draws no
@@ -150,6 +178,13 @@ struct QueryReport {
   /// in `worker_metrics` (WorkerMetrics::attempt).
   int64_t total_attempts = 0;
   int reinvoked_workers = 0;
+  /// Branch re-invocations issued by subtree recovery; each restarted one
+  /// silent gen-1/gen-2 subtree through its invoker.
+  int subtree_reinvocations = 0;
+  /// Invocation-tree shape this query ran with (1 = driver-direct) and
+  /// whether payloads were batched (subtree ranges + input table).
+  int tree_depth = 1;
+  bool batched_invocation = false;
   int64_t duplicate_results = 0;
   int64_t worker_s3_retries = 0;
   int64_t hedged_gets = 0;
@@ -204,12 +239,16 @@ class Driver {
   cloud::Cloud* cloud() { return cloud_; }
 
  private:
-  /// Invokes all `payloads` (worker_id -> serialized payload), optionally
-  /// through the two-level tree. Returns when every Invoke call was issued
-  /// and accepted.
-  sim::Async<Status> InvokeWorkers(std::vector<InvocationPayload> payloads,
-                                   const std::string& function,
-                                   cloud::CostLedger* attribution);
+  /// Invokes all `payloads` (worker_id -> full payload) through the
+  /// invocation tree: depth-1 plans go out flat; deeper plans invoke the
+  /// generation-1 roots, each carrying its children's WorkerInputs
+  /// explicitly (legacy two-level layout) or, batched, just its subtree
+  /// ID range plus `inputs_key`. Returns when every Invoke call was
+  /// issued and accepted.
+  sim::Async<Status> InvokeWorkers(
+      const std::vector<InvocationPayload>& payloads, const TreePlan& tree,
+      bool batched, const std::string& inputs_key,
+      const std::string& function, cloud::CostLedger* attribution);
 
   sim::Async<Status> InvokeOne(const std::string& function,
                                std::string payload,

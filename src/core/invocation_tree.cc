@@ -1,0 +1,271 @@
+#include "core/invocation_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lambada::core {
+
+namespace {
+
+/// Capacity of one generation-1 subtree when every inner level branches
+/// `f` in a depth-`depth` tree (saturating).
+uint64_t Cap1ForFanout(uint32_t f, int depth) {
+  uint64_t cap = 1;
+  for (int g = depth - 1; g >= 1; --g) {
+    cap = 1 + static_cast<uint64_t>(f) * cap;
+    if (cap > std::numeric_limits<uint32_t>::max()) {
+      return std::numeric_limits<uint32_t>::max();
+    }
+  }
+  return cap;
+}
+
+/// The fanout vector of one depth-`depth` plan for `workers` ids.
+std::vector<uint32_t> FanoutForDepth(uint32_t workers, int depth) {
+  if (depth <= 1) return {workers};
+  if (depth == 2) {
+    // The historical two-level grouping, byte-for-byte: group =
+    // ceil(sqrt(P)) ids per generation-1 root, root included.
+    const uint32_t group = static_cast<uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(workers))));
+    const uint32_t roots = (workers + group - 1) / group;
+    return {roots, group - 1};
+  }
+  // Deeper trees: the smallest uniform inner fanout f whose f roots cover
+  // the fleet, ~P^(1/depth) — every level shares the serial invoke work.
+  uint32_t f = 1;
+  while (static_cast<uint64_t>(f) * Cap1ForFanout(f, depth) <
+         static_cast<uint64_t>(workers)) {
+    ++f;
+  }
+  const uint64_t cap1 = Cap1ForFanout(f, depth);
+  const uint32_t roots =
+      static_cast<uint32_t>((static_cast<uint64_t>(workers) + cap1 - 1) / cap1);
+  std::vector<uint32_t> fanout(static_cast<size_t>(depth), f);
+  fanout[0] = roots;
+  return fanout;
+}
+
+}  // namespace
+
+uint32_t TreePlan::SubtreeCapacity(int generation) const {
+  const int d = depth();
+  if (generation < 1 || generation > d) return 0;
+  uint64_t cap = 1;
+  for (int g = d - 1; g >= generation; --g) {
+    cap = 1 + static_cast<uint64_t>(fanout[static_cast<size_t>(g)]) * cap;
+    if (cap > std::numeric_limits<uint32_t>::max()) {
+      return std::numeric_limits<uint32_t>::max();
+    }
+  }
+  return static_cast<uint32_t>(cap);
+}
+
+TreePlan PlanInvocationTree(uint32_t workers, const TreeOptions& options) {
+  TreePlan plan;
+  plan.workers = workers;
+  if (workers == 0) return plan;
+  const int max_depth = std::max(1, options.max_depth);
+  int depth = std::min(std::max(0, options.depth), max_depth);
+  if (depth == 0) {
+    if (workers <= options.direct_invoke_max) {
+      depth = 1;
+    } else {
+      // Pick the depth with the best modeled all-running time; ties go to
+      // the shallower tree (fewer serial container-start hops to recover
+      // through).
+      double best = std::numeric_limits<double>::infinity();
+      for (int d = 2; d <= max_depth; ++d) {
+        const double t = models::TreeAllRunningTime(FanoutForDepth(workers, d),
+                                                    workers, options.cost);
+        if (t < best) {
+          best = t;
+          depth = d;
+        }
+      }
+    }
+  }
+  plan.fanout = FanoutForDepth(workers, depth);
+  return plan;
+}
+
+std::vector<TreeNode> TreeRoots(const TreePlan& plan) {
+  std::vector<TreeNode> roots;
+  if (plan.workers == 0 || plan.fanout.empty()) return roots;
+  const uint64_t cap1 = plan.SubtreeCapacity(1);
+  roots.reserve(static_cast<size_t>((plan.workers + cap1 - 1) / cap1));
+  for (uint64_t start = 0; start < plan.workers; start += cap1) {
+    TreeNode n;
+    n.begin = static_cast<uint32_t>(start);
+    n.end = static_cast<uint32_t>(
+        std::min<uint64_t>(start + cap1, plan.workers));
+    n.generation = 1;
+    roots.push_back(n);
+  }
+  return roots;
+}
+
+Result<std::vector<TreeNode>> TreeChildren(const TreePlan& plan,
+                                           const TreeNode& node) {
+  if (plan.workers == 0 || plan.fanout.empty()) {
+    return Status::Invalid("empty invocation-tree plan");
+  }
+  const int depth = plan.depth();
+  if (node.generation < 1 || static_cast<int>(node.generation) > depth) {
+    return Status::Invalid("tree node generation " +
+                           std::to_string(node.generation) +
+                           " outside depth-" + std::to_string(depth) +
+                           " plan");
+  }
+  if (node.end <= node.begin) {
+    return Status::Invalid("empty or inverted subtree range");
+  }
+  if (node.end > plan.workers) {
+    return Status::Invalid("subtree range [" + std::to_string(node.begin) +
+                           ", " + std::to_string(node.end) +
+                           ") beyond the fleet of " +
+                           std::to_string(plan.workers));
+  }
+  const uint64_t cap = plan.SubtreeCapacity(static_cast<int>(node.generation));
+  if (node.size() > cap) {
+    // A range wider than the generation's capacity would overlap the next
+    // sibling's claim.
+    return Status::Invalid("subtree range of " + std::to_string(node.size()) +
+                           " ids exceeds the generation-" +
+                           std::to_string(node.generation) + " capacity of " +
+                           std::to_string(cap));
+  }
+  std::vector<TreeNode> children;
+  if (static_cast<int>(node.generation) == depth) return children;
+  const uint64_t child_cap =
+      plan.SubtreeCapacity(static_cast<int>(node.generation) + 1);
+  for (uint64_t start = node.begin + 1; start < node.end;
+       start += child_cap) {
+    TreeNode c;
+    c.begin = static_cast<uint32_t>(start);
+    c.end =
+        static_cast<uint32_t>(std::min<uint64_t>(start + child_cap, node.end));
+    c.generation = node.generation + 1;
+    children.push_back(c);
+  }
+  if (children.size() > plan.fanout[node.generation]) {
+    return Status::Invalid("branching bound exceeded: " +
+                           std::to_string(children.size()) +
+                           " children of a generation-" +
+                           std::to_string(node.generation) + " node, bound " +
+                           std::to_string(plan.fanout[node.generation]));
+  }
+  return children;
+}
+
+sim::Async<Result<int>> InvokeTreeChildren(cloud::WorkerEnv& env,
+                                           const InvocationPayload& payload) {
+  // Derive the children first: the subtree ranges of a tree assignment,
+  // or the explicit WorkerInputs of a legacy two-level payload.
+  std::vector<InvocationPayload> children;
+  int generation = 1;
+  if (payload.tree.active()) {
+    generation = static_cast<int>(payload.tree.generation);
+    TreePlan plan;
+    plan.workers = payload.total_workers;
+    plan.fanout = payload.tree.fanout;
+    TreeNode node;
+    node.begin = payload.self.worker_id;
+    node.end = payload.tree.subtree_end;
+    node.generation = payload.tree.generation;
+    auto nodes = TreeChildren(plan, node);
+    if (!nodes.ok()) co_return nodes.status();
+    children.reserve(nodes->size());
+    for (const TreeNode& c : *nodes) {
+      InvocationPayload child = payload;
+      child.self = WorkerInput{};
+      child.self.worker_id = c.begin;
+      child.self.attempt = payload.self.attempt;
+      child.tree.subtree_end = c.end;
+      child.tree.generation = c.generation;
+      children.push_back(std::move(child));
+    }
+  } else {
+    children.reserve(payload.to_invoke.size());
+    for (const WorkerInput& in : payload.to_invoke) {
+      InvocationPayload child = payload;
+      child.self = in;
+      child.to_invoke.clear();
+      children.push_back(std::move(child));
+    }
+  }
+  if (children.empty()) co_return 0;
+
+  // Invoker-loss fate: only nodes that actually invoke children consult
+  // the plan's invoker stream, so leaf-heavy fleets draw nothing extra.
+  cloud::CrashSite fate = cloud::CrashSite::kNone;
+  if (env.fault_injector() != nullptr) {
+    fate = env.fault_injector()->DrawInvokerFate(generation);
+  }
+  if (fate == cloud::CrashSite::kBeforeInvokingChildren) {
+    env.CrashNow();
+    co_return 0;
+  }
+  size_t stop = children.size();
+  if (fate == cloud::CrashSite::kWhileInvokingChildren) {
+    stop = children.size() / 2;  // Die with half the branch started.
+  }
+
+  int invoked = 0;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i >= stop) {
+      env.CrashNow();
+      co_return invoked;
+    }
+    std::string serialized = children[i].Serialize();
+    double backoff = 0.05;
+    for (int attempt = 0;; ++attempt) {
+      Status s = co_await env.services().faas->Invoke(
+          env.invoker_profile(), &env.rng(), env.function_name(), serialized,
+          env.attribution);
+      if (s.ok() || !s.IsRetriable() || attempt >= 8) {
+        if (!s.ok()) {
+          LAMBADA_LOG(Warning)
+              << "child invoke failed: " << s.ToString();
+        }
+        break;
+      }
+      co_await sim::Sleep(env.sim(),
+                          backoff * (0.5 + env.rng().NextDouble()));
+      backoff *= 2;
+    }
+    ++invoked;
+  }
+  co_return invoked;
+}
+
+std::vector<uint8_t> EncodeWorkerInputTable(
+    const std::vector<WorkerInput>& inputs) {
+  BinaryWriter blobs;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(inputs.size() + 1);
+  offsets.push_back(0);
+  for (const WorkerInput& in : inputs) {
+    in.Serialize(&blobs);
+    offsets.push_back(blobs.size());
+  }
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(inputs.size()));
+  for (uint64_t off : offsets) w.PutU64(off);
+  w.PutRaw(blobs.bytes().data(), blobs.size());
+  return w.Take();
+}
+
+Result<WorkerInput> DecodeWorkerInputEntry(const uint8_t* data, size_t size) {
+  BinaryReader r(data, size);
+  ASSIGN_OR_RETURN(WorkerInput in, WorkerInput::Deserialize(&r));
+  if (r.remaining() != 0) {
+    return Status::IOError("worker-input entry trailing bytes");
+  }
+  return in;
+}
+
+}  // namespace lambada::core

@@ -1,0 +1,121 @@
+#ifndef LAMBADA_CORE_INVOCATION_TREE_H_
+#define LAMBADA_CORE_INVOCATION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/faas.h"
+#include "common/status.h"
+#include "core/messages.h"
+#include "models/costmodel.h"
+#include "sim/async.h"
+
+namespace lambada::core {
+
+// N-level invocation trees (Section 4.2, generalized). The driver invokes
+// the generation-1 roots; every root owns a contiguous worker-ID range
+// [begin, end) with its own id at `begin`, and recursively starts the
+// rest of its range through fixed-size child subtrees. The partitioning
+// is pure arithmetic over (workers, fanout) — no randomness, no shared
+// state — so the same plan expands to byte-identical ID ranges on every
+// thread count, every run, and on both the driver and worker sides.
+
+/// Shape of one invocation tree. fanout[0] bounds the driver's direct
+/// invocations (the generation-1 roots); fanout[g] bounds the children a
+/// generation-g node invokes. fanout.size() is the tree depth: depth 1 is
+/// flat driver-only invocation, depth 2 the paper's two-level tree.
+struct TreePlan {
+  uint32_t workers = 0;
+  std::vector<uint32_t> fanout;
+
+  int depth() const { return static_cast<int>(fanout.size()); }
+  /// Worker IDs covered by one generation-g subtree, root included.
+  /// Generation depth() covers exactly itself.
+  uint32_t SubtreeCapacity(int generation) const;
+};
+
+/// Planner inputs: a forced depth (or 0 = pick the depth whose modeled
+/// all-running time is best) and the invoker-profile parameters the model
+/// runs on.
+struct TreeOptions {
+  /// 0 = choose automatically among [2, max_depth] (fleets of at most
+  /// `direct_invoke_max` workers always get depth 1); otherwise a forced
+  /// depth in [1, max_depth].
+  int depth = 0;
+  int max_depth = 3;
+  /// Fleets this small are invoked directly by the driver — a tree would
+  /// only add a container-start hop (matches the historical driver rule).
+  uint32_t direct_invoke_max = 4;
+  models::InvocationTreeParams cost;
+};
+
+/// One node of the expanded tree: its own worker id (`begin`) and the
+/// contiguous ID range its subtree is responsible for starting.
+struct TreeNode {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint32_t generation = 0;  ///< 1-based; the driver is generation 0.
+  uint32_t size() const { return end - begin; }
+};
+
+/// Computes the tree shape for a fleet. Depth-2 plans reproduce the
+/// historical grouping exactly — group = ceil(sqrt(P)), fixed chunks of
+/// `group` ids — so existing two-level fleets keep their committed
+/// invocation schedules byte-for-byte; deeper plans balance the per-level
+/// fanout at ~P^(1/depth).
+TreePlan PlanInvocationTree(uint32_t workers, const TreeOptions& options = {});
+
+/// The generation-1 roots the driver invokes, in worker-id order.
+std::vector<TreeNode> TreeRoots(const TreePlan& plan);
+
+/// The children `node` must invoke: its range minus itself, split into
+/// fixed SubtreeCapacity(generation+1)-sized chunks. Rejects (Invalid)
+/// nodes whose range is out of the fleet's bounds, exceeds the node's
+/// generation capacity, or would need more children than the plan's
+/// branching bound — the checks that make forged payload ranges a loud
+/// error instead of overlapping invocations.
+Result<std::vector<TreeNode>> TreeChildren(const TreePlan& plan,
+                                           const TreeNode& node);
+
+// -- Worker-side expansion ---------------------------------------------------
+
+/// Invokes the children this payload is responsible for: the subtree
+/// ranges of its tree assignment, or the explicit to_invoke list of a
+/// legacy two-level payload. Retries retriable Invoke failures with
+/// jittered exponential backoff (bounded), logging and moving on like the
+/// historical worker loop. Consumes this node's invoker-loss fate from
+/// the region's fault plan (cloud/fault.h) when one is installed: on a
+/// drawn crash the environment is marked crashed — possibly after half
+/// the children went out — and the caller must abandon the invocation
+/// without reporting a result. Returns the number of children invoked.
+sim::Async<Result<int>> InvokeTreeChildren(cloud::WorkerEnv& env,
+                                           const InvocationPayload& payload);
+
+// -- Batched worker-input table ----------------------------------------------
+// With invocation batching a payload carries only its subtree ID range;
+// the per-worker inputs live in one S3 object ("plans/<qid>.inputs") and
+// every worker fetches its own entry with two small ranged GETs — O(1)
+// payload bytes and O(1) fetched bytes per worker regardless of fleet
+// size. Layout: u32 worker count, (count+1) u64 blob offsets (relative to
+// the header end), then every WorkerInput serialized back-to-back.
+
+std::vector<uint8_t> EncodeWorkerInputTable(
+    const std::vector<WorkerInput>& inputs);
+
+/// Byte position of worker `w`'s (start, end) offset pair in the table.
+inline int64_t WorkerInputOffsetPos(uint32_t w) {
+  return 4 + 8 * static_cast<int64_t>(w);
+}
+/// Total header size for an `n`-worker table; blob offsets are relative
+/// to this.
+inline int64_t WorkerInputTableHeaderBytes(uint32_t n) {
+  return 4 + 8 * (static_cast<int64_t>(n) + 1);
+}
+
+/// Decodes one worker's blob fetched from the table. Trailing bytes and
+/// truncation are IOError, like every other wire format.
+Result<WorkerInput> DecodeWorkerInputEntry(const uint8_t* data, size_t size);
+
+}  // namespace lambada::core
+
+#endif  // LAMBADA_CORE_INVOCATION_TREE_H_

@@ -26,6 +26,50 @@ Result<std::vector<engine::FileRef>> GetFileRefs(BinaryReader* r) {
   return v;
 }
 
+/// Structural validation of a parsed tree section: a payload whose range
+/// claims ids outside the fleet, overlaps a sibling's capacity, or does
+/// not match the declared tree shape must be a typed error, never a
+/// fleet of overlapping invocations.
+Status ValidateTree(const InvocationPayload& p) {
+  const TreeAssignment& t = p.tree;
+  if (t.generation == 0) {
+    return Status::Invalid("tree section with generation 0");
+  }
+  if (t.fanout.empty() || t.generation > t.fanout.size()) {
+    return Status::Invalid("tree generation " + std::to_string(t.generation) +
+                           " beyond the declared depth of " +
+                           std::to_string(t.fanout.size()));
+  }
+  if (t.subtree_end <= p.self.worker_id) {
+    return Status::Invalid("empty or inverted subtree range");
+  }
+  if (t.subtree_end > p.total_workers) {
+    return Status::Invalid("subtree range end " +
+                           std::to_string(t.subtree_end) +
+                           " beyond the fleet of " +
+                           std::to_string(p.total_workers));
+  }
+  // Capacity of one generation-t subtree under the declared fanouts; a
+  // wider range would overlap the next sibling's claim.
+  uint64_t cap = 1;
+  for (size_t g = t.fanout.size() - 1; g + 1 > t.generation; --g) {
+    cap = 1 + static_cast<uint64_t>(t.fanout[g]) * cap;
+    if (cap > p.total_workers) break;  // Saturates; ranges are <= fleet.
+  }
+  if (t.subtree_end - p.self.worker_id > cap) {
+    return Status::Invalid("subtree range of " +
+                           std::to_string(t.subtree_end - p.self.worker_id) +
+                           " ids overlaps the next sibling (generation-" +
+                           std::to_string(t.generation) + " capacity " +
+                           std::to_string(cap) + ")");
+  }
+  if (!p.to_invoke.empty()) {
+    return Status::Invalid(
+        "payload carries both an explicit invoke list and a subtree range");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void WorkerInput::Serialize(BinaryWriter* w) const {
@@ -75,6 +119,18 @@ std::string InvocationPayload::Serialize() const {
   for (const auto& t : to_invoke) t.Serialize(&w);
   w.PutF64(data_scale);
   w.PutU8(hedge_gets ? 1 : 0);
+  // Appended tree-assignment section, written only when active: legacy
+  // payloads — including every two-level plan the driver emits by
+  // default — keep their released bytes, and Parse keys presence on
+  // remaining() > 0, which the trailing-bytes check makes unambiguous.
+  if (tree.active()) {
+    w.PutU8(1);  // Section version; unknown versions are a loud error.
+    w.PutU32(tree.subtree_end);
+    w.PutU32(tree.generation);
+    w.PutVarint(tree.fanout.size());
+    for (uint32_t f : tree.fanout) w.PutU32(f);
+    w.PutString(tree.inputs_key);
+  }
   auto bytes = w.Take();
   return std::string(bytes.begin(), bytes.end());
 }
@@ -99,6 +155,27 @@ Result<InvocationPayload> InvocationPayload::Parse(const std::string& bytes) {
   ASSIGN_OR_RETURN(p.data_scale, r.GetF64());
   ASSIGN_OR_RETURN(uint8_t hedge, r.GetU8());
   p.hedge_gets = hedge != 0;
+  // Appended tree-assignment section (presence = bytes remain).
+  if (r.remaining() != 0) {
+    ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+    if (version != 1) {
+      return Status::IOError("unknown payload tree-section version " +
+                             std::to_string(version));
+    }
+    ASSIGN_OR_RETURN(p.tree.subtree_end, r.GetU32());
+    ASSIGN_OR_RETURN(p.tree.generation, r.GetU32());
+    ASSIGN_OR_RETURN(uint64_t nf, r.GetVarint());
+    if (nf == 0 || nf > 16) {
+      return Status::IOError("implausible tree depth");
+    }
+    p.tree.fanout.reserve(nf);
+    for (uint64_t i = 0; i < nf; ++i) {
+      ASSIGN_OR_RETURN(uint32_t f, r.GetU32());
+      p.tree.fanout.push_back(f);
+    }
+    ASSIGN_OR_RETURN(p.tree.inputs_key, r.GetString());
+    RETURN_NOT_OK(ValidateTree(p));
+  }
   if (r.remaining() != 0) return Status::IOError("payload trailing bytes");
   return p;
 }

@@ -46,6 +46,28 @@ struct WorkerInput {
   static Result<WorkerInput> Deserialize(BinaryReader* r);
 };
 
+/// N-level invocation-tree assignment (core/invocation_tree.h), riding in
+/// a payload as an appended section: a worker's claimed contiguous ID
+/// range, its generation, and the tree shape — everything it needs to
+/// derive and invoke its child subtrees locally. Inactive (generation 0)
+/// on legacy payloads, whose bytes stay exactly as released; with
+/// invocation batching `inputs_key` points at the per-worker input table
+/// in the plan bucket, so one gen-k call carries a whole ID range instead
+/// of every descendant's WorkerInput.
+struct TreeAssignment {
+  /// Exclusive end of this worker's claimed range [self.worker_id, end).
+  uint32_t subtree_end = 0;
+  /// 1-based generation; 0 = inactive (legacy explicit-to_invoke layout).
+  uint32_t generation = 0;
+  /// Tree shape (TreePlan::fanout); size() is the depth.
+  std::vector<uint32_t> fanout;
+  /// S3 key of the worker-input table in plan_bucket; empty = the inputs
+  /// already ride in the payloads (fleets with no per-worker files).
+  std::string inputs_key;
+
+  bool active() const { return generation != 0; }
+};
+
 /// The invocation payload of a serverless worker (Section 3.3). The plan
 /// fragment itself lives in S3 (payloads are limited to 256 KB); the
 /// payload carries the pointer, this worker's inputs, and — for
@@ -65,6 +87,9 @@ struct InvocationPayload {
   /// Whether workers should hedge slow object-store GETs (RunOptions
   /// knob, threaded through the payload so the whole fleet agrees).
   bool hedge_gets = false;
+  /// Invocation-tree assignment; serialized only when active, as an
+  /// appended section (legacy payloads keep their released bytes).
+  TreeAssignment tree;
 
   std::string Serialize() const;
   static Result<InvocationPayload> Parse(const std::string& bytes);

@@ -6,6 +6,7 @@
 
 #include "cloud/object_store.h"
 #include "core/exchange.h"
+#include "core/invocation_tree.h"
 #include "core/messages.h"
 #include "core/plan.h"
 #include "engine/aggregate.h"
@@ -634,31 +635,25 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
     }
   }
 
-  // ---- Invocation tree: start the second generation first (§4.2). ----
-  if (!payload.to_invoke.empty()) {
+  // ---- Invocation tree: start the next generations first (§4.2). ----
+  // Both layouts go through core/invocation_tree.h: legacy explicit
+  // to_invoke lists and batched subtree ranges. An invoker-loss fate
+  // consumed inside marks the environment crashed — the branch dies
+  // silently, exactly like a worker crash.
+  const bool has_children =
+      !payload.to_invoke.empty() ||
+      (payload.tree.active() &&
+       payload.tree.subtree_end > payload.self.worker_id + 1);
+  if (has_children) {
     cloud::EnvSpan invoke_span(&env, "worker", "invoke-children");
     double t0 = env.sim()->Now();
-    for (const auto& child : payload.to_invoke) {
-      InvocationPayload child_payload = payload;
-      child_payload.self = child;
-      child_payload.to_invoke.clear();
-      std::string serialized = child_payload.Serialize();
-      double backoff = 0.05;
-      for (int attempt = 0;; ++attempt) {
-        Status s = co_await env.services().faas->Invoke(
-            env.invoker_profile(), &env.rng(), env.function_name(), serialized,
-            env.attribution);
-        if (s.ok() || !s.IsRetriable() || attempt >= 8) {
-          if (!s.ok()) {
-            LAMBADA_LOG(Warning)
-                << "second-generation invoke failed: " << s.ToString();
-          }
-          break;
-        }
-        co_await sim::Sleep(env.sim(),
-                            backoff * (0.5 + env.rng().NextDouble()));
-        backoff *= 2;
-      }
+    auto invoked = co_await InvokeTreeChildren(env, payload);
+    if (!invoked.ok()) {
+      LAMBADA_LOG(Warning) << "child invocation failed: "
+                           << invoked.status().ToString();
+    }
+    if (env.crashed()) {
+      co_return Status::Cancelled("injected invoker crash (fault plan)");
     }
     env.RecordPhase("invoke-children", t0);
   }
@@ -667,6 +662,69 @@ sim::Async<Status> WorkerMain(cloud::WorkerEnv& env, std::string raw) {
   result.query_id = payload.query_id;
   result.worker_id = payload.self.worker_id;
   result.attempt = payload.self.attempt;
+
+  // ---- Batched invocation: fetch this worker's own inputs (§4.2). ----
+  // The payload carried only the subtree range; the per-worker input
+  // table in S3 holds everything that differs per worker. Two small
+  // ranged GETs: the offset pair, then the blob.
+  if (payload.tree.active() && !payload.tree.inputs_key.empty()) {
+    cloud::EnvSpan fetch_span(&env, "worker", "fetch-inputs");
+    cloud::S3Client client(env.services().s3, env.net());
+    Status fetched = Status::OK();
+    const uint32_t w = payload.self.worker_id;
+    auto offsets = co_await client.Get(payload.plan_bucket,
+                                       payload.tree.inputs_key,
+                                       WorkerInputOffsetPos(w), 16);
+    if (!offsets.ok()) {
+      fetched = offsets.status();
+    } else {
+      BinaryReader r((*offsets)->data(), (*offsets)->size());
+      uint64_t blob_begin = 0;
+      uint64_t blob_end = 0;
+      auto b = r.GetU64();
+      auto e = b.ok() ? r.GetU64() : b;
+      if (!b.ok() || !e.ok()) {
+        fetched = Status::IOError("truncated worker-input table header");
+      } else {
+        blob_begin = *b;
+        blob_end = *e;
+      }
+      if (fetched.ok() && blob_end < blob_begin) {
+        fetched = Status::IOError("inverted worker-input table offsets");
+      }
+      if (fetched.ok()) {
+        auto blob = co_await client.Get(
+            payload.plan_bucket, payload.tree.inputs_key,
+            WorkerInputTableHeaderBytes(payload.total_workers) +
+                static_cast<int64_t>(blob_begin),
+            static_cast<int64_t>(blob_end - blob_begin));
+        if (!blob.ok()) {
+          fetched = blob.status();
+        } else {
+          auto mine = DecodeWorkerInputEntry((*blob)->data(), (*blob)->size());
+          if (!mine.ok()) {
+            fetched = mine.status();
+          } else if (mine->worker_id != w) {
+            fetched = Status::Invalid("worker-input table entry for worker " +
+                                      std::to_string(mine->worker_id) +
+                                      " fetched by worker " +
+                                      std::to_string(w));
+          } else {
+            // Splice in everything per-worker except the attempt id,
+            // which the invoking side stamped.
+            payload.self.files = std::move(mine->files);
+            payload.self.build_files = std::move(mine->build_files);
+            payload.self.build_counts = std::move(mine->build_counts);
+          }
+        }
+      }
+    }
+    if (!fetched.ok()) {
+      result.status_code = fetched.code();
+      result.status_message = "worker-input fetch failed: " + fetched.message();
+      co_return co_await SendResult(env, payload, std::move(result));
+    }
+  }
 
   // ---- Fetch the plan fragment from shared storage. ----
   Result<PlanFragment> fragment = Status::Internal("plan not loaded");

@@ -98,4 +98,61 @@ TrafficEstimate BroadcastTraffic(double build_bytes, int64_t build_files,
   return t;
 }
 
+namespace {
+
+/// First and last worker start times of one tree shape. The driver issues
+/// the generation-1 roots at min(rate cap, threads/latency); below a root
+/// every level adds its serial child-invocation time plus one container
+/// start, and the last worker hangs off the last root's longest chain.
+struct TreeStartWindow {
+  double first = 0;
+  double last = 0;
+};
+
+TreeStartWindow TreeWindow(const std::vector<uint32_t>& fanout,
+                           uint32_t workers,
+                           const InvocationTreeParams& p) {
+  TreeStartWindow w;
+  if (workers == 0 || fanout.empty()) return w;
+  const size_t depth = fanout.size();
+  // Subtree capacities: cap[g] ids under one generation-g root (itself
+  // included); leaves cover exactly themselves.
+  std::vector<double> cap(depth + 1, 1.0);
+  for (int g = static_cast<int>(depth) - 1; g >= 1; --g) {
+    cap[g] = 1.0 + static_cast<double>(fanout[g]) * cap[g + 1];
+  }
+  double roots = depth == 1 ? static_cast<double>(workers)
+                            : std::ceil(static_cast<double>(workers) / cap[1]);
+  roots = std::min(roots, static_cast<double>(fanout[0]));
+  roots = std::max(roots, 1.0);
+  const double rate =
+      std::min(p.driver_rate_per_s,
+               static_cast<double>(std::max(1, p.driver_threads)) /
+                   std::max(1e-9, p.driver_invoke_latency_s));
+  w.first = p.driver_invoke_latency_s + p.worker_start_s;
+  w.last = std::max(p.driver_invoke_latency_s, roots / rate) + p.worker_start_s;
+  // A generation-g node invokes its children serially; the last child then
+  // pays its own container start.
+  for (size_t g = 1; g < depth; ++g) {
+    if (fanout[g] == 0) continue;
+    w.last += static_cast<double>(fanout[g]) * p.worker_invoke_latency_s +
+              p.worker_start_s;
+  }
+  return w;
+}
+
+}  // namespace
+
+double TreeAllRunningTime(const std::vector<uint32_t>& fanout,
+                          uint32_t workers,
+                          const InvocationTreeParams& p) {
+  return TreeWindow(fanout, workers, p).last;
+}
+
+double TreeStartSkew(const std::vector<uint32_t>& fanout, uint32_t workers,
+                     const InvocationTreeParams& p) {
+  const TreeStartWindow w = TreeWindow(fanout, workers, p);
+  return std::max(0.0, w.last - w.first);
+}
+
 }  // namespace lambada::models

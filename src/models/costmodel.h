@@ -105,6 +105,45 @@ TrafficEstimate BroadcastTraffic(double build_bytes, int64_t build_files,
                                  int workers,
                                  const ExchangeTrafficParams& p = {});
 
+// ---------------------------------------------------------------------------
+// Invocation-tree start-time model (Section 4.2 / Figure 5)
+// ---------------------------------------------------------------------------
+// When does the last worker of an N-level invocation tree start running?
+// The driver picks the tree depth by minimizing this (core/invocation_tree),
+// and the fleet-aware mitigation knobs scale with the first-to-last start
+// spread it predicts. Defaults match the "eu" region of Table 1 and the
+// FaaS cold-start parameters of cloud/faas.h.
+
+struct InvocationTreeParams {
+  /// Driver -> Invoke API call latency (WAN; Table 1 "Remote latency").
+  double driver_invoke_latency_s = 0.036;
+  /// Aggregate driver-side invocation rate cap (Table 1, ~294/s from
+  /// Zurich regardless of thread count).
+  double driver_rate_per_s = 294.0;
+  /// Concurrent driver invocation threads (Section 4.2 uses 128).
+  int driver_threads = 128;
+  /// Invoke call latency from inside the region ("Intra-region rate").
+  double worker_invoke_latency_s = 1.0 / 81.0;
+  /// Cold container start plus dependency-layer init until the handler
+  /// can issue its first child invoke.
+  double worker_start_s = 0.9;
+};
+
+/// Modeled time until the LAST worker of the tree is running. `fanout`
+/// follows core/invocation_tree.h: fanout[0] bounds the driver's direct
+/// invocations (the generation-1 roots), fanout[g] bounds the children
+/// one generation-g worker invokes serially; fanout.size() is the depth.
+double TreeAllRunningTime(const std::vector<uint32_t>& fanout,
+                          uint32_t workers,
+                          const InvocationTreeParams& p = {});
+
+/// Modeled spread between the first and the last worker start — the
+/// start skew the fleet-size-aware mitigation knobs scale with (a stall
+/// watchdog shorter than this would re-invoke workers that were never
+/// late, just deep in the tree).
+double TreeStartSkew(const std::vector<uint32_t>& fanout, uint32_t workers,
+                     const InvocationTreeParams& p = {});
+
 }  // namespace lambada::models
 
 #endif  // LAMBADA_MODELS_COSTMODEL_H_

@@ -696,6 +696,189 @@ TEST(ServingChaosTest, AttachersSurviveFetcherFailureByRearming) {
       << "no seed in [1, 24] produced fetcher-fails/attacher-survives";
 }
 
+// ---------------------------------------------------------------------------
+// Invoker-subtree recovery
+// ---------------------------------------------------------------------------
+
+/// A fault plan that kills tree invokers (and only invokers): a worker
+/// with a subtree to start dies before any child or mid-branch, weighted
+/// by `before_w` / `during_w`, for generations <= `max_generation`.
+cloud::FaultPlan InvokerCrashes(double rate, int max_generation,
+                                double before_w, double during_w,
+                                uint64_t seed) {
+  cloud::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.invoker_crash_rate = rate;
+  plan.invoker_crash_max_generation = max_generation;
+  plan.invoker_crash_before_weight = before_w;
+  plan.invoker_crash_during_weight = during_w;
+  return plan;
+}
+
+TEST(FailureTest, LostGen1BranchRecoversViaSubtreeReinvocation) {
+  // A 36-worker two-level fleet (6 roots of 6): gen-1 invokers die before
+  // starting their branch, leaving whole ID ranges silent. With subtree
+  // recovery the driver re-invokes only the dead branch through its
+  // invoker — one Invoke call, branch-sized re-runs, never a fleet
+  // restart — and the merged result stays byte-identical to the
+  // fault-free reference at every worker thread count.
+  auto run = [](int threads, const cloud::FaultPlan& fault,
+                int* subtree_reinvocations, int* reinvoked,
+                int64_t* invoker_crashes) {
+    cloud::CloudConfig cfg;
+    cfg.fault = fault;
+    cloud::Cloud cloud(cfg);
+    DriverOptions dopts;
+    if (threads > 1) {
+      dopts.worker_exec = exec::ExecContext::Parallel(threads, 4096);
+    }
+    Driver driver(&cloud, dopts);
+    LAMBADA_CHECK_OK(driver.Install());
+    UploadTable(cloud, "branch/", 36, 400);
+    auto q = Query::FromParquet("s3://data/branch/*.lpq");
+    RunOptions ropts;
+    ropts.mitigation.enabled = true;
+    ropts.mitigation.subtree_recovery = true;
+    ropts.mitigation.max_attempts = 6;
+    ropts.mitigation.stall_timeout_s = 5.0;
+    auto report = driver.RunToCompletion(q, ropts);
+    LAMBADA_CHECK(report.ok()) << report.status().ToString();
+    LAMBADA_CHECK(report->tree_depth == 2);
+    if (subtree_reinvocations != nullptr) {
+      *subtree_reinvocations = report->subtree_reinvocations;
+    }
+    if (reinvoked != nullptr) *reinvoked = report->reinvoked_workers;
+    if (invoker_crashes != nullptr) {
+      *invoker_crashes = cloud.fault().invoker_crashes_armed();
+    }
+    return engine::SerializeChunk(report->result);
+  };
+  const cloud::FaultPlan dead_branch = InvokerCrashes(0.4, 1, 1.0, 0.0, 7);
+  for (int threads : {1, 2, 8}) {
+    auto ref = run(threads, cloud::FaultPlan{}, nullptr, nullptr, nullptr);
+    int branches = 0;
+    int reinvoked = 0;
+    int64_t crashes = 0;
+    auto got = run(threads, dead_branch, &branches, &reinvoked, &crashes);
+    EXPECT_EQ(got, ref) << threads << " threads";
+    EXPECT_GE(crashes, 1) << threads << " threads";
+    EXPECT_GE(branches, 1) << threads << " threads";
+    EXPECT_GE(reinvoked, 2) << threads << " threads";   // A branch...
+    EXPECT_LT(reinvoked, 36) << threads << " threads";  // ...not the fleet.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet scale: 10k-worker invocation trees under invoker loss
+// ---------------------------------------------------------------------------
+
+/// Q1/Q6/Q12 fleets of 10000 workers started through the depth-3 batched
+/// invocation tree, with gen-1 and gen-2 invokers dying underneath. Every
+/// faulted run must come back byte-identical to the fault-free reference,
+/// and recovery must cost lost-branch-sized re-invocation, never a fleet
+/// restart. Registered as its own ctest entry under the `slow_fleet`
+/// label (tests/CMakeLists.txt): each run starts >10k simulated workers.
+class TenKFleetChaosTest : public ::testing::Test {
+ protected:
+  static constexpr int kWorkers = 10000;
+  static constexpr uint64_t kSeed = 5;
+
+  struct FleetRun {
+    std::vector<uint8_t> bytes;
+    int tree_depth = 0;
+    bool batched = false;
+    int subtree_reinvocations = 0;
+    int reinvoked_workers = 0;
+    int workers = 0;
+    int64_t invoker_crashes = 0;
+  };
+
+  FleetRun RunFleet(int query, const cloud::FaultPlan& fault) {
+    cloud::CloudConfig cfg;
+    cfg.concurrency_limit = 24000;
+    // S3 request limits scale per prefix; a 10000-file dataset spans many
+    // partitions, so model a bucket scaled to ~10x the single-prefix
+    // rates (otherwise Q12's broadcast build fetch alone is 40k GETs
+    // against one limiter and the run dies in SlowDown, not chaos).
+    cfg.s3.read_rate_per_bucket = 55000.0;
+    cfg.s3.write_rate_per_bucket = 35000.0;
+    cfg.s3.rate_burst = 2000.0;
+    cfg.fault = fault;
+    cloud::Cloud cloud(cfg);
+    Driver driver(&cloud);
+    LAMBADA_CHECK_OK(driver.Install());
+    workload::LoadOptions li;
+    li.num_rows = kWorkers;  // One row per file: the fan-out is the point.
+    li.num_files = kWorkers;
+    li.row_groups_per_file = 1;
+    li.seed = kSeed;
+    LAMBADA_CHECK_OK(workload::LoadLineitem(&cloud.s3(), "tpch", "li/", li));
+    std::optional<Query> q;
+    switch (query) {
+      case 1:
+        q = workload::TpchQ1("s3://tpch/li/*.lpq");
+        break;
+      case 6:
+        q = workload::TpchQ6("s3://tpch/li/*.lpq");
+        break;
+      default: {
+        workload::LoadOptions oo;
+        oo.num_rows =
+            workload::MaxOrderKey(workload::GenerateLineitem(kWorkers, kSeed));
+        oo.num_files = 4;
+        oo.seed = 123;
+        LAMBADA_CHECK_OK(workload::LoadOrders(&cloud.s3(), "tpch", "ord/", oo));
+        q = workload::TpchQ12("s3://tpch/li/*.lpq", "s3://tpch/ord/*.lpq");
+        break;
+      }
+    }
+    RunOptions ropts;
+    ropts.mitigation.enabled = true;
+    ropts.mitigation.subtree_recovery = true;
+    ropts.mitigation.fleet_aware = true;
+    ropts.mitigation.max_attempts = 6;
+    auto report = driver.RunToCompletion(*q, ropts);
+    LAMBADA_CHECK(report.ok()) << report.status().ToString();
+    FleetRun run;
+    run.bytes = engine::SerializeChunk(report->result);
+    run.tree_depth = report->tree_depth;
+    run.batched = report->batched_invocation;
+    run.subtree_reinvocations = report->subtree_reinvocations;
+    run.reinvoked_workers = report->reinvoked_workers;
+    run.workers = report->workers;
+    run.invoker_crashes = cloud.fault().invoker_crashes_armed();
+    return run;
+  }
+
+  void Grid(int query, const cloud::FaultPlan& fault) {
+    FleetRun ref = RunFleet(query, cloud::FaultPlan{});
+    EXPECT_EQ(ref.invoker_crashes, 0);
+    EXPECT_EQ(ref.tree_depth, 3);
+    EXPECT_TRUE(ref.batched);
+    EXPECT_GE(ref.workers, 9000);
+    FleetRun run = RunFleet(query, fault);
+    EXPECT_EQ(run.bytes, ref.bytes) << "query " << query;
+    EXPECT_GE(run.invoker_crashes, 1);
+    EXPECT_GE(run.subtree_reinvocations, 1);
+    EXPECT_GT(run.reinvoked_workers, 0);
+    // Lost-branch-sized recovery, never a fleet restart.
+    EXPECT_LT(run.reinvoked_workers, run.workers / 2);
+  }
+};
+
+TEST_F(TenKFleetChaosTest, Q1Gen1InvokerLossByteIdentical) {
+  Grid(1, InvokerCrashes(0.08, 1, 1.0, 0.0, 31));
+}
+
+TEST_F(TenKFleetChaosTest, Q6Gen2InvokerLossByteIdentical) {
+  Grid(6, InvokerCrashes(0.04, 2, 1.0, 1.0, 32));
+}
+
+TEST_F(TenKFleetChaosTest, Q12MidInvokeLossByteIdentical) {
+  Grid(12, InvokerCrashes(0.08, 2, 0.0, 1.0, 33));
+}
+
 TEST(FailureTest, MalformedPayloadCountsAsHandlerFailure) {
   cloud::Cloud cloud;
   Driver driver(&cloud);

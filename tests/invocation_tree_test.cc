@@ -1,0 +1,410 @@
+#include "core/invocation_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "common/binio.h"
+#include "common/rng.h"
+#include "core/driver.h"
+#include "core/messages.h"
+#include "engine/chunk_serde.h"
+#include "models/costmodel.h"
+#include "workload/tpch.h"
+
+namespace lambada::core {
+namespace {
+
+/// The planner's cost parameters derived the way the driver derives them.
+TreeOptions OptionsFor(cloud::Cloud& cloud, int depth) {
+  TreeOptions topt;
+  topt.depth = depth;
+  topt.cost.driver_invoke_latency_s = cloud.region().remote_invoke_latency_s;
+  topt.cost.driver_rate_per_s = cloud.region().remote_client_rate_per_s;
+  topt.cost.driver_threads = 128;
+  topt.cost.worker_invoke_latency_s = cloud.region().intra_invoke_latency_s;
+  topt.cost.worker_start_s = cloud.faas().config().cold_start_median_s +
+                             cloud.faas().config().cold_init_cpu_s;
+  return topt;
+}
+
+/// Expands the whole tree host-side (driver's roots, then every node's
+/// children recursively) and records how often each worker id appears as
+/// a node's own id (`begin`).
+void ExpandTree(const TreePlan& plan, std::vector<int>* counts) {
+  counts->assign(plan.workers, 0);
+  std::vector<TreeNode> frontier = TreeRoots(plan);
+  EXPECT_LE(frontier.size(), plan.fanout.empty() ? 0u : plan.fanout[0]);
+  while (!frontier.empty()) {
+    std::vector<TreeNode> next;
+    for (const TreeNode& node : frontier) {
+      ASSERT_LT(node.begin, plan.workers);
+      ++(*counts)[node.begin];
+      auto children = TreeChildren(plan, node);
+      ASSERT_TRUE(children.ok()) << children.status().ToString();
+      if (static_cast<int>(node.generation) < plan.depth()) {
+        EXPECT_LE(children->size(), plan.fanout[node.generation])
+            << "generation " << node.generation << " branching bound";
+      } else {
+        EXPECT_TRUE(children->empty());
+      }
+      for (const TreeNode& c : *children) {
+        EXPECT_EQ(c.generation, node.generation + 1);
+        EXPECT_GT(c.end, c.begin);
+        EXPECT_LE(c.end, node.end);
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner properties
+// ---------------------------------------------------------------------------
+
+TEST(InvocationTreeTest, EveryIdExactlyOnceAcrossFleetsAndDepths) {
+  // The tentpole property: for arbitrary (non-square, prime, huge) fleet
+  // sizes and every supported depth, expanding the tree yields every
+  // worker id exactly once — no overlaps, no holes — and every node
+  // respects the plan's branching bounds. Pure arithmetic, so this also
+  // certifies the partitioning is identical on the driver and worker
+  // sides regardless of thread count.
+  const std::vector<uint32_t> fleets = {1,    2,    7,     100,  4095,
+                                        4096, 4097, 10000, 16384};
+  for (uint32_t workers : fleets) {
+    for (int depth : {2, 3}) {
+      TreeOptions topt;
+      topt.depth = depth;
+      TreePlan plan = PlanInvocationTree(workers, topt);
+      ASSERT_EQ(plan.workers, workers);
+      ASSERT_EQ(plan.depth(), depth);
+      std::vector<int> counts;
+      ExpandTree(plan, &counts);
+      for (uint32_t id = 0; id < workers; ++id) {
+        ASSERT_EQ(counts[id], 1)
+            << "worker " << id << " of " << workers << ", depth " << depth;
+      }
+    }
+  }
+}
+
+TEST(InvocationTreeTest, DepthTwoReproducesHistoricalSqrtGrouping) {
+  // Two-level plans must keep the released invocation layout bit-for-bit:
+  // group = ceil(sqrt(P)) ids per generation-1 root, fixed chunks.
+  for (uint32_t workers : {5u, 36u, 100u, 4095u, 4096u, 4097u, 10000u}) {
+    TreeOptions topt;
+    topt.depth = 2;
+    TreePlan plan = PlanInvocationTree(workers, topt);
+    const uint32_t group = static_cast<uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(workers))));
+    EXPECT_EQ(plan.SubtreeCapacity(1), group);
+    std::vector<TreeNode> roots = TreeRoots(plan);
+    ASSERT_EQ(roots.size(), (workers + group - 1) / group);
+    for (size_t g = 0; g < roots.size(); ++g) {
+      EXPECT_EQ(roots[g].begin, g * group);
+      EXPECT_EQ(roots[g].end,
+                std::min<uint32_t>((g + 1) * group, workers));
+    }
+  }
+}
+
+TEST(InvocationTreeTest, AutoDepthFollowsTheCostModel) {
+  // The unforced planner picks the modeled-best depth: two levels for the
+  // paper's 4096-worker fleet (its committed schedule), three beyond.
+  cloud::Cloud cloud;
+  TreeOptions topt = OptionsFor(cloud, 0);
+  EXPECT_EQ(PlanInvocationTree(3, topt).depth(), 1);  // Driver-direct.
+  EXPECT_EQ(PlanInvocationTree(4096, topt).depth(), 2);
+  EXPECT_EQ(PlanInvocationTree(10000, topt).depth(), 3);
+  EXPECT_EQ(PlanInvocationTree(16384, topt).depth(), 3);
+  // The model itself orders the choice.
+  for (uint32_t w : {10000u, 16384u}) {
+    TreeOptions d2 = topt;
+    d2.depth = 2;
+    TreeOptions d3 = topt;
+    d3.depth = 3;
+    EXPECT_LT(models::TreeAllRunningTime(PlanInvocationTree(w, d3).fanout, w,
+                                         topt.cost),
+              models::TreeAllRunningTime(PlanInvocationTree(w, d2).fanout, w,
+                                         topt.cost));
+  }
+  // Start skew is nonnegative and grows with the fleet.
+  const double skew_small = models::TreeStartSkew(
+      PlanInvocationTree(100, topt).fanout, 100, topt.cost);
+  const double skew_big = models::TreeStartSkew(
+      PlanInvocationTree(16384, topt).fanout, 16384, topt.cost);
+  EXPECT_GE(skew_small, 0.0);
+  EXPECT_GT(skew_big, skew_small);
+}
+
+TEST(InvocationTreeTest, ForgedRangesAreLoudErrors) {
+  TreeOptions topt;
+  topt.depth = 3;
+  TreePlan plan = PlanInvocationTree(1000, topt);
+  TreeNode node;
+  node.generation = 1;
+  node.begin = 0;
+  node.end = plan.SubtreeCapacity(1) + 5;  // Overlaps the next sibling.
+  EXPECT_FALSE(TreeChildren(plan, node).ok());
+  node.end = 0;  // Inverted.
+  EXPECT_FALSE(TreeChildren(plan, node).ok());
+  node.begin = 990;
+  node.end = 1005;  // Beyond the fleet.
+  EXPECT_FALSE(TreeChildren(plan, node).ok());
+  node.begin = 0;
+  node.end = 10;
+  node.generation = 7;  // Beyond the declared depth.
+  EXPECT_FALSE(TreeChildren(plan, node).ok());
+  EXPECT_FALSE(TreeChildren(TreePlan{}, node).ok());  // Empty plan.
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: tree sections and the batched input table
+// ---------------------------------------------------------------------------
+
+InvocationPayload SamplePayload() {
+  InvocationPayload p;
+  p.query_id = "q7";
+  p.total_workers = 100;
+  p.plan_bucket = "sys";
+  p.plan_key = "plans/q7";
+  p.result_queue = "res";
+  p.data_scale = 2.5;
+  p.hedge_gets = true;
+  p.self.worker_id = 10;
+  p.self.attempt = 3;
+  p.self.files = {{"data", "a.lpq"}, {"data", "b.lpq"}};
+  return p;
+}
+
+TEST(InvocationTreeSerdeTest, TreePayloadRoundTrips) {
+  InvocationPayload p = SamplePayload();
+  p.self.files.clear();  // Batched payloads carry no explicit inputs.
+  p.tree.subtree_end = 20;
+  p.tree.generation = 1;
+  p.tree.fanout = {10, 3, 3};
+  p.tree.inputs_key = "plans/q7.inputs";
+  auto parsed = InvocationPayload::Parse(p.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tree.subtree_end, 20u);
+  EXPECT_EQ(parsed->tree.generation, 1u);
+  EXPECT_EQ(parsed->tree.fanout, (std::vector<uint32_t>{10, 3, 3}));
+  EXPECT_EQ(parsed->tree.inputs_key, "plans/q7.inputs");
+  EXPECT_EQ(parsed->self.worker_id, 10u);
+  EXPECT_EQ(parsed->self.attempt, 3u);
+  EXPECT_TRUE(parsed->tree.active());
+}
+
+TEST(InvocationTreeSerdeTest, LegacyPayloadBytesAreUnchanged) {
+  // A two-level payload (explicit to_invoke, no tree section) must
+  // serialize to exactly the pre-tree wire bytes: the reference encoder
+  // below replicates the frozen field sequence of the original format.
+  InvocationPayload p = SamplePayload();
+  WorkerInput child;
+  child.worker_id = 11;
+  child.files = {{"data", "c.lpq"}};
+  p.to_invoke.push_back(child);
+
+  BinaryWriter w;
+  w.PutString(p.query_id);
+  w.PutU32(p.total_workers);
+  w.PutString(p.plan_bucket);
+  w.PutString(p.plan_key);
+  w.PutString(p.result_queue);
+  p.self.Serialize(&w);
+  w.PutVarint(p.to_invoke.size());
+  for (const auto& t : p.to_invoke) t.Serialize(&w);
+  w.PutF64(p.data_scale);
+  w.PutU8(1);  // hedge_gets.
+  auto expected = w.Take();
+
+  const std::string got = p.Serialize();
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), expected.data(), expected.size()));
+  auto parsed = InvocationPayload::Parse(got);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->tree.active());
+}
+
+TEST(InvocationTreeSerdeTest, TruncatedTreeSectionsAreTypedErrors) {
+  InvocationPayload p = SamplePayload();
+  p.self.files.clear();
+  p.tree.subtree_end = 20;
+  p.tree.generation = 1;
+  p.tree.fanout = {10, 9};
+  p.tree.inputs_key = "plans/q7.inputs";
+  const std::string full = p.Serialize();
+  InvocationPayload legacy = p;
+  legacy.tree = TreeAssignment{};
+  const size_t legacy_size = legacy.Serialize().size();
+  ASSERT_GT(full.size(), legacy_size);
+  // Every strict truncation inside the tree section must be a typed
+  // error — never a crash, never a silently shorter tree.
+  for (size_t len = legacy_size + 1; len < full.size(); ++len) {
+    auto parsed = InvocationPayload::Parse(full.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "length " << len;
+  }
+  // Truncating the whole section yields the valid legacy payload.
+  auto stripped = InvocationPayload::Parse(full.substr(0, legacy_size));
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_FALSE(stripped->tree.active());
+}
+
+TEST(InvocationTreeSerdeTest, OverlappingAndForgedRangesAreRejected) {
+  auto expect_invalid = [](InvocationPayload p, const std::string& what) {
+    auto parsed = InvocationPayload::Parse(p.Serialize());
+    EXPECT_FALSE(parsed.ok()) << what;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << what << ": " << parsed.status().ToString();
+    }
+  };
+  InvocationPayload base = SamplePayload();
+  base.self.files.clear();
+  base.tree.generation = 2;
+  base.tree.fanout = {10, 3, 3};
+  base.tree.subtree_end = 14;  // Capacity of a gen-2 subtree: 1+3*1 = 4.
+
+  InvocationPayload overlap = base;
+  overlap.tree.subtree_end = 20;  // 10 ids > capacity 4.
+  expect_invalid(overlap, "sibling overlap");
+
+  InvocationPayload inverted = base;
+  inverted.tree.subtree_end = 5;  // Ends before self.worker_id = 10.
+  expect_invalid(inverted, "inverted range");
+
+  InvocationPayload beyond = base;
+  beyond.tree.subtree_end = 300;  // total_workers is 100.
+  expect_invalid(beyond, "beyond the fleet");
+
+  InvocationPayload deep = base;
+  deep.tree.generation = 9;  // fanout declares depth 3.
+  expect_invalid(deep, "generation beyond depth");
+
+  InvocationPayload both = base;
+  WorkerInput child;
+  child.worker_id = 11;
+  both.to_invoke.push_back(child);
+  expect_invalid(both, "tree range plus explicit invoke list");
+}
+
+TEST(InvocationTreeSerdeTest, SeededFuzzNeverCrashesTheParser) {
+  // Byte-level chaos: random truncations and bit flips over valid tree
+  // payloads must always produce either a valid payload or a typed error.
+  InvocationPayload p = SamplePayload();
+  p.self.files.clear();
+  p.tree.subtree_end = 20;
+  p.tree.generation = 1;
+  p.tree.fanout = {10, 9};
+  p.tree.inputs_key = "plans/q7.inputs";
+  const std::string full = p.Serialize();
+  Rng rng(20260808);
+  int rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = full;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    if (rng.NextDouble() < 0.3) {
+      mutated.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(mutated.size()))));
+    }
+    auto parsed = InvocationPayload::Parse(mutated);
+    if (!parsed.ok()) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(InvocationTreeSerdeTest, WorkerInputTableRoundTrips) {
+  std::vector<WorkerInput> inputs(5);
+  for (uint32_t w = 0; w < inputs.size(); ++w) {
+    inputs[w].worker_id = w;
+    inputs[w].attempt = w % 2;
+    inputs[w].files = {{"data", "f" + std::to_string(w) + ".lpq"}};
+  }
+  const std::vector<uint8_t> table = EncodeWorkerInputTable(inputs);
+
+  BinaryReader header(table.data(), table.size());
+  auto count = header.GetU32();
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(*count, inputs.size());
+  const int64_t blobs_at =
+      WorkerInputTableHeaderBytes(static_cast<uint32_t>(inputs.size()));
+  for (uint32_t w = 0; w < inputs.size(); ++w) {
+    BinaryReader offsets(table.data() + WorkerInputOffsetPos(w), 16);
+    auto begin = offsets.GetU64();
+    auto end = offsets.GetU64();
+    ASSERT_TRUE(begin.ok() && end.ok());
+    ASSERT_LT(*begin, *end);
+    ASSERT_LE(blobs_at + static_cast<int64_t>(*end),
+              static_cast<int64_t>(table.size()));
+    auto entry = DecodeWorkerInputEntry(
+        table.data() + blobs_at + static_cast<int64_t>(*begin),
+        static_cast<size_t>(*end - *begin));
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    EXPECT_EQ(entry->worker_id, w);
+    EXPECT_EQ(entry->attempt, w % 2);
+    ASSERT_EQ(entry->files.size(), 1u);
+    EXPECT_EQ(entry->files[0].key, "f" + std::to_string(w) + ".lpq");
+    // Truncated entries are typed errors.
+    EXPECT_FALSE(DecodeWorkerInputEntry(
+                     table.data() + blobs_at + static_cast<int64_t>(*begin),
+                     static_cast<size_t>(*end - *begin) - 1)
+                     .ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: deep batched trees run real queries byte-identically
+// ---------------------------------------------------------------------------
+
+TEST(InvocationTreeQueryTest, DepthThreeBatchedMatchesDepthTwoAtAllThreads) {
+  // A real Q6 fleet forced through the depth-3 batched tree must produce
+  // result bytes identical to the default two-level run — at 1, 2, and 8
+  // worker threads, and across repeated runs (the determinism contract).
+  auto run = [](int depth, int threads) {
+    cloud::Cloud cloud;
+    DriverOptions dopts;
+    dopts.invocation_tree_depth = depth;
+    if (threads > 1) {
+      dopts.worker_exec = exec::ExecContext::Parallel(threads, 4096);
+    }
+    Driver driver(&cloud, dopts);
+    LAMBADA_CHECK_OK(driver.Install());
+    workload::LoadOptions li;
+    li.num_rows = 6000;
+    li.num_files = 30;
+    li.row_groups_per_file = 2;
+    li.seed = 17;
+    LAMBADA_CHECK_OK(workload::LoadLineitem(&cloud.s3(), "tpch", "li/", li));
+    auto q = workload::TpchQ6("s3://tpch/li/*.lpq");
+    RunOptions ropts;
+    // Worker-order merge: result bytes become schedule-invariant, so the
+    // two tree shapes (different arrival orders) are comparable.
+    ropts.mitigation.enabled = true;
+    auto report = driver.RunToCompletion(q, ropts);
+    LAMBADA_CHECK(report.ok()) << report.status().ToString();
+    LAMBADA_CHECK(report->tree_depth == depth);
+    LAMBADA_CHECK(report->batched_invocation == (depth >= 3));
+    return engine::SerializeChunk(report->result);
+  };
+  const std::vector<uint8_t> ref = run(2, 1);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(run(2, 1), ref);  // Repeated run, identical bytes.
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(run(3, threads), ref) << threads << " threads, depth 3";
+  }
+}
+
+}  // namespace
+}  // namespace lambada::core
